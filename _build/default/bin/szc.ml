@@ -1,0 +1,449 @@
+(* szc: the STABILIZER compiler-driver CLI (paper §3.1, Figure 2).
+   Instead of wrapping clang/gcc it "compiles" (optimizes) generated
+   benchmark programs and runs them on the simulated machine under a
+   chosen randomization configuration. *)
+
+open Cmdliner
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_arg =
+  let doc = "Benchmark name (one of the 18 SPEC-like workloads; see `szc list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let runs_term =
+  Arg.(value & opt int 30 & info [ "runs"; "n" ] ~docv:"N" ~doc:"Number of runs.")
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
+
+let scale_term =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Scale workload iteration counts by $(docv).")
+
+let opt_term =
+  let level_conv =
+    Arg.conv
+      ( (fun s ->
+          match Stz_vm.Opt.level_of_string s with
+          | Some l -> Ok l
+          | None -> Error (`Msg ("unknown optimization level " ^ s))),
+        fun fmt l -> Format.pp_print_string fmt (Stz_vm.Opt.level_to_string l) )
+  in
+  Arg.(
+    value & opt level_conv Stz_vm.Opt.O2
+    & info [ "O"; "opt" ] ~docv:"LEVEL" ~doc:"Optimization level (O0..O3).")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let config_term =
+  let make no_code no_stack no_heap onetime baseline adaptive interval shuffle_n
+      alloc block_grain fixed_tables link_random env_bytes =
+    let base = if baseline then Stabilizer.Config.baseline else Stabilizer.Config.stabilizer in
+    let alloc_kind =
+      match Stz_alloc.Allocator.kind_of_string alloc with
+      | Some k -> k
+      | None -> failwith ("unknown allocator " ^ alloc)
+    in
+    {
+      Stabilizer.Config.code = base.Stabilizer.Config.code && not no_code;
+      stack = base.Stabilizer.Config.stack && not no_stack;
+      heap = base.Stabilizer.Config.heap && not no_heap;
+      rerandomize = base.Stabilizer.Config.rerandomize && not onetime;
+      interval_cycles = interval;
+      adaptive;
+      adaptive_threshold = base.Stabilizer.Config.adaptive_threshold;
+      shuffle_n;
+      base_allocator = alloc_kind;
+      granularity =
+        (if block_grain then Stz_layout.Code_rand.Block_grain
+         else Stz_layout.Code_rand.Function_grain);
+      reloc_style =
+        (if fixed_tables then Stz_layout.Code_rand.Fixed_table
+         else Stz_layout.Code_rand.Adjacent_table);
+      link_order =
+        (if link_random then Stabilizer.Config.Random_link
+         else Stabilizer.Config.Declaration);
+      env_bytes;
+    }
+  in
+  Term.(
+    const make
+    $ flag [ "no-code" ] "Disable code randomization."
+    $ flag [ "no-stack" ] "Disable stack randomization."
+    $ flag [ "no-heap" ] "Disable heap randomization."
+    $ flag [ "onetime" ] "Randomize once at startup; no re-randomization."
+    $ flag [ "baseline" ] "Disable all randomizations."
+    $ flag [ "adaptive" ]
+        "Also re-randomize when the miss rate spikes (paper §8 future work)."
+    $ Arg.(
+        value
+        & opt int Stabilizer.Config.stabilizer.Stabilizer.Config.interval_cycles
+        & info [ "interval" ] ~docv:"CYCLES" ~doc:"Re-randomization interval.")
+    $ Arg.(value & opt int 256 & info [ "shuffle-n" ] ~docv:"N" ~doc:"Shuffling parameter N.")
+    $ Arg.(
+        value & opt string "segregated"
+        & info [ "alloc" ] ~docv:"KIND" ~doc:"Base allocator: segregated, tlsf or diehard.")
+    $ flag [ "block-grain" ] "Randomize at basic-block granularity (paper §8)."
+    $ flag [ "fixed-tables" ]
+        "Use fixed-absolute-address relocation tables (PowerPC/x86-32 ABI, §3.5)."
+    $ flag [ "link-random" ] "Randomize static link order (baseline layouts)."
+    $ Arg.(
+        value & opt int 0
+        & info [ "env-bytes" ] ~docv:"BYTES" ~doc:"Environment block size (shifts the stack)."))
+
+let lookup_bench name scale =
+  match Stz_workloads.Spec.find name with
+  | Some prof -> Ok (Stz_workloads.Profile.scale scale prof)
+  | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S; try `szc list'" name))
+
+(* ------------------------------------------------------------------ *)
+(* szc list                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %9s %5s %6s %8s %8s\n" "benchmark" "functions" "hot"
+      "blocks" "churn" "code(B)";
+    List.iter
+      (fun prof ->
+        let p = Stz_workloads.Generate.program prof in
+        Printf.printf "%-12s %9d %5d %6d %8.2f %8d\n" prof.Stz_workloads.Profile.name
+          prof.Stz_workloads.Profile.functions prof.Stz_workloads.Profile.hot_functions
+          (Array.fold_left
+             (fun acc f -> acc + Array.length f.Stz_vm.Ir.blocks)
+             0 p.Stz_vm.Ir.funcs)
+          prof.Stz_workloads.Profile.heap_churn
+          (Stz_vm.Ir.program_size_bytes p))
+      Stz_workloads.Spec.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* szc run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run bench runs seed scale opt csv config =
+    let* prof = lookup_bench bench scale in
+    let p = Stz_workloads.Generate.program prof in
+    let sample =
+      Stabilizer.Driver.build_and_run ~config ~opt ~base_seed:(Int64.of_int seed)
+        ~runs ~args:Stz_workloads.Generate.default_args p
+    in
+    (match csv with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Stabilizer.Report.csv_of_sample sample);
+        close_out oc;
+        Printf.printf "# wrote %s\n" path
+    | None -> ());
+    let times = sample.Stabilizer.Sample.times in
+    Printf.printf "# %s under %s, %s, %d runs\n" bench
+      (Stabilizer.Config.describe config)
+      (Stz_vm.Opt.level_to_string opt)
+      runs;
+    Array.iteri
+      (fun i r ->
+        Printf.printf "run %2d: %10d cycles (%.6f s)  epochs=%d relocations=%d%s\n" i
+          r.Stabilizer.Runtime.cycles r.Stabilizer.Runtime.virtual_seconds
+          r.Stabilizer.Runtime.epochs r.Stabilizer.Runtime.relocations
+          (if r.Stabilizer.Runtime.adaptive_triggers > 0 then
+             Printf.sprintf " adaptive=%d" r.Stabilizer.Runtime.adaptive_triggers
+           else ""))
+      sample.Stabilizer.Sample.results;
+    Printf.printf "mean %.6f s   sd %.6f   cv %.4f\n" (Stz_stats.Desc.mean times)
+      (Stz_stats.Desc.std_dev times)
+      (Stz_stats.Desc.std_dev times /. Stz_stats.Desc.mean times);
+    if runs >= 3 then begin
+      let sw = Stz_stats.Shapiro.test times in
+      Printf.printf "Shapiro-Wilk: W = %.4f, p = %.4f -> %s\n" sw.Stz_stats.Shapiro.w
+        sw.Stz_stats.Shapiro.p_value
+        (if sw.Stz_stats.Shapiro.p_value >= 0.05 then "plausibly normal"
+         else "not normal")
+    end;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ runs_term $ seed_term $ scale_term $ opt_term
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the samples as CSV.")
+        $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark under a randomization configuration.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc compare                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let opt_conv =
+    Arg.conv
+      ( (fun s ->
+          match Stz_vm.Opt.level_of_string s with
+          | Some l -> Ok l
+          | None -> Error (`Msg ("unknown optimization level " ^ s))),
+        fun fmt l -> Format.pp_print_string fmt (Stz_vm.Opt.level_to_string l) )
+  in
+  let run bench runs seed scale config opt_a opt_b =
+    let* prof = lookup_bench bench scale in
+    let p = Stz_workloads.Generate.program prof in
+    let c =
+      Stabilizer.Driver.compare_opt_levels ~config ~base_seed:(Int64.of_int seed)
+        ~runs ~args:Stz_workloads.Generate.default_args opt_a opt_b p
+    in
+    Printf.printf "# %s: %s vs %s under %s (%d runs each)\n" bench
+      (Stz_vm.Opt.level_to_string opt_a)
+      (Stz_vm.Opt.level_to_string opt_b)
+      (Stabilizer.Config.describe config)
+      runs;
+    Printf.printf "mean %s = %.6f s, mean %s = %.6f s\n"
+      (Stz_vm.Opt.level_to_string opt_a)
+      c.Stabilizer.Experiment.mean_a
+      (Stz_vm.Opt.level_to_string opt_b)
+      c.Stabilizer.Experiment.mean_b;
+    Printf.printf "speedup of %s over %s: %.4f\n"
+      (Stz_vm.Opt.level_to_string opt_b)
+      (Stz_vm.Opt.level_to_string opt_a)
+      c.Stabilizer.Experiment.speedup;
+    Printf.printf "%s\n" (Stabilizer.Experiment.describe c);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ runs_term $ seed_term $ scale_term $ config_term
+        $ Arg.(
+            value & opt opt_conv Stz_vm.Opt.O1
+            & info [ "opt-a" ] ~docv:"LEVEL" ~doc:"First optimization level.")
+        $ Arg.(
+            value & opt opt_conv Stz_vm.Opt.O2
+            & info [ "opt-b" ] ~docv:"LEVEL" ~doc:"Second optimization level.")))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Statistically compare two optimization levels of a benchmark.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc nist                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let nist_cmd =
+  let run seed =
+    Printf.printf "# NIST SP 800-22 over heap-address index bits (paper #3.2)\n";
+    List.iter
+      (fun r -> Format.printf "%a@." Stabilizer.Heap_randomness.pp_report r)
+      (Stabilizer.Heap_randomness.table ~seed:(Int64.of_int seed) ())
+  in
+  Cmd.v
+    (Cmd.info "nist" ~doc:"Randomness of allocator address streams (paper #3.2).")
+    Term.(const run $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* szc disasm                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let disasm_cmd =
+  let run bench scale opt funcs emit =
+    let* prof = lookup_bench bench scale in
+    let p = Stabilizer.Driver.compile ~opt (Stz_workloads.Generate.program prof) in
+    (match emit with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Stz_vm.Text.to_string p);
+        close_out oc;
+        Printf.printf "# wrote %s\n" path
+    | None -> ());
+    Printf.printf "# %s at %s: %d functions, %d globals, %d bytes\n" bench
+      (Stz_vm.Opt.level_to_string opt)
+      (Array.length p.Stz_vm.Ir.funcs)
+      (Array.length p.Stz_vm.Ir.globals)
+      (Stz_vm.Ir.program_size_bytes p);
+    Array.iteri
+      (fun i f -> if i < funcs then Format.printf "%a@." Stz_vm.Ir.pp_func f)
+      p.Stz_vm.Ir.funcs;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ scale_term $ opt_term
+        $ Arg.(
+            value & opt int 2
+            & info [ "funcs" ] ~docv:"N" ~doc:"How many functions to print.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "emit" ] ~docv:"FILE"
+                ~doc:"Write the whole program in the textual IR format.")))
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Print a benchmark's IR after optimization.") term
+
+(* ------------------------------------------------------------------ *)
+(* szc power                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let power_cmd =
+  let run bench runs seed scale pct config =
+    let* prof = lookup_bench bench scale in
+    let p = Stz_workloads.Generate.program prof in
+    (* Pilot sample to estimate the timing variability under this
+       configuration. *)
+    let pilot =
+      Stabilizer.Sample.times ~config ~base_seed:(Int64.of_int seed) ~runs
+        ~args:Stz_workloads.Generate.default_args p
+    in
+    let cv = Stz_stats.Desc.std_dev pilot /. Stz_stats.Desc.mean pilot in
+    Printf.printf "# %s under %s: pilot of %d runs, cv = %.4f\n" bench
+      (Stabilizer.Config.describe config)
+      runs cv;
+    let effect =
+      Stz_stats.Power.effect_of_speedup ~speedup:(1.0 +. (pct /. 100.0)) ~cv
+    in
+    Printf.printf
+      "a %.2f%% change is a standardized effect of d = %.2f at this variability\n"
+      pct effect;
+    Printf.printf "runs per version for 80%% power at alpha = 0.05: %d\n"
+      (Stz_stats.Power.required_runs ~effect ());
+    Printf.printf "runs per version for 95%% power:                 %d\n"
+      (Stz_stats.Power.required_runs ~effect ~power:0.95 ());
+    let detectable =
+      Stz_stats.Power.detectable_effect ~n:runs () *. cv *. 100.0
+    in
+    Printf.printf
+      "with the pilot's %d runs you can detect changes of about %.2f%%\n" runs
+      detectable;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ runs_term $ seed_term $ scale_term
+        $ Arg.(
+            value & opt float 1.0
+            & info [ "change" ] ~docv:"PCT"
+                ~doc:"Performance change of interest, in percent.")
+        $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:
+         "How many runs are needed to detect a given performance change \
+          (paper §2.3)?")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc exec                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exec_cmd =
+  let run path arg seed config =
+    match
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Stz_vm.Text.of_string text
+    with
+    | exception Sys_error e -> Error (`Msg e)
+    | exception Stz_vm.Text.Parse_error { line; message } ->
+        Error (`Msg (Printf.sprintf "%s:%d: %s" path line message))
+    | p ->
+        let r = Stabilizer.Runtime.run ~config ~seed:(Int64.of_int seed) p ~args:[ arg ] in
+        Printf.printf "result = %d\n" r.Stabilizer.Runtime.return_value;
+        Printf.printf "cycles = %d (%.6f s) under %s\n" r.Stabilizer.Runtime.cycles
+          r.Stabilizer.Runtime.virtual_seconds
+          (Stabilizer.Config.describe config);
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some file) None
+            & info [] ~docv:"FILE" ~doc:"Program in the textual IR format.")
+        $ Arg.(
+            value & opt int 1 & info [ "arg" ] ~docv:"N" ~doc:"Argument passed to main.")
+        $ seed_term $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run a textual-IR program under a configuration.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc profile                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run bench seed scale opt top config =
+    let* prof = lookup_bench bench scale in
+    let p =
+      Stabilizer.Driver.compile ~opt (Stz_workloads.Generate.program prof)
+    in
+    let r =
+      Stabilizer.Runtime.run ~profile:true ~config ~seed:(Int64.of_int seed) p
+        ~args:Stz_workloads.Generate.default_args
+    in
+    Printf.printf "# %s under %s: %d cycles total\n" bench
+      (Stabilizer.Config.describe config)
+      r.Stabilizer.Runtime.cycles;
+    let c = r.Stabilizer.Runtime.counters in
+    Printf.printf
+      "# instrs=%d l1i_miss=%d l1d_miss=%d itlb=%d dtlb=%d br_mispred=%d/%d\n"
+      c.Stz_machine.Hierarchy.instructions c.Stz_machine.Hierarchy.l1i_misses
+      c.Stz_machine.Hierarchy.l1d_misses c.Stz_machine.Hierarchy.itlb_misses
+      c.Stz_machine.Hierarchy.dtlb_misses
+      c.Stz_machine.Hierarchy.branch_mispredictions c.Stz_machine.Hierarchy.branches;
+    Printf.printf "%-16s %10s %14s %8s\n" "function" "calls" "excl. cycles" "share";
+    (match r.Stabilizer.Runtime.profile with
+    | None -> ()
+    | Some entries ->
+        List.iteri
+          (fun i e ->
+            if i < top then
+              Printf.printf "%-16s %10d %14d %7.2f%%\n" e.Stabilizer.Profiler.name
+                e.Stabilizer.Profiler.calls e.Stabilizer.Profiler.exclusive_cycles
+                (100.0
+                *. float_of_int e.Stabilizer.Profiler.exclusive_cycles
+                /. float_of_int (max 1 r.Stabilizer.Runtime.cycles)))
+          entries);
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ seed_term $ scale_term $ opt_term
+        $ Arg.(
+            value & opt int 12
+            & info [ "top" ] ~docv:"N" ~doc:"How many functions to show.")
+        $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-function cycle attribution for one run (paper §8's counters).")
+    term
+
+let () =
+  let info =
+    Cmd.info "szc" ~version:"1.0.0"
+      ~doc:"STABILIZER driver: run simulated benchmarks under layout randomization."
+  in
+  exit (Cmd.eval (Cmd.group info
+          [
+            list_cmd; run_cmd; compare_cmd; nist_cmd; disasm_cmd; profile_cmd;
+            exec_cmd; power_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/deployment.ml: Printf Stabilizer Stz_stats Stz_workloads

@@ -1,0 +1,1 @@
+examples/layout_bias.ml: Array Int64 List Printf Stabilizer Stz_stats Stz_workloads

@@ -1,0 +1,1 @@
+examples/layout_detective.ml: Int64 List Printf Stabilizer Stz_machine Stz_workloads

@@ -1,0 +1,1 @@
+examples/opt_evaluation.ml: Array List Option Printf Stabilizer String Stz_stats Stz_vm Stz_workloads

@@ -1,0 +1,59 @@
+(* Compiler-optimization evaluation: a miniature of the paper's §6.
+
+   For a handful of benchmarks we evaluate -O2 vs -O1 and -O3 vs -O2
+   under STABILIZER: per-benchmark significance tests (t-test, or
+   Wilcoxon when normality fails, exactly the paper's procedure) and a
+   suite-wide one-way within-subjects ANOVA.
+
+   Run with: dune exec examples/opt_evaluation.exe
+   (The full 18-benchmark version is `dune exec bench/main.exe -- optimizations`.) *)
+
+module S = Stabilizer
+module W = Stz_workloads
+module Opt = Stz_vm.Opt
+
+let benches = [ "bzip2"; "hmmer"; "namd"; "sjeng"; "libquantum"; "milc" ]
+let runs = 20
+
+let () =
+  Printf.printf "== Evaluating LLVM-style optimization levels on %d benchmarks ==\n\n"
+    (List.length benches);
+  Printf.printf "%-12s | %-28s | %-28s\n" "benchmark" "O2 vs O1" "O3 vs O2";
+  Printf.printf "%s\n" (String.make 76 '-');
+  let samples =
+    List.map
+      (fun name ->
+        let prof = W.Profile.scale 0.5 (Option.get (W.Spec.find name)) in
+        let p = W.Generate.program prof in
+        let sample opt seed =
+          (S.Driver.build_and_run ~config:S.Config.stabilizer ~opt ~base_seed:seed
+             ~runs ~args:W.Generate.default_args p)
+            .S.Sample.times
+        in
+        let o1 = sample Opt.O1 101L in
+        let o2 = sample Opt.O2 102L in
+        let o3 = sample Opt.O3 103L in
+        let describe a b =
+          let c = S.Experiment.compare_samples a b in
+          Printf.sprintf "%5.3fx %s p=%.3f%s" c.S.Experiment.speedup
+            (if c.S.Experiment.used_ttest then "t" else "W")
+            c.S.Experiment.p_value
+            (if c.S.Experiment.significant then " *" else "  ")
+        in
+        Printf.printf "%-12s | %-28s | %-28s\n%!" name (describe o1 o2) (describe o2 o3);
+        (name, o1, o2, o3))
+      benches
+  in
+  Printf.printf "%s\n" (String.make 76 '-');
+  print_endline "(speedup > 1 means the higher level is faster; * = significant at 95%)\n";
+
+  let anova label pairs =
+    let r = S.Experiment.suite_anova (Array.of_list pairs) in
+    Printf.printf "suite-wide ANOVA, %s: %s -> %s\n" label
+      (Stz_stats.Anova.to_string r)
+      (if r.Stz_stats.Anova.p_value < 0.05 then "significant at 95%"
+       else if r.Stz_stats.Anova.p_value < 0.10 then "significant only at 90%"
+       else "NOT significant: indistinguishable from noise")
+  in
+  anova "O2 vs O1" (List.map (fun (_, o1, o2, _) -> (o1, o2)) samples);
+  anova "O3 vs O2" (List.map (fun (_, _, o2, o3) -> (o2, o3)) samples)

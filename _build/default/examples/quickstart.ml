@@ -1,0 +1,112 @@
+(* Quickstart: the §2.4 workflow end to end.
+
+   A developer "improves" a function and wants to know: did my change
+   actually make the program faster, or am I looking at a layout
+   accident?  We build two versions of a small program whose only
+   semantic difference is a cheaper inner loop, run both under
+   STABILIZER, and let the Experiment module decide.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Ir = Stz_vm.Ir
+module B = Stz_vm.Builder
+
+(* A program that calls [kernel] in a loop. [fast] controls whether the
+   kernel uses a divide (slow) or a shift (fast) — a genuine, small
+   improvement of roughly one division per iteration. *)
+let program ~fast =
+  let kernel =
+    let b = B.func ~fid:1 ~name:"kernel" ~n_args:1 ~frame_size:48 () in
+    let acc = B.fresh_reg b in
+    let i = B.fresh_reg b in
+    B.emit b (Ir.Mov (acc, Ir.Reg 0));
+    B.emit b (Ir.Mov (i, Ir.Imm 0));
+    let head = B.new_block b in
+    let body = B.new_block b in
+    let exit = B.new_block b in
+    B.emit b (Ir.Br head);
+    B.set_block b head;
+    let c = B.fresh_reg b in
+    B.emit b (Ir.Cmp (Ir.Lt, c, Ir.Reg i, Ir.Imm 64));
+    B.emit b (Ir.Brc (Ir.Reg c, body, exit));
+    B.set_block b body;
+    let t = B.fresh_reg b in
+    if fast then B.emit b (Ir.Bin (Ir.Shr, t, Ir.Reg acc, Ir.Imm 3))
+    else B.emit b (Ir.Bin (Ir.Div, t, Ir.Reg acc, Ir.Imm 8));
+    B.emit b (Ir.Bin (Ir.Add, acc, Ir.Reg t, Ir.Reg i));
+    (* Surrounding work, so the division is an improvement rather than
+       the whole loop. *)
+    for k = 1 to 12 do
+      let r = B.fresh_reg b in
+      B.emit b (Ir.Bin (Ir.Add, r, Ir.Reg acc, Ir.Imm k));
+      B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg r))
+    done;
+    (* Touch the frame so the stack matters too. *)
+    let fr = B.fresh_reg b in
+    B.emit b (Ir.Frame (fr, 0));
+    B.emit b (Ir.Store (fr, 0, Ir.Reg acc));
+    B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+    B.emit b (Ir.Br head);
+    B.set_block b exit;
+    B.emit b (Ir.Ret (Ir.Reg acc));
+    B.finish b
+  in
+  let main =
+    let b = B.func ~fid:0 ~name:"main" ~n_args:1 ~frame_size:32 () in
+    let total = B.fresh_reg b in
+    let i = B.fresh_reg b in
+    B.emit b (Ir.Mov (total, Ir.Imm 0));
+    B.emit b (Ir.Mov (i, Ir.Imm 0));
+    let head = B.new_block b in
+    let body = B.new_block b in
+    let exit = B.new_block b in
+    B.emit b (Ir.Br head);
+    B.set_block b head;
+    let c = B.fresh_reg b in
+    B.emit b (Ir.Cmp (Ir.Lt, c, Ir.Reg i, Ir.Imm 400));
+    B.emit b (Ir.Brc (Ir.Reg c, body, exit));
+    B.set_block b body;
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Call { fn = 1; args = [ Ir.Reg i ]; dst = r });
+    B.emit b (Ir.Bin (Ir.Add, total, Ir.Reg total, Ir.Reg r));
+    B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+    B.emit b (Ir.Br head);
+    B.set_block b exit;
+    B.emit b (Ir.Ret (Ir.Reg total));
+    B.finish b
+  in
+  B.program ~funcs:[ main; kernel ] ~globals:[] ~entry:0
+
+let () =
+  let before = program ~fast:false in
+  let after = program ~fast:true in
+  let runs = 30 in
+
+  print_endline "== Quickstart: is my optimization real? ==\n";
+  Printf.printf "Running %d randomized executions of each version...\n\n" runs;
+
+  let comparison =
+    Stabilizer.Experiment.compare_programs ~config:Stabilizer.Config.stabilizer
+      ~base_seed:2024L ~runs ~args:[ 0 ] before after
+  in
+  Printf.printf "mean before: %.6f s\n" comparison.Stabilizer.Experiment.mean_a;
+  Printf.printf "mean after:  %.6f s\n" comparison.Stabilizer.Experiment.mean_b;
+  Printf.printf "speedup:     %.3fx\n\n" comparison.Stabilizer.Experiment.speedup;
+  Printf.printf "normality: before %s, after %s (Shapiro-Wilk)\n"
+    (if comparison.Stabilizer.Experiment.normal_a then "normal" else "non-normal")
+    (if comparison.Stabilizer.Experiment.normal_b then "normal" else "non-normal");
+  Printf.printf "verdict: %s\n\n" (Stabilizer.Experiment.describe comparison);
+
+  (* The control: comparing a version against itself must NOT be
+     significant — STABILIZER's whole point is that layout accidents do
+     not masquerade as speedups. *)
+  let control =
+    Stabilizer.Experiment.compare_programs ~config:Stabilizer.Config.stabilizer
+      ~base_seed:77L ~runs ~args:[ 0 ] before before
+  in
+  Printf.printf "control (before vs before): %s\n"
+    (Stabilizer.Experiment.describe control);
+  if comparison.Stabilizer.Experiment.significant
+     && not control.Stabilizer.Experiment.significant
+  then print_endline "\nConclusion: the change is a real improvement."
+  else print_endline "\nConclusion: inconclusive — collect more runs."

@@ -1,0 +1,1 @@
+lib/alloc/diehard.ml: Allocator Arena Array Bytes Char Hashtbl List Segregated Stdlib Stz_prng

@@ -1,0 +1,1 @@
+lib/alloc/diehard.mli: Allocator Arena Stz_prng

@@ -1,0 +1,1 @@
+lib/alloc/factory.ml: Allocator Diehard Segregated Shuffle Tlsf

@@ -1,0 +1,1 @@
+lib/alloc/factory.mli: Allocator Arena Stz_prng

@@ -1,0 +1,1 @@
+lib/alloc/segregated.ml: Allocator Arena Array Hashtbl

@@ -1,0 +1,1 @@
+lib/alloc/segregated.mli: Allocator Arena

@@ -1,0 +1,1 @@
+lib/alloc/shuffle.ml: Allocator Array Printf Segregated Stz_prng

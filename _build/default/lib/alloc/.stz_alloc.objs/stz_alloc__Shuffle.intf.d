@@ -1,0 +1,1 @@
+lib/alloc/shuffle.mli: Allocator Stz_prng

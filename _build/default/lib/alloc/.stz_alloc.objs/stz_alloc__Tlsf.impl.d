@@ -1,0 +1,1 @@
+lib/alloc/tlsf.ml: Allocator Arena Array Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/alloc/tlsf.mli: Allocator Arena

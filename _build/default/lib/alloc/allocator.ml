@@ -1,0 +1,27 @@
+type stats = {
+  live_bytes : int;
+  reserved_bytes : int;
+  allocations : int;
+  frees : int;
+}
+
+type t = {
+  name : string;
+  malloc : int -> int;
+  free : int -> unit;
+  usable_size : int -> int;
+  stats : unit -> stats;
+}
+
+type kind = Segregated | Tlsf | Diehard
+
+let kind_to_string = function
+  | Segregated -> "segregated"
+  | Tlsf -> "tlsf"
+  | Diehard -> "diehard"
+
+let kind_of_string = function
+  | "segregated" -> Some Segregated
+  | "tlsf" -> Some Tlsf
+  | "diehard" -> Some Diehard
+  | _ -> None

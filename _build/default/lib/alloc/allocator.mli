@@ -1,0 +1,26 @@
+(** The common allocator interface: a record of closures, in the spirit
+    of HeapLayers composition — the shuffling layer wraps any value of
+    this type (paper §3.2, Figure 1). *)
+
+type stats = {
+  live_bytes : int;  (** bytes in objects not yet freed (requested sizes) *)
+  reserved_bytes : int;  (** arena bytes reserved, including rounding waste *)
+  allocations : int;
+  frees : int;
+}
+
+type t = {
+  name : string;
+  malloc : int -> int;  (** size in bytes -> address *)
+  free : int -> unit;  (** address from a previous [malloc] *)
+  usable_size : int -> int;  (** address -> rounded block size *)
+  stats : unit -> stats;
+}
+
+(** Kinds selectable from configuration (paper §3.2: the base allocator
+    is a power-of-two segregated-fit allocator, optionally TLSF;
+    DieHard was the original substrate). *)
+type kind = Segregated | Tlsf | Diehard
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option

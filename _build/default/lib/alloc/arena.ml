@@ -1,0 +1,19 @@
+type t = { base : int; size : int; mutable brk : int }
+
+let align16 n = (n + 15) land lnot 15
+
+let create ~base ~size =
+  if base < 0 || size <= 0 then invalid_arg "Arena.create: bad range";
+  { base; size; brk = base }
+
+let sbrk t n =
+  if n < 0 then invalid_arg "Arena.sbrk: negative size";
+  let n = align16 n in
+  if t.brk + n > t.base + t.size then raise Out_of_memory;
+  let addr = t.brk in
+  t.brk <- t.brk + n;
+  addr
+
+let base t = t.base
+let used t = t.brk - t.base
+let size t = t.size

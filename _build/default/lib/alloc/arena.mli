@@ -1,0 +1,20 @@
+(** A simulated memory arena: a contiguous range of the simulated
+    address space handed out bump-style ([sbrk]). All allocators draw
+    their backing pages from an arena; the arena's base decides which
+    cache sets and TLB pages the heap occupies. *)
+
+type t
+
+(** [create ~base ~size] covers [base, base + size). *)
+val create : base:int -> size:int -> t
+
+(** [sbrk t n] reserves [n] bytes (16-byte aligned) and returns their
+    start address. Raises [Out_of_memory] when the arena is full. *)
+val sbrk : t -> int -> int
+
+val base : t -> int
+
+(** Bytes reserved so far. *)
+val used : t -> int
+
+val size : t -> int

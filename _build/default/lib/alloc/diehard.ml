@@ -1,0 +1,120 @@
+type region = {
+  base : int;
+  slots : int;
+  bitmap : Bytes.t;
+  mutable used : int;
+}
+
+type class_state = { mutable regions : region list }
+
+type state = {
+  arena : Arena.t;
+  source : Stz_prng.Source.t;
+  classes : class_state array;
+  owner : (int, int) Hashtbl.t;  (* addr -> class *)
+  requested : (int, int) Hashtbl.t;
+  mutable live_bytes : int;
+  mutable reserved_bytes : int;
+  mutable allocations : int;
+  mutable frees : int;
+}
+
+let initial_slots = 64
+
+let slot_free r i = Char.code (Bytes.get r.bitmap (i lsr 3)) land (1 lsl (i land 7)) = 0
+
+let slot_set r i v =
+  let byte = Char.code (Bytes.get r.bitmap (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  Bytes.set r.bitmap (i lsr 3) (Char.chr (if v then byte lor mask else byte land lnot mask))
+
+let new_region s c slots =
+  let size = Segregated.size_of_class c in
+  let base = Arena.sbrk s.arena (slots * size) in
+  s.reserved_bytes <- s.reserved_bytes + (slots * size);
+  let r = { base; slots; bitmap = Bytes.make ((slots + 7) / 8) '\000'; used = 0 } in
+  s.classes.(c).regions <- r :: s.classes.(c).regions;
+  r
+
+(* DieHard invariant: keep every size class at most half full so random
+   probing terminates quickly. *)
+let pick_region s c =
+  let cs = s.classes.(c) in
+  let total_slots = List.fold_left (fun a r -> a + r.slots) 0 cs.regions in
+  let total_used = List.fold_left (fun a r -> a + r.used) 0 cs.regions in
+  if 2 * (total_used + 1) > total_slots then
+    new_region s c (Stdlib.max initial_slots total_slots)
+  else
+    (* Find some region with space; newest first. *)
+    List.find (fun r -> r.used < r.slots) cs.regions
+
+let create ?source arena =
+  let source =
+    match source with
+    | Some src -> src
+    | None -> Stz_prng.Source.marsaglia ~seed:0x0D1EFA11L
+  in
+  let s =
+    {
+      arena;
+      source;
+      classes = Array.init 32 (fun _ -> { regions = [] });
+      owner = Hashtbl.create 1024;
+      requested = Hashtbl.create 1024;
+      live_bytes = 0;
+      reserved_bytes = 0;
+      allocations = 0;
+      frees = 0;
+    }
+  in
+  let malloc size =
+    let c = Segregated.class_of_size size in
+    let r = pick_region s c in
+    let rec probe () =
+      let i = Stz_prng.Source.int s.source r.slots in
+      if slot_free r i then i else probe ()
+    in
+    let i = probe () in
+    slot_set r i true;
+    r.used <- r.used + 1;
+    let addr = r.base + (i * Segregated.size_of_class c) in
+    Hashtbl.replace s.owner addr c;
+    Hashtbl.replace s.requested addr size;
+    s.live_bytes <- s.live_bytes + size;
+    s.allocations <- s.allocations + 1;
+    addr
+  in
+  let free addr =
+    match Hashtbl.find_opt s.owner addr with
+    | None -> invalid_arg "Diehard.free: unknown address"
+    | Some c ->
+        let size = Segregated.size_of_class c in
+        let r =
+          List.find
+            (fun r -> addr >= r.base && addr < r.base + (r.slots * size))
+            s.classes.(c).regions
+        in
+        let i = (addr - r.base) / size in
+        if slot_free r i then invalid_arg "Diehard.free: double free";
+        slot_set r i false;
+        r.used <- r.used - 1;
+        Hashtbl.remove s.owner addr;
+        let req = try Hashtbl.find s.requested addr with Not_found -> 0 in
+        Hashtbl.remove s.requested addr;
+        s.live_bytes <- s.live_bytes - req;
+        s.frees <- s.frees + 1
+  in
+  let usable_size addr =
+    match Hashtbl.find_opt s.owner addr with
+    | Some c -> Segregated.size_of_class c
+    | None -> invalid_arg "Diehard.usable_size: unknown address"
+  in
+  let stats () =
+    {
+      Allocator.live_bytes = s.live_bytes;
+      reserved_bytes = s.reserved_bytes;
+      allocations = s.allocations;
+      frees = s.frees;
+    }
+  in
+  { Allocator.name = "diehard"; malloc; free; usable_size; stats }

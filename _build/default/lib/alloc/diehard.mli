@@ -1,0 +1,10 @@
+(** A DieHard-style randomized bitmap allocator (Berger & Zorn): per
+    power-of-two size class, objects live in a region kept at most
+    half full, and allocation probes random slots until a free one is
+    found. Freed memory is *not* reused preferentially, which is what
+    gives DieHard its probabilistic safety — and its TLB-pressure
+    overhead, the reason STABILIZER moved to cheaper base heaps. *)
+
+(** [create ?source arena] uses [source] (default: a Marsaglia stream,
+    as in DieHard itself) for slot probing. *)
+val create : ?source:Stz_prng.Source.t -> Arena.t -> Allocator.t

@@ -1,0 +1,8 @@
+let base kind arena =
+  match kind with
+  | Allocator.Segregated -> Segregated.create arena
+  | Allocator.Tlsf -> Tlsf.create arena
+  | Allocator.Diehard -> Diehard.create arena
+
+let randomized ?n ~source kind arena =
+  Shuffle.create ~source ?n (base kind arena)

@@ -1,0 +1,11 @@
+(** Build the heap configurations used across the evaluation: a base
+    allocator of a given kind, optionally wrapped in the shuffling
+    layer. *)
+
+(** [base kind arena] builds a bare base allocator. *)
+val base : Allocator.kind -> Arena.t -> Allocator.t
+
+(** [randomized ?n ~source kind arena] wraps the base allocator in a
+    shuffling layer with parameter [n] (default 256). *)
+val randomized :
+  ?n:int -> source:Stz_prng.Source.t -> Allocator.kind -> Arena.t -> Allocator.t

@@ -1,0 +1,82 @@
+let min_size = 16
+let num_classes = 32
+
+let class_of_size n =
+  if n <= 0 then invalid_arg "Segregated.class_of_size: non-positive size";
+  let c = ref 0 in
+  let size = ref min_size in
+  while !size < n do
+    incr c;
+    size := !size lsl 1
+  done;
+  !c
+
+let size_of_class c = min_size lsl c
+
+type state = {
+  arena : Arena.t;
+  free_lists : int list array;  (* per class, LIFO *)
+  block_class : (int, int) Hashtbl.t;  (* addr -> class *)
+  requested : (int, int) Hashtbl.t;  (* addr -> requested bytes *)
+  mutable live_bytes : int;
+  mutable reserved_bytes : int;
+  mutable allocations : int;
+  mutable frees : int;
+}
+
+let create arena =
+  let s =
+    {
+      arena;
+      free_lists = Array.make num_classes [];
+      block_class = Hashtbl.create 1024;
+      requested = Hashtbl.create 1024;
+      live_bytes = 0;
+      reserved_bytes = 0;
+      allocations = 0;
+      frees = 0;
+    }
+  in
+  let malloc size =
+    let c = class_of_size size in
+    let addr =
+      match s.free_lists.(c) with
+      | addr :: rest ->
+          s.free_lists.(c) <- rest;
+          addr
+      | [] ->
+          let block = size_of_class c in
+          s.reserved_bytes <- s.reserved_bytes + block;
+          Arena.sbrk s.arena block
+    in
+    Hashtbl.replace s.block_class addr c;
+    Hashtbl.replace s.requested addr size;
+    s.live_bytes <- s.live_bytes + size;
+    s.allocations <- s.allocations + 1;
+    addr
+  in
+  let free addr =
+    match Hashtbl.find_opt s.block_class addr with
+    | None -> invalid_arg "Segregated.free: unknown or double-freed address"
+    | Some c ->
+        Hashtbl.remove s.block_class addr;
+        let req = try Hashtbl.find s.requested addr with Not_found -> 0 in
+        Hashtbl.remove s.requested addr;
+        s.live_bytes <- s.live_bytes - req;
+        s.frees <- s.frees + 1;
+        s.free_lists.(c) <- addr :: s.free_lists.(c)
+  in
+  let usable_size addr =
+    match Hashtbl.find_opt s.block_class addr with
+    | Some c -> size_of_class c
+    | None -> invalid_arg "Segregated.usable_size: unknown address"
+  in
+  let stats () =
+    {
+      Allocator.live_bytes = s.live_bytes;
+      reserved_bytes = s.reserved_bytes;
+      allocations = s.allocations;
+      frees = s.frees;
+    }
+  in
+  { Allocator.name = "segregated"; malloc; free; usable_size; stats }

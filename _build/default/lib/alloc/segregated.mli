@@ -1,0 +1,18 @@
+(** The power-of-two size-segregated free-list allocator STABILIZER
+    uses as its default base heap (§3.2). Requests are rounded up to a
+    power of two; each class keeps a LIFO free list, so it reuses
+    recently freed memory deterministically — randomness must come from
+    the shuffling layer above it. *)
+
+(** [create arena] builds an allocator drawing pages from [arena]. *)
+val create : Arena.t -> Allocator.t
+
+(** Size classes run from [min_size] (16 bytes) upward by powers of
+    two. Exposed for tests. *)
+val min_size : int
+
+(** [class_of_size n] is the index of the class serving an [n]-byte
+    request; [size_of_class i] its block size. *)
+val class_of_size : int -> int
+
+val size_of_class : int -> int

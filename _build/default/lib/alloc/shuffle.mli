@@ -1,0 +1,14 @@
+(** The shuffling layer of Figure 1: an N-entry array of pointers per
+    size class wrapped around any base allocator. At first use each
+    class's array is filled from the base heap and Fisher-Yates
+    shuffled; every subsequent [malloc]/[free] performs one step of the
+    inside-out Fisher-Yates shuffle (draw a random index, swap). This
+    turns a deterministic base heap into a fully randomized one — the
+    paper shows N = 256 passes the same NIST tests as DieHard. *)
+
+(** Default shuffling parameter from the paper. *)
+val default_n : int
+
+(** [create ~source ?n base] wraps [base]. [n] is the per-class array
+    size (default 256). *)
+val create : source:Stz_prng.Source.t -> ?n:int -> Allocator.t -> Allocator.t

@@ -1,0 +1,206 @@
+let sl_log = 4
+let subclasses = 1 lsl sl_log
+let min_block = 16
+let min_log = 4
+let max_log = 40
+let chunk_size = 1 lsl 16
+
+let msb n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let mapping size =
+  if size < min_block then invalid_arg "Tlsf.mapping: size below minimum";
+  let fl = msb size in
+  if fl < sl_log then (0, 0)
+  else begin
+    let sl = (size lsr (fl - sl_log)) - subclasses in
+    (fl - min_log, sl)
+  end
+
+type block = {
+  mutable addr : int;
+  mutable size : int;
+  mutable is_free : bool;
+  mutable prev_free : block option;
+  mutable next_free : block option;
+}
+
+type state = {
+  arena : Arena.t;
+  heads : block option array array;  (* [fl][sl] *)
+  by_addr : (int, block) Hashtbl.t;
+  by_end : (int, block) Hashtbl.t;  (* addr + size -> block *)
+  requested : (int, int) Hashtbl.t;
+  mutable live_bytes : int;
+  mutable reserved_bytes : int;
+  mutable allocations : int;
+  mutable frees : int;
+}
+
+let unlink s b =
+  let fl, sl = mapping b.size in
+  (match b.prev_free with
+  | Some p -> p.next_free <- b.next_free
+  | None -> s.heads.(fl).(sl) <- b.next_free);
+  (match b.next_free with Some n -> n.prev_free <- b.prev_free | None -> ());
+  b.prev_free <- None;
+  b.next_free <- None
+
+let push s b =
+  let fl, sl = mapping b.size in
+  b.prev_free <- None;
+  b.next_free <- s.heads.(fl).(sl);
+  (match s.heads.(fl).(sl) with Some h -> h.prev_free <- Some b | None -> ());
+  s.heads.(fl).(sl) <- Some b
+
+let register s b =
+  Hashtbl.replace s.by_addr b.addr b;
+  Hashtbl.replace s.by_end (b.addr + b.size) b
+
+let unregister s b =
+  Hashtbl.remove s.by_addr b.addr;
+  Hashtbl.remove s.by_end (b.addr + b.size)
+
+(* Search for a free block of at least [size], scanning classes upward
+   from the request's own class. *)
+let find_fit s size =
+  let fl0, sl0 = mapping size in
+  let result = ref None in
+  (try
+     for fl = fl0 to max_log - min_log - 1 do
+       let sl_start = if fl = fl0 then sl0 else 0 in
+       for sl = sl_start to subclasses - 1 do
+         let rec scan = function
+           | None -> ()
+           | Some b when b.size >= size ->
+               result := Some b;
+               raise Exit
+           | Some b -> scan b.next_free
+         in
+         scan s.heads.(fl).(sl)
+       done
+     done
+   with Exit -> ());
+  !result
+
+let grow s need =
+  let n = Stdlib.max need chunk_size in
+  let addr = Arena.sbrk s.arena n in
+  s.reserved_bytes <- s.reserved_bytes + n;
+  let b = { addr; size = n; is_free = true; prev_free = None; next_free = None } in
+  (* Coalesce with a free block ending exactly where this chunk starts
+     (sbrk chunks are contiguous within the arena). *)
+  (match Hashtbl.find_opt s.by_end addr with
+  | Some left when left.is_free ->
+      unlink s left;
+      unregister s left;
+      unregister s b;
+      b.addr <- left.addr;
+      b.size <- b.size + left.size
+  | Some _ | None -> ());
+  register s b;
+  push s b
+
+let split s b size =
+  if b.size - size >= min_block then begin
+    unregister s b;
+    let rest =
+      {
+        addr = b.addr + size;
+        size = b.size - size;
+        is_free = true;
+        prev_free = None;
+        next_free = None;
+      }
+    in
+    b.size <- size;
+    register s b;
+    register s rest;
+    push s rest
+  end
+
+let align16 n = (n + 15) land lnot 15
+
+let create arena =
+  let fls = max_log - min_log in
+  let s =
+    {
+      arena;
+      heads = Array.init fls (fun _ -> Array.make subclasses None);
+      by_addr = Hashtbl.create 1024;
+      by_end = Hashtbl.create 1024;
+      requested = Hashtbl.create 1024;
+      live_bytes = 0;
+      reserved_bytes = 0;
+      allocations = 0;
+      frees = 0;
+    }
+  in
+  let rec malloc_block size =
+    match find_fit s size with
+    | Some b ->
+        unlink s b;
+        split s b size;
+        b.is_free <- false;
+        b
+    | None ->
+        grow s size;
+        malloc_block size
+  in
+  let malloc size =
+    if size <= 0 then invalid_arg "Tlsf.malloc: non-positive size";
+    let rounded = Stdlib.max min_block (align16 size) in
+    let b = malloc_block rounded in
+    Hashtbl.replace s.requested b.addr size;
+    s.live_bytes <- s.live_bytes + size;
+    s.allocations <- s.allocations + 1;
+    b.addr
+  in
+  let free addr =
+    match Hashtbl.find_opt s.by_addr addr with
+    | None -> invalid_arg "Tlsf.free: unknown address"
+    | Some b when b.is_free -> invalid_arg "Tlsf.free: double free"
+    | Some b ->
+        let req = try Hashtbl.find s.requested addr with Not_found -> 0 in
+        Hashtbl.remove s.requested addr;
+        s.live_bytes <- s.live_bytes - req;
+        s.frees <- s.frees + 1;
+        b.is_free <- true;
+        (* Coalesce right. *)
+        (match Hashtbl.find_opt s.by_addr (b.addr + b.size) with
+        | Some right when right.is_free ->
+            unlink s right;
+            unregister s right;
+            unregister s b;
+            b.size <- b.size + right.size;
+            register s b
+        | Some _ | None -> ());
+        (* Coalesce left. *)
+        let b =
+          match Hashtbl.find_opt s.by_end b.addr with
+          | Some left when left.is_free ->
+              unlink s left;
+              unregister s left;
+              unregister s b;
+              left.size <- left.size + b.size;
+              register s left;
+              left
+          | Some _ | None -> b
+        in
+        push s b
+  in
+  let usable_size addr =
+    match Hashtbl.find_opt s.by_addr addr with
+    | Some b -> b.size
+    | None -> invalid_arg "Tlsf.usable_size: unknown address"
+  in
+  let stats () =
+    {
+      Allocator.live_bytes = s.live_bytes;
+      reserved_bytes = s.reserved_bytes;
+      allocations = s.allocations;
+      frees = s.frees;
+    }
+  in
+  { Allocator.name = "tlsf"; malloc; free; usable_size; stats }

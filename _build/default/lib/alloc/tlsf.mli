@@ -1,0 +1,16 @@
+(** A Two-Level Segregated Fits allocator (Masmano et al.), the
+    alternative base heap STABILIZER can be configured with (§3.2).
+    First level classifies blocks by power-of-two range; a second level
+    subdivides each range linearly. Freed blocks coalesce with their
+    physical neighbors, so — unlike the power-of-two heap — large
+    requests waste no rounding space. *)
+
+(** [create arena] builds a TLSF allocator drawing chunks from [arena]. *)
+val create : Arena.t -> Allocator.t
+
+(** Second-level subdivision count (16, the common configuration). *)
+val subclasses : int
+
+(** [mapping size] is the (first, second) level indices a free block of
+    [size] bytes is filed under. Exposed for tests. *)
+val mapping : int -> int * int

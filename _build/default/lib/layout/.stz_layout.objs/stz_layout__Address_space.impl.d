@@ -1,0 +1,1 @@
+lib/layout/address_space.ml: Stz_alloc

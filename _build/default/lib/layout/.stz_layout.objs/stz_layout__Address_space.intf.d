@@ -1,0 +1,1 @@
+lib/layout/address_space.mli: Stz_alloc

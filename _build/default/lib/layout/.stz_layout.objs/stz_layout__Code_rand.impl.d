@@ -1,0 +1,1 @@
+lib/layout/code_rand.ml: Array Hashtbl List Stdlib Stz_alloc Stz_machine Stz_prng Stz_vm

@@ -1,0 +1,1 @@
+lib/layout/stack.ml: Array Printf Stz_machine Stz_prng

@@ -1,0 +1,1 @@
+lib/layout/stack.mli: Stz_machine Stz_prng

@@ -1,0 +1,1 @@
+lib/layout/static_layout.ml: Address_space Array Stz_prng Stz_vm

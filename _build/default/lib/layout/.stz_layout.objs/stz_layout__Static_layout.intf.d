@@ -1,0 +1,1 @@
+lib/layout/static_layout.mli: Address_space Stz_prng Stz_vm

@@ -1,0 +1,33 @@
+type t = {
+  code_base : int;
+  globals_base : int;
+  heap_base : int;
+  heap_size : int;
+  code_heap_base : int;
+  code_heap_size : int;
+  stack_top : int;
+  env_bytes : int;
+}
+
+let default =
+  {
+    code_base = 0x0040_0000;
+    globals_base = 0x0060_0000;
+    heap_base = 0x1000_0000;
+    heap_size = 0x4000_0000;
+    code_heap_base = 0x6000_0000;
+    code_heap_size = 0x1000_0000;
+    stack_top = 0x7FFF_FFF0;
+    env_bytes = 0;
+  }
+
+let with_env_bytes t n =
+  if n < 0 then invalid_arg "Address_space.with_env_bytes: negative size";
+  { t with env_bytes = n }
+
+let stack_base t = (t.stack_top - t.env_bytes) land lnot 15
+
+let heap_arena t = Stz_alloc.Arena.create ~base:t.heap_base ~size:t.heap_size
+
+let code_heap_arena t =
+  Stz_alloc.Arena.create ~base:t.code_heap_base ~size:t.code_heap_size

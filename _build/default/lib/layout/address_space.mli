@@ -1,0 +1,36 @@
+(** The simulated process address space. Segment bases follow the usual
+    x86-64 Linux shape: code low, globals above it, a large heap
+    segment, a separate executable "code heap" segment used by the
+    runtime code randomizer, and a stack near the top growing down.
+
+    [env_bytes] models the size of the environment block above the
+    stack: as Mytkowicz et al. observed (and the paper reiterates),
+    changing the size of the environment shifts the stack base and with
+    it every stack address in the program. *)
+
+type t = {
+  code_base : int;
+  globals_base : int;
+  heap_base : int;
+  heap_size : int;
+  code_heap_base : int;
+  code_heap_size : int;
+  stack_top : int;
+  env_bytes : int;
+}
+
+(** Defaults with an empty environment block. *)
+val default : t
+
+(** [with_env_bytes t n] shifts the stack base down by [n] bytes
+    (aligned to 16), leaving everything else unchanged. *)
+val with_env_bytes : t -> int -> t
+
+(** Stack base = top - env block, 16-byte aligned. *)
+val stack_base : t -> int
+
+(** Arena covering the data heap segment. *)
+val heap_arena : t -> Stz_alloc.Arena.t
+
+(** Arena covering the executable code-heap segment. *)
+val code_heap_arena : t -> Stz_alloc.Arena.t

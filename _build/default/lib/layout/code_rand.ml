@@ -1,0 +1,243 @@
+module Ir = Stz_vm.Ir
+module Interp = Stz_vm.Interp
+module Hierarchy = Stz_machine.Hierarchy
+
+type granularity = Function_grain | Block_grain
+type reloc_style = Adjacent_table | Fixed_table
+
+type copy = {
+  view : Interp.code_view;
+  reloc_addr : int;
+  allocations : int list;  (* code-heap blocks backing this copy *)
+  mutable refs : int;
+  mutable stale : bool;
+}
+
+type fstate = { mutable current : copy option; mutable trapped : bool }
+
+(* Cost constants, scaled to the simulator's shortened runs: the SIGTRAP
+   round trip plus the per-byte cost of copying the function body. *)
+let trap_cycles = 70
+let rerandomize_handler_cycles = 200
+let arm_trap_cycles = 4
+
+type t = {
+  machine : Hierarchy.t;
+  code_heap : Stz_alloc.Allocator.t;
+  source : Stz_prng.Source.t;
+  granularity : granularity;
+  reloc_style : reloc_style;
+  program : Ir.program;
+  fstates : fstate array;
+  fixed_tables : int array;  (* per fid; only under Fixed_table *)
+  (* Per function: gid -> relocation-table slot, then callee slots. *)
+  global_slots : (int, int) Hashtbl.t array;
+  call_slots : (int, int) Hashtbl.t array;
+  reloc_entries : int array;  (* table entry count per function *)
+  invocations : (int * copy) Stdlib.Stack.t;  (* LIFO mirror of the call stack *)
+  mutable relocations : int;
+  mutable live_copies : int;
+}
+
+let create ~machine ~code_heap ~source ~granularity ?(reloc_style = Adjacent_table)
+    p =
+  let n = Array.length p.Ir.funcs in
+  let global_slots = Array.init n (fun _ -> Hashtbl.create 8) in
+  let call_slots = Array.init n (fun _ -> Hashtbl.create 8) in
+  let reloc_entries = Array.make n 0 in
+  Array.iteri
+    (fun fid f ->
+      let slot = ref 0 in
+      List.iter
+        (fun gid ->
+          Hashtbl.replace global_slots.(fid) gid !slot;
+          incr slot)
+        (Ir.referenced_globals f);
+      List.iter
+        (fun callee ->
+          Hashtbl.replace call_slots.(fid) callee !slot;
+          incr slot)
+        (Ir.callees f);
+      reloc_entries.(fid) <- !slot)
+    p.Ir.funcs;
+  (* Fixed-style tables are allocated once, up front, and never move:
+     the "fixed absolute address" of §3.5. *)
+  let fixed_tables =
+    match reloc_style with
+    | Adjacent_table -> [||]
+    | Fixed_table ->
+        Array.init n (fun fid ->
+            code_heap.Stz_alloc.Allocator.malloc
+              (Stdlib.max 16 (8 * reloc_entries.(fid))))
+  in
+  {
+    machine;
+    code_heap;
+    source;
+    granularity;
+    reloc_style;
+    program = p;
+    fstates = Array.init n (fun _ -> { current = None; trapped = true });
+    fixed_tables;
+    global_slots;
+    call_slots;
+    reloc_entries;
+    invocations = Stdlib.Stack.create ();
+    relocations = 0;
+    live_copies = 0;
+  }
+
+(* Touch the destination of a copied region, modeling the cache traffic
+   of writing the relocated code. Hardware prefetch makes a streaming
+   copy much cheaper than independent misses, so only every fourth line
+   is charged as a full access, plus a small per-byte cost. *)
+let touch_lines t addr bytes =
+  let lines = Stdlib.max 1 ((bytes + 255) / 256) in
+  for i = 0 to lines - 1 do
+    ignore (Hierarchy.data t.machine (addr + (i * 256)))
+  done;
+  Hierarchy.charge t.machine (bytes / 16)
+
+let free_copy t copy =
+  List.iter (fun addr -> t.code_heap.Stz_alloc.Allocator.free addr) copy.allocations;
+  t.live_copies <- t.live_copies - 1
+
+let relocate t fid =
+  let f = t.program.Ir.funcs.(fid) in
+  let offsets = Ir.block_offsets f in
+  let n_blocks = Array.length f.Ir.blocks in
+  let reloc_bytes =
+    match t.reloc_style with
+    | Adjacent_table -> 8 * t.reloc_entries.(fid)
+    | Fixed_table -> 0 (* the shared table already exists *)
+  in
+  let fixed_reloc fid = t.fixed_tables.(fid) in
+  let block_addrs, reloc_addr, allocations =
+    match t.granularity with
+    | Function_grain ->
+        let size = Ir.func_size_bytes f + reloc_bytes in
+        let base = t.code_heap.Stz_alloc.Allocator.malloc (Stdlib.max 16 size) in
+        touch_lines t base size;
+        let rt =
+          match t.reloc_style with
+          | Adjacent_table -> base + Ir.func_size_bytes f
+          | Fixed_table -> fixed_reloc fid
+        in
+        (Array.map (fun o -> base + o) offsets, rt, [ base ])
+    | Block_grain ->
+        let addrs =
+          Array.mapi
+            (fun bi _ ->
+              let bytes =
+                Array.length f.Ir.blocks.(bi).Ir.instrs * Ir.instr_bytes
+              in
+              let a = t.code_heap.Stz_alloc.Allocator.malloc (Stdlib.max 16 bytes) in
+              touch_lines t a bytes;
+              a)
+            f.Ir.blocks
+        in
+        let rt, extra =
+          match t.reloc_style with
+          | Adjacent_table ->
+              let rt =
+                t.code_heap.Stz_alloc.Allocator.malloc
+                  (Stdlib.max 16 (8 * t.reloc_entries.(fid)))
+              in
+              (rt, [ rt ])
+          | Fixed_table -> (fixed_reloc fid, [])
+        in
+        (addrs, rt, extra @ Array.to_list addrs)
+  in
+  let branch_flips =
+    match t.granularity with
+    | Function_grain -> Array.make n_blocks false
+    | Block_grain ->
+        (* Branch-sense randomization: randomly swapped fall-through and
+           target blocks flip the predictor's view of each branch. *)
+        Array.init n_blocks (fun _ -> Stz_prng.Source.bool t.source)
+  in
+  Hierarchy.charge t.machine trap_cycles;
+  t.relocations <- t.relocations + 1;
+  t.live_copies <- t.live_copies + 1;
+  {
+    view = { Interp.block_addrs; branch_flips };
+    reloc_addr;
+    allocations;
+    refs = 0;
+    stale = false;
+  }
+
+let enter t ~fid =
+  let st = t.fstates.(fid) in
+  if st.trapped || st.current = None then begin
+    (* Retire the superseded copy if nothing is running in it. *)
+    (match st.current with
+    | Some old ->
+        old.stale <- true;
+        if old.refs = 0 then free_copy t old
+    | None -> ());
+    st.current <- Some (relocate t fid);
+    st.trapped <- false
+  end;
+  match st.current with
+  | Some copy ->
+      copy.refs <- copy.refs + 1;
+      Stdlib.Stack.push (fid, copy) t.invocations;
+      copy.view
+  | None -> assert false
+
+let leave t ~fid =
+  match Stdlib.Stack.pop_opt t.invocations with
+  | None -> invalid_arg "Code_rand.leave: no matching enter"
+  | Some (f, copy) ->
+      if f <> fid then invalid_arg "Code_rand.leave: out-of-order exit";
+      copy.refs <- copy.refs - 1;
+      if copy.stale && copy.refs = 0 then free_copy t copy
+
+let rerandomize t =
+  Hierarchy.charge t.machine rerandomize_handler_cycles;
+  Array.iter
+    (fun st ->
+      if st.current <> None then begin
+        st.trapped <- true;
+        Hierarchy.charge t.machine arm_trap_cycles
+      end)
+    t.fstates
+
+let invocation_copy t caller =
+  match Stdlib.Stack.top_opt t.invocations with
+  | Some (fid, copy) when fid = caller -> copy
+  | Some _ | None -> (
+      (* Fall back to the function's newest copy (e.g. when costs are
+         probed outside a live invocation). *)
+      match t.fstates.(caller).current with
+      | Some copy -> copy
+      | None -> invalid_arg "Code_rand: function never relocated")
+
+let global_entry_addr t ~caller ~gid =
+  match t.reloc_style with
+  | Fixed_table ->
+      (* PowerPC / x86-32: globals are reached with absolute addresses;
+         no table indirection (§3.5). *)
+      None
+  | Adjacent_table -> (
+      let copy = invocation_copy t caller in
+      match Hashtbl.find_opt t.global_slots.(caller) gid with
+      | Some slot -> Some (copy.reloc_addr + (8 * slot))
+      | None -> invalid_arg "Code_rand.global_entry_addr: global not referenced")
+
+let call_entry_addr t ~caller ~callee =
+  let copy = invocation_copy t caller in
+  match Hashtbl.find_opt t.call_slots.(caller) callee with
+  | Some slot -> copy.reloc_addr + (8 * slot)
+  | None -> invalid_arg "Code_rand.call_entry_addr: callee not referenced"
+
+let relocations t = t.relocations
+let live_copies t = t.live_copies
+
+let current_base t ~fid =
+  match t.fstates.(fid).current with
+  | Some copy ->
+      if Array.length copy.view.Interp.block_addrs = 0 then None
+      else Some copy.view.Interp.block_addrs.(0)
+  | None -> None

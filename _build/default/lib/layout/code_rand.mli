@@ -1,0 +1,75 @@
+(** Runtime code randomization, the heart of STABILIZER's §3.3 and
+    Figure 3:
+
+    - every function starts *trapped* (the int3 breakpoint of Fig 3a);
+    - the first call to a trapped function relocates it on demand to a
+      random address drawn from the shuffled code heap, and builds its
+      relocation table immediately after the code (Fig 3b);
+    - [rerandomize] re-arms the trap on every function (Fig 3c), so
+      each is moved to a fresh location at its next call;
+    - superseded copies join the *pile* and are freed back to the code
+      heap only once no activation is still running in them (Fig 3d) —
+      modeled here by per-copy reference counts that the interpreter's
+      entry/exit hooks maintain.
+
+    Block granularity implements the paper's §8 future work: each basic
+    block is placed independently and its branch sense (fall-through vs
+    target) may be randomly swapped, which the branch predictor
+    observes. *)
+
+type granularity = Function_grain | Block_grain
+
+(** §3.5 architecture-specific variants: on x86-64 each copy's
+    relocation table sits immediately after its code (PC-relative
+    addressing); on PowerPC and 32-bit x86 data is accessed with
+    absolute addresses, so the table lives at a *fixed* absolute
+    address, is shared by all copies of the function, and is only used
+    for calls — global data is reached directly. *)
+type reloc_style = Adjacent_table | Fixed_table
+
+type t
+
+(** [create ~machine ~code_heap ~source ~granularity p]. [code_heap]
+    should be a shuffled allocator over the code-heap arena so that
+    placements are actually random. *)
+val create :
+  machine:Stz_machine.Hierarchy.t ->
+  code_heap:Stz_alloc.Allocator.t ->
+  source:Stz_prng.Source.t ->
+  granularity:granularity ->
+  ?reloc_style:reloc_style ->
+  Stz_vm.Ir.program ->
+  t
+
+(** Function-entry hook: relocates if trapped (charging trap + copy
+    costs to the machine), bumps the copy's refcount, and returns the
+    code view this invocation must execute at. *)
+val enter : t -> fid:int -> Stz_vm.Interp.code_view
+
+(** Function-exit hook: drops the refcount; frees the copy if it is
+    stale (superseded by a re-randomization) and no longer referenced. *)
+val leave : t -> fid:int -> unit
+
+(** The re-randomization timer handler: arm the trap on every function.
+    Charges the machine for the handler's work. *)
+val rerandomize : t -> unit
+
+(** Relocation-table entry address for a global reference made by the
+    *currently executing* invocation of [caller] (the table adjacent to
+    that invocation's copy). [None] under [Fixed_table]: those
+    architectures reach globals directly with absolute addresses. *)
+val global_entry_addr : t -> caller:int -> gid:int -> int option
+
+(** Relocation-table entry address for a call from [caller] to
+    [callee]. *)
+val call_entry_addr : t -> caller:int -> callee:int -> int
+
+(** Total relocations performed so far. *)
+val relocations : t -> int
+
+(** Copies currently occupying code-heap memory (live + pile). *)
+val live_copies : t -> int
+
+(** Current base address of a function's newest copy, if it has ever
+    been relocated. *)
+val current_base : t -> fid:int -> int option

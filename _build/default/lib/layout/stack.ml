@@ -1,0 +1,85 @@
+module Hierarchy = Stz_machine.Hierarchy
+
+(* One pad table per function: 256 one-byte entries plus the index
+   byte, padded to 260 bytes so tables of adjacent functions do not
+   share alignment. *)
+let table_stride = 260
+let table_entries = 256
+
+type random_state = {
+  source : Stz_prng.Source.t;
+  table_base : int;
+  tables : int array array;  (* per fid: 256 pad bytes *)
+  indices : int array;  (* per fid: one-byte wrapping index *)
+}
+
+type mode = Plain | Randomized of random_state
+
+type t = {
+  machine : Hierarchy.t;
+  base : int;
+  frame_sizes : int array;
+  mutable sp : int;
+  mutable pads : (int * int) list;  (* (fid, pad) at each live push, LIFO *)
+  mode : mode;
+}
+
+let plain ~machine ~base ~frame_sizes =
+  { machine; base; frame_sizes; sp = base; pads = []; mode = Plain }
+
+let fill_table source table =
+  for i = 0 to table_entries - 1 do
+    table.(i) <- Stz_prng.Source.int source 256
+  done
+
+let randomized ~machine ~source ~base ~table_base ~frame_sizes =
+  let n = Array.length frame_sizes in
+  let tables = Array.init n (fun _ -> Array.make table_entries 0) in
+  Array.iter (fill_table source) tables;
+  {
+    machine;
+    base;
+    frame_sizes;
+    sp = base;
+    pads = [];
+    mode = Randomized { source; table_base; tables; indices = Array.make n 0 };
+  }
+
+let push t ~fid =
+  let pad =
+    match t.mode with
+    | Plain -> 0
+    | Randomized r ->
+        let idx = r.indices.(fid) in
+        r.indices.(fid) <- (idx + 1) land (table_entries - 1);
+        (* The instrumented prologue loads table[idx]: one data access
+           plus a few cycles of index arithmetic. *)
+        ignore (Hierarchy.data t.machine (r.table_base + (fid * table_stride) + idx));
+        Hierarchy.charge t.machine 2;
+        r.tables.(fid).(idx) * 16
+  in
+  t.sp <- t.sp - t.frame_sizes.(fid) - pad;
+  t.pads <- (fid, pad) :: t.pads;
+  ignore (Hierarchy.data t.machine t.sp);
+  t.sp
+
+let pop t ~fid =
+  match t.pads with
+  | (pushed_fid, pad) :: rest ->
+      if pushed_fid <> fid then
+        invalid_arg
+          (Printf.sprintf "Stack.pop: exiting f%d but f%d is on top" fid pushed_fid);
+      t.pads <- rest;
+      t.sp <- t.sp + t.frame_sizes.(fid) + pad
+  | [] -> invalid_arg "Stack.pop: pop without matching push"
+
+let rerandomize t =
+  match t.mode with
+  | Plain -> 0
+  | Randomized r ->
+      Array.iter (fill_table r.source) r.tables;
+      Array.length r.tables * table_entries
+
+let depth_bytes t = t.base - t.sp
+
+let table_bytes ~frame_sizes = Array.length frame_sizes * table_stride

@@ -1,0 +1,47 @@
+(** Stack frame placement. In plain mode frames are contiguous, exactly
+    as a normal calling convention lays them. In randomized mode the
+    runtime inserts up to a page of padding before each frame, driven by
+    per-function 256-entry pad tables (one random byte each, multiplied
+    by 16 for alignment) and a one-byte wrapping index — the mechanism
+    of the paper's §3.4, including the table reuse between
+    re-randomizations that wrap-around causes.
+
+    The pad-table load each call performs is charged as a real data
+    access to the table's address, so programs with many functions pay
+    the cache pressure the paper reports for gobmk/gcc/perlbench. *)
+
+type t
+
+(** [plain ~machine ~base ~frame_sizes] (frame sizes by fid). *)
+val plain :
+  machine:Stz_machine.Hierarchy.t -> base:int -> frame_sizes:int array -> t
+
+(** [randomized ~machine ~source ~base ~table_base ~frame_sizes] places
+    one pad table per function starting at [table_base] and fills them
+    from [source]. *)
+val randomized :
+  machine:Stz_machine.Hierarchy.t ->
+  source:Stz_prng.Source.t ->
+  base:int ->
+  table_base:int ->
+  frame_sizes:int array ->
+  t
+
+(** [push t ~fid] returns the new frame's base address, charging the
+    machine for the frame touch (and pad-table load in randomized
+    mode). *)
+val push : t -> fid:int -> int
+
+val pop : t -> fid:int -> unit
+
+(** Refill every pad table with fresh random bytes (no-op in plain
+    mode). Returns the number of table bytes rewritten, for cost
+    accounting by the caller. *)
+val rerandomize : t -> int
+
+(** Current stack depth in bytes (distance from base). *)
+val depth_bytes : t -> int
+
+(** Bytes occupied by pad tables (0 in plain mode); the tables reside
+    at [table_base .. table_base + bytes). *)
+val table_bytes : frame_sizes:int array -> int

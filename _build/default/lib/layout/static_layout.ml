@@ -1,0 +1,33 @@
+module Ir = Stz_vm.Ir
+
+type t = { code_addrs : int array; global_addrs : int array }
+
+let align16 n = (n + 15) land lnot 15
+
+let identity_order p = Array.init (Array.length p.Ir.funcs) (fun i -> i)
+
+let random_order ~source p =
+  let order = identity_order p in
+  Stz_prng.Source.shuffle_in_place source order;
+  order
+
+let place ?order space p =
+  let n = Array.length p.Ir.funcs in
+  let order = match order with Some o -> o | None -> identity_order p in
+  if Array.length order <> n then
+    invalid_arg "Static_layout.place: order length mismatch";
+  let code_addrs = Array.make n 0 in
+  let pos = ref space.Address_space.code_base in
+  Array.iter
+    (fun fid ->
+      code_addrs.(fid) <- !pos;
+      pos := align16 (!pos + Ir.func_size_bytes p.Ir.funcs.(fid)))
+    order;
+  let global_addrs = Array.make (Array.length p.Ir.globals) 0 in
+  let gpos = ref space.Address_space.globals_base in
+  Array.iteri
+    (fun gid g ->
+      global_addrs.(gid) <- !gpos;
+      gpos := align16 (!gpos + g.Ir.gsize))
+    p.Ir.globals;
+  { code_addrs; global_addrs }

@@ -1,0 +1,1 @@
+lib/machine/branch.ml: Bytes Char Stdlib

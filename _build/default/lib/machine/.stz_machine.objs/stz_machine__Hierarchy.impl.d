@@ -1,0 +1,1 @@
+lib/machine/hierarchy.ml: Branch Cache Cost Tlb

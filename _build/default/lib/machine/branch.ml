@@ -1,0 +1,59 @@
+type kind = Bimodal | Gshare of int
+
+type t = {
+  counters : Bytes.t;  (** 2-bit saturating counters, one byte each *)
+  mask : int;
+  kind : kind;
+  mutable history : int;  (** global branch history (Gshare) *)
+  mutable branches : int;
+  mutable mispredictions : int;
+}
+
+let create ?(entries = 4096) ?(kind = Bimodal) () =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Branch.create: entries must be a power of two";
+  (match kind with
+  | Gshare bits when bits < 1 || bits > 30 ->
+      invalid_arg "Branch.create: history bits must be in [1,30]"
+  | Gshare _ | Bimodal -> ());
+  {
+    (* Weakly taken initial state. *)
+    counters = Bytes.make entries '\002';
+    mask = entries - 1;
+    kind;
+    history = 0;
+    branches = 0;
+    mispredictions = 0;
+  }
+
+(* Instructions are 4 bytes in the simulated ISA; drop the offset bits. *)
+let index_of t pc =
+  match t.kind with
+  | Bimodal -> (pc lsr 2) land t.mask
+  | Gshare bits ->
+      ((pc lsr 2) lxor (t.history land ((1 lsl bits) - 1))) land t.mask
+
+let predict_and_update t ~pc ~taken =
+  t.branches <- t.branches + 1;
+  let i = index_of t pc in
+  let counter = Char.code (Bytes.get t.counters i) in
+  let predicted_taken = counter >= 2 in
+  let correct = predicted_taken = taken in
+  if not correct then t.mispredictions <- t.mispredictions + 1;
+  let counter' =
+    if taken then Stdlib.min 3 (counter + 1) else Stdlib.max 0 (counter - 1)
+  in
+  Bytes.set t.counters i (Char.chr counter');
+  (match t.kind with
+  | Gshare _ -> t.history <- (t.history lsl 1) lor (if taken then 1 else 0)
+  | Bimodal -> ());
+  correct
+
+let branches t = t.branches
+let mispredictions t = t.mispredictions
+
+let reset t =
+  Bytes.fill t.counters 0 (Bytes.length t.counters) '\002';
+  t.history <- 0;
+  t.branches <- 0;
+  t.mispredictions <- 0

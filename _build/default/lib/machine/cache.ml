@@ -1,0 +1,86 @@
+type config = { name : string; sets : int; ways : int; line_bits : int }
+
+type t = {
+  cfg : config;
+  tags : int array;  (** sets * ways; -1 = invalid *)
+  stamps : int array;  (** LRU timestamps, parallel to [tags] *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  if cfg.sets <= 0 || cfg.sets land (cfg.sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  if cfg.ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  {
+    cfg;
+    tags = Array.make (cfg.sets * cfg.ways) (-1);
+    stamps = Array.make (cfg.sets * cfg.ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let config t = t.cfg
+
+let set_of t addr = (addr lsr t.cfg.line_bits) land (t.cfg.sets - 1)
+let tag_of t addr = addr lsr t.cfg.line_bits
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let set = set_of t addr in
+  let tag = tag_of t addr in
+  let base = set * t.cfg.ways in
+  let hit = ref false in
+  let victim = ref base in
+  let oldest = ref max_int in
+  (try
+     for w = base to base + t.cfg.ways - 1 do
+       if t.tags.(w) = tag then begin
+         t.stamps.(w) <- t.clock;
+         hit := true;
+         raise Exit
+       end;
+       if t.stamps.(w) < !oldest then begin
+         oldest := t.stamps.(w);
+         victim := w
+       end
+     done
+   with Exit -> ());
+  if not !hit then begin
+    t.misses <- t.misses + 1;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock
+  end;
+  !hit
+
+let probe t addr =
+  let set = set_of t addr in
+  let tag = tag_of t addr in
+  let base = set * t.cfg.ways in
+  let found = ref false in
+  for w = base to base + t.cfg.ways - 1 do
+    if t.tags.(w) = tag then found := true
+  done;
+  !found
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let reset t =
+  flush t;
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.clock <- 0
+
+let index_bits t =
+  let bits = ref 0 and s = ref t.cfg.sets in
+  while !s > 1 do
+    incr bits;
+    s := !s lsr 1
+  done;
+  (t.cfg.line_bits, t.cfg.line_bits + !bits - 1)

@@ -1,0 +1,39 @@
+(** A set-associative cache with LRU replacement. Addresses are plain
+    ints (simulated byte addresses). The *index bits* of an address —
+    [line_bits .. line_bits + log2 sets - 1] — decide its set, which is
+    exactly the layout sensitivity the paper exploits: two hot objects
+    whose index bits collide evict each other regardless of how much
+    total capacity is free. *)
+
+type config = {
+  name : string;
+  sets : int;  (** power of two *)
+  ways : int;
+  line_bits : int;  (** log2 of the line size in bytes *)
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+(** [access t addr] touches the line containing [addr]; returns [true]
+    on hit. Misses fill the line (evicting the LRU way). *)
+val access : t -> int -> bool
+
+(** [probe t addr] is [true] if the line is resident; no state change. *)
+val probe : t -> int -> bool
+
+val accesses : t -> int
+val misses : t -> int
+
+(** Invalidate all lines and clear statistics. *)
+val reset : t -> unit
+
+(** Invalidate all lines, keep statistics. *)
+val flush : t -> unit
+
+(** The range of address bits (lo, hi) that select the set, e.g. (6, 12)
+    for a 128-set cache with 64-byte lines — the bits the paper's NIST
+    analysis calls the "index bits". *)
+val index_bits : t -> int * int

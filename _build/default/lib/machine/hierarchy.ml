@@ -1,0 +1,147 @@
+type counters = {
+  cycles : int;
+  instructions : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  l3_misses : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+  branches : int;
+  branch_mispredictions : int;
+}
+
+type t = {
+  cost : Cost.t;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  predictor : Branch.t;
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable last_fetch_line : int;
+}
+
+(* The default machine is the evaluation machine (Core i3-550) scaled
+   down 4x: generated workloads are orders of magnitude shorter than
+   SPEC runs, and scaling the caches keeps the working-set-to-cache
+   ratios — and therefore the layout sensitivity the paper studies —
+   in the same regime. Pass explicit configs for a full-size machine. *)
+let default_l1i =
+  { Cache.name = "L1I"; sets = 64; ways = 2; line_bits = 6 } (* 8 KiB *)
+
+let default_l1d =
+  { Cache.name = "L1D"; sets = 64; ways = 2; line_bits = 6 } (* 8 KiB *)
+
+let default_l2 =
+  { Cache.name = "L2"; sets = 128; ways = 8; line_bits = 6 } (* 64 KiB *)
+
+let default_l3 =
+  { Cache.name = "L3"; sets = 1024; ways = 16; line_bits = 6 } (* 1 MiB *)
+
+let default_itlb = { Tlb.name = "ITLB"; entries = 32; ways = 4; page_bits = 12 }
+let default_dtlb = { Tlb.name = "DTLB"; entries = 32; ways = 4; page_bits = 12 }
+
+let create ?(cost = Cost.default) ?(l1i = default_l1i) ?(l1d = default_l1d)
+    ?(l2 = default_l2) ?(l3 = default_l3) ?(itlb = default_itlb)
+    ?(dtlb = default_dtlb) ?(predictor_entries = 256)
+    ?(predictor_kind = Branch.Bimodal) () =
+  {
+    cost;
+    l1i = Cache.create l1i;
+    l1d = Cache.create l1d;
+    l2 = Cache.create l2;
+    l3 = Cache.create l3;
+    itlb = Tlb.create itlb;
+    dtlb = Tlb.create dtlb;
+    predictor = Branch.create ~entries:predictor_entries ~kind:predictor_kind ();
+    cycles = 0;
+    instructions = 0;
+    last_fetch_line = -1;
+  }
+
+(* Penalty for a miss in an L1 (I or D): walk down L2, L3, memory. *)
+let lower_levels t addr =
+  if Cache.access t.l2 addr then t.cost.Cost.l2_hit
+  else if Cache.access t.l3 addr then t.cost.Cost.l3_hit
+  else t.cost.Cost.memory
+
+let fetch t pc =
+  t.instructions <- t.instructions + 1;
+  let line = pc lsr 6 in
+  let penalty =
+    if line = t.last_fetch_line then 0
+    else begin
+      t.last_fetch_line <- line;
+      let tlb_penalty =
+        if Tlb.access t.itlb pc then 0 else t.cost.Cost.tlb_miss
+      in
+      let cache_penalty =
+        if Cache.access t.l1i pc then t.cost.Cost.l1_hit else lower_levels t pc
+      in
+      tlb_penalty + cache_penalty
+    end
+  in
+  let total = t.cost.Cost.base_cycles + penalty in
+  t.cycles <- t.cycles + total;
+  total
+
+let data t addr =
+  let tlb_penalty = if Tlb.access t.dtlb addr then 0 else t.cost.Cost.tlb_miss in
+  let cache_penalty =
+    if Cache.access t.l1d addr then t.cost.Cost.l1_hit else lower_levels t addr
+  in
+  let total = tlb_penalty + cache_penalty in
+  t.cycles <- t.cycles + total;
+  total
+
+let branch t ~pc ~taken =
+  if Branch.predict_and_update t.predictor ~pc ~taken then 0
+  else begin
+    let penalty = t.cost.Cost.branch_misprediction in
+    t.cycles <- t.cycles + penalty;
+    penalty
+  end
+
+let charge t n = t.cycles <- t.cycles + n
+let retire t = t.instructions <- t.instructions + 1
+let cycles t = t.cycles
+let cost t = t.cost
+
+let counters t =
+  {
+    cycles = t.cycles;
+    instructions = t.instructions;
+    l1i_misses = Cache.misses t.l1i;
+    l1d_misses = Cache.misses t.l1d;
+    l2_misses = Cache.misses t.l2;
+    l3_misses = Cache.misses t.l3;
+    itlb_misses = Tlb.misses t.itlb;
+    dtlb_misses = Tlb.misses t.dtlb;
+    branches = Branch.branches t.predictor;
+    branch_mispredictions = Branch.mispredictions t.predictor;
+  }
+
+let flush t =
+  Cache.flush t.l1i;
+  Cache.flush t.l1d;
+  Cache.flush t.l2;
+  Cache.flush t.l3;
+  Tlb.flush t.itlb;
+  Tlb.flush t.dtlb;
+  t.last_fetch_line <- -1
+
+let reset t =
+  Cache.reset t.l1i;
+  Cache.reset t.l1d;
+  Cache.reset t.l2;
+  Cache.reset t.l3;
+  Tlb.reset t.itlb;
+  Tlb.reset t.dtlb;
+  Branch.reset t.predictor;
+  t.cycles <- 0;
+  t.instructions <- 0;
+  t.last_fetch_line <- -1

@@ -1,0 +1,67 @@
+(** The full memory hierarchy of the simulated machine: split L1
+    instruction/data caches, a unified L2 and L3, instruction and data
+    TLBs, and a branch predictor, combined under one cycle cost model.
+    This is the substrate on which program layout manifests as time. *)
+
+type t
+
+type counters = {
+  cycles : int;
+  instructions : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  l3_misses : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+  branches : int;
+  branch_mispredictions : int;
+}
+
+(** [create ()] builds the default Core-i3-550-like machine; every
+    structure can be overridden for ablations. *)
+val create :
+  ?cost:Cost.t ->
+  ?l1i:Cache.config ->
+  ?l1d:Cache.config ->
+  ?l2:Cache.config ->
+  ?l3:Cache.config ->
+  ?itlb:Tlb.config ->
+  ?dtlb:Tlb.config ->
+  ?predictor_entries:int ->
+  ?predictor_kind:Branch.kind ->
+  unit ->
+  t
+
+(** [fetch t pc] charges an instruction fetch at code address [pc]:
+    base cost plus I-side cache/TLB penalties; returns cycles. The
+    caller is expected to call this once per executed instruction; the
+    hierarchy internally filters same-line back-to-back fetches so
+    straight-line code costs one L1I access per line, as on hardware. *)
+val fetch : t -> int -> int
+
+(** [data t addr] charges a load/store at [addr]; returns cycles. *)
+val data : t -> int -> int
+
+(** [branch t ~pc ~taken] consults and trains the predictor; returns
+    penalty cycles (0 when predicted correctly). *)
+val branch : t -> pc:int -> taken:bool -> int
+
+(** Extra cycles charged explicitly (e.g. mul/div, runtime costs). *)
+val charge : t -> int -> unit
+
+(** Count one retired instruction (statistics only). *)
+val retire : t -> unit
+
+val cycles : t -> int
+val counters : t -> counters
+
+(** Cost model in effect. *)
+val cost : t -> Cost.t
+
+(** Invalidate all cached state (a context-switch-like wipe) without
+    clearing counters. *)
+val flush : t -> unit
+
+(** Fresh machine state and counters. *)
+val reset : t -> unit

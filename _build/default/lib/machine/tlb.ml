@@ -1,0 +1,19 @@
+type config = { name : string; entries : int; ways : int; page_bits : int }
+
+type t = { cache : Cache.t }
+
+let create cfg =
+  if cfg.entries mod cfg.ways <> 0 then
+    invalid_arg "Tlb.create: entries must be a multiple of ways";
+  let sets = cfg.entries / cfg.ways in
+  {
+    cache =
+      Cache.create
+        { Cache.name = cfg.name; sets; ways = cfg.ways; line_bits = cfg.page_bits };
+  }
+
+let access t addr = Cache.access t.cache addr
+let accesses t = Cache.accesses t.cache
+let misses t = Cache.misses t.cache
+let flush t = Cache.flush t.cache
+let reset t = Cache.reset t.cache

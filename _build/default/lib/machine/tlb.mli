@@ -1,0 +1,26 @@
+(** A translation lookaside buffer: a small set-associative cache of
+    page translations. Randomized layouts touch more distinct pages, so
+    the TLB is the component that charges STABILIZER its overhead (the
+    paper attributes most of the slowdown to added TLB pressure). *)
+
+type config = {
+  name : string;
+  entries : int;  (** total entries, power of two *)
+  ways : int;
+  page_bits : int;  (** log2 page size, 12 for 4 KiB pages *)
+}
+
+type t
+
+val create : config -> t
+
+(** [access t addr] looks up the page of [addr]; returns [true] on hit. *)
+val access : t -> int -> bool
+
+val accesses : t -> int
+val misses : t -> int
+
+(** Drop all translations, keep statistics. *)
+val flush : t -> unit
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/nist/bitseq.ml: Array Bytes Char List Stz_prng

@@ -1,0 +1,1 @@
+lib/nist/bitseq.mli: Stz_prng

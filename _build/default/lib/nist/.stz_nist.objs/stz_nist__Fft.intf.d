@@ -1,0 +1,1 @@
+lib/nist/fft.mli:

@@ -1,0 +1,1 @@
+lib/nist/gf2.ml: Array Bitseq

@@ -1,0 +1,1 @@
+lib/nist/tests.ml: Array Bitseq Fft Gf2 List Stdlib Stz_stats

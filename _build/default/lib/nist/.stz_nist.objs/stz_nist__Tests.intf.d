@@ -1,0 +1,1 @@
+lib/nist/tests.mli: Bitseq

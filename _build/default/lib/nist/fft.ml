@@ -1,0 +1,56 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let transform re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.transform: length mismatch";
+  if not (is_power_of_two n) then
+    invalid_arg "Fft.transform: length must be a power of two";
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) and ti = im.(i) in
+      re.(i) <- re.(!j); im.(i) <- im.(!j);
+      re.(!j) <- tr; im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Danielson-Lanczos butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len lsr 1 in
+    let theta = -2.0 *. Float.pi /. float_of_int !len in
+    let wr_step = cos theta and wi_step = sin theta in
+    let i = ref 0 in
+    while !i < n do
+      let wr = ref 1.0 and wi = ref 0.0 in
+      for k = 0 to half - 1 do
+        let a = !i + k and b = !i + k + half in
+        let tr = (!wr *. re.(b)) -. (!wi *. im.(b)) in
+        let ti = (!wr *. im.(b)) +. (!wi *. re.(b)) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let nwr = (!wr *. wr_step) -. (!wi *. wi_step) in
+        wi := (!wr *. wi_step) +. (!wi *. wr_step);
+        wr := nwr
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done
+
+let half_spectrum signal =
+  let n = Array.length signal in
+  if not (is_power_of_two n) then
+    invalid_arg "Fft.half_spectrum: length must be a power of two";
+  let re = Array.copy signal in
+  let im = Array.make n 0.0 in
+  transform re im;
+  Array.init (n / 2) (fun i -> sqrt ((re.(i) *. re.(i)) +. (im.(i) *. im.(i))))

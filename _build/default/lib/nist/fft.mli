@@ -1,0 +1,11 @@
+(** In-place radix-2 complex FFT, sufficient for the NIST spectral
+    (DFT) test. *)
+
+(** [transform re im] computes the forward DFT in place. The arrays must
+    have equal power-of-two length. *)
+val transform : float array -> float array -> unit
+
+(** Modulus of the first n/2 DFT coefficients of a real signal. The
+    input length is padded internally with zeros to... no — it must be a
+    power of two; raises [Invalid_argument] otherwise. *)
+val half_spectrum : float array -> float array

@@ -1,0 +1,58 @@
+type t = { rows : int array; cols : int }
+
+let of_bits seq pos ~rows ~cols =
+  if cols > 62 then invalid_arg "Gf2.of_bits: cols > 62";
+  let data =
+    Array.init rows (fun r ->
+        let row = ref 0 in
+        for c = 0 to cols - 1 do
+          row := (!row lsl 1) lor Bitseq.get seq (pos + (r * cols) + c)
+        done;
+        !row)
+  in
+  { rows = data; cols }
+
+let rank t =
+  let rows = Array.copy t.rows in
+  let n = Array.length rows in
+  let rank = ref 0 in
+  (* Eliminate column by column, from the most significant bit. *)
+  for col = t.cols - 1 downto 0 do
+    let mask = 1 lsl col in
+    (* Find a pivot row at or below !rank with this bit set. *)
+    let pivot = ref (-1) in
+    (try
+       for r = !rank to n - 1 do
+         if rows.(r) land mask <> 0 then begin
+           pivot := r;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pivot >= 0 then begin
+      let tmp = rows.(!rank) in
+      rows.(!rank) <- rows.(!pivot);
+      rows.(!pivot) <- tmp;
+      for r = 0 to n - 1 do
+        if r <> !rank && rows.(r) land mask <> 0 then
+          rows.(r) <- rows.(r) lxor rows.(!rank)
+      done;
+      incr rank
+    end
+  done;
+  !rank
+
+let probability_rank ~n r =
+  if r < 0 || r > n then 0.0
+  else begin
+    (* P(rank = r) = 2^(r(2n - r) - n^2) * prod_{i=0}^{r-1}
+       (1 - 2^(i-n))^2 / (1 - 2^(i-r)). *)
+    let exponent = float_of_int ((r * ((2 * n) - r)) - (n * n)) in
+    let prod = ref 1.0 in
+    for i = 0 to r - 1 do
+      let num = 1.0 -. (2.0 ** float_of_int (i - n)) in
+      let den = 1.0 -. (2.0 ** float_of_int (i - r)) in
+      prod := !prod *. (num *. num /. den)
+    done;
+    (2.0 ** exponent) *. !prod
+  end

@@ -1,0 +1,15 @@
+(** Binary (GF(2)) matrices for the NIST Rank test. A matrix is stored
+    as an array of rows, each row an int bitmask of its columns. *)
+
+type t = { rows : int array; cols : int }
+
+(** [of_bits seq pos ~rows ~cols] reads rows*cols bits starting at
+    [pos], row-major. *)
+val of_bits : Bitseq.t -> int -> rows:int -> cols:int -> t
+
+(** Rank by Gaussian elimination over GF(2). *)
+val rank : t -> int
+
+(** [probability_rank ~n r] is the exact probability that a uniformly
+    random n x n binary matrix has rank [r]. *)
+val probability_rank : n:int -> int -> float

@@ -1,0 +1,249 @@
+type outcome = { name : string; p_value : float; pass : bool }
+
+let default_alpha = 0.01
+
+let make ~alpha name p =
+  let p = Stdlib.max 0.0 (Stdlib.min 1.0 p) in
+  { name; p_value = p; pass = p >= alpha }
+
+let frequency ?(alpha = default_alpha) seq =
+  let n = Bitseq.length seq in
+  if n < 100 then invalid_arg "Nist.frequency: needs >= 100 bits";
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + ((2 * Bitseq.get seq i) - 1)
+  done;
+  let s_obs = abs_float (float_of_int !s) /. sqrt (float_of_int n) in
+  make ~alpha "Frequency" (Stz_stats.Special.erfc (s_obs /. sqrt 2.0))
+
+let block_frequency ?(alpha = default_alpha) ?(m = 128) seq =
+  let n = Bitseq.length seq in
+  let blocks = n / m in
+  if blocks < 1 then invalid_arg "Nist.block_frequency: sequence too short";
+  let chi2 = ref 0.0 in
+  for b = 0 to blocks - 1 do
+    let ones = ref 0 in
+    for i = b * m to ((b + 1) * m) - 1 do
+      ones := !ones + Bitseq.get seq i
+    done;
+    let pi = float_of_int !ones /. float_of_int m in
+    chi2 := !chi2 +. ((pi -. 0.5) *. (pi -. 0.5))
+  done;
+  let chi2 = 4.0 *. float_of_int m *. !chi2 in
+  make ~alpha "BlockFrequency"
+    (Stz_stats.Special.gamma_q (float_of_int blocks /. 2.0) (chi2 /. 2.0))
+
+let cumulative_sums ?(alpha = default_alpha) ?(forward = true) seq =
+  let n = Bitseq.length seq in
+  if n < 100 then invalid_arg "Nist.cumulative_sums: needs >= 100 bits";
+  let z = ref 0 and s = ref 0 in
+  let bit i = if forward then Bitseq.get seq i else Bitseq.get seq (n - 1 - i) in
+  for i = 0 to n - 1 do
+    s := !s + ((2 * bit i) - 1);
+    if abs !s > !z then z := abs !s
+  done;
+  let z = float_of_int !z in
+  let fn = float_of_int n in
+  let phi x = Stz_stats.Dist.Normal.cdf x in
+  let sum1 = ref 0.0 in
+  let k_lo = int_of_float (ceil ((-.fn /. z) +. 1.0) /. 4.0) in
+  let k_hi = int_of_float (floor ((fn /. z) -. 1.0) /. 4.0) in
+  for k = k_lo to k_hi do
+    let fk = float_of_int k in
+    sum1 :=
+      !sum1
+      +. phi (((4.0 *. fk) +. 1.0) *. z /. sqrt fn)
+      -. phi (((4.0 *. fk) -. 1.0) *. z /. sqrt fn)
+  done;
+  let sum2 = ref 0.0 in
+  let k_lo = int_of_float (ceil ((-.fn /. z) -. 3.0) /. 4.0) in
+  for k = k_lo to k_hi do
+    let fk = float_of_int k in
+    sum2 :=
+      !sum2
+      +. phi (((4.0 *. fk) +. 3.0) *. z /. sqrt fn)
+      -. phi (((4.0 *. fk) +. 1.0) *. z /. sqrt fn)
+  done;
+  make ~alpha "CumulativeSums" (1.0 -. !sum1 +. !sum2)
+
+let runs ?(alpha = default_alpha) seq =
+  let n = Bitseq.length seq in
+  if n < 100 then invalid_arg "Nist.runs: needs >= 100 bits";
+  let fn = float_of_int n in
+  let pi = float_of_int (Bitseq.ones seq) /. fn in
+  (* NIST pre-test: the frequency test must be passable. *)
+  if abs_float (pi -. 0.5) >= 2.0 /. sqrt fn then
+    make ~alpha "Runs" 0.0
+  else begin
+    let v = ref 1 in
+    for i = 1 to n - 1 do
+      if Bitseq.get seq i <> Bitseq.get seq (i - 1) then incr v
+    done;
+    let v = float_of_int !v in
+    let num = abs_float (v -. (2.0 *. fn *. pi *. (1.0 -. pi))) in
+    let den = 2.0 *. sqrt (2.0 *. fn) *. pi *. (1.0 -. pi) in
+    make ~alpha "Runs" (Stz_stats.Special.erfc (num /. den))
+  end
+
+(* NIST parameter table: block size, category boundaries and expected
+   category probabilities for the longest-run test. *)
+let longest_run_params n =
+  if n >= 750000 then
+    (10000, 10, 16,
+     [| 0.0882; 0.2092; 0.2483; 0.1933; 0.1208; 0.0675; 0.0727 |])
+  else if n >= 6272 then
+    (128, 4, 9, [| 0.1174; 0.2430; 0.2493; 0.1752; 0.1027; 0.1124 |])
+  else if n >= 128 then
+    (8, 1, 4, [| 0.2148; 0.3672; 0.2305; 0.1875 |])
+  else invalid_arg "Nist.longest_run: needs >= 128 bits"
+
+let longest_run ?(alpha = default_alpha) seq =
+  let n = Bitseq.length seq in
+  let m, lo, hi, pi = longest_run_params n in
+  let k = Array.length pi - 1 in
+  let blocks = n / m in
+  let v = Array.make (k + 1) 0 in
+  for b = 0 to blocks - 1 do
+    let longest = ref 0 and current = ref 0 in
+    for i = b * m to ((b + 1) * m) - 1 do
+      if Bitseq.get seq i = 1 then begin
+        incr current;
+        if !current > !longest then longest := !current
+      end
+      else current := 0
+    done;
+    let category =
+      if !longest <= lo then 0
+      else if !longest >= hi then k
+      else !longest - lo
+    in
+    v.(category) <- v.(category) + 1
+  done;
+  let fblocks = float_of_int blocks in
+  let chi2 = ref 0.0 in
+  for i = 0 to k do
+    let expected = fblocks *. pi.(i) in
+    let d = float_of_int v.(i) -. expected in
+    chi2 := !chi2 +. (d *. d /. expected)
+  done;
+  make ~alpha "LongestRun"
+    (Stz_stats.Special.gamma_q (float_of_int k /. 2.0) (!chi2 /. 2.0))
+
+let rank ?(alpha = default_alpha) seq =
+  let n = Bitseq.length seq in
+  let m = 32 in
+  let matrices = n / (m * m) in
+  if matrices < 38 then invalid_arg "Nist.rank: needs >= 38912 bits";
+  let full = ref 0 and minus1 = ref 0 and rest = ref 0 in
+  for i = 0 to matrices - 1 do
+    let r = Gf2.rank (Gf2.of_bits seq (i * m * m) ~rows:m ~cols:m) in
+    if r = m then incr full
+    else if r = m - 1 then incr minus1
+    else incr rest
+  done;
+  let p_full = Gf2.probability_rank ~n:m m in
+  let p_minus1 = Gf2.probability_rank ~n:m (m - 1) in
+  let p_rest = 1.0 -. p_full -. p_minus1 in
+  let fm = float_of_int matrices in
+  let term observed p =
+    let d = float_of_int observed -. (fm *. p) in
+    d *. d /. (fm *. p)
+  in
+  let chi2 = term !full p_full +. term !minus1 p_minus1 +. term !rest p_rest in
+  make ~alpha "Rank" (exp (-.chi2 /. 2.0))
+
+let fft ?(alpha = default_alpha) seq =
+  let n0 = Bitseq.length seq in
+  if n0 < 1000 then invalid_arg "Nist.fft: needs >= 1000 bits";
+  (* Truncate to the largest power-of-two prefix for the radix-2 FFT. *)
+  let n = ref 1 in
+  while !n * 2 <= n0 do n := !n * 2 done;
+  let n = !n in
+  let signal =
+    Array.init n (fun i -> float_of_int ((2 * Bitseq.get seq i) - 1))
+  in
+  let magnitudes = Fft.half_spectrum signal in
+  let fn = float_of_int n in
+  let threshold = sqrt (log (1.0 /. 0.05) *. fn) in
+  let below = Array.fold_left (fun acc m -> if m < threshold then acc + 1 else acc) 0 magnitudes in
+  let expected = 0.95 *. fn /. 2.0 in
+  let d =
+    (float_of_int below -. expected) /. sqrt (fn *. 0.95 *. 0.05 /. 4.0)
+  in
+  make ~alpha "FFT" (Stz_stats.Special.erfc (abs_float d /. sqrt 2.0))
+
+(* Counts of all overlapping m-bit patterns, with wraparound (the
+   sequence is conceptually extended by its first m-1 bits), as both the
+   serial and approximate-entropy tests require. *)
+let pattern_counts seq m =
+  let n = Bitseq.length seq in
+  let counts = Array.make (1 lsl m) 0 in
+  let mask = (1 lsl m) - 1 in
+  (* Prime the window with the first m-1 bits. *)
+  let window = ref 0 in
+  for i = 0 to m - 2 do
+    window := ((!window lsl 1) lor Bitseq.get seq i) land mask
+  done;
+  for i = m - 1 to n + m - 2 do
+    window := ((!window lsl 1) lor Bitseq.get seq (i mod n)) land mask;
+    counts.(!window) <- counts.(!window) + 1
+  done;
+  counts
+
+(* psi-squared statistic for block size m (0 bits -> 0 by convention). *)
+let psi2 seq m =
+  if m <= 0 then 0.0
+  else begin
+    let n = float_of_int (Bitseq.length seq) in
+    let counts = pattern_counts seq m in
+    let sum =
+      Array.fold_left (fun acc c -> acc +. (float_of_int c *. float_of_int c)) 0.0 counts
+    in
+    (float_of_int (1 lsl m) /. n *. sum) -. n
+  end
+
+let serial ?(alpha = default_alpha) ?(m = 8) seq =
+  let n = Bitseq.length seq in
+  if n < 1 lsl (m + 2) then invalid_arg "Nist.serial: sequence too short for m";
+  let d_psi = psi2 seq m -. psi2 seq (m - 1) in
+  make ~alpha "Serial"
+    (Stz_stats.Special.gamma_q (float_of_int (1 lsl (m - 2))) (d_psi /. 2.0))
+
+let approximate_entropy ?(alpha = default_alpha) ?(m = 6) seq =
+  let n = Bitseq.length seq in
+  if n < 1 lsl (m + 3) then
+    invalid_arg "Nist.approximate_entropy: sequence too short for m";
+  let fn = float_of_int n in
+  let phi mm =
+    let counts = pattern_counts seq mm in
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else begin
+          let p = float_of_int c /. fn in
+          acc +. (p *. log p)
+        end)
+      0.0 counts
+  in
+  let apen = phi m -. phi (m + 1) in
+  let chi2 = 2.0 *. fn *. (log 2.0 -. apen) in
+  make ~alpha "ApproximateEntropy"
+    (Stz_stats.Special.gamma_q (float_of_int (1 lsl (m - 1))) (chi2 /. 2.0))
+
+let all ?(alpha = default_alpha) seq =
+  let n = Bitseq.length seq in
+  let maybe cond test = if cond then [ test () ] else [] in
+  List.concat
+    [
+      maybe (n >= 100) (fun () -> frequency ~alpha seq);
+      maybe (n >= 128) (fun () -> block_frequency ~alpha seq);
+      maybe (n >= 100) (fun () -> cumulative_sums ~alpha seq);
+      maybe (n >= 100) (fun () -> runs ~alpha seq);
+      maybe (n >= 128) (fun () -> longest_run ~alpha seq);
+      maybe (n >= 38912) (fun () -> rank ~alpha seq);
+      maybe (n >= 1000) (fun () -> fft ~alpha seq);
+    ]
+
+let summary outcomes =
+  let passed = List.length (List.filter (fun o -> o.pass) outcomes) in
+  (passed, List.length outcomes)

@@ -1,0 +1,51 @@
+(** The seven NIST SP 800-22 tests the paper applies to allocator
+    address streams (§3.2): Frequency, BlockFrequency, CumulativeSums,
+    Runs, LongestRun, Rank and FFT. Each test returns a p-value; the
+    sequence passes at confidence 1-alpha when p >= alpha. *)
+
+type outcome = {
+  name : string;
+  p_value : float;
+  pass : bool;  (** p_value >= alpha *)
+}
+
+(** NIST's conventional significance level. *)
+val default_alpha : float
+
+val frequency : ?alpha:float -> Bitseq.t -> outcome
+
+(** [block_frequency ?m] with block size [m] (default 128). *)
+val block_frequency : ?alpha:float -> ?m:int -> Bitseq.t -> outcome
+
+(** Forward cumulative sums; the backward variant is symmetric. *)
+val cumulative_sums : ?alpha:float -> ?forward:bool -> Bitseq.t -> outcome
+
+val runs : ?alpha:float -> Bitseq.t -> outcome
+
+(** Longest run of ones in 8-bit blocks (requires n >= 128), or 128-bit
+    blocks for n >= 6272, per the NIST parameter table. *)
+val longest_run : ?alpha:float -> Bitseq.t -> outcome
+
+(** Binary matrix rank over 32x32 matrices (requires n >= 38912). *)
+val rank : ?alpha:float -> Bitseq.t -> outcome
+
+(** Discrete Fourier transform (spectral) test. The sequence is
+    truncated to the largest power-of-two prefix. *)
+val fft : ?alpha:float -> Bitseq.t -> outcome
+
+(** Serial test over overlapping [m]-bit patterns (default m = 8): the
+    first of NIST's two serial p-values, based on the generalized
+    serial statistic nabla-psi^2. Beyond the paper's seven tests, for
+    completeness. *)
+val serial : ?alpha:float -> ?m:int -> Bitseq.t -> outcome
+
+(** Approximate entropy test with block length [m] (default 6). Beyond
+    the paper's seven tests, for completeness. *)
+val approximate_entropy : ?alpha:float -> ?m:int -> Bitseq.t -> outcome
+
+(** All seven tests in the paper's order. Tests whose length
+    requirements are not met are skipped. *)
+val all : ?alpha:float -> Bitseq.t -> outcome list
+
+(** Number of tests passed out of those run. *)
+val summary : outcome list -> int * int

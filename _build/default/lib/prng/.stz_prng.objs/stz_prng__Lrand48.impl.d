@@ -1,0 +1,1 @@
+lib/prng/lrand48.ml: Int64

@@ -1,0 +1,1 @@
+lib/prng/marsaglia.ml: Int64

@@ -1,0 +1,1 @@
+lib/prng/source.ml: Array Int64 Lrand48 Marsaglia Xorshift

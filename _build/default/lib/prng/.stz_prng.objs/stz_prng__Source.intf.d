@@ -1,0 +1,1 @@
+lib/prng/source.mli: Lrand48 Marsaglia Xorshift

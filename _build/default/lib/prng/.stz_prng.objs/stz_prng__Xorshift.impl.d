@@ -1,0 +1,1 @@
+lib/prng/xorshift.ml: Int64

@@ -1,0 +1,14 @@
+type t = { mutable state : int64 }
+
+let a = 0x5DEECE66DL
+let c = 0xBL
+let mask48 = 0xFFFFFFFFFFFFL
+
+let create ~seed =
+  let high = Int64.shift_left (Int64.of_int (seed land 0xFFFFFFFF)) 16 in
+  { state = Int64.logor high 0x330EL }
+
+let next t =
+  t.state <- Int64.(logand (add (mul a t.state) c) mask48);
+  (* lrand48 returns the high 31 bits of the 48-bit state. *)
+  Int64.to_int (Int64.shift_right_logical t.state 17)

@@ -1,0 +1,12 @@
+(** The POSIX [lrand48] linear congruential generator (48-bit state,
+    exact glibc constants). Included as a comparison subject for the
+    NIST randomness evaluation in the paper's §3.2. *)
+
+type t
+
+(** [create ~seed] matches [srand48]: the high 32 bits of the state are
+    the seed's low 32 bits, the low 16 bits are 0x330E. *)
+val create : seed:int -> t
+
+(** Next value in [0, 2^31), as [lrand48] returns. *)
+val next : t -> int

@@ -1,0 +1,28 @@
+type t = { mutable z : int; mutable w : int }
+
+let mask32 = 0xFFFFFFFF
+
+let create ~seed =
+  let z = Int64.to_int (Int64.logand seed 0xFFFFFFFFL) land mask32 in
+  let w =
+    Int64.to_int (Int64.logand (Int64.shift_right_logical seed 32) 0xFFFFFFFFL)
+    land mask32
+  in
+  let z = if z = 0 then 362436069 else z in
+  let w = if w = 0 then 521288629 else w in
+  { z; w }
+
+let next t =
+  t.z <- (36969 * (t.z land 65535) + (t.z lsr 16)) land mask32;
+  t.w <- (18000 * (t.w land 65535) + (t.w lsr 16)) land mask32;
+  ((t.z lsl 16) + t.w) land mask32
+
+let next_in t n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias for large [n]. *)
+  let limit = mask32 + 1 - ((mask32 + 1) mod n) in
+  let rec draw () =
+    let v = next t in
+    if v < limit then v mod n else draw ()
+  in
+  draw ()

@@ -1,0 +1,16 @@
+(** Marsaglia's multiply-with-carry generator, as used by the DieHard
+    allocator and by STABILIZER's runtime (paper §3.2). Two 16-bit
+    multiply-with-carry streams are combined into one 32-bit output. *)
+
+type t
+
+(** [create ~seed] initializes both streams from the 64-bit [seed]
+    (zero halves are remapped to fixed non-zero constants, since an
+    all-zero MWC stream is a fixed point). *)
+val create : seed:int64 -> t
+
+(** Next 32-bit output in [0, 2^32). *)
+val next : t -> int
+
+(** [next_in t n] is uniform in [0, n). Requires [n > 0]. *)
+val next_in : t -> int -> int

@@ -1,0 +1,45 @@
+type t = { name : string; next_u32 : unit -> int }
+
+let of_marsaglia g = { name = "marsaglia"; next_u32 = (fun () -> Marsaglia.next g) }
+
+let of_lrand48 g =
+  (* lrand48 yields 31 bits; combine two draws for a full 32-bit word so
+     the interface is uniform across sources. *)
+  let next () =
+    let high = Lrand48.next g land 0xFFFF in
+    let low = Lrand48.next g land 0xFFFF in
+    (high lsl 16) lor low
+  in
+  { name = "lrand48"; next_u32 = next }
+
+let of_xorshift g =
+  let next () = Int64.to_int (Int64.shift_right_logical (Xorshift.next g) 32) in
+  { name = "xorshift"; next_u32 = next }
+
+let marsaglia ~seed = of_marsaglia (Marsaglia.create ~seed)
+let lrand48 ~seed = of_lrand48 (Lrand48.create ~seed:(Int64.to_int seed))
+let xorshift ~seed = of_xorshift (Xorshift.create ~seed)
+
+let int t n =
+  assert (n > 0);
+  if n land (n - 1) = 0 then t.next_u32 () land (n - 1)
+  else begin
+    let range = 0x100000000 in
+    let limit = range - (range mod n) in
+    let rec draw () =
+      let v = t.next_u32 () in
+      if v < limit then v mod n else draw ()
+    in
+    draw ()
+  end
+
+let float t = float_of_int (t.next_u32 ()) /. 4294967296.0
+let bool t = t.next_u32 () land 1 = 1
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+(** A uniform interface over the generators in this library, so that
+    consumers (allocators, the NIST suite, the layout engine) can be
+    parameterized by any randomness source. *)
+
+type t = {
+  name : string;
+  next_u32 : unit -> int;  (** uniform in [0, 2^32) *)
+}
+
+val of_marsaglia : Marsaglia.t -> t
+val of_lrand48 : Lrand48.t -> t
+val of_xorshift : Xorshift.t -> t
+
+(** Convenience constructors seeded from a 64-bit seed. *)
+val marsaglia : seed:int64 -> t
+
+val lrand48 : seed:int64 -> t
+val xorshift : seed:int64 -> t
+
+(** [int t n] is uniform in [0, n). Requires [0 < n <= 2^32]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [shuffle_in_place t a] applies a Fisher-Yates shuffle to [a]. *)
+val shuffle_in_place : t -> 'a array -> unit

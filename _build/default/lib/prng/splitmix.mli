@@ -1,0 +1,15 @@
+(** SplitMix64: a fast, well-distributed 64-bit generator used to derive
+    independent seeds for the other generators in this library. *)
+
+type t
+
+(** [create seed] starts a stream at [seed]. Any seed, including 0, is
+    acceptable. *)
+val create : int64 -> t
+
+(** Next 64-bit value; advances the state. *)
+val next : t -> int64
+
+(** [split t] derives a fresh, statistically independent seed from [t],
+    advancing [t]. *)
+val split : t -> int64

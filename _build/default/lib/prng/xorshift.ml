@@ -1,0 +1,22 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = (if seed = 0L then 0x2545F4914F6CDD1DL else seed) }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let next_int t n =
+  assert (n > 0);
+  (* Take the top 62 bits so the value is a non-negative OCaml int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod n
+
+let next_float t =
+  (* 53 random bits scaled into [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int v *. (1.0 /. 9007199254740992.0)

@@ -1,0 +1,17 @@
+(** xorshift64*: a small, fast 64-bit generator with good statistical
+    quality; the default randomness source for the simulator itself
+    (workload generation, layout draws) where speed matters. *)
+
+type t
+
+(** [create ~seed]; a zero seed is remapped to a fixed non-zero value. *)
+val create : seed:int64 -> t
+
+(** Next 64-bit output. *)
+val next : t -> int64
+
+(** [next_int t n] is uniform in [0, n). Requires [n > 0]. *)
+val next_int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val next_float : t -> float

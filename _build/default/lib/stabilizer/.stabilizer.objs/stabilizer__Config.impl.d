@@ -1,0 +1,1 @@
+lib/stabilizer/config.ml: List String Stz_alloc Stz_layout

@@ -1,0 +1,1 @@
+lib/stabilizer/config.mli: Stz_alloc Stz_layout

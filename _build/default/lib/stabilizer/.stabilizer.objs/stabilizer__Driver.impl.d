@@ -1,0 +1,1 @@
+lib/stabilizer/driver.ml: Experiment Int64 Sample Stz_vm

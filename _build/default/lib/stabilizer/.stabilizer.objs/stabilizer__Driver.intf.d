@@ -1,0 +1,1 @@
+lib/stabilizer/driver.mli: Config Experiment Sample Stz_vm

@@ -1,0 +1,1 @@
+lib/stabilizer/experiment.ml: Array Int64 Printf Sample Stz_stats

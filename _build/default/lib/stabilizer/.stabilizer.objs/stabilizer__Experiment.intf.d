@@ -1,0 +1,1 @@
+lib/stabilizer/experiment.mli: Config Stz_stats Stz_vm

@@ -1,0 +1,1 @@
+lib/stabilizer/heap_randomness.ml: Array Format Int64 List Printf Stdlib String Stz_alloc Stz_nist Stz_prng

@@ -1,0 +1,1 @@
+lib/stabilizer/heap_randomness.mli: Format Stz_alloc Stz_nist

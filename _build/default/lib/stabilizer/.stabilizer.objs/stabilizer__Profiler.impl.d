@@ -1,0 +1,1 @@
+lib/stabilizer/profiler.ml: Array List Stz_vm

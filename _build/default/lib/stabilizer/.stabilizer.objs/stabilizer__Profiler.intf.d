@@ -1,0 +1,1 @@
+lib/stabilizer/profiler.mli: Stz_vm

@@ -1,0 +1,1 @@
+lib/stabilizer/report.ml: Array Buffer List Printf Sample Stdlib String Stz_stats

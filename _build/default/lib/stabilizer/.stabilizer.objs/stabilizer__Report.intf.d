@@ -1,0 +1,1 @@
+lib/stabilizer/report.mli: Sample

@@ -1,0 +1,1 @@
+lib/stabilizer/runtime.ml: Array Config Option Profiler Stz_alloc Stz_layout Stz_machine Stz_prng Stz_vm

@@ -1,0 +1,1 @@
+lib/stabilizer/runtime.mli: Config Profiler Stz_alloc Stz_machine Stz_vm

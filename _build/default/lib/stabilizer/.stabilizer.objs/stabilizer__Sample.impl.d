@@ -1,0 +1,1 @@
+lib/stabilizer/sample.ml: Array Runtime Stz_prng

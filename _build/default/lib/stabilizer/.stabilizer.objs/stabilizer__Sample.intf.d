@@ -1,0 +1,1 @@
+lib/stabilizer/sample.mli: Config Runtime Stz_vm

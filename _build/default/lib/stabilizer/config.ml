@@ -1,0 +1,52 @@
+type link_order = Declaration | Random_link
+
+type t = {
+  code : bool;
+  stack : bool;
+  heap : bool;
+  rerandomize : bool;
+  interval_cycles : int;
+  adaptive : bool;
+  adaptive_threshold : float;
+  shuffle_n : int;
+  base_allocator : Stz_alloc.Allocator.kind;
+  granularity : Stz_layout.Code_rand.granularity;
+  reloc_style : Stz_layout.Code_rand.reloc_style;
+  link_order : link_order;
+  env_bytes : int;
+}
+
+let stabilizer =
+  {
+    code = true;
+    stack = true;
+    heap = true;
+    rerandomize = true;
+    interval_cycles = 150_000;
+    adaptive = false;
+    adaptive_threshold = 1.5;
+    shuffle_n = 256;
+    base_allocator = Stz_alloc.Allocator.Segregated;
+    granularity = Stz_layout.Code_rand.Function_grain;
+    reloc_style = Stz_layout.Code_rand.Adjacent_table;
+    link_order = Declaration;
+    env_bytes = 0;
+  }
+
+let baseline =
+  { stabilizer with code = false; stack = false; heap = false; rerandomize = false }
+
+let one_time = { stabilizer with rerandomize = false }
+let code_only = { stabilizer with stack = false; heap = false }
+let code_stack = { stabilizer with heap = false }
+
+let describe t =
+  let parts =
+    List.filter_map
+      (fun (on, name) -> if on then Some name else None)
+      [ (t.code, "code"); (t.heap, "heap"); (t.stack, "stack") ]
+  in
+  let body = match parts with [] -> "baseline" | _ -> String.concat "." parts in
+  if t.rerandomize && parts <> [] then body
+  else if parts <> [] then body ^ ".onetime"
+  else body

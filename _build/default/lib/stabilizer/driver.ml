@@ -1,0 +1,16 @@
+let compile ~opt p =
+  let compiled = Stz_vm.Opt.apply opt p in
+  Stz_vm.Validate.check_exn compiled;
+  compiled
+
+let build_and_run ?limits ~config ~opt ~base_seed ~runs ~args p =
+  Sample.collect ?limits ~config ~base_seed ~runs ~args (compile ~opt p)
+
+let compare_opt_levels ?alpha ?limits ~config ~base_seed ~runs ~args la lb p =
+  let a = build_and_run ?limits ~config ~opt:la ~base_seed ~runs ~args p in
+  let b =
+    build_and_run ?limits ~config ~opt:lb
+      ~base_seed:(Int64.add base_seed 0x0B5EEDL)
+      ~runs ~args p
+  in
+  Experiment.compare_samples ?alpha a.Sample.times b.Sample.times

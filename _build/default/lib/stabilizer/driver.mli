@@ -1,0 +1,35 @@
+(** The szc-style driver (paper §3.1, Figure 2): "compile" a program at
+    an optimization level and run it under a STABILIZER configuration —
+    the equivalent of substituting szc for the default compiler and
+    enabling randomizations with flags. *)
+
+(** [compile ~opt p] applies the optimization pipeline and validates
+    the result. *)
+val compile : opt:Stz_vm.Opt.level -> Stz_vm.Ir.program -> Stz_vm.Ir.program
+
+(** [build_and_run ~config ~opt ~base_seed ~runs ~args p] compiles then
+    collects [runs] timing samples. *)
+val build_and_run :
+  ?limits:Stz_vm.Interp.limits ->
+  config:Config.t ->
+  opt:Stz_vm.Opt.level ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  Sample.t
+
+(** Compare two optimization levels of the same program under
+    STABILIZER, per §6: returns the comparison where [speedup > 1]
+    means the *second* level is faster. *)
+val compare_opt_levels :
+  ?alpha:float ->
+  ?limits:Stz_vm.Interp.limits ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Opt.level ->
+  Stz_vm.Opt.level ->
+  Stz_vm.Ir.program ->
+  Experiment.comparison

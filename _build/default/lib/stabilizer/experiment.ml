@@ -1,0 +1,64 @@
+module Stats = Stz_stats
+
+type comparison = {
+  mean_a : float;
+  mean_b : float;
+  speedup : float;
+  normal_a : bool;
+  normal_b : bool;
+  used_ttest : bool;
+  p_value : float;
+  significant : bool;
+  alpha : float;
+}
+
+let compare_samples ?(alpha = 0.05) a b =
+  if Array.length a < 3 || Array.length b < 3 then
+    invalid_arg "Experiment.compare_samples: needs >= 3 samples each";
+  let normal_a = Stats.Shapiro.normal ~alpha a in
+  let normal_b = Stats.Shapiro.normal ~alpha b in
+  let used_ttest = normal_a && normal_b in
+  let p_value =
+    if used_ttest then (Stats.Ttest.welch a b).Stats.Ttest.p_value
+    else if Array.length a = Array.length b then
+      (Stats.Wilcoxon.signed_rank a b).Stats.Wilcoxon.p_value
+    else (Stats.Wilcoxon.rank_sum a b).Stats.Wilcoxon.p_value
+  in
+  let mean_a = Stats.Desc.mean a in
+  let mean_b = Stats.Desc.mean b in
+  {
+    mean_a;
+    mean_b;
+    speedup = mean_a /. mean_b;
+    normal_a;
+    normal_b;
+    used_ttest;
+    p_value;
+    significant = p_value < alpha;
+    alpha;
+  }
+
+let compare_programs ?alpha ?limits ~config ~base_seed ~runs ~args pa pb =
+  let a = Sample.times ?limits ~config ~base_seed ~runs ~args pa in
+  let b =
+    Sample.times ?limits ~config
+      ~base_seed:(Int64.add base_seed 0x5EEDL)
+      ~runs ~args pb
+  in
+  compare_samples ?alpha a b
+
+let suite_anova samples =
+  if Array.length samples < 2 then
+    invalid_arg "Experiment.suite_anova: needs >= 2 benchmarks";
+  let data =
+    Array.map
+      (fun (a, b) -> [| Stats.Desc.mean a; Stats.Desc.mean b |])
+      samples
+  in
+  Stats.Anova.within_subjects data
+
+let describe c =
+  Printf.sprintf "speedup %.3f, %s p=%.4f (%s)" c.speedup
+    (if c.used_ttest then "t-test" else "Wilcoxon")
+    c.p_value
+    (if c.significant then "significant" else "not significant")

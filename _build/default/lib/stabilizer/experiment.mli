@@ -1,0 +1,47 @@
+(** The push-button evaluation workflow of §2.4-2.5: run both versions
+    under STABILIZER, check normality, then apply the matching test —
+    Student's t-test when both samples are plausibly Gaussian, the
+    Wilcoxon signed-rank test otherwise (exactly the paper's §6
+    procedure) — and, across a whole suite, one-way within-subjects
+    ANOVA. *)
+
+type comparison = {
+  mean_a : float;
+  mean_b : float;
+  speedup : float;  (** mean_a / mean_b: > 1 when b is faster *)
+  normal_a : bool;  (** Shapiro-Wilk at alpha on sample a *)
+  normal_b : bool;
+  used_ttest : bool;  (** false = Wilcoxon fallback *)
+  p_value : float;
+  significant : bool;  (** p < alpha *)
+  alpha : float;
+}
+
+(** [compare_samples ?alpha a b]; requires >= 3 samples each. When the
+    Wilcoxon fallback is needed and lengths match, the signed-rank test
+    is used, else the rank-sum test. *)
+val compare_samples : ?alpha:float -> float array -> float array -> comparison
+
+(** Run two program versions under a configuration and compare their
+    time samples. *)
+val compare_programs :
+  ?alpha:float ->
+  ?limits:Stz_vm.Interp.limits ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  Stz_vm.Ir.program ->
+  comparison
+
+(** Suite-wide treatment evaluation: [suite_anova samples] where
+    [samples.(i)] are the per-benchmark sample pairs (same benchmark,
+    treatment A and B). Each benchmark contributes its mean under each
+    treatment; one-way within-subjects ANOVA partitions out
+    between-benchmark differences (§6.1). *)
+val suite_anova : (float array * float array) array -> Stz_stats.Anova.result
+
+(** Render a one-line verdict, e.g.
+    ["speedup 1.042, t-test p=0.003 (significant)"] *)
+val describe : comparison -> string

@@ -1,0 +1,92 @@
+module Tests = Stz_nist.Tests
+module Bitseq = Stz_nist.Bitseq
+
+type report = {
+  subject : string;
+  lo_bit : int;
+  hi_bit : int;
+  outcomes : Tests.outcome list;
+  passed : int;
+  total : int;
+}
+
+let default_samples = 32768
+let block = 64
+
+let make subject ~lo ~hi addrs =
+  let seq = Bitseq.of_addresses ~lo ~hi addrs in
+  let outcomes = Tests.all ~alpha:0.01 seq in
+  let passed, total = Tests.summary outcomes in
+  { subject; lo_bit = lo; hi_bit = hi; outcomes; passed; total }
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+(* The highest bit a shuffle pool of n blocks can randomize. *)
+let window_hi n = 6 + Stdlib.max 1 (log2 n) - 1
+
+let fresh_arena () = Stz_alloc.Arena.create ~base:0x1000_0000 ~size:(1 lsl 28)
+
+let lrand48 ?(samples = default_samples) ~seed () =
+  let g = Stz_prng.Lrand48.create ~seed:(Int64.to_int seed) in
+  let addrs = Array.init samples (fun _ -> Stz_prng.Lrand48.next g) in
+  make "lrand48" ~lo:6 ~hi:17 addrs
+
+let diehard ?(samples = default_samples) ~seed () =
+  let alloc =
+    Stz_alloc.Diehard.create
+      ~source:(Stz_prng.Source.marsaglia ~seed)
+      (fresh_arena ())
+  in
+  (* Steady mixed population: half the initial objects are freed so
+     regions are fragmented, then the allocation stream is observed. *)
+  let live = Array.init 16384 (fun _ -> alloc.Stz_alloc.Allocator.malloc block) in
+  Array.iteri
+    (fun i a -> if i land 1 = 0 then alloc.Stz_alloc.Allocator.free a)
+    live;
+  let addrs =
+    Array.init samples (fun _ ->
+        let a = alloc.Stz_alloc.Allocator.malloc block in
+        alloc.Stz_alloc.Allocator.free a;
+        a)
+  in
+  make "diehard" ~lo:6 ~hi:17 addrs
+
+let alloc_stream alloc samples =
+  Array.init samples (fun _ -> alloc.Stz_alloc.Allocator.malloc block)
+
+let base ?(samples = default_samples) ?(n = 256) kind =
+  let alloc = Stz_alloc.Factory.base kind (fresh_arena ()) in
+  make
+    (Stz_alloc.Allocator.kind_to_string kind)
+    ~lo:6 ~hi:(window_hi n)
+    (alloc_stream alloc samples)
+
+let shuffled ?(samples = default_samples) ?(n = 256) ~seed kind =
+  let alloc =
+    Stz_alloc.Factory.randomized ~n
+      ~source:(Stz_prng.Source.marsaglia ~seed)
+      kind (fresh_arena ())
+  in
+  make
+    (Printf.sprintf "shuffle(%s,N=%d)" (Stz_alloc.Allocator.kind_to_string kind) n)
+    ~lo:6 ~hi:(window_hi n)
+    (alloc_stream alloc samples)
+
+let table ?(ns = [ 1; 4; 16; 64; 256 ]) ~seed () =
+  [
+    lrand48 ~seed ();
+    diehard ~seed ();
+    base ~n:256 Stz_alloc.Allocator.Segregated;
+  ]
+  @ List.map (fun n -> shuffled ~n ~seed Stz_alloc.Allocator.Segregated) ns
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-22s bits %2d-%2d  %d/%d  [%s]" r.subject r.lo_bit
+    r.hi_bit r.passed r.total
+    (String.concat " "
+       (List.map
+          (fun (o : Tests.outcome) ->
+            Printf.sprintf "%s:%s" o.Tests.name (if o.Tests.pass then "pass" else "FAIL"))
+          r.outcomes))

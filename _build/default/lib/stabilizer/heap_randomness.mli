@@ -1,0 +1,47 @@
+(** The §3.2 randomness evaluation: run the NIST suite over the cache
+    *index bits* of addresses returned by each allocator, as the paper
+    does for lrand48, DieHard and the shuffled heap across values of N.
+
+    Protocol notes (documented deviations from the paper):
+    - the observation stream is a deterministic allocation trace, so
+      all randomness measured comes from the allocator itself;
+    - a shuffling layer with parameter N over [block]-byte objects can
+      only randomize the address bits its pool spans (N * block bytes),
+      so each configuration is tested on exactly the index-bit range it
+      is able to randomize — for N = 256 and 64-byte blocks that is
+      bits 6-13, which covers every cache index bit of the scaled
+      simulated machine (paper: bits 6-17 on the Core2);
+    - DieHard probes uniformly over its regions regardless of N, so it
+      is tested on the full paper range, as is lrand48. *)
+
+type report = {
+  subject : string;  (** e.g. "lrand48", "diehard", "shuffle(N=256)" *)
+  lo_bit : int;
+  hi_bit : int;
+  outcomes : Stz_nist.Tests.outcome list;
+  passed : int;
+  total : int;
+}
+
+(** Samples per report (bits = samples * extracted width). *)
+val default_samples : int
+
+(** lrand48's raw outputs, treated as addresses (paper baseline). *)
+val lrand48 : ?samples:int -> seed:int64 -> unit -> report
+
+(** DieHard allocation stream over a steady mixed population. *)
+val diehard : ?samples:int -> seed:int64 -> unit -> report
+
+(** The unrandomized base allocator, on the same window a shuffled heap
+    with [n] would be measured on (the negative control). *)
+val base : ?samples:int -> ?n:int -> Stz_alloc.Allocator.kind -> report
+
+(** Shuffling layer with parameter [n] over a base allocator. *)
+val shuffled :
+  ?samples:int -> ?n:int -> seed:int64 -> Stz_alloc.Allocator.kind -> report
+
+(** The full §3.2 table: lrand48, DieHard, base, and the shuffled heap
+    for N in [ns] (default 1, 4, 16, 64, 256). *)
+val table : ?ns:int list -> seed:int64 -> unit -> report list
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+type entry = { fid : int; name : string; calls : int; exclusive_cycles : int }
+
+type t = {
+  names : string array;
+  calls : int array;
+  cycles : int array;
+  mutable stack : int list;  (** fids of live activations *)
+  mutable mark : int;  (** cycle count at the last attribution point *)
+}
+
+let create p =
+  {
+    names = Array.map (fun f -> f.Stz_vm.Ir.fname) p.Stz_vm.Ir.funcs;
+    calls = Array.make (Array.length p.Stz_vm.Ir.funcs) 0;
+    cycles = Array.make (Array.length p.Stz_vm.Ir.funcs) 0;
+    stack = [];
+    mark = 0;
+  }
+
+let attribute t ~now =
+  (match t.stack with
+  | fid :: _ -> t.cycles.(fid) <- t.cycles.(fid) + (now - t.mark)
+  | [] -> ());
+  t.mark <- now
+
+let on_enter t ~fid ~now =
+  attribute t ~now;
+  t.calls.(fid) <- t.calls.(fid) + 1;
+  t.stack <- fid :: t.stack
+
+let on_leave t ~fid ~now =
+  attribute t ~now;
+  match t.stack with
+  | top :: rest when top = fid -> t.stack <- rest
+  | _ -> invalid_arg "Profiler.on_leave: mismatched exit"
+
+let finish t ~now = attribute t ~now
+
+let hottest t =
+  let entries =
+    Array.to_list
+      (Array.mapi
+         (fun fid name ->
+           { fid; name; calls = t.calls.(fid); exclusive_cycles = t.cycles.(fid) })
+         t.names)
+  in
+  List.sort (fun a b -> compare b.exclusive_cycles a.exclusive_cycles) entries
+
+let total_cycles t = Array.fold_left ( + ) 0 t.cycles

@@ -1,0 +1,30 @@
+(** Per-function cycle attribution, the "sampling with performance
+    counters" infrastructure the paper's §8 sketches for detecting
+    layout-related performance problems: exclusive cycles and call
+    counts per function, collected from the runtime's entry/exit hooks. *)
+
+type entry = {
+  fid : int;
+  name : string;
+  calls : int;
+  exclusive_cycles : int;  (** cycles spent in the function itself *)
+}
+
+type t
+
+(** [create p] sets up counters for every function of [p]. *)
+val create : Stz_vm.Ir.program -> t
+
+(** Hooks, called with the machine's current cycle count. *)
+val on_enter : t -> fid:int -> now:int -> unit
+
+val on_leave : t -> fid:int -> now:int -> unit
+
+(** Close attribution at the end of the run. *)
+val finish : t -> now:int -> unit
+
+(** Entries sorted by exclusive cycles, hottest first. *)
+val hottest : t -> entry list
+
+(** Total attributed cycles (= run cycles once finished). *)
+val total_cycles : t -> int

@@ -1,0 +1,48 @@
+module Desc = Stz_stats.Desc
+
+let csv_of_sample (s : Sample.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "run,seconds,cycles\n";
+  Array.iteri
+    (fun i t -> Buffer.add_string buf (Printf.sprintf "%d,%.9f,%d\n" i t s.Sample.cycles.(i)))
+    s.Sample.times;
+  Buffer.contents buf
+
+let csv_of_series series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "label,run,seconds\n";
+  List.iter
+    (fun (label, times) ->
+      Array.iteri
+        (fun i t -> Buffer.add_string buf (Printf.sprintf "%s,%d,%.9f\n" label i t))
+        times)
+    series;
+  Buffer.contents buf
+
+let summary_line xs =
+  Printf.sprintf
+    "n=%d min=%.6f q1=%.6f median=%.6f q3=%.6f max=%.6f mean=%.6f sd=%.6f"
+    (Array.length xs) (Desc.min xs) (Desc.quantile xs 0.25) (Desc.median xs)
+    (Desc.quantile xs 0.75) (Desc.max xs) (Desc.mean xs)
+    (if Array.length xs >= 2 then Desc.std_dev xs else 0.0)
+
+let ascii_histogram ?(bins = 10) ?(width = 50) xs =
+  if Array.length xs = 0 then invalid_arg "Report.ascii_histogram: empty";
+  if bins < 1 then invalid_arg "Report.ascii_histogram: bins must be >= 1";
+  let lo = Desc.min xs and hi = Desc.max xs in
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. span *. float_of_int bins)) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  let peak = Array.fold_left Stdlib.max 1 counts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun b c ->
+      let from = lo +. (span *. float_of_int b /. float_of_int bins) in
+      let bar = String.make (c * width / peak) '#' in
+      Buffer.add_string buf (Printf.sprintf "%12.6f | %-*s %d\n" from width bar c))
+    counts;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Plain-text and CSV rendering of samples and comparisons, for piping
+    experiment output into external analysis (R, gnuplot, spreadsheets). *)
+
+(** CSV of one sample set: header ["run,seconds,cycles"]. *)
+val csv_of_sample : Sample.t -> string
+
+(** CSV of several labelled time series, long format:
+    ["label,run,seconds"]. *)
+val csv_of_series : (string * float array) list -> string
+
+(** Five-number summary plus mean/sd on one line. *)
+val summary_line : float array -> string
+
+(** Histogram of the samples as ASCII bars, [bins] rows. *)
+val ascii_histogram : ?bins:int -> ?width:int -> float array -> string

@@ -1,0 +1,44 @@
+(** The STABILIZER runtime: wires a program, a configuration and a
+    fresh machine model into an interpreter environment, runs the
+    program, and reports timing.
+
+    With code randomization on, function entries go through the
+    trap/relocate machinery of {!Stz_layout.Code_rand}; the
+    re-randomization timer is virtual (simulated cycles) and fires at
+    the next function entry after an epoch expires, matching the
+    paper's "re-randomization occurs when the next trap executes".
+    Global references and calls then pay one extra data access through
+    the caller's relocation table, and stack randomization pays the
+    pad-table load per call — the instrumentation the compiler pass
+    inserts in the real system. *)
+
+type result = {
+  cycles : int;
+  virtual_seconds : float;  (** cycles at the model's 3.2 GHz clock *)
+  return_value : int;
+  counters : Stz_machine.Hierarchy.counters;
+  relocations : int;  (** 0 unless code randomization is on *)
+  epochs : int;  (** re-randomizations performed + 1 *)
+  adaptive_triggers : int;
+      (** epochs cut short by the §8 adaptive trigger (0 unless
+          [Config.adaptive]) *)
+  heap_stats : Stz_alloc.Allocator.stats;
+  profile : Profiler.entry list option;
+      (** hottest-first per-function attribution when [profile] was
+          requested *)
+}
+
+(** [run ~config ~seed p ~args] executes one complete run. [seed]
+    drives every random choice (link order, heap shuffling, code
+    placement, stack pads), so runs are reproducible; vary the seed to
+    sample the layout space. [machine_factory] substitutes a non-default
+    machine model (each run gets a fresh instance). *)
+val run :
+  ?limits:Stz_vm.Interp.limits ->
+  ?profile:bool ->
+  ?machine_factory:(unit -> Stz_machine.Hierarchy.t) ->
+  config:Config.t ->
+  seed:int64 ->
+  Stz_vm.Ir.program ->
+  args:int list ->
+  result

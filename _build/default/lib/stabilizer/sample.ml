@@ -1,0 +1,22 @@
+type t = {
+  times : float array;
+  cycles : int array;
+  results : Runtime.result array;
+}
+
+let collect ?limits ~config ~base_seed ~runs ~args p =
+  if runs < 1 then invalid_arg "Sample.collect: runs must be >= 1";
+  let seeds = Stz_prng.Splitmix.create base_seed in
+  let results =
+    Array.init runs (fun _ ->
+        let seed = Stz_prng.Splitmix.split seeds in
+        Runtime.run ?limits ~config ~seed p ~args)
+  in
+  {
+    times = Array.map (fun r -> r.Runtime.virtual_seconds) results;
+    cycles = Array.map (fun r -> r.Runtime.cycles) results;
+    results;
+  }
+
+let times ?limits ~config ~base_seed ~runs ~args p =
+  (collect ?limits ~config ~base_seed ~runs ~args p).times

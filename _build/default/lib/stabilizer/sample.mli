@@ -1,0 +1,29 @@
+(** Repeated-run sampling. Each run gets an independent seed derived
+    from [base_seed], so the sample is drawn over the space of layouts
+    — the paper's point that a single binary is a single layout sample
+    no matter how many times it runs. *)
+
+type t = {
+  times : float array;  (** virtual seconds per run *)
+  cycles : int array;
+  results : Runtime.result array;
+}
+
+val collect :
+  ?limits:Stz_vm.Interp.limits ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  t
+
+(** Convenience: just the times. *)
+val times :
+  ?limits:Stz_vm.Interp.limits ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  float array

@@ -1,0 +1,1 @@
+lib/stats/anova.ml: Array Desc Dist List Printf

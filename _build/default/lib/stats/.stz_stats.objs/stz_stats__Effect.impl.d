@@ -1,0 +1,1 @@
+lib/stats/effect.ml: Array Desc Dist Stz_prng

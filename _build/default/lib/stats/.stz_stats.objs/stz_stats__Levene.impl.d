@@ -1,0 +1,1 @@
+lib/stats/levene.ml: Array Desc Dist List

@@ -1,0 +1,1 @@
+lib/stats/power.ml: Dist Stdlib

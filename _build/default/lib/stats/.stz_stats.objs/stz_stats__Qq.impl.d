@@ -1,0 +1,1 @@
+lib/stats/qq.ml: Array Buffer Desc Dist Stdlib

@@ -1,0 +1,1 @@
+lib/stats/shapiro.ml: Array Desc Dist Float Stdlib

@@ -1,0 +1,1 @@
+lib/stats/wilcoxon.ml: Array Desc Dist List Stdlib

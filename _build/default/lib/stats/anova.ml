@@ -1,0 +1,99 @@
+type result = {
+  f : float;
+  df_treatment : float;
+  df_error : float;
+  p_value : float;
+  ss_treatment : float;
+  ss_error : float;
+  ss_subjects : float;
+  eta_squared : float;
+}
+
+let finish ~f ~df1 ~df2 ~ss_t ~ss_e ~ss_s =
+  {
+    f;
+    df_treatment = df1;
+    df_error = df2;
+    p_value = Dist.F_dist.sf ~df1 ~df2 f;
+    ss_treatment = ss_t;
+    ss_error = ss_e;
+    ss_subjects = ss_s;
+    eta_squared = ss_t /. (ss_t +. ss_e);
+  }
+
+let within_subjects data =
+  let n = Array.length data in
+  if n < 2 then invalid_arg "Anova.within_subjects: needs >= 2 subjects";
+  let k = Array.length data.(0) in
+  if k < 2 then invalid_arg "Anova.within_subjects: needs >= 2 treatments";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Anova.within_subjects: ragged data matrix")
+    data;
+  let fn = float_of_int n and fk = float_of_int k in
+  let grand = ref 0.0 in
+  Array.iter (Array.iter (fun x -> grand := !grand +. x)) data;
+  let grand_mean = !grand /. (fn *. fk) in
+  let treatment_mean j =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do acc := !acc +. data.(i).(j) done;
+    !acc /. fn
+  in
+  let subject_mean i = Desc.mean data.(i) in
+  let ss_treatment = ref 0.0 in
+  for j = 0 to k - 1 do
+    let d = treatment_mean j -. grand_mean in
+    ss_treatment := !ss_treatment +. (fn *. d *. d)
+  done;
+  let ss_subjects = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = subject_mean i -. grand_mean in
+    ss_subjects := !ss_subjects +. (fk *. d *. d)
+  done;
+  let ss_total = ref 0.0 in
+  Array.iter
+    (Array.iter (fun x ->
+         let d = x -. grand_mean in
+         ss_total := !ss_total +. (d *. d)))
+    data;
+  let ss_error = !ss_total -. !ss_treatment -. !ss_subjects in
+  let df1 = fk -. 1.0 in
+  let df2 = (fn -. 1.0) *. (fk -. 1.0) in
+  let f = !ss_treatment /. df1 /. (ss_error /. df2) in
+  finish ~f ~df1 ~df2 ~ss_t:!ss_treatment ~ss_e:ss_error ~ss_s:!ss_subjects
+
+let one_way groups =
+  let k = List.length groups in
+  if k < 2 then invalid_arg "Anova.one_way: needs >= 2 groups";
+  List.iter
+    (fun g ->
+      if Array.length g < 2 then invalid_arg "Anova.one_way: group needs >= 2 samples")
+    groups;
+  let n_total = List.fold_left (fun acc g -> acc + Array.length g) 0 groups in
+  let grand_mean =
+    List.fold_left (fun acc g -> acc +. Array.fold_left ( +. ) 0.0 g) 0.0 groups
+    /. float_of_int n_total
+  in
+  let ss_between =
+    List.fold_left
+      (fun acc g ->
+        let d = Desc.mean g -. grand_mean in
+        acc +. (float_of_int (Array.length g) *. d *. d))
+      0.0 groups
+  in
+  let ss_within =
+    List.fold_left
+      (fun acc g ->
+        let m = Desc.mean g in
+        acc +. Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 g)
+      0.0 groups
+  in
+  let df1 = float_of_int (k - 1) in
+  let df2 = float_of_int (n_total - k) in
+  let f = ss_between /. df1 /. (ss_within /. df2) in
+  finish ~f ~df1 ~df2 ~ss_t:ss_between ~ss_e:ss_within ~ss_s:0.0
+
+let to_string r =
+  Printf.sprintf "F(%g,%g) = %.3f, p = %.4f" r.df_treatment r.df_error r.f
+    r.p_value

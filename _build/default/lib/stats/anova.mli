@@ -1,0 +1,27 @@
+(** Analysis of variance. The paper's suite-wide evaluation (§6.1) is a
+    one-way *within-subjects* (repeated measures) ANOVA: each benchmark
+    is a subject measured under every treatment (optimization level),
+    and between-benchmark differences are partitioned out so they do not
+    contaminate the treatment effect. *)
+
+type result = {
+  f : float;  (** F statistic for the treatment effect *)
+  df_treatment : float;
+  df_error : float;
+  p_value : float;  (** upper-tail P(F' >= f) *)
+  ss_treatment : float;
+  ss_error : float;
+  ss_subjects : float;  (** 0 for the between-subjects variant *)
+  eta_squared : float;  (** partial effect size SS_t / (SS_t + SS_e) *)
+}
+
+(** [within_subjects data] where [data.(i).(j)] is subject [i]'s
+    response under treatment [j]. Requires >= 2 subjects, >= 2
+    treatments, and a rectangular matrix. *)
+val within_subjects : float array array -> result
+
+(** Classic one-way between-subjects ANOVA over independent groups. *)
+val one_way : float array list -> result
+
+(** Pretty one-line summary, e.g. ["F(1,17) = 6.106, p = 0.0243"]. *)
+val to_string : result -> string

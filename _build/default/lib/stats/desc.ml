@@ -1,0 +1,89 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Desc." ^ name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  if Array.length xs < 2 then invalid_arg "Desc.variance: needs >= 2 samples";
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs - 1)
+
+let std_dev xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let sorted xs =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  copy
+
+let quantile xs q =
+  check_nonempty "quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Desc.quantile: q must be in [0,1]";
+  let s = sorted xs in
+  let n = Array.length s in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  s.(lo) +. ((h -. float_of_int lo) *. (s.(hi) -. s.(lo)))
+
+let median xs = quantile xs 0.5
+
+let central_moment xs k =
+  let m = mean xs in
+  Array.fold_left (fun a x -> a +. ((x -. m) ** float_of_int k)) 0.0 xs
+  /. float_of_int (Array.length xs)
+
+let skewness xs =
+  check_nonempty "skewness" xs;
+  let m2 = central_moment xs 2 in
+  if m2 = 0.0 then 0.0 else central_moment xs 3 /. (m2 ** 1.5)
+
+let kurtosis xs =
+  check_nonempty "kurtosis" xs;
+  let m2 = central_moment xs 2 in
+  if m2 = 0.0 then 0.0 else (central_moment xs 4 /. (m2 *. m2)) -. 3.0
+
+let std_error xs = std_dev xs /. sqrt (float_of_int (Array.length xs))
+
+let geometric_mean xs =
+  check_nonempty "geometric_mean" xs;
+  let acc =
+    Array.fold_left
+      (fun a x ->
+        if x <= 0.0 then
+          invalid_arg "Desc.geometric_mean: requires positive samples"
+        else a +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+let ranks xs =
+  check_nonempty "ranks" xs;
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  let result = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the run of ties starting at !i and give each its average rank. *)
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      result.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  result

@@ -1,0 +1,37 @@
+(** Descriptive statistics over float arrays. Input arrays are never
+    modified; functions requiring order work on an internal sorted copy. *)
+
+val mean : float array -> float
+
+(** Unbiased (n-1) sample variance. Requires at least 2 samples. *)
+val variance : float array -> float
+
+(** Sample standard deviation. *)
+val std_dev : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+val median : float array -> float
+
+(** [quantile xs q] for q in [0,1], with linear interpolation between
+    order statistics (R's default type-7 definition). *)
+val quantile : float array -> float -> float
+
+(** Sample skewness (g1, biased moment estimator). *)
+val skewness : float array -> float
+
+(** Excess kurtosis (g2, biased moment estimator). *)
+val kurtosis : float array -> float
+
+(** Sorted copy of the input. *)
+val sorted : float array -> float array
+
+(** Standard error of the mean. *)
+val std_error : float array -> float
+
+(** [geometric_mean xs] requires all-positive samples. *)
+val geometric_mean : float array -> float
+
+(** Ranks with ties sharing their average rank (1-based), as used by
+    rank-based tests. *)
+val ranks : float array -> float array

@@ -1,0 +1,124 @@
+module Normal = struct
+  let sqrt2 = sqrt 2.0
+  let pdf x = exp (-0.5 *. x *. x) /. sqrt (2.0 *. Float.pi)
+  let cdf x = 0.5 *. Special.erfc (-.x /. sqrt2)
+  let sf x = 0.5 *. Special.erfc (x /. sqrt2)
+
+  (* Acklam's inverse-normal rational approximation. *)
+  let a =
+    [|
+      -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+      1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00;
+    |]
+
+  let b =
+    [|
+      -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+      6.680131188771972e+01; -1.328068155288572e+01;
+    |]
+
+  let c =
+    [|
+      -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+      -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00;
+    |]
+
+  let d =
+    [|
+      7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+      3.754408661907416e+00;
+    |]
+
+  let quantile p =
+    if not (p > 0.0 && p < 1.0) then
+      invalid_arg "Dist.Normal.quantile: requires p in (0,1)";
+    let p_low = 0.02425 in
+    let p_high = 1.0 -. p_low in
+    let x =
+      if p < p_low then begin
+        let q = sqrt (-2.0 *. log p) in
+        (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+        *. q +. c.(5)
+        |> fun num ->
+        num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+      end
+      else if p <= p_high then begin
+        let q = p -. 0.5 in
+        let r = q *. q in
+        ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+         *. r +. a.(5))
+        *. q
+        /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+            *. r +. 1.0)
+      end
+      else begin
+        let q = sqrt (-2.0 *. log (1.0 -. p)) in
+        -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+           *. q +. c.(5))
+        /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+      end
+    in
+    (* One Halley refinement step sharpens the approximation to near
+       machine precision. *)
+    let e = cdf x -. p in
+    let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
+    x -. (u /. (1.0 +. (x *. u /. 2.0)))
+end
+
+module Student_t = struct
+  let cdf ~df t =
+    if df <= 0.0 then invalid_arg "Dist.Student_t.cdf: requires df > 0";
+    let x = df /. (df +. (t *. t)) in
+    let p = 0.5 *. Special.beta_inc (df /. 2.0) 0.5 x in
+    if t >= 0.0 then 1.0 -. p else p
+
+  let p_two_sided ~df t =
+    let x = df /. (df +. (t *. t)) in
+    Special.beta_inc (df /. 2.0) 0.5 x
+
+  let quantile ~df p =
+    if not (p > 0.0 && p < 1.0) then
+      invalid_arg "Dist.Student_t.quantile: requires p in (0,1)";
+    if p = 0.5 then 0.0
+    else begin
+      (* Bracket, then bisect: the CDF is strictly increasing. *)
+      let hi = ref 1.0 in
+      while cdf ~df !hi < p && !hi < 1e8 do
+        hi := !hi *. 2.0
+      done;
+      let lo = ref (-. !hi) in
+      while cdf ~df !lo > p && !lo > -1e8 do
+        lo := !lo *. 2.0
+      done;
+      let lo = ref !lo and hi = ref !hi in
+      for _ = 1 to 200 do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if cdf ~df mid < p then lo := mid else hi := mid
+      done;
+      (!lo +. !hi) /. 2.0
+    end
+end
+
+module F_dist = struct
+  let cdf ~df1 ~df2 x =
+    if df1 <= 0.0 || df2 <= 0.0 then
+      invalid_arg "Dist.F_dist.cdf: requires df1, df2 > 0";
+    if x <= 0.0 then 0.0
+    else
+      Special.beta_inc (df1 /. 2.0) (df2 /. 2.0)
+        (df1 *. x /. ((df1 *. x) +. df2))
+
+  let sf ~df1 ~df2 x =
+    if x <= 0.0 then 1.0
+    else
+      Special.beta_inc (df2 /. 2.0) (df1 /. 2.0) (df2 /. ((df1 *. x) +. df2))
+end
+
+module Chi2 = struct
+  let cdf ~df x =
+    if df <= 0.0 then invalid_arg "Dist.Chi2.cdf: requires df > 0";
+    if x <= 0.0 then 0.0 else Special.gamma_p (df /. 2.0) (x /. 2.0)
+
+  let sf ~df x =
+    if x <= 0.0 then 1.0 else Special.gamma_q (df /. 2.0) (x /. 2.0)
+end

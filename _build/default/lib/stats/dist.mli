@@ -1,0 +1,46 @@
+(** Probability distributions used by the hypothesis tests: the standard
+    normal, Student's t, Fisher's F and the chi-squared distribution. *)
+
+module Normal : sig
+  (** Density of the standard normal. *)
+  val pdf : float -> float
+
+  (** CDF of the standard normal. *)
+  val cdf : float -> float
+
+  (** Upper tail 1 - CDF, accurate for large arguments. *)
+  val sf : float -> float
+
+  (** Quantile (inverse CDF) for p in (0, 1); Acklam's rational
+      approximation refined with one Halley step, giving near
+      double-precision accuracy. *)
+  val quantile : float -> float
+end
+
+module Student_t : sig
+  (** [cdf ~df t] for df > 0. *)
+  val cdf : df:float -> float -> float
+
+  (** Two-sided p-value: P(|T| >= |t|). *)
+  val p_two_sided : df:float -> float -> float
+
+  (** Quantile (inverse CDF) for p in (0, 1), by bisection on the CDF;
+      used for confidence intervals. *)
+  val quantile : df:float -> float -> float
+end
+
+module F_dist : sig
+  (** [cdf ~df1 ~df2 x] for df1, df2 > 0, x >= 0. *)
+  val cdf : df1:float -> df2:float -> float -> float
+
+  (** Upper-tail p-value P(F >= x), the usual ANOVA p-value. *)
+  val sf : df1:float -> df2:float -> float -> float
+end
+
+module Chi2 : sig
+  (** [cdf ~df x]. *)
+  val cdf : df:float -> float -> float
+
+  (** Upper-tail p-value P(X >= x). *)
+  val sf : df:float -> float -> float
+end

@@ -1,0 +1,62 @@
+let cohen_d a b =
+  if Array.length a < 2 || Array.length b < 2 then
+    invalid_arg "Effect.cohen_d: needs >= 2 samples each";
+  let na = float_of_int (Array.length a) in
+  let nb = float_of_int (Array.length b) in
+  let pooled =
+    sqrt
+      ((((na -. 1.0) *. Desc.variance a) +. ((nb -. 1.0) *. Desc.variance b))
+      /. (na +. nb -. 2.0))
+  in
+  if pooled = 0.0 then invalid_arg "Effect.cohen_d: zero pooled variance";
+  (Desc.mean a -. Desc.mean b) /. pooled
+
+let hedges_g a b =
+  let n = float_of_int (Array.length a + Array.length b) in
+  cohen_d a b *. (1.0 -. (3.0 /. ((4.0 *. n) -. 9.0)))
+
+(* Two-sided t critical value. *)
+let t_critical ~df p =
+  Dist.Student_t.quantile ~df (1.0 -. ((1.0 -. p) /. 2.0))
+
+let mean_ci ?(confidence = 0.95) xs =
+  if Array.length xs < 2 then invalid_arg "Effect.mean_ci: needs >= 2 samples";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Effect.mean_ci: confidence must be in (0,1)";
+  let df = float_of_int (Array.length xs - 1) in
+  let half = t_critical ~df confidence *. Desc.std_error xs in
+  let m = Desc.mean xs in
+  (m -. half, m +. half)
+
+let resample rng xs out =
+  let n = Array.length xs in
+  for i = 0 to Array.length out - 1 do
+    out.(i) <- xs.(Stz_prng.Xorshift.next_int rng n)
+  done
+
+let bootstrap_ci ?(confidence = 0.95) ?(resamples = 2000) ~seed ~statistic xs =
+  if Array.length xs < 2 then invalid_arg "Effect.bootstrap_ci: needs >= 2 samples";
+  let rng = Stz_prng.Xorshift.create ~seed in
+  let scratch = Array.make (Array.length xs) 0.0 in
+  let stats =
+    Array.init resamples (fun _ ->
+        resample rng xs scratch;
+        statistic scratch)
+  in
+  let lo = (1.0 -. confidence) /. 2.0 in
+  (Desc.quantile stats lo, Desc.quantile stats (1.0 -. lo))
+
+let speedup_ci ?(confidence = 0.95) ?(resamples = 2000) ~seed a b =
+  if Array.length a < 2 || Array.length b < 2 then
+    invalid_arg "Effect.speedup_ci: needs >= 2 samples each";
+  let rng = Stz_prng.Xorshift.create ~seed in
+  let sa = Array.make (Array.length a) 0.0 in
+  let sb = Array.make (Array.length b) 0.0 in
+  let stats =
+    Array.init resamples (fun _ ->
+        resample rng a sa;
+        resample rng b sb;
+        Desc.mean sa /. Desc.mean sb)
+  in
+  let lo = (1.0 -. confidence) /. 2.0 in
+  (Desc.quantile stats lo, Desc.quantile stats (1.0 -. lo))

@@ -1,0 +1,37 @@
+(** Effect sizes and confidence intervals: the paper argues that
+    significance alone is not enough — researchers also need effect
+    magnitude. These helpers complement the hypothesis tests. *)
+
+(** Cohen's d for two independent samples (pooled standard deviation).
+    Conventional bands: 0.2 small, 0.5 medium, 0.8 large. *)
+val cohen_d : float array -> float array -> float
+
+(** Hedges' g: Cohen's d with the small-sample bias correction
+    factor (1 - 3 / (4 (n1 + n2) - 9)). *)
+val hedges_g : float array -> float array -> float
+
+(** [mean_ci ?confidence xs] is the t-based confidence interval
+    (low, high) for the mean (default confidence 0.95). Needs >= 2
+    samples. *)
+val mean_ci : ?confidence:float -> float array -> float * float
+
+(** [bootstrap_ci ?confidence ?resamples ~seed ~statistic xs] is a
+    percentile bootstrap interval for an arbitrary statistic (default
+    2000 resamples). Deterministic given [seed]. *)
+val bootstrap_ci :
+  ?confidence:float ->
+  ?resamples:int ->
+  seed:int64 ->
+  statistic:(float array -> float) ->
+  float array ->
+  float * float
+
+(** [speedup_ci ?confidence ?resamples ~seed a b] bootstraps the ratio
+    mean(a)/mean(b), the paper's speedup metric. *)
+val speedup_ci :
+  ?confidence:float ->
+  ?resamples:int ->
+  seed:int64 ->
+  float array ->
+  float array ->
+  float * float

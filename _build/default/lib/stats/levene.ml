@@ -1,0 +1,41 @@
+type result = { f : float; df1 : float; df2 : float; p_value : float }
+
+let run ~center groups =
+  let k = List.length groups in
+  if k < 2 then invalid_arg "Levene: needs >= 2 groups";
+  List.iter
+    (fun g ->
+      if Array.length g < 2 then invalid_arg "Levene: each group needs >= 2 samples")
+    groups;
+  (* z_ij = |x_ij - center_i|; then one-way ANOVA on the z values. *)
+  let zs = List.map (fun g ->
+      let c = center g in
+      Array.map (fun x -> abs_float (x -. c)) g)
+      groups
+  in
+  let n_total = List.fold_left (fun acc g -> acc + Array.length g) 0 zs in
+  let grand_mean =
+    List.fold_left (fun acc g -> acc +. Array.fold_left ( +. ) 0.0 g) 0.0 zs
+    /. float_of_int n_total
+  in
+  let ss_between =
+    List.fold_left
+      (fun acc g ->
+        let m = Desc.mean g in
+        acc +. (float_of_int (Array.length g) *. (m -. grand_mean) *. (m -. grand_mean)))
+      0.0 zs
+  in
+  let ss_within =
+    List.fold_left
+      (fun acc g ->
+        let m = Desc.mean g in
+        acc +. Array.fold_left (fun a z -> a +. ((z -. m) *. (z -. m))) 0.0 g)
+      0.0 zs
+  in
+  let df1 = float_of_int (k - 1) in
+  let df2 = float_of_int (n_total - k) in
+  let f = ss_between /. df1 /. (ss_within /. df2) in
+  { f; df1; df2; p_value = Dist.F_dist.sf ~df1 ~df2 f }
+
+let brown_forsythe groups = run ~center:Desc.median groups
+let levene_mean groups = run ~center:Desc.mean groups

@@ -1,0 +1,17 @@
+(** The Brown-Forsythe test for homogeneity of variance — Levene's test
+    with group medians as centers, robust to non-normality. The paper
+    uses it (Table 1) to show re-randomization usually *reduces*
+    variance relative to one-time randomization. *)
+
+type result = {
+  f : float;  (** F statistic *)
+  df1 : float;
+  df2 : float;
+  p_value : float;
+}
+
+(** [brown_forsythe groups] for >= 2 groups, each with >= 2 samples. *)
+val brown_forsythe : float array list -> result
+
+(** Classic Levene variant with group means as centers. *)
+val levene_mean : float array list -> result

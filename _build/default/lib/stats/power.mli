@@ -1,0 +1,26 @@
+(** Statistical power analysis for the two-sample t-test. §2.3 of the
+    paper: "Statistical power is the probability of correctly rejecting
+    a false null hypothesis. Parametric tests typically have greater
+    power than non-parametric tests" — and the practical question a
+    STABILIZER user faces is "how many runs do I need to detect an
+    effect of this size?". Normal approximation to the noncentral t,
+    accurate to a run or two for the n >= 10 regime used here. *)
+
+(** [two_sample ~effect ~n ~alpha] is the power of a two-sided
+    two-sample t-test with [n] samples *per group*, standardized effect
+    size [effect] (Cohen's d) and significance level [alpha]. *)
+val two_sample : effect:float -> n:int -> ?alpha:float -> unit -> float
+
+(** [required_runs ~effect ~power ~alpha] is the smallest per-group n
+    whose power reaches [power] (default 0.8). *)
+val required_runs : effect:float -> ?power:float -> ?alpha:float -> unit -> int
+
+(** [detectable_effect ~n ~power ~alpha] is the smallest standardized
+    effect detectable with [n] runs per group at the given power. *)
+val detectable_effect : n:int -> ?power:float -> ?alpha:float -> unit -> float
+
+(** [effect_of_speedup ~speedup ~cv] converts a relative speedup (e.g.
+    1.01 for 1%) and a coefficient of variation of the timing samples
+    into a standardized effect size: (speedup - 1) / cv. This is how a
+    pilot STABILIZER sample translates into power-analysis inputs. *)
+val effect_of_speedup : speedup:float -> cv:float -> float

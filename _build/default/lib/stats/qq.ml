@@ -1,0 +1,67 @@
+type point = { theoretical : float; observed : float }
+
+let plotting_positions n =
+  let fn = float_of_int n in
+  Array.init n (fun i ->
+      Dist.Normal.quantile ((float_of_int (i + 1) -. 0.375) /. (fn +. 0.25)))
+
+let points ?shift ?scale xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Qq.points: needs >= 2 samples";
+  let sorted = Desc.sorted xs in
+  let shift = match shift with Some s -> s | None -> 0.0 in
+  let scale = match scale with Some s -> s | None -> 1.0 in
+  if scale = 0.0 then invalid_arg "Qq.points: zero scale";
+  let theo = plotting_positions n in
+  Array.init n (fun i ->
+      { theoretical = theo.(i); observed = (sorted.(i) -. shift) /. scale })
+
+let correlation xs =
+  let pts = points xs in
+  let t = Array.map (fun p -> p.theoretical) pts in
+  let o = Array.map (fun p -> p.observed) pts in
+  let mt = Desc.mean t and mo = Desc.mean o in
+  let num = ref 0.0 and st = ref 0.0 and so = ref 0.0 in
+  Array.iteri
+    (fun i _ ->
+      let dt = t.(i) -. mt and dob = o.(i) -. mo in
+      num := !num +. (dt *. dob);
+      st := !st +. (dt *. dt);
+      so := !so +. (dob *. dob))
+    t;
+  !num /. sqrt (!st *. !so)
+
+let line xs =
+  let q1 = Desc.quantile xs 0.25 and q3 = Desc.quantile xs 0.75 in
+  let t1 = Dist.Normal.quantile 0.25 and t3 = Dist.Normal.quantile 0.75 in
+  let slope = (q3 -. q1) /. (t3 -. t1) in
+  let intercept = q1 -. (slope *. t1) in
+  (slope, intercept)
+
+let ascii_plot ?(width = 60) ?(height = 20) pts =
+  if Array.length pts = 0 then invalid_arg "Qq.ascii_plot: no points";
+  let xs = Array.map (fun p -> p.theoretical) pts in
+  let ys = Array.map (fun p -> p.observed) pts in
+  let xmin = Desc.min xs and xmax = Desc.max xs in
+  let ymin = Stdlib.min (Desc.min ys) xmin and ymax = Stdlib.max (Desc.max ys) xmax in
+  let grid = Array.make_matrix height width ' ' in
+  let place x y ch =
+    let xr = (x -. xmin) /. (xmax -. xmin +. 1e-12) in
+    let yr = (y -. ymin) /. (ymax -. ymin +. 1e-12) in
+    let col = Stdlib.min (width - 1) (int_of_float (xr *. float_of_int (width - 1))) in
+    let row = height - 1 - Stdlib.min (height - 1) (int_of_float (yr *. float_of_int (height - 1))) in
+    if grid.(row).(col) = ' ' || ch = 'o' then grid.(row).(col) <- ch
+  in
+  (* Reference diagonal y = x first so sample points overwrite it. *)
+  for i = 0 to width * 2 do
+    let x = xmin +. (float_of_int i /. float_of_int (width * 2) *. (xmax -. xmin)) in
+    if x >= ymin && x <= ymax then place x x '.'
+  done;
+  Array.iter (fun p -> place p.theoretical p.observed 'o') pts;
+  let buf = Buffer.create (height * (width + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Quantile-quantile data against the standard normal, used to render
+    the paper's Figure 5. Points lie on a straight line when the sample
+    comes from a normal family; the line's slope is the sample scale. *)
+
+type point = { theoretical : float; observed : float }
+
+(** One point per sample: theoretical normal quantile at plotting
+    position (i - 0.375)/(n + 0.25) vs the i-th order statistic. The
+    sample is optionally normalized: shifted to mean zero and scaled by
+    [scale] (the paper normalizes by the re-randomized run's standard
+    deviation). *)
+val points : ?shift:float -> ?scale:float -> float array -> point array
+
+(** Correlation between theoretical and observed quantiles; values near
+    1 indicate normality (this is the basis of the Ryan-Joiner test). *)
+val correlation : float array -> float
+
+(** Slope and intercept of the line through the first and third
+    quartiles, as drawn by R's [qqline]. *)
+val line : float array -> float * float
+
+(** Render the points as a crude ASCII scatter, [width] x [height]
+    characters, for terminal output. *)
+val ascii_plot : ?width:int -> ?height:int -> point array -> string

@@ -1,0 +1,102 @@
+(* Royston (1995), Applied Statistics algorithm AS R94. The polynomial
+   coefficients below are Royston's published constants, identical to
+   those in R's swilk.c. *)
+
+type result = { w : float; p_value : float; n : int }
+
+(* Evaluate c.(0) + c.(1) x + c.(2) x^2 + ... *)
+let poly c x =
+  let acc = ref 0.0 in
+  for i = Array.length c - 1 downto 0 do
+    acc := (!acc *. x) +. c.(i)
+  done;
+  !acc
+
+let c1 = [| 0.0; 0.221157; -0.147981; -2.071190; 4.434685; -2.706056 |]
+let c2 = [| 0.0; 0.042981; -0.293762; -1.752461; 5.682633; -3.582633 |]
+let c3 = [| 0.544; -0.39978; 0.025054; -6.714e-4 |]
+let c4 = [| 1.3822; -0.77857; 0.062767; -0.0020322 |]
+let c5 = [| -1.5861; -0.31082; -0.083751; 0.0038915 |]
+let c6 = [| -0.4803; -0.082676; 0.0030302 |]
+
+let weights n =
+  let fn = float_of_int n in
+  let m =
+    Array.init n (fun i ->
+        Dist.Normal.quantile ((float_of_int (i + 1) -. 0.375) /. (fn +. 0.25)))
+  in
+  let ssumm2 = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 m in
+  let rsn = 1.0 /. sqrt fn in
+  let a = Array.map (fun v -> v /. sqrt ssumm2) m in
+  if n > 5 then begin
+    let an = a.(n - 1) +. poly c1 rsn in
+    let an1 = a.(n - 2) +. poly c2 rsn in
+    let phi =
+      (ssumm2 -. (2.0 *. m.(n - 1) *. m.(n - 1)) -. (2.0 *. m.(n - 2) *. m.(n - 2)))
+      /. (1.0 -. (2.0 *. an *. an) -. (2.0 *. an1 *. an1))
+    in
+    for i = 2 to n - 3 do
+      a.(i) <- m.(i) /. sqrt phi
+    done;
+    a.(n - 1) <- an;
+    a.(n - 2) <- an1;
+    a.(0) <- -.an;
+    a.(1) <- -.an1
+  end
+  else if n > 3 then begin
+    let an = a.(n - 1) +. poly c1 rsn in
+    let phi =
+      (ssumm2 -. (2.0 *. m.(n - 1) *. m.(n - 1))) /. (1.0 -. (2.0 *. an *. an))
+    in
+    for i = 1 to n - 2 do
+      a.(i) <- m.(i) /. sqrt phi
+    done;
+    a.(n - 1) <- an;
+    a.(0) <- -.an
+  end;
+  (* n = 3 keeps the normalized m directly: a = (-1/sqrt 2, 0, 1/sqrt 2). *)
+  a
+
+let test xs =
+  let n = Array.length xs in
+  if n < 3 then invalid_arg "Shapiro.test: needs n >= 3";
+  if n > 5000 then invalid_arg "Shapiro.test: n > 5000 unsupported";
+  let x = Desc.sorted xs in
+  if x.(n - 1) -. x.(0) <= 0.0 then
+    invalid_arg "Shapiro.test: sample range is zero";
+  let a = weights n in
+  let xbar = Desc.mean x in
+  let numerator = ref 0.0 in
+  let denominator = ref 0.0 in
+  for i = 0 to n - 1 do
+    numerator := !numerator +. (a.(i) *. x.(i));
+    denominator := !denominator +. ((x.(i) -. xbar) *. (x.(i) -. xbar))
+  done;
+  let w = !numerator *. !numerator /. !denominator in
+  let w = Stdlib.min w 1.0 in
+  let fn = float_of_int n in
+  let p_value =
+    if n = 3 then begin
+      let pi6 = 6.0 /. Float.pi in
+      let small_w = 0.75 in
+      let p = pi6 *. (asin (sqrt w) -. asin (sqrt small_w)) in
+      Stdlib.max 0.0 (Stdlib.min 1.0 p)
+    end
+    else if n <= 11 then begin
+      let gamma = (0.459 *. fn) -. 2.273 in
+      let w' = -.log (gamma -. log (1.0 -. w)) in
+      let mu = poly c3 fn in
+      let sigma = exp (poly c4 fn) in
+      Dist.Normal.sf ((w' -. mu) /. sigma)
+    end
+    else begin
+      let ln1w = log (1.0 -. w) in
+      let lnn = log fn in
+      let mu = poly c5 lnn in
+      let sigma = exp (poly c6 lnn) in
+      Dist.Normal.sf ((ln1w -. mu) /. sigma)
+    end
+  in
+  { w; p_value; n }
+
+let normal ~alpha xs = (test xs).p_value >= alpha

@@ -1,0 +1,18 @@
+(** The Shapiro-Wilk test of normality (Royston's AS R94 algorithm, the
+    same approximation R and scipy use). This is the test the paper uses
+    to check that STABILIZER makes execution times Gaussian (Table 1).
+
+    Valid for 3 <= n <= 5000. The null hypothesis is that the samples
+    are drawn from a normal distribution; small p-values reject it. *)
+
+type result = {
+  w : float;  (** W statistic in (0, 1]; near 1 for normal data *)
+  p_value : float;
+  n : int;
+}
+
+(** Raises [Invalid_argument] for n < 3, n > 5000, or zero-range data. *)
+val test : float array -> result
+
+(** [normal ~alpha xs] is true when normality is *not* rejected. *)
+val normal : alpha:float -> float array -> bool

@@ -1,0 +1,22 @@
+(** Special functions underlying the distribution CDFs: log-gamma,
+    regularized incomplete gamma and beta functions, and the error
+    function. Implementations follow the standard Lanczos / continued
+    fraction / series formulations (Numerical Recipes style). *)
+
+(** Natural log of the gamma function, for x > 0. *)
+val log_gamma : float -> float
+
+(** Regularized lower incomplete gamma P(a, x), for a > 0, x >= 0. *)
+val gamma_p : float -> float -> float
+
+(** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). *)
+val gamma_q : float -> float -> float
+
+(** Regularized incomplete beta I_x(a, b), for a, b > 0, x in [0, 1]. *)
+val beta_inc : float -> float -> float -> float
+
+(** Error function. *)
+val erf : float -> float
+
+(** Complementary error function, accurate for large arguments. *)
+val erfc : float -> float

@@ -1,0 +1,52 @@
+type result = { t : float; df : float; p_value : float; mean_difference : float }
+
+let finish ~t ~df ~mean_difference =
+  let p_value = Dist.Student_t.p_two_sided ~df t in
+  { t; df; p_value; mean_difference }
+
+let require_samples name n xs =
+  if Array.length xs < n then
+    invalid_arg (Printf.sprintf "Ttest.%s: needs >= %d samples" name n)
+
+let two_sample a b =
+  require_samples "two_sample" 2 a;
+  require_samples "two_sample" 2 b;
+  let na = float_of_int (Array.length a) in
+  let nb = float_of_int (Array.length b) in
+  let va = Desc.variance a in
+  let vb = Desc.variance b in
+  let pooled = (((na -. 1.0) *. va) +. ((nb -. 1.0) *. vb)) /. (na +. nb -. 2.0) in
+  let se = sqrt (pooled *. ((1.0 /. na) +. (1.0 /. nb))) in
+  let diff = Desc.mean a -. Desc.mean b in
+  finish ~t:(diff /. se) ~df:(na +. nb -. 2.0) ~mean_difference:diff
+
+let welch a b =
+  require_samples "welch" 2 a;
+  require_samples "welch" 2 b;
+  let na = float_of_int (Array.length a) in
+  let nb = float_of_int (Array.length b) in
+  let va = Desc.variance a /. na in
+  let vb = Desc.variance b /. nb in
+  let se = sqrt (va +. vb) in
+  let df =
+    ((va +. vb) ** 2.0)
+    /. ((va *. va /. (na -. 1.0)) +. (vb *. vb /. (nb -. 1.0)))
+  in
+  let diff = Desc.mean a -. Desc.mean b in
+  finish ~t:(diff /. se) ~df ~mean_difference:diff
+
+let one_sample ~mu xs =
+  require_samples "one_sample" 2 xs;
+  let n = float_of_int (Array.length xs) in
+  let diff = Desc.mean xs -. mu in
+  let se = Desc.std_dev xs /. sqrt n in
+  finish ~t:(diff /. se) ~df:(n -. 1.0) ~mean_difference:diff
+
+let paired a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ttest.paired: arrays must have equal length";
+  require_samples "paired" 2 a;
+  let diffs = Array.init (Array.length a) (fun i -> a.(i) -. b.(i)) in
+  one_sample ~mu:0.0 diffs
+
+let significant ~alpha r = r.p_value < alpha

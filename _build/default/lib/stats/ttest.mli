@@ -1,0 +1,26 @@
+(** Student's t-tests, the paper's tool for evaluating a single code
+    change (§2.4): the null hypothesis is that the two sample sets come
+    from distributions with equal means. *)
+
+type result = {
+  t : float;  (** test statistic *)
+  df : float;  (** degrees of freedom (possibly fractional, Welch) *)
+  p_value : float;  (** two-sided p-value *)
+  mean_difference : float;  (** mean a - mean b (or mean - mu) *)
+}
+
+(** Classic two-sample t-test with pooled variance (assumes equal
+    variances). Requires >= 2 samples on each side. *)
+val two_sample : float array -> float array -> result
+
+(** Welch's t-test (unequal variances, Welch-Satterthwaite df). *)
+val welch : float array -> float array -> result
+
+(** One-sample test of H0: mean = [mu]. *)
+val one_sample : mu:float -> float array -> result
+
+(** Paired test; arrays must have equal length >= 2. *)
+val paired : float array -> float array -> result
+
+(** [significant ~alpha r] is [r.p_value < alpha]. *)
+val significant : alpha:float -> result -> bool

@@ -1,0 +1,30 @@
+(** The Wilcoxon signed-rank test, the paper's non-parametric fallback
+    for benchmarks whose execution times fail the normality check (§6).
+    Uses the normal approximation with tie and continuity corrections,
+    adequate for the n = 30 sample sizes used throughout. *)
+
+type result = {
+  w : float;  (** signed-rank statistic (min of W+ and W-) *)
+  z : float;  (** normal approximation z-score (0 when the exact
+                  distribution was used) *)
+  p_value : float;  (** two-sided p-value *)
+  n_effective : int;  (** pairs remaining after dropping zero differences *)
+  exact : bool;
+      (** true when the p-value came from the exact null distribution of
+          W+ (used for n <= 25 with no ties in |differences|) rather
+          than the normal approximation *)
+}
+
+(** Paired test; arrays must have equal length. *)
+val signed_rank : float array -> float array -> result
+
+(** One-sample variant against a hypothesized median [mu]. *)
+val one_sample : mu:float -> float array -> result
+
+(** Mann-Whitney U (rank-sum) test for two independent samples, with
+    normal approximation. *)
+val rank_sum : float array -> float array -> result
+
+(** [exact_cdf ~n w] is P(W+ <= w) under the signed-rank null for [n]
+    untied pairs (exposed for tests; O(n^3) dynamic program). *)
+val exact_cdf : n:int -> float -> float

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Hashtbl Ir List Stdlib Stz_machine

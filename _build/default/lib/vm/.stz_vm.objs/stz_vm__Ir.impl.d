@@ -1,0 +1,1 @@
+lib/vm/ir.ml: Array Format Hashtbl List

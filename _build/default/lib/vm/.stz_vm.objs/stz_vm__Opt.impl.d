@@ -1,0 +1,1 @@
+lib/vm/opt.ml: Array Hashtbl Interp Ir List Stdlib Validate

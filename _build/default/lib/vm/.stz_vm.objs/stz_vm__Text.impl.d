@@ -1,0 +1,1 @@
+lib/vm/text.ml: Array Buffer Ir List Printf String Validate

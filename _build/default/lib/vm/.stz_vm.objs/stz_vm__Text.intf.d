@@ -1,0 +1,1 @@
+lib/vm/text.mli: Ir

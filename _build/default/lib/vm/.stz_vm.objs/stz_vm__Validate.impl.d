@@ -1,0 +1,1 @@
+lib/vm/validate.ml: Array Ir List Printf

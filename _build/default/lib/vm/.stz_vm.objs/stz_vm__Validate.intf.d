@@ -1,0 +1,1 @@
+lib/vm/validate.mli: Ir

@@ -1,0 +1,80 @@
+type t = {
+  fid : int;
+  name : string;
+  n_args : int;
+  frame_size : int;
+  mutable next_reg : int;
+  mutable blocks : Ir.instr list array;  (* reversed instruction lists *)
+  mutable current : int;
+}
+
+let func ~fid ~name ~n_args ?(frame_size = 64) () =
+  {
+    fid;
+    name;
+    n_args;
+    frame_size;
+    next_reg = n_args;
+    blocks = [| [] |];
+    current = 0;
+  }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let new_block t =
+  let id = Array.length t.blocks in
+  t.blocks <- Array.append t.blocks [| [] |];
+  id
+
+let set_block t b =
+  if b < 0 || b >= Array.length t.blocks then
+    invalid_arg "Builder.set_block: no such block";
+  t.current <- b
+
+let emit t instr = t.blocks.(t.current) <- instr :: t.blocks.(t.current)
+
+let is_terminator = function
+  | Ir.Ret _ | Ir.Br _ | Ir.Brc _ -> true
+  | _ -> false
+
+let finish t =
+  let blocks =
+    Array.mapi
+      (fun bi rev ->
+        match rev with
+        | [] -> invalid_arg (Printf.sprintf "Builder.finish: empty block b%d" bi)
+        | last :: _ ->
+            if not (is_terminator last) then
+              invalid_arg
+                (Printf.sprintf "Builder.finish: block b%d lacks a terminator" bi);
+            { Ir.instrs = Array.of_list (List.rev rev) })
+      t.blocks
+  in
+  {
+    Ir.fid = t.fid;
+    fname = t.name;
+    blocks;
+    n_args = t.n_args;
+    n_regs = t.next_reg;
+    frame_size = t.frame_size;
+  }
+
+let program ~funcs ~globals ~entry =
+  let funcs = Array.of_list funcs in
+  Array.sort (fun a b -> compare a.Ir.fid b.Ir.fid) funcs;
+  Array.iteri
+    (fun i f ->
+      if f.Ir.fid <> i then
+        invalid_arg "Builder.program: fids must be dense and start at 0")
+    funcs;
+  let globals = Array.of_list globals in
+  Array.sort (fun a b -> compare a.Ir.gid b.Ir.gid) globals;
+  Array.iteri
+    (fun i g ->
+      if g.Ir.gid <> i then
+        invalid_arg "Builder.program: gids must be dense and start at 0")
+    globals;
+  { Ir.funcs; globals; entry }

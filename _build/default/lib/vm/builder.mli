@@ -1,0 +1,29 @@
+(** Imperative construction of IR functions and programs, used by the
+    workload generators and by tests. *)
+
+type t
+
+(** [func ~fid ~name ~n_args ~frame_size ()] starts a function. The
+    first [n_args] registers hold the arguments. Block 0 is the entry
+    and is open initially. *)
+val func : fid:int -> name:string -> n_args:int -> ?frame_size:int -> unit -> t
+
+(** Fresh virtual register. *)
+val fresh_reg : t -> Ir.reg
+
+(** Open a new block and return its id (does not change the insertion
+    point). *)
+val new_block : t -> int
+
+(** Switch the insertion point to a block. *)
+val set_block : t -> int -> unit
+
+(** Append an instruction to the current block. *)
+val emit : t -> Ir.instr -> unit
+
+(** Finish and return the function. Raises if any block lacks a
+    terminator. *)
+val finish : t -> Ir.func
+
+(** Assemble a program. *)
+val program : funcs:Ir.func list -> globals:Ir.global list -> entry:int -> Ir.program

@@ -1,0 +1,163 @@
+module Hierarchy = Stz_machine.Hierarchy
+
+type code_view = { block_addrs : int array; branch_flips : bool array }
+
+type env = {
+  machine : Hierarchy.t;
+  enter_function : fid:int -> code_view;
+  frame_push : fid:int -> int;
+  frame_pop : fid:int -> unit;
+  global_addr : caller:int -> gid:int -> int;
+  malloc : size:int -> int;
+  free : addr:int -> unit;
+  call_prologue : caller:int -> callee:int -> unit;
+}
+
+type limits = { max_instructions : int; max_call_depth : int }
+
+let default_limits = { max_instructions = 200_000_000; max_call_depth = 10_000 }
+
+exception Fuel_exhausted
+exception Call_depth_exceeded
+
+type state = { mutable fuel : int; limits : limits }
+
+let eval_binop op a b =
+  match op with
+  | Ir.Add -> a + b
+  | Ir.Sub -> a - b
+  | Ir.Mul -> a * b
+  | Ir.Div -> if b = 0 then 0 else a / b
+  | Ir.And -> a land b
+  | Ir.Or -> a lor b
+  | Ir.Xor -> a lxor b
+  | Ir.Shl -> a lsl (b land 62)
+  | Ir.Shr -> a asr (b land 62)
+
+let eval_cmp op a b =
+  let r =
+    match op with
+    | Ir.Eq -> a = b
+    | Ir.Ne -> a <> b
+    | Ir.Lt -> a < b
+    | Ir.Le -> a <= b
+    | Ir.Gt -> a > b
+    | Ir.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let run ?(limits = default_limits) env p ~args =
+  let state = { fuel = limits.max_instructions; limits } in
+  let cost = Hierarchy.cost env.machine in
+  (* Simulated memory, word-granular. Loads see exactly what stores put
+     there (0 when untouched), so program *values* are identical across
+     layouts — layout affects timing only, the paper's premise. *)
+  let memory : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec exec_func depth fid args =
+    if depth > state.limits.max_call_depth then raise Call_depth_exceeded;
+    let view = env.enter_function ~fid in
+    let f = p.Ir.funcs.(fid) in
+    let regs = Array.make (Stdlib.max 1 f.Ir.n_regs) 0 in
+    List.iteri (fun i a -> if i < f.Ir.n_args then regs.(i) <- a) args;
+    let frame = env.frame_push ~fid in
+    let value = function Ir.Reg r -> regs.(r) | Ir.Imm i -> i in
+    let rec run_block bid =
+      let base = view.block_addrs.(bid) in
+      let flip = view.branch_flips.(bid) in
+      let instrs = f.Ir.blocks.(bid).Ir.instrs in
+      let rec step ii =
+        if state.fuel <= 0 then raise Fuel_exhausted;
+        state.fuel <- state.fuel - 1;
+        let pc = base + (ii * Ir.instr_bytes) in
+        ignore (Hierarchy.fetch env.machine pc);
+        match instrs.(ii) with
+        | Ir.Bin (op, d, a, b) ->
+            (match op with
+            | Ir.Mul -> Hierarchy.charge env.machine cost.Stz_machine.Cost.mul
+            | Ir.Div -> Hierarchy.charge env.machine cost.Stz_machine.Cost.div
+            | _ -> ());
+            regs.(d) <- eval_binop op (value a) (value b);
+            step (ii + 1)
+        | Ir.Cmp (op, d, a, b) ->
+            regs.(d) <- eval_cmp op (value a) (value b);
+            step (ii + 1)
+        | Ir.Mov (d, a) ->
+            regs.(d) <- value a;
+            step (ii + 1)
+        | Ir.Load (d, b, o) ->
+            let addr = regs.(b) + o in
+            ignore (Hierarchy.data env.machine addr);
+            regs.(d) <-
+              (match Hashtbl.find_opt memory (addr lsr 3) with
+              | Some v -> v
+              | None -> 0);
+            step (ii + 1)
+        | Ir.Store (b, o, v) ->
+            let addr = regs.(b) + o in
+            ignore (Hierarchy.data env.machine addr);
+            Hashtbl.replace memory (addr lsr 3) (value v);
+            step (ii + 1)
+        | Ir.Frame (d, o) ->
+            regs.(d) <- frame + o;
+            step (ii + 1)
+        | Ir.Global (d, g) ->
+            regs.(d) <- env.global_addr ~caller:fid ~gid:g;
+            step (ii + 1)
+        | Ir.Malloc (d, s) ->
+            let size = Stdlib.max 1 (value s land 0xFFFFFF) in
+            regs.(d) <- env.malloc ~size;
+            step (ii + 1)
+        | Ir.Free r ->
+            env.free ~addr:regs.(r);
+            step (ii + 1)
+        | Ir.Call { fn; args; dst } ->
+            let argvals = List.map value args in
+            env.call_prologue ~caller:fid ~callee:fn;
+            regs.(dst) <- exec_func (depth + 1) fn argvals;
+            step (ii + 1)
+        | Ir.Ret v -> value v
+        | Ir.Br b -> run_block b
+        | Ir.Brc (c, t, e) ->
+            let taken = value c <> 0 in
+            let outcome = if flip then not taken else taken in
+            ignore (Hierarchy.branch env.machine ~pc ~taken:outcome);
+            run_block (if taken then t else e)
+      in
+      step 0
+    in
+    let result = run_block 0 in
+    env.frame_pop ~fid;
+    result
+  in
+  exec_func 0 p.Ir.entry args
+
+let plain_env ~machine ~code_addrs ~global_addrs ~stack_base ~malloc ~free p =
+  let views =
+    Array.mapi
+      (fun fid f ->
+        let offsets = Ir.block_offsets f in
+        {
+          block_addrs = Array.map (fun o -> code_addrs.(fid) + o) offsets;
+          branch_flips = Array.make (Array.length f.Ir.blocks) false;
+        })
+      p.Ir.funcs
+  in
+  let sp = ref stack_base in
+  {
+    machine;
+    enter_function = (fun ~fid -> views.(fid));
+    frame_push =
+      (fun ~fid ->
+        let f = p.Ir.funcs.(fid) in
+        sp := !sp - f.Ir.frame_size;
+        ignore (Hierarchy.data machine !sp);
+        !sp);
+    frame_pop =
+      (fun ~fid ->
+        let f = p.Ir.funcs.(fid) in
+        sp := !sp + f.Ir.frame_size);
+    global_addr = (fun ~caller:_ ~gid -> global_addrs.(gid));
+    malloc = (fun ~size -> malloc size);
+    free = (fun ~addr -> free addr);
+    call_prologue = (fun ~caller:_ ~callee:_ -> Hierarchy.charge machine 2);
+  }

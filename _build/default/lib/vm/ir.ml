@@ -1,0 +1,131 @@
+type reg = int
+
+type binop = Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type operand = Reg of reg | Imm of int
+
+type instr =
+  | Bin of binop * reg * operand * operand
+  | Cmp of cmp * reg * operand * operand
+  | Mov of reg * operand
+  | Load of reg * reg * int
+  | Store of reg * int * operand
+  | Frame of reg * int
+  | Global of reg * int
+  | Malloc of reg * operand
+  | Free of reg
+  | Call of { fn : int; args : operand list; dst : reg }
+  | Ret of operand
+  | Br of int
+  | Brc of operand * int * int
+
+type block = { mutable instrs : instr array }
+
+type func = {
+  fid : int;
+  fname : string;
+  mutable blocks : block array;
+  n_args : int;
+  mutable n_regs : int;
+  frame_size : int;
+}
+
+type global = { gid : int; gname : string; gsize : int }
+type program = { mutable funcs : func array; globals : global array; entry : int }
+
+let instr_bytes = 4
+
+let func_instr_count f =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 f.blocks
+
+let func_size_bytes f = func_instr_count f * instr_bytes
+
+let block_offsets f =
+  let offsets = Array.make (Array.length f.blocks) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i b ->
+      offsets.(i) <- !pos;
+      pos := !pos + (Array.length b.instrs * instr_bytes))
+    f.blocks;
+  offsets
+
+let program_size_bytes p =
+  Array.fold_left (fun acc f -> acc + func_size_bytes f) 0 p.funcs
+
+let referenced_globals f =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun b ->
+      Array.iter
+        (function Global (_, gid) -> Hashtbl.replace seen gid () | _ -> ())
+        b.instrs)
+    f.blocks;
+  List.sort compare (Hashtbl.fold (fun gid () acc -> gid :: acc) seen [])
+
+let callees f =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun b ->
+      Array.iter
+        (function Call { fn; _ } -> Hashtbl.replace seen fn () | _ -> ())
+        b.instrs)
+    f.blocks;
+  List.sort compare (Hashtbl.fold (fun fid () acc -> fid :: acc) seen [])
+
+let copy_func f =
+  {
+    f with
+    blocks = Array.map (fun b -> { instrs = Array.copy b.instrs }) f.blocks;
+  }
+
+let copy_program p = { p with funcs = Array.map copy_func p.funcs }
+
+let binop_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let cmp_to_string = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "r%d" r
+  | Imm i -> Format.fprintf fmt "%d" i
+
+let pp_instr fmt = function
+  | Bin (op, d, a, b) ->
+      Format.fprintf fmt "r%d = %s %a, %a" d (binop_to_string op) pp_operand a
+        pp_operand b
+  | Cmp (op, d, a, b) ->
+      Format.fprintf fmt "r%d = cmp.%s %a, %a" d (cmp_to_string op) pp_operand a
+        pp_operand b
+  | Mov (d, a) -> Format.fprintf fmt "r%d = %a" d pp_operand a
+  | Load (d, b, o) -> Format.fprintf fmt "r%d = load [r%d + %d]" d b o
+  | Store (b, o, v) -> Format.fprintf fmt "store [r%d + %d], %a" b o pp_operand v
+  | Frame (d, o) -> Format.fprintf fmt "r%d = frame + %d" d o
+  | Global (d, g) -> Format.fprintf fmt "r%d = &global%d" d g
+  | Malloc (d, s) -> Format.fprintf fmt "r%d = malloc %a" d pp_operand s
+  | Free r -> Format.fprintf fmt "free r%d" r
+  | Call { fn; args; dst } ->
+      Format.fprintf fmt "r%d = call f%d(%a)" dst fn
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_operand)
+        args
+  | Ret v -> Format.fprintf fmt "ret %a" pp_operand v
+  | Br b -> Format.fprintf fmt "br b%d" b
+  | Brc (c, t, f) -> Format.fprintf fmt "brc %a, b%d, b%d" pp_operand c t f
+
+let pp_func fmt f =
+  Format.fprintf fmt "func %s (fid=%d, args=%d, regs=%d, frame=%d):@." f.fname
+    f.fid f.n_args f.n_regs f.frame_size;
+  Array.iteri
+    (fun bi b ->
+      Format.fprintf fmt "  b%d:@." bi;
+      Array.iter (fun i -> Format.fprintf fmt "    %a@." pp_instr i) b.instrs)
+    f.blocks
+
+let pp_program fmt p =
+  Format.fprintf fmt "program: entry=f%d, %d funcs, %d globals@." p.entry
+    (Array.length p.funcs) (Array.length p.globals);
+  Array.iter (pp_func fmt) p.funcs

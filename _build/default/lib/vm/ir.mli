@@ -1,0 +1,78 @@
+(** The intermediate representation of simulated programs: a register
+    machine with functions, basic blocks and explicit memory operations.
+    It stands in for LLVM bytecode: every instruction occupies 4 bytes
+    of simulated code space, every branch has a code address that feeds
+    the branch predictor, and every load/store produces a data address —
+    which is all the paper's layout effects need. *)
+
+type reg = int
+
+type binop = Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type operand = Reg of reg | Imm of int
+
+type instr =
+  | Bin of binop * reg * operand * operand  (** dst = a op b *)
+  | Cmp of cmp * reg * operand * operand  (** dst = (a cmp b) as 0/1 *)
+  | Mov of reg * operand
+  | Load of reg * reg * int  (** dst = mem[base_reg + offset] *)
+  | Store of reg * int * operand  (** mem[base_reg + offset] = value *)
+  | Frame of reg * int  (** dst = address of frame slot at offset *)
+  | Global of reg * int  (** dst = address of global [gid] *)
+  | Malloc of reg * operand  (** dst = heap allocation of given size *)
+  | Free of reg
+  | Call of { fn : int; args : operand list; dst : reg }
+  | Ret of operand
+  | Br of int  (** unconditional jump to block *)
+  | Brc of operand * int * int  (** if value <> 0 then block1 else block2 *)
+
+type block = { mutable instrs : instr array }
+
+type func = {
+  fid : int;
+  fname : string;
+  mutable blocks : block array;
+  n_args : int;
+  mutable n_regs : int;
+  frame_size : int;  (** bytes of stack frame, multiple of 16 *)
+}
+
+type global = { gid : int; gname : string; gsize : int }
+
+type program = {
+  mutable funcs : func array;
+  globals : global array;
+  entry : int;  (** fid executed first *)
+}
+
+(** Bytes per encoded instruction in the simulated ISA. *)
+val instr_bytes : int
+
+(** Total instructions in a function (static). *)
+val func_instr_count : func -> int
+
+(** Code bytes of a function, excluding any runtime-added tables. *)
+val func_size_bytes : func -> int
+
+(** Byte offset of each block's first instruction within its function. *)
+val block_offsets : func -> int array
+
+(** Total static code bytes of a program. *)
+val program_size_bytes : program -> int
+
+(** Number of distinct global ids referenced by a function (used to
+    size its relocation table). *)
+val referenced_globals : func -> int list
+
+(** Functions called by a function (for relocation tables and inlining). *)
+val callees : func -> int list
+
+(** Structural deep copy (blocks and instruction arrays are fresh). *)
+val copy_func : func -> func
+
+val copy_program : program -> program
+
+(** Pretty-print for debugging and the disassembly example. *)
+val pp_func : Format.formatter -> func -> unit
+
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,57 @@
+(** Optimization passes and the -O0/-O1/-O2/-O3 pipelines, standing in
+    for LLVM's optimization levels in the paper's §6 evaluation:
+
+    - O1: block-local constant folding, algebraic simplification, dead
+      code elimination.
+    - O2: O1 plus block-level common subexpression elimination (the
+      paper: "-O2 optimizations include basic-block level common
+      subexpression elimination") and inlining of small leaf functions.
+    - O3: O2 with a higher inlining threshold plus dead global/function
+      elimination (the paper: "-O3 adds argument promotion, global dead
+      code elimination, increases the amount of inlining..."). Because
+      O2 already captured the hot small callees, O3's *true* effect is
+      modest — while its layout perturbation (stripped functions, fatter
+      hot code) remains large, which is exactly the confound the paper's
+      evaluation untangles.
+
+    All passes return fresh programs; inputs are never mutated, and the
+    output of every pipeline revalidates. *)
+
+type level = O0 | O1 | O2 | O3
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+(** Apply the pipeline for a level. *)
+val apply : level -> Ir.program -> Ir.program
+
+(** Individual passes, exposed for tests and ablations. Each returns a
+    structurally fresh program. *)
+
+val const_fold : Ir.program -> Ir.program
+
+(** Algebraic identities: x+0, x*1, x*0, x|0, x^0, shifts by 0, x/1. *)
+val simplify : Ir.program -> Ir.program
+
+(** Remove pure instructions whose destination is never read
+    (function-level fixpoint). *)
+val dce : Ir.program -> Ir.program
+
+(** Block-local common subexpression elimination, including redundant
+    loads (invalidated by stores and calls). *)
+val cse_local : Ir.program -> Ir.program
+
+(** Inline single-block leaf callees up to [threshold] instructions
+    (default 16). *)
+val inline_leaves : ?threshold:int -> Ir.program -> Ir.program
+
+(** Remove functions unreachable from the entry point and globals no
+    remaining function references, renumbering densely. *)
+val strip_dead : Ir.program -> Ir.program
+
+(** Block-local copy propagation: uses of a register holding a pure
+    copy ([Mov (d, Reg s)]) are rewritten to the source while the copy
+    is live; dead moves are then removable by {!dce}. Not part of the
+    default pipelines (kept separate so calibrated O-level deltas stay
+    meaningful) but available for custom drivers. *)
+val copy_propagate : Ir.program -> Ir.program

@@ -1,0 +1,295 @@
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let binop_name = function
+  | Ir.Add -> "add" | Ir.Sub -> "sub" | Ir.Mul -> "mul" | Ir.Div -> "div"
+  | Ir.And -> "and" | Ir.Or -> "or" | Ir.Xor -> "xor" | Ir.Shl -> "shl"
+  | Ir.Shr -> "shr"
+
+let cmp_name = function
+  | Ir.Eq -> "eq" | Ir.Ne -> "ne" | Ir.Lt -> "lt" | Ir.Le -> "le"
+  | Ir.Gt -> "gt" | Ir.Ge -> "ge"
+
+let operand_str = function
+  | Ir.Reg r -> Printf.sprintf "r%d" r
+  | Ir.Imm i -> string_of_int i
+
+let instr_str = function
+  | Ir.Mov (d, a) -> Printf.sprintf "r%d = %s" d (operand_str a)
+  | Ir.Bin (op, d, a, b) ->
+      Printf.sprintf "r%d = %s %s, %s" d (binop_name op) (operand_str a)
+        (operand_str b)
+  | Ir.Cmp (op, d, a, b) ->
+      Printf.sprintf "r%d = cmp.%s %s, %s" d (cmp_name op) (operand_str a)
+        (operand_str b)
+  | Ir.Load (d, b, o) -> Printf.sprintf "r%d = load [r%d + %d]" d b o
+  | Ir.Store (b, o, v) -> Printf.sprintf "store [r%d + %d], %s" b o (operand_str v)
+  | Ir.Frame (d, o) -> Printf.sprintf "r%d = frame + %d" d o
+  | Ir.Global (d, g) -> Printf.sprintf "r%d = global g%d" d g
+  | Ir.Malloc (d, s) -> Printf.sprintf "r%d = malloc %s" d (operand_str s)
+  | Ir.Free r -> Printf.sprintf "free r%d" r
+  | Ir.Call { fn; args; dst } ->
+      Printf.sprintf "r%d = call f%d(%s)" dst fn
+        (String.concat ", " (List.map operand_str args))
+  | Ir.Ret v -> Printf.sprintf "ret %s" (operand_str v)
+  | Ir.Br b -> Printf.sprintf "br b%d" b
+  | Ir.Brc (c, t, e) ->
+      Printf.sprintf "brc %s, b%d, b%d" (operand_str c) t e
+
+let to_string p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "program entry=f%d\n" p.Ir.entry);
+  Array.iter
+    (fun (g : Ir.global) ->
+      Buffer.add_string buf
+        (Printf.sprintf "global g%d %s size=%d\n" g.Ir.gid g.Ir.gname g.Ir.gsize))
+    p.Ir.globals;
+  Array.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "func f%d %s args=%d regs=%d frame=%d\n" f.Ir.fid
+           f.Ir.fname f.Ir.n_args f.Ir.n_regs f.Ir.frame_size);
+      Array.iteri
+        (fun bi blk ->
+          Buffer.add_string buf (Printf.sprintf "block b%d\n" bi);
+          Array.iter
+            (fun i -> Buffer.add_string buf ("  " ^ instr_str i ^ "\n"))
+            blk.Ir.instrs)
+        f.Ir.blocks)
+    p.Ir.funcs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fail line message = raise (Parse_error { line; message })
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Tokenize one instruction line: identifiers, integers (with optional
+   leading -), and the punctuation = , [ ] + ( ) . *)
+let tokenize line s =
+  let tokens = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word s.[!i] do
+        incr i
+      done;
+      tokens := String.sub s start (!i - start) :: !tokens
+    end
+    else if String.contains "=,[]+()" c then begin
+      tokens := String.make 1 c :: !tokens;
+      incr i
+    end
+    else fail line (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+let parse_id line ~prefix token =
+  let pn = String.length prefix in
+  if String.length token > pn && String.sub token 0 pn = prefix then
+    match int_of_string_opt (String.sub token pn (String.length token - pn)) with
+    | Some v when v >= 0 -> v
+    | Some _ | None -> fail line (Printf.sprintf "bad %s id %S" prefix token)
+  else fail line (Printf.sprintf "expected %s<id>, got %S" prefix token)
+
+let parse_operand line token =
+  if String.length token > 1 && token.[0] = 'r' && token.[1] >= '0' && token.[1] <= '9'
+  then Ir.Reg (parse_id line ~prefix:"r" token)
+  else
+    match int_of_string_opt token with
+    | Some v -> Ir.Imm v
+    | None -> fail line (Printf.sprintf "expected operand, got %S" token)
+
+let binop_of_name = function
+  | "add" -> Some Ir.Add | "sub" -> Some Ir.Sub | "mul" -> Some Ir.Mul
+  | "div" -> Some Ir.Div | "and" -> Some Ir.And | "or" -> Some Ir.Or
+  | "xor" -> Some Ir.Xor | "shl" -> Some Ir.Shl | "shr" -> Some Ir.Shr
+  | _ -> None
+
+let cmp_of_name = function
+  | "cmp.eq" -> Some Ir.Eq | "cmp.ne" -> Some Ir.Ne | "cmp.lt" -> Some Ir.Lt
+  | "cmp.le" -> Some Ir.Le | "cmp.gt" -> Some Ir.Gt | "cmp.ge" -> Some Ir.Ge
+  | _ -> None
+
+let parse_int line token =
+  match int_of_string_opt token with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected integer, got %S" token)
+
+let parse_instr line tokens =
+  match tokens with
+  | [ "free"; r ] -> Ir.Free (parse_id line ~prefix:"r" r)
+  | [ "ret"; v ] -> Ir.Ret (parse_operand line v)
+  | [ "br"; b ] -> Ir.Br (parse_id line ~prefix:"b" b)
+  | [ "brc"; c; ","; t; ","; e ] ->
+      Ir.Brc
+        (parse_operand line c, parse_id line ~prefix:"b" t, parse_id line ~prefix:"b" e)
+  | [ "store"; "["; b; "+"; o; "]"; ","; v ] ->
+      Ir.Store (parse_id line ~prefix:"r" b, parse_int line o, parse_operand line v)
+  | d :: "=" :: rest -> begin
+      let dst = parse_id line ~prefix:"r" d in
+      match rest with
+      | [ "load"; "["; b; "+"; o; "]" ] ->
+          Ir.Load (dst, parse_id line ~prefix:"r" b, parse_int line o)
+      | [ "frame"; "+"; o ] -> Ir.Frame (dst, parse_int line o)
+      | [ "global"; g ] -> Ir.Global (dst, parse_id line ~prefix:"g" g)
+      | [ "malloc"; s ] -> Ir.Malloc (dst, parse_operand line s)
+      | "call" :: fn :: "(" :: arg_tokens ->
+          let fn = parse_id line ~prefix:"f" fn in
+          let rec parse_args acc = function
+            | [ ")" ] -> List.rev acc
+            | a :: "," :: rest -> parse_args (parse_operand line a :: acc) rest
+            | [ a; ")" ] -> List.rev (parse_operand line a :: acc)
+            | _ -> fail line "malformed call argument list"
+          in
+          let args =
+            match arg_tokens with
+            | [ ")" ] -> []
+            | _ -> parse_args [] arg_tokens
+          in
+          Ir.Call { fn; args; dst }
+      | [ op; a; ","; b ] -> begin
+          match (binop_of_name op, cmp_of_name op) with
+          | Some bop, _ -> Ir.Bin (bop, dst, parse_operand line a, parse_operand line b)
+          | None, Some cop ->
+              Ir.Cmp (cop, dst, parse_operand line a, parse_operand line b)
+          | None, None -> fail line (Printf.sprintf "unknown operation %S" op)
+        end
+      | [ v ] -> Ir.Mov (dst, parse_operand line v)
+      | _ -> fail line "malformed instruction"
+    end
+  | _ -> fail line "malformed instruction"
+
+type pending_func = {
+  pf_fid : int;
+  pf_name : string;
+  pf_args : int;
+  pf_regs : int;
+  pf_frame : int;
+  mutable pf_blocks : Ir.instr list list;  (* reversed blocks of reversed instrs *)
+}
+
+let keyval line ~key token =
+  let prefix = key ^ "=" in
+  let pn = String.length prefix in
+  if String.length token > pn && String.sub token 0 pn = prefix then
+    String.sub token pn (String.length token - pn)
+  else fail line (Printf.sprintf "expected %s=<value>, got %S" key token)
+
+let of_string text =
+  let entry = ref None in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let current : pending_func option ref = ref None in
+  let finish_current () =
+    match !current with
+    | None -> ()
+    | Some pf ->
+        let blocks =
+          List.rev_map
+            (fun instrs -> { Ir.instrs = Array.of_list (List.rev instrs) })
+            pf.pf_blocks
+        in
+        funcs :=
+          {
+            Ir.fid = pf.pf_fid;
+            fname = pf.pf_name;
+            blocks = Array.of_list blocks;
+            n_args = pf.pf_args;
+            n_regs = pf.pf_regs;
+            frame_size = pf.pf_frame;
+          }
+          :: !funcs;
+        current := None
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let s = String.trim (strip_comment raw) in
+      if s <> "" then begin
+        let words = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
+        match words with
+        | "program" :: rest -> begin
+            match rest with
+            | [ e ] ->
+                entry := Some (parse_id lineno ~prefix:"f" (keyval lineno ~key:"entry" e))
+            | _ -> fail lineno "expected: program entry=f<id>"
+          end
+        | [ "global"; gid; name; size ] ->
+            globals :=
+              {
+                Ir.gid = parse_id lineno ~prefix:"g" gid;
+                gname = name;
+                gsize = parse_int lineno (keyval lineno ~key:"size" size);
+              }
+              :: !globals
+        | [ "func"; fid; name; args; regs; frame ] ->
+            finish_current ();
+            current :=
+              Some
+                {
+                  pf_fid = parse_id lineno ~prefix:"f" fid;
+                  pf_name = name;
+                  pf_args = parse_int lineno (keyval lineno ~key:"args" args);
+                  pf_regs = parse_int lineno (keyval lineno ~key:"regs" regs);
+                  pf_frame = parse_int lineno (keyval lineno ~key:"frame" frame);
+                  pf_blocks = [];
+                }
+        | [ "block"; bid ] -> begin
+            match !current with
+            | None -> fail lineno "block outside of a function"
+            | Some pf ->
+                let expected = List.length pf.pf_blocks in
+                if parse_id lineno ~prefix:"b" bid <> expected then
+                  fail lineno
+                    (Printf.sprintf "blocks must be declared in order; expected b%d"
+                       expected);
+                pf.pf_blocks <- [] :: pf.pf_blocks
+          end
+        | _ -> begin
+            match !current with
+            | None -> fail lineno "instruction outside of a function"
+            | Some pf -> begin
+                match pf.pf_blocks with
+                | [] -> fail lineno "instruction before the first block"
+                | blk :: rest ->
+                    let instr = parse_instr lineno (tokenize lineno s) in
+                    pf.pf_blocks <- (instr :: blk) :: rest
+              end
+          end
+      end)
+    lines;
+  finish_current ();
+  let entry =
+    match !entry with
+    | Some e -> e
+    | None -> raise (Parse_error { line = 0; message = "missing program header" })
+  in
+  let funcs = Array.of_list (List.rev !funcs) in
+  Array.sort (fun a b -> compare a.Ir.fid b.Ir.fid) funcs;
+  let globals = Array.of_list (List.rev !globals) in
+  Array.sort (fun (a : Ir.global) b -> compare a.Ir.gid b.Ir.gid) globals;
+  let p = { Ir.funcs; globals; entry } in
+  (match Validate.check_program p with
+  | [] -> ()
+  | { Validate.where; what } :: _ ->
+      raise (Parse_error { line = 0; message = where ^ ": " ^ what }));
+  p

@@ -1,0 +1,34 @@
+(** A textual format for IR programs — the equivalent of LLVM's [.ll]
+    assembly for this substrate. Programs can be saved to disk, edited
+    by hand and run with [szc exec]. [of_string (to_string p)] is the
+    identity on well-formed programs (property-tested).
+
+    Grammar (one item per line, [#] starts a comment):
+    {v
+    program entry=f<id>
+    global g<id> <name> size=<bytes>
+    func f<id> <name> args=<n> regs=<n> frame=<bytes>
+    block b<id>
+      r1 = 42                      ; mov immediate
+      r2 = add r1, 7               ; bin ops: add sub mul div and or xor shl shr
+      r3 = cmp.lt r2, r1           ; cmp ops: eq ne lt le gt ge
+      r4 = load [r2 + 8]
+      store [r2 + 8], r3
+      r5 = frame + 16
+      r6 = global g0
+      r7 = malloc r1
+      free r7
+      r8 = call f1(r1, 7)
+      br b1
+      brc r5, b1, b2
+      ret r8
+    v} *)
+
+(** Render a program in the textual format. *)
+val to_string : Ir.program -> string
+
+exception Parse_error of { line : int; message : string }
+
+(** Parse the textual format; raises {!Parse_error} with a line number
+    on malformed input. The result is validated structurally. *)
+val of_string : string -> Ir.program

@@ -1,0 +1,79 @@
+type error = { where : string; what : string }
+
+let check_func ~n_funcs ~n_globals f =
+  let errors = ref [] in
+  let err bi what =
+    errors :=
+      { where = Printf.sprintf "%s/b%d" f.Ir.fname bi; what } :: !errors
+  in
+  let n_blocks = Array.length f.Ir.blocks in
+  if n_blocks = 0 then err (-1) "function has no blocks";
+  let check_reg bi r =
+    if r < 0 || r >= f.Ir.n_regs then
+      err bi (Printf.sprintf "register r%d out of range (n_regs=%d)" r f.Ir.n_regs)
+  in
+  let check_operand bi = function Ir.Reg r -> check_reg bi r | Ir.Imm _ -> () in
+  let check_block_target bi b =
+    if b < 0 || b >= n_blocks then err bi (Printf.sprintf "branch to missing block b%d" b)
+  in
+  Array.iteri
+    (fun bi block ->
+      let n = Array.length block.Ir.instrs in
+      if n = 0 then err bi "empty block"
+      else
+        Array.iteri
+          (fun ii instr ->
+            let is_last = ii = n - 1 in
+            let terminator = match instr with
+              | Ir.Ret _ | Ir.Br _ | Ir.Brc _ -> true
+              | _ -> false
+            in
+            if is_last && not terminator then err bi "block lacks a terminator";
+            if (not is_last) && terminator then
+              err bi (Printf.sprintf "terminator at non-final position %d" ii);
+            match instr with
+            | Ir.Bin (_, d, a, b) | Ir.Cmp (_, d, a, b) ->
+                check_reg bi d; check_operand bi a; check_operand bi b
+            | Ir.Mov (d, a) -> check_reg bi d; check_operand bi a
+            | Ir.Load (d, b, _) -> check_reg bi d; check_reg bi b
+            | Ir.Store (b, _, v) -> check_reg bi b; check_operand bi v
+            | Ir.Frame (d, o) ->
+                check_reg bi d;
+                if o < 0 || o >= f.Ir.frame_size then
+                  err bi (Printf.sprintf "frame offset %d outside frame of %d" o f.Ir.frame_size)
+            | Ir.Global (d, g) ->
+                check_reg bi d;
+                if g < 0 || g >= n_globals then err bi (Printf.sprintf "missing global %d" g)
+            | Ir.Malloc (d, s) -> check_reg bi d; check_operand bi s
+            | Ir.Free r -> check_reg bi r
+            | Ir.Call { fn; args; dst } ->
+                check_reg bi dst;
+                List.iter (check_operand bi) args;
+                if fn < 0 || fn >= n_funcs then err bi (Printf.sprintf "call to missing f%d" fn)
+            | Ir.Ret v -> check_operand bi v
+            | Ir.Br b -> check_block_target bi b
+            | Ir.Brc (c, t, e) ->
+                check_operand bi c; check_block_target bi t; check_block_target bi e)
+          block.Ir.instrs)
+    f.Ir.blocks;
+  List.rev !errors
+
+let check_program p =
+  let n_funcs = Array.length p.Ir.funcs in
+  let n_globals = Array.length p.Ir.globals in
+  let entry_errors =
+    if p.Ir.entry < 0 || p.Ir.entry >= n_funcs then
+      [ { where = "program"; what = "entry function missing" } ]
+    else []
+  in
+  entry_errors
+  @ List.concat_map
+      (fun f -> check_func ~n_funcs ~n_globals f)
+      (Array.to_list p.Ir.funcs)
+
+let check_exn p =
+  match check_program p with
+  | [] -> ()
+  | { where; what } :: rest ->
+      invalid_arg
+        (Printf.sprintf "Validate: %s: %s (+%d more)" where what (List.length rest))

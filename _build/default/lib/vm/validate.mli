@@ -1,0 +1,12 @@
+(** Structural well-formedness checks for IR programs: register ranges,
+    block targets, callee ids, global ids, terminator placement. Run by
+    tests and after every optimizer pass. *)
+
+type error = { where : string; what : string }
+
+val check_func : n_funcs:int -> n_globals:int -> Ir.func -> error list
+
+val check_program : Ir.program -> error list
+
+(** Raises [Invalid_argument] with a readable message on any error. *)
+val check_exn : Ir.program -> unit

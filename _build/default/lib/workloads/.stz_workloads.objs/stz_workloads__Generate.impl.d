@@ -1,0 +1,1 @@
+lib/workloads/generate.ml: Array List Printf Profile Stdlib Stz_prng Stz_vm

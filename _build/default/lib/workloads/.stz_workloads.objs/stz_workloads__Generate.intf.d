@@ -1,0 +1,1 @@
+lib/workloads/generate.mli: Profile Stz_vm

@@ -1,0 +1,1 @@
+lib/workloads/pathological.ml: List Printf Stz_vm

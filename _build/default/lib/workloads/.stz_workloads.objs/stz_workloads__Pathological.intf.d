@@ -1,0 +1,1 @@
+lib/workloads/pathological.mli: Stz_vm

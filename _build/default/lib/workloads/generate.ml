@@ -1,0 +1,371 @@
+module Ir = Stz_vm.Ir
+module B = Stz_vm.Builder
+
+let default_args = [ 1 ]
+
+let floor_pow2 n =
+  let p = ref 1 in
+  while !p * 2 <= n do
+    p := !p * 2
+  done;
+  !p
+
+type gen = { rng : Stz_prng.Xorshift.t; profile : Profile.t }
+
+let rand_in g (lo, hi) =
+  if hi <= lo then lo else lo + Stz_prng.Xorshift.next_int g.rng (hi - lo + 1)
+
+let chance g p = Stz_prng.Xorshift.next_float g.rng < p
+
+(* ------------------------------------------------------------------ *)
+(* Leaf helpers: single-block functions small enough to inline at O3.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Helpers come in three sizes: small ones fall under the O1/O2
+   inlining threshold, mid-size ones are only picked up by O3's more
+   aggressive inliner, and the biggest exceed every threshold — so
+   O3's incremental true effect stays modest, as in real compilers. *)
+let gen_helper g ~fid ~size_class =
+  let b = B.func ~fid ~name:(Printf.sprintf "helper_%d" fid) ~n_args:2 ~frame_size:32 () in
+  let a0 = 0 and a1 = 1 in
+  let c1 = 1 + rand_in g (1, 7) in
+  let c2 = rand_in g (1, 15) in
+  let r1 = B.fresh_reg b in
+  let r2 = B.fresh_reg b in
+  let r3 = B.fresh_reg b in
+  let r4 = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Mul, r1, Ir.Reg a0, Ir.Imm c1));
+  B.emit b (Ir.Bin (Ir.Add, r2, Ir.Reg r1, Ir.Reg a1));
+  (* Duplicate subexpression: CSE material inside the helper. *)
+  B.emit b (Ir.Bin (Ir.Add, r3, Ir.Reg r1, Ir.Reg a1));
+  B.emit b (Ir.Bin (Ir.Xor, r4, Ir.Reg r2, Ir.Reg r3));
+  let acc = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Add, acc, Ir.Reg r4, Ir.Imm c2));
+  let filler = match size_class with 0 -> 0 | 1 -> 52 | _ -> 70 in
+  for k = 1 to filler do
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Bin (Ir.Mul, r, Ir.Reg acc, Ir.Imm (k + 1)));
+    B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg r))
+  done;
+  B.emit b (Ir.Ret (Ir.Reg acc));
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Work functions                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The data object a work function walks: either a global array or one
+   of the long-lived heap arrays main allocates (reached through its
+   pointer-cell global). *)
+type data_source = Global_array of int | Heap_array of int
+
+let emit_fold_chain g b =
+  (* A chain of constant arithmetic, collapsible by constant folding;
+     its result is stored to the frame so DCE cannot delete the use. *)
+  let c1 = rand_in g (2, 9) in
+  let c2 = rand_in g (2, 9) in
+  let c3 = rand_in g (1, 99) in
+  let r1 = B.fresh_reg b in
+  let r2 = B.fresh_reg b in
+  let r3 = B.fresh_reg b in
+  B.emit b (Ir.Mov (r1, Ir.Imm c1));
+  B.emit b (Ir.Bin (Ir.Mul, r2, Ir.Reg r1, Ir.Imm c2));
+  B.emit b (Ir.Bin (Ir.Add, r3, Ir.Reg r2, Ir.Imm c3));
+  r3
+
+let emit_cse_pair g b x y =
+  (* The same subexpression computed twice; O2's local CSE removes one. *)
+  let c = rand_in g (1, 31) in
+  let r1 = B.fresh_reg b in
+  let r2 = B.fresh_reg b in
+  let r3 = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Mul, r1, Ir.Reg x, Ir.Reg y));
+  B.emit b (Ir.Bin (Ir.Add, r2, Ir.Reg r1, Ir.Imm c));
+  B.emit b (Ir.Bin (Ir.Mul, r3, Ir.Reg x, Ir.Reg y));
+  let r4 = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Add, r4, Ir.Reg r3, Ir.Imm c));
+  (r2, r4)
+
+let gen_work g ~fid ~name ~source ~span ~helpers ~fn_offset =
+  let p = g.profile in
+  let frame_size = rand_in g p.Profile.frame_size_range land lnot 15 in
+  let frame_size = Stdlib.max 32 frame_size in
+  let b = B.func ~fid ~name ~n_args:1 ~frame_size () in
+  let arg = 0 in
+  (* Entry block: folding material, loop setup, data base resolution. *)
+  let acc = B.fresh_reg b in
+  let i = B.fresh_reg b in
+  let base = B.fresh_reg b in
+  let fold_use = ref [] in
+  for _ = 1 to p.Profile.fold_material do
+    fold_use := emit_fold_chain g b :: !fold_use
+  done;
+  let fslot = B.fresh_reg b in
+  B.emit b (Ir.Frame (fslot, 0));
+  List.iter (fun r -> B.emit b (Ir.Store (fslot, 0, Ir.Reg r))) !fold_use;
+  B.emit b (Ir.Mov (acc, Ir.Reg arg));
+  B.emit b (Ir.Mov (i, Ir.Imm 0));
+  (match source with
+  | Global_array gid -> B.emit b (Ir.Global (base, gid))
+  | Heap_array cell_gid ->
+      let cell = B.fresh_reg b in
+      B.emit b (Ir.Global (cell, cell_gid));
+      B.emit b (Ir.Load (base, cell, 0)));
+  let head = B.new_block b in
+  let exit = B.new_block b in
+  B.emit b (Ir.Br head);
+  (* Loop head. *)
+  B.set_block b head;
+  let cond = B.fresh_reg b in
+  B.emit b (Ir.Cmp (Ir.Lt, cond, Ir.Reg i, Ir.Imm p.Profile.inner_trips));
+  (* Body blocks chained head -> b1 -> ... -> bk -> head. *)
+  let n_body = rand_in g p.Profile.blocks_per_function in
+  let body_blocks = Array.init (Stdlib.max 1 n_body) (fun _ -> B.new_block b) in
+  B.emit b (Ir.Brc (Ir.Reg cond, body_blocks.(0), exit));
+  let mask = span - 1 in
+  Array.iteri
+    (fun bi blk ->
+      B.set_block b blk;
+      let next_target =
+        if bi = Array.length body_blocks - 1 then head else body_blocks.(bi + 1)
+      in
+      (* Integer work. Profiles with [cse_material] carry duplicated
+         subexpressions that O2 can remove; others do the same amount of
+         work without redundancy, so O2 has nothing to find. *)
+      let u1, u2 =
+        if p.Profile.cse_material > 0 then begin
+          let pair = ref (0, 0) in
+          for _ = 1 to p.Profile.cse_material do
+            pair := emit_cse_pair g b i acc
+          done;
+          !pair
+        end
+        else begin
+          let c = rand_in g (1, 31) in
+          let r1 = B.fresh_reg b in
+          let r2 = B.fresh_reg b in
+          let r3 = B.fresh_reg b in
+          let r4 = B.fresh_reg b in
+          B.emit b (Ir.Bin (Ir.Mul, r1, Ir.Reg i, Ir.Reg acc));
+          B.emit b (Ir.Bin (Ir.Add, r2, Ir.Reg r1, Ir.Imm c));
+          B.emit b (Ir.Bin (Ir.Add, r3, Ir.Reg i, Ir.Imm (c + 1)));
+          B.emit b (Ir.Bin (Ir.Xor, r4, Ir.Reg r3, Ir.Reg acc));
+          (r2, r4)
+        end
+      in
+      let t = B.fresh_reg b in
+      B.emit b (Ir.Bin (Ir.Add, t, Ir.Reg u1, Ir.Reg u2));
+      B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg t));
+      (* Filler arithmetic: varies block (and function) code size, which
+         is what makes instruction-cache placement matter. *)
+      let filler = rand_in g p.Profile.instrs_per_block / 2 in
+      for k = 1 to filler do
+        let r = B.fresh_reg b in
+        B.emit b (Ir.Bin (Ir.Add, r, Ir.Reg acc, Ir.Imm k));
+        B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg r))
+      done;
+      (* Array walk over a *window* that is revisited across several
+         outer iterations before advancing. The resident working set of
+         a phase (all its functions' windows plus frames and globals)
+         then sits near cache capacity, where whether things fit is
+         decided by their relative placement — the regime in which
+         layout dominates performance. *)
+      let window = p.Profile.inner_trips * p.Profile.data_stride in
+      let wb = B.fresh_reg b in
+      let off = B.fresh_reg b in
+      let addr = B.fresh_reg b in
+      B.emit b (Ir.Bin (Ir.Shr, wb, Ir.Reg arg, Ir.Imm 3));
+      B.emit b (Ir.Bin (Ir.Mul, wb, Ir.Reg wb, Ir.Imm window));
+      B.emit b (Ir.Bin (Ir.Mul, off, Ir.Reg i, Ir.Imm p.Profile.data_stride));
+      B.emit b (Ir.Bin (Ir.Add, off, Ir.Reg off, Ir.Reg wb));
+      B.emit b
+        (Ir.Bin (Ir.Add, off, Ir.Reg off, Ir.Imm ((fn_offset + (bi * 8)) land mask)));
+      B.emit b (Ir.Bin (Ir.And, off, Ir.Reg off, Ir.Imm mask));
+      B.emit b (Ir.Bin (Ir.Add, addr, Ir.Reg base, Ir.Reg off));
+      let loaded = B.fresh_reg b in
+      B.emit b (Ir.Store (addr, 0, Ir.Reg acc));
+      B.emit b (Ir.Load (loaded, addr, 0));
+      B.emit b (Ir.Bin (Ir.Add, acc, Ir.Reg acc, Ir.Reg loaded));
+      (* Frame traffic. *)
+      let fr = B.fresh_reg b in
+      B.emit b (Ir.Frame (fr, (bi * 16) mod frame_size));
+      B.emit b (Ir.Store (fr, 0, Ir.Reg acc));
+      (* Occasional short-lived heap churn. *)
+      if bi = 0 && chance g p.Profile.heap_churn then begin
+        let size = rand_in g p.Profile.alloc_size_range in
+        let obj = B.fresh_reg b in
+        B.emit b (Ir.Malloc (obj, Ir.Imm size));
+        B.emit b (Ir.Store (obj, 0, Ir.Reg i));
+        let back = B.fresh_reg b in
+        B.emit b (Ir.Load (back, obj, 0));
+        B.emit b (Ir.Bin (Ir.Add, acc, Ir.Reg acc, Ir.Reg back));
+        B.emit b (Ir.Free obj)
+      end;
+      (* Occasional leaf-helper call (O3 inlines these). *)
+      if helpers <> [||] && chance g p.Profile.leaf_call_rate then begin
+        let helper = helpers.(rand_in g (0, Array.length helpers - 1)) in
+        let dst = B.fresh_reg b in
+        B.emit b (Ir.Call { fn = helper; args = [ Ir.Reg i; Ir.Reg acc ]; dst });
+        B.emit b (Ir.Bin (Ir.Add, acc, Ir.Reg acc, Ir.Reg dst))
+      end;
+      (* A loop-carried conditional: data-dependent but deterministic. *)
+      if chance g p.Profile.branchiness then begin
+        let alt = B.new_block b in
+        let parity = B.fresh_reg b in
+        let pc = B.fresh_reg b in
+        (* Vary branch bias: masks give mostly-taken, mostly-not-taken
+           and alternating patterns, so branches that alias in the
+           predictor table interfere destructively. *)
+        let mask = [| 1; 3; 7; 15 |].(rand_in g (0, 3)) in
+        let sense = if chance g 0.5 then Ir.Eq else Ir.Ne in
+        B.emit b (Ir.Bin (Ir.And, parity, Ir.Reg i, Ir.Imm mask));
+        B.emit b (Ir.Cmp (sense, pc, Ir.Reg parity, Ir.Imm 0));
+        let join = B.new_block b in
+        B.emit b (Ir.Brc (Ir.Reg pc, alt, join));
+        B.set_block b alt;
+        let extra = B.fresh_reg b in
+        B.emit b (Ir.Bin (Ir.Add, extra, Ir.Reg acc, Ir.Imm (rand_in g (1, 9))));
+        B.emit b (Ir.Bin (Ir.Or, acc, Ir.Reg acc, Ir.Reg extra));
+        B.emit b (Ir.Br join);
+        B.set_block b join;
+        if bi = Array.length body_blocks - 1 then
+          B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+        B.emit b (Ir.Br next_target)
+      end
+      else begin
+        if bi = Array.length body_blocks - 1 then
+          B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+        B.emit b (Ir.Br next_target)
+      end)
+    body_blocks;
+  B.set_block b exit;
+  B.emit b (Ir.Ret (Ir.Reg acc));
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_main g ~fid ~hot ~large_array_cells =
+  let p = g.profile in
+  let b = B.func ~fid ~name:"main" ~n_args:1 ~frame_size:64 () in
+  (* Allocate long-lived arrays and publish their addresses. *)
+  List.iter
+    (fun cell_gid ->
+      let ptr = B.fresh_reg b in
+      let cell = B.fresh_reg b in
+      B.emit b (Ir.Malloc (ptr, Ir.Imm p.Profile.large_array_size));
+      B.emit b (Ir.Global (cell, cell_gid));
+      B.emit b (Ir.Store (cell, 0, Ir.Reg ptr)))
+    large_array_cells;
+  let total = B.fresh_reg b in
+  B.emit b (Ir.Mov (total, Ir.Imm 0));
+  (* Partition hot functions across phases, round robin. *)
+  let n_phases = Stdlib.max 1 p.Profile.phases in
+  let phase_sets =
+    Array.init n_phases (fun ph ->
+        List.filteri (fun idx _ -> idx mod n_phases = ph) (Array.to_list hot))
+  in
+  let prev_exit = ref None in
+  Array.iteri
+    (fun _ph fns ->
+      (match !prev_exit with
+      | None -> ()
+      | Some blk -> B.set_block b blk);
+      let i = B.fresh_reg b in
+      B.emit b (Ir.Mov (i, Ir.Imm 0));
+      let head = B.new_block b in
+      let body = B.new_block b in
+      let exit = B.new_block b in
+      B.emit b (Ir.Br head);
+      B.set_block b head;
+      let c = B.fresh_reg b in
+      B.emit b (Ir.Cmp (Ir.Lt, c, Ir.Reg i, Ir.Imm p.Profile.iterations));
+      B.emit b (Ir.Brc (Ir.Reg c, body, exit));
+      B.set_block b body;
+      List.iter
+        (fun fn ->
+          let dst = B.fresh_reg b in
+          B.emit b (Ir.Call { fn; args = [ Ir.Reg i ]; dst });
+          B.emit b (Ir.Bin (Ir.Add, total, Ir.Reg total, Ir.Reg dst)))
+        fns;
+      B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+      B.emit b (Ir.Br head);
+      prev_exit := Some exit)
+    phase_sets;
+  (match !prev_exit with None -> () | Some blk -> B.set_block b blk);
+  B.emit b (Ir.Ret (Ir.Reg total));
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Program assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let program profile =
+  let g = { rng = Stz_prng.Xorshift.create ~seed:profile.Profile.seed; profile } in
+  let p = profile in
+  let n_helpers = p.Profile.leaf_helpers in
+  let n_work = Stdlib.max 1 p.Profile.functions in
+  let n_dead = p.Profile.dead_functions in
+  (* fid layout: 0 = main, then helpers, then work, then dead. *)
+  let helper_fids = Array.init n_helpers (fun i -> 1 + i) in
+  let work_fid i = 1 + n_helpers + i in
+  let dead_fid i = 1 + n_helpers + n_work + i in
+  (* gid layout: pointer cells for large arrays first, then data. *)
+  let n_cells = p.Profile.large_arrays in
+  let cell_gids = List.init n_cells (fun i -> i) in
+  let data_gid i = n_cells + i in
+  let n_data_globals = Stdlib.max 1 p.Profile.globals in
+  let globals =
+    List.init n_cells (fun i ->
+        { Ir.gid = i; gname = Printf.sprintf "array_ptr_%d" i; gsize = 16 })
+    @ List.init n_data_globals (fun i ->
+          {
+            Ir.gid = data_gid i;
+            gname = Printf.sprintf "data_%d" i;
+            gsize = p.Profile.global_size;
+          })
+  in
+  let helpers = Array.map (fun fid -> fid) helper_fids in
+  let pick_source i =
+    if n_cells > 0 && (chance g p.Profile.heap_data_bias || p.Profile.globals = 0)
+    then
+      let cell = i mod n_cells in
+      (Heap_array cell, floor_pow2 p.Profile.large_array_size)
+    else
+      (Global_array (data_gid (i mod n_data_globals)), floor_pow2 p.Profile.global_size)
+  in
+  let work =
+    List.init n_work (fun i ->
+        let source, span = pick_source i in
+        gen_work g ~fid:(work_fid i)
+          ~name:(Printf.sprintf "work_%d" i)
+          ~source ~span ~helpers
+          ~fn_offset:(i * 136))
+  in
+  let dead =
+    List.init n_dead (fun i ->
+        let source, span = pick_source (i + 1) in
+        gen_work g ~fid:(dead_fid i)
+          ~name:(Printf.sprintf "dead_%d" i)
+          ~source ~span ~helpers:[||]
+          ~fn_offset:(i * 64))
+  in
+  let hot =
+    Array.init
+      (Stdlib.min p.Profile.hot_functions n_work)
+      (fun i -> work_fid i)
+  in
+  let main = gen_main g ~fid:0 ~hot ~large_array_cells:cell_gids in
+  let helper_funcs =
+    List.mapi
+      (fun i fid -> gen_helper g ~fid ~size_class:(i mod 3))
+      (Array.to_list helper_fids)
+  in
+  let prog =
+    B.program
+      ~funcs:((main :: helper_funcs) @ work @ dead)
+      ~globals ~entry:0
+  in
+  Stz_vm.Validate.check_exn prog;
+  prog

@@ -1,0 +1,23 @@
+(** Deterministic program generation from a {!Profile.t}. The same
+    profile always yields the same IR, so optimization levels and
+    STABILIZER configurations are compared on identical inputs.
+
+    Shape of a generated program:
+
+    - [main] allocates the profile's long-lived large arrays (storing
+      their addresses in pointer-cell globals), then runs [phases]
+      outer loops, each calling a subset of the hot work functions —
+      the phase behaviour of §4's analysis;
+    - each work function runs an inner loop that walks an assigned
+      array (global or heap) with the profile's stride, does integer
+      work salted with foldable constant chains (O1 material) and
+      duplicated subexpressions (O2 material), optionally churns
+      short-lived heap objects, branches on loop-carried conditions,
+      and calls tiny single-block leaf helpers (O3 inlining material);
+    - [dead_functions] extra functions are generated but never called
+      (O3's dead-global elimination strips them, perturbing layout). *)
+
+val program : Profile.t -> Stz_vm.Ir.program
+
+(** The [args] to pass to {!Stz_vm.Interp.run} for generated programs. *)
+val default_args : int list

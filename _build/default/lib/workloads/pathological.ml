@@ -1,0 +1,88 @@
+module Ir = Stz_vm.Ir
+module B = Stz_vm.Builder
+
+let default_args = [ 1 ]
+
+(* ~half a way of straight-line code: body instructions dominate the
+   size, so each hot function spans many consecutive i-cache sets. *)
+let hot_body_instrs = 420
+let iterations = 2500
+
+let gen_hot ~fid ~bias =
+  let b = B.func ~fid ~name:(Printf.sprintf "hot_%d" fid) ~n_args:1 ~frame_size:48 () in
+  let acc = B.fresh_reg b in
+  B.emit b (Ir.Mov (acc, Ir.Reg 0));
+  (* A branch whose bias depends on the function, so aliased predictor
+     entries interfere destructively. *)
+  let parity = B.fresh_reg b in
+  let cond = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.And, parity, Ir.Reg 0, Ir.Imm 7));
+  B.emit b
+    (Ir.Cmp ((if bias then Ir.Eq else Ir.Ne), cond, Ir.Reg parity, Ir.Imm 0));
+  let extra = B.new_block b in
+  let body = B.new_block b in
+  B.emit b (Ir.Brc (Ir.Reg cond, extra, body));
+  B.set_block b extra;
+  let t = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Add, t, Ir.Reg acc, Ir.Imm 13));
+  B.emit b (Ir.Bin (Ir.Or, acc, Ir.Reg acc, Ir.Reg t));
+  B.emit b (Ir.Br body);
+  B.set_block b body;
+  for k = 1 to hot_body_instrs / 2 do
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Bin (Ir.Add, r, Ir.Reg acc, Ir.Imm k));
+    B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg r))
+  done;
+  B.emit b (Ir.Ret (Ir.Reg acc));
+  B.finish b
+
+let gen_cold ~fid ~instrs =
+  let b = B.func ~fid ~name:(Printf.sprintf "cold_%d" fid) ~n_args:1 () in
+  let acc = B.fresh_reg b in
+  B.emit b (Ir.Mov (acc, Ir.Reg 0));
+  for k = 1 to instrs do
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Bin (Ir.Add, r, Ir.Reg acc, Ir.Imm k));
+    B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg r))
+  done;
+  B.emit b (Ir.Ret (Ir.Reg acc));
+  B.finish b
+
+(* Cold sizes chosen relatively prime to the way span so permutations
+   produce many distinct hot-function alignments. *)
+let cold_sizes = [ 37; 211; 89; 463; 151; 331; 23; 271; 113; 401; 59; 191 ]
+
+let program () =
+  let hot_fids = [ 1; 2; 3 ] in
+  let colds = List.mapi (fun i instrs -> gen_cold ~fid:(4 + i) ~instrs) cold_sizes in
+  let hots = List.mapi (fun i fid -> gen_hot ~fid ~bias:(i mod 2 = 0)) hot_fids in
+  let main =
+    let b = B.func ~fid:0 ~name:"main" ~n_args:1 ~frame_size:32 () in
+    let total = B.fresh_reg b in
+    let i = B.fresh_reg b in
+    B.emit b (Ir.Mov (total, Ir.Imm 0));
+    B.emit b (Ir.Mov (i, Ir.Imm 0));
+    let head = B.new_block b in
+    let body = B.new_block b in
+    let exit = B.new_block b in
+    B.emit b (Ir.Br head);
+    B.set_block b head;
+    let c = B.fresh_reg b in
+    B.emit b (Ir.Cmp (Ir.Lt, c, Ir.Reg i, Ir.Imm iterations));
+    B.emit b (Ir.Brc (Ir.Reg c, body, exit));
+    B.set_block b body;
+    List.iter
+      (fun fid ->
+        let r = B.fresh_reg b in
+        B.emit b (Ir.Call { fn = fid; args = [ Ir.Reg i ]; dst = r });
+        B.emit b (Ir.Bin (Ir.Add, total, Ir.Reg total, Ir.Reg r)))
+      hot_fids;
+    B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+    B.emit b (Ir.Br head);
+    B.set_block b exit;
+    B.emit b (Ir.Ret (Ir.Reg total));
+    B.finish b
+  in
+  let p = B.program ~funcs:((main :: hots) @ colds) ~globals:[] ~entry:0 in
+  Stz_vm.Validate.check_exn p;
+  p

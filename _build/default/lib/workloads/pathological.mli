@@ -1,0 +1,16 @@
+(** A layout-sensitivity stress program for the paper's introductory
+    claim that merely permuting object-file link order can swing
+    performance by tens of percent.
+
+    Three hot functions, each roughly half an instruction-cache way in
+    size, run in a tight round-robin. A dozen cold functions of wildly
+    varying sizes sit between them in the image, so permuting the link
+    order shifts the hot functions' relative alignment modulo the cache
+    way span: in lucky orders they tile disjoint sets, in unlucky ones
+    they stack three-deep in a 2-way cache and every iteration thrashes.
+    Hot opposite-biased branch pairs add predictor aliasing on top. *)
+
+val program : unit -> Stz_vm.Ir.program
+
+(** Arguments for {!Stz_vm.Interp.run}. *)
+val default_args : int list

@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  functions : int;
+  hot_functions : int;
+  blocks_per_function : int * int;
+  instrs_per_block : int * int;
+  frame_size_range : int * int;
+  heap_churn : float;
+  alloc_size_range : int * int;
+  large_arrays : int;
+  heap_data_bias : float;
+  large_array_size : int;
+  globals : int;
+  global_size : int;
+  data_stride : int;
+  branchiness : float;
+  leaf_helpers : int;
+  leaf_call_rate : float;
+  fold_material : int;
+  cse_material : int;
+  dead_functions : int;
+  phases : int;
+  iterations : int;
+  inner_trips : int;
+  seed : int64;
+}
+
+let default =
+  {
+    name = "default";
+    functions = 24;
+    hot_functions = 8;
+    blocks_per_function = (3, 8);
+    instrs_per_block = (12, 28);
+    frame_size_range = (48, 192);
+    heap_churn = 0.3;
+    alloc_size_range = (24, 512);
+    large_arrays = 2;
+    heap_data_bias = 0.35;
+    large_array_size = 16384;
+    globals = 12;
+    global_size = 512;
+    data_stride = 64;
+    branchiness = 0.4;
+    leaf_helpers = 4;
+    leaf_call_rate = 0.3;
+    fold_material = 2;
+    cse_material = 2;
+    dead_functions = 2;
+    phases = 2;
+    iterations = 60;
+    inner_trips = 24;
+    seed = 0x5EC0123L;
+  }
+
+let scale factor p =
+  {
+    p with
+    iterations = Stdlib.max 1 (int_of_float (float_of_int p.iterations *. factor));
+  }

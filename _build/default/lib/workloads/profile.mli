@@ -1,0 +1,41 @@
+(** A benchmark profile: the knobs that shape a generated program. Each
+    SPEC CPU2006 benchmark in the paper's evaluation is mirrored by one
+    profile whose traits match what the paper reports about it (e.g.
+    gobmk/gcc/perlbench have many functions, cactusADM allocates many
+    large arrays, mcf/lbm are memory-bound). *)
+
+type t = {
+  name : string;
+  functions : int;  (** work functions (main and helpers excluded) *)
+  hot_functions : int;  (** called from the main loops *)
+  blocks_per_function : int * int;  (** min, max *)
+  instrs_per_block : int * int;
+  frame_size_range : int * int;  (** bytes, rounded to 16 *)
+  heap_churn : float;  (** probability a hot function allocates/frees per iteration *)
+  alloc_size_range : int * int;  (** short-lived object sizes *)
+  large_arrays : int;  (** long-lived arrays allocated at startup *)
+  heap_data_bias : float;
+      (** probability a work function walks a heap array rather than a
+          global (memory-bound benchmarks set this near 1) *)
+  large_array_size : int;
+  globals : int;
+  global_size : int;
+  data_stride : int;  (** walk stride over arrays, bytes *)
+  branchiness : float;  (** probability a body block carries an extra conditional *)
+  leaf_helpers : int;  (** tiny single-block callees (O3 inlining material) *)
+  leaf_call_rate : float;  (** probability a body block calls a helper *)
+  fold_material : int;  (** foldable constant chains per function (O1) *)
+  cse_material : int;  (** duplicate subexpressions per block (O2) *)
+  dead_functions : int;  (** never-called functions (O3 strips) *)
+  phases : int;  (** distinct phases in main *)
+  iterations : int;  (** outer loop trips per phase *)
+  inner_trips : int;  (** loop trips inside each work function call *)
+  seed : int64;  (** generation seed *)
+}
+
+(** A mid-sized default to build variations from. *)
+val default : t
+
+(** [scale factor p] multiplies the outer iteration count, scaling run
+    length without changing program structure. *)
+val scale : float -> t -> t

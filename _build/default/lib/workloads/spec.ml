@@ -1,0 +1,345 @@
+let base = Profile.default
+
+let astar =
+  {
+    base with
+    Profile.name = "astar";
+    heap_data_bias = 0.5;
+    blocks_per_function = (6, 14);
+    instrs_per_block = (16, 36);
+    functions = 28;
+    hot_functions = 5;
+    branchiness = 0.7;
+    heap_churn = 0.45;
+    alloc_size_range = (32, 256);
+    large_arrays = 2;
+    large_array_size = 32768;
+    data_stride = 48;
+    iterations = 238;
+    seed = 0xA57A12L;
+  }
+
+let bzip2 =
+  {
+    base with
+    Profile.name = "bzip2";
+    fold_material = 2;
+    cse_material = 3;
+    functions = 22;
+    hot_functions = 8;
+    branchiness = 0.6;
+    globals = 16;
+    global_size = 4096;
+    data_stride = 32;
+    heap_churn = 0.2;
+    iterations = 221;
+    seed = 0xB21B2L;
+  }
+
+let cactusadm =
+  {
+    base with
+    Profile.name = "cactusADM";
+    leaf_call_rate = 0.08;
+    fold_material = 1;
+    cse_material = 0;
+    heap_data_bias = 0.95;
+    functions = 16;
+    hot_functions = 5;
+    large_arrays = 8;
+    (* Just over a power of two: the segregated heap rounds 72 KiB up to
+       128 KiB, the waste the paper blames for cactusADM's overhead. *)
+    large_array_size = 73000;
+    data_stride = 64;
+    heap_churn = 0.05;
+    branchiness = 0.2;
+    inner_trips = 8;
+    iterations = 153;
+    seed = 0xCAC705L;
+  }
+
+let gcc =
+  {
+    base with
+    Profile.name = "gcc";
+    fold_material = 3;
+    cse_material = 3;
+    functions = 110;
+    hot_functions = 22;
+    dead_functions = 12;
+    blocks_per_function = (2, 10);
+    branchiness = 0.55;
+    heap_churn = 0.35;
+    globals = 24;
+    leaf_helpers = 8;
+    iterations = 88;
+    inner_trips = 10;
+    seed = 0x6CC001L;
+  }
+
+let gobmk =
+  {
+    base with
+    Profile.name = "gobmk";
+    fold_material = 2;
+    cse_material = 3;
+    functions = 90;
+    hot_functions = 18;
+    blocks_per_function = (2, 8);
+    branchiness = 0.7;
+    globals = 20;
+    iterations = 95;
+    inner_trips = 10;
+    seed = 0x60B3CL;
+  }
+
+let gromacs =
+  {
+    base with
+    Profile.name = "gromacs";
+    heap_data_bias = 0.7;
+    blocks_per_function = (6, 14);
+    instrs_per_block = (16, 36);
+    functions = 30;
+    hot_functions = 5;
+    data_stride = 128;
+    large_arrays = 3;
+    large_array_size = 49152;
+    branchiness = 0.25;
+    heap_churn = 0.1;
+    iterations = 238;
+    seed = 0x6120ACL;
+  }
+
+let h264ref =
+  {
+    base with
+    Profile.name = "h264ref";
+    fold_material = 3;
+    cse_material = 2;
+    blocks_per_function = (6, 14);
+    instrs_per_block = (16, 36);
+    functions = 40;
+    hot_functions = 5;
+    branchiness = 0.65;
+    data_stride = 16;
+    globals = 18;
+    global_size = 8192;
+    iterations = 187;
+    seed = 0x264EFL;
+  }
+
+let hmmer =
+  {
+    base with
+    Profile.name = "hmmer";
+    leaf_call_rate = 0.08;
+    fold_material = 1;
+    cse_material = 1;
+    functions = 22;
+    hot_functions = 6;
+    data_stride = 16;
+    globals = 10;
+    global_size = 16384;
+    branchiness = 0.3;
+    heap_churn = 0.15;
+    inner_trips = 40;
+    iterations = 204;
+    seed = 0x4A33E2L;
+  }
+
+let lbm =
+  {
+    base with
+    Profile.name = "lbm";
+    leaf_call_rate = 0.08;
+    fold_material = 0;
+    cse_material = 0;
+    heap_data_bias = 1.0;
+    functions = 16;
+    hot_functions = 6;
+    large_arrays = 2;
+    large_array_size = 131072;
+    data_stride = 64;
+    heap_churn = 0.0;
+    branchiness = 0.15;
+    inner_trips = 48;
+    iterations = 187;
+    seed = 0x1B31B3L;
+  }
+
+let libquantum =
+  {
+    base with
+    Profile.name = "libquantum";
+    leaf_call_rate = 0.08;
+    fold_material = 0;
+    cse_material = 1;
+    heap_data_bias = 1.0;
+    functions = 18;
+    hot_functions = 6;
+    large_arrays = 1;
+    large_array_size = 262144;
+    data_stride = 64;
+    heap_churn = 0.1;
+    branchiness = 0.35;
+    inner_trips = 44;
+    iterations = 187;
+    seed = 0x11B9L;
+  }
+
+let mcf =
+  {
+    base with
+    Profile.name = "mcf";
+    leaf_call_rate = 0.08;
+    fold_material = 0;
+    cse_material = 1;
+    heap_data_bias = 0.95;
+    functions = 18;
+    hot_functions = 6;
+    large_arrays = 4;
+    large_array_size = 65536;
+    (* Page-sized stride: pointer-chasing that stresses the TLB. *)
+    data_stride = 4096;
+    heap_churn = 0.1;
+    branchiness = 0.45;
+    inner_trips = 40;
+    iterations = 187;
+    seed = 0x3CF11L;
+  }
+
+let milc =
+  {
+    base with
+    Profile.name = "milc";
+    leaf_call_rate = 0.08;
+    fold_material = 1;
+    cse_material = 0;
+    heap_data_bias = 0.9;
+    functions = 20;
+    hot_functions = 6;
+    large_arrays = 4;
+    large_array_size = 65536;
+    data_stride = 96;
+    heap_churn = 0.15;
+    branchiness = 0.2;
+    iterations = 204;
+    seed = 0x311CL;
+  }
+
+let namd =
+  {
+    base with
+    Profile.name = "namd";
+    functions = 26;
+    hot_functions = 4;
+    leaf_helpers = 10;
+    leaf_call_rate = 0.6;
+    data_stride = 32;
+    branchiness = 0.3;
+    heap_churn = 0.05;
+    iterations = 204;
+    seed = 0x9A3DL;
+  }
+
+let perlbench =
+  {
+    base with
+    Profile.name = "perlbench";
+    fold_material = 3;
+    cse_material = 2;
+    blocks_per_function = (6, 14);
+    instrs_per_block = (16, 36);
+    functions = 100;
+    hot_functions = 20;
+    dead_functions = 8;
+    heap_churn = 0.5;
+    alloc_size_range = (16, 1024);
+    branchiness = 0.6;
+    globals = 22;
+    iterations = 88;
+    inner_trips = 10;
+    seed = 0x9E21BL;
+  }
+
+let sjeng =
+  {
+    base with
+    Profile.name = "sjeng";
+    functions = 30;
+    hot_functions = 8;
+    branchiness = 0.8;
+    data_stride = 24;
+    globals = 14;
+    global_size = 2048;
+    iterations = 204;
+    seed = 0x57E26L;
+  }
+
+let sphinx3 =
+  {
+    base with
+    Profile.name = "sphinx3";
+    functions = 34;
+    hot_functions = 8;
+    heap_churn = 0.4;
+    branchiness = 0.45;
+    data_stride = 40;
+    iterations = 187;
+    seed = 0x5FF1B3L;
+  }
+
+let wrf =
+  {
+    base with
+    Profile.name = "wrf";
+    heap_data_bias = 0.5;
+    functions = 70;
+    hot_functions = 12;
+    globals = 30;
+    global_size = 4096;
+    large_arrays = 3;
+    large_array_size = 49152;
+    data_stride = 128;
+    branchiness = 0.25;
+    iterations = 109;
+    inner_trips = 12;
+    seed = 0x33F777L;
+  }
+
+let zeusmp =
+  {
+    base with
+    Profile.name = "zeusmp";
+    leaf_call_rate = 0.08;
+    fold_material = 0;
+    cse_material = 0;
+    heap_data_bias = 0.9;
+    functions = 24;
+    hot_functions = 6;
+    large_arrays = 4;
+    large_array_size = 65536;
+    data_stride = 256;
+    branchiness = 0.2;
+    heap_churn = 0.0;
+    iterations = 204;
+    seed = 0x2E05329L;
+  }
+
+let all =
+  [
+    astar; bzip2; cactusadm; gcc; gobmk; gromacs; h264ref; hmmer; lbm;
+    libquantum; mcf; milc; namd; perlbench; sjeng; sphinx3; wrf; zeusmp;
+  ]
+
+let find name =
+  List.find_opt
+    (fun p -> String.lowercase_ascii p.Profile.name = String.lowercase_ascii name)
+    all
+
+let sized size p =
+  match size with
+  | `Ref -> p
+  | `Train -> Profile.scale 0.33 p
+  | `Test -> Profile.scale 0.1 p

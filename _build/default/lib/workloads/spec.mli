@@ -1,0 +1,37 @@
+(** The 18 benchmark profiles mirroring the SPEC CPU2006 subset the
+    paper evaluates (all C benchmarks except the exception-using C++
+    ones, plus the Fortran benchmarks that built; §5). Traits follow
+    what the paper reports per benchmark: gobmk/gcc/perlbench have many
+    functions (stack-table pressure), cactusADM allocates many large
+    arrays whose power-of-two rounding wastes space, mcf/lbm/libquantum
+    are memory-bound, namd leans on small inlinable routines, etc. *)
+
+val astar : Profile.t
+val bzip2 : Profile.t
+val cactusadm : Profile.t
+val gcc : Profile.t
+val gobmk : Profile.t
+val gromacs : Profile.t
+val h264ref : Profile.t
+val hmmer : Profile.t
+val lbm : Profile.t
+val libquantum : Profile.t
+val mcf : Profile.t
+val milc : Profile.t
+val namd : Profile.t
+val perlbench : Profile.t
+val sjeng : Profile.t
+val sphinx3 : Profile.t
+val wrf : Profile.t
+val zeusmp : Profile.t
+
+(** All 18, in the paper's (alphabetical) order. *)
+val all : Profile.t list
+
+(** Look up by name. *)
+val find : string -> Profile.t option
+
+(** SPEC-style input sizes: [`Test] (~10x shorter, for unit tests),
+    [`Train] (~3x shorter), [`Ref] (the default profiles used by the
+    bench harness). *)
+val sized : [ `Test | `Train | `Ref ] -> Profile.t -> Profile.t

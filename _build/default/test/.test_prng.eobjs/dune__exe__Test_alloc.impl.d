@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Stz_alloc Stz_nist Stz_prng

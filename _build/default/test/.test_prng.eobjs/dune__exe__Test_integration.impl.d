@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Int64 List Option Printf Stabilizer Stz_alloc Stz_layout Stz_stats Stz_vm Stz_workloads

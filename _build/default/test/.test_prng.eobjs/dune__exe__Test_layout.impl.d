@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Fun Hashtbl List Printf Stz_alloc Stz_layout Stz_machine Stz_prng Stz_vm

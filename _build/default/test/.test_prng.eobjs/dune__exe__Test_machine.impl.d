@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Stdlib Stz_machine Stz_prng

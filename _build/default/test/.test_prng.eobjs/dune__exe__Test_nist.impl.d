@@ -1,0 +1,1 @@
+test/test_nist.ml: Alcotest Array Float Gen Lazy List QCheck QCheck_alcotest Stz_nist Stz_prng

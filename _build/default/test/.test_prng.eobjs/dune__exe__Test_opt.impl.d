@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Int64 List Option Printf QCheck QCheck_alcotest Stz_machine Stz_vm Stz_workloads

@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Array Float Int64 Lazy List Printf Stabilizer String Stz_alloc Stz_layout Stz_prng Stz_stats Stz_vm Stz_workloads

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen Int64 List Printf QCheck QCheck_alcotest String Stz_prng Stz_stats

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Format Int64 List QCheck QCheck_alcotest String Stz_machine Stz_vm Stz_workloads

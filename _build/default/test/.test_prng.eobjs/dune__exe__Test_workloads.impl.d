@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Stabilizer Stz_alloc Stz_machine Stz_vm Stz_workloads

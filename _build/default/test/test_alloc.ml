@@ -1,0 +1,358 @@
+module A = Stz_alloc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let arena () = A.Arena.create ~base:0x1000_0000 ~size:(64 * 1024 * 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Arena                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let arena_alignment () =
+  let a = arena () in
+  let p1 = A.Arena.sbrk a 10 in
+  let p2 = A.Arena.sbrk a 10 in
+  check_int "aligned start" 0 (p1 land 15);
+  check_int "16-byte spacing" 16 (p2 - p1);
+  check_int "used" 32 (A.Arena.used a)
+
+let arena_exhaustion () =
+  let a = A.Arena.create ~base:0 ~size:64 in
+  ignore (A.Arena.sbrk a 48);
+  Alcotest.check_raises "out of memory" Out_of_memory (fun () ->
+      ignore (A.Arena.sbrk a 32))
+
+(* ------------------------------------------------------------------ *)
+(* Size classes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let size_class_roundtrip () =
+  check_int "16 -> class 0" 0 (A.Segregated.class_of_size 16);
+  check_int "17 -> class 1" 1 (A.Segregated.class_of_size 17);
+  check_int "class 1 -> 32" 32 (A.Segregated.size_of_class 1);
+  check_int "1 byte -> class 0" 0 (A.Segregated.class_of_size 1);
+  for size = 1 to 5000 do
+    let c = A.Segregated.class_of_size size in
+    check_bool "class covers size" true (A.Segregated.size_of_class c >= size);
+    if c > 0 then
+      check_bool "class is tight" true (A.Segregated.size_of_class (c - 1) < size)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Generic allocator behaviour, run against all three base heaps       *)
+(* ------------------------------------------------------------------ *)
+
+let allocators () =
+  [
+    ("segregated", A.Segregated.create (arena ()));
+    ("tlsf", A.Tlsf.create (arena ()));
+    ("diehard", A.Diehard.create (arena ()));
+  ]
+
+let live_blocks_disjoint () =
+  List.iter
+    (fun (name, alloc) ->
+      let rng = Stz_prng.Xorshift.create ~seed:42L in
+      let live = ref [] in
+      for _ = 1 to 500 do
+        if Stz_prng.Xorshift.next_float rng < 0.6 || !live = [] then begin
+          let size = 1 + Stz_prng.Xorshift.next_int rng 2000 in
+          let addr = alloc.A.Allocator.malloc size in
+          let usable = alloc.A.Allocator.usable_size addr in
+          check_bool (name ^ ": usable covers request") true (usable >= size);
+          (* No overlap with any live block. *)
+          List.iter
+            (fun (a, s) ->
+              check_bool
+                (Printf.sprintf "%s: [%x,%x) disjoint from [%x,%x)" name addr
+                   (addr + usable) a (a + s))
+                true
+                (addr + usable <= a || a + s <= addr))
+            !live;
+          live := (addr, usable) :: !live
+        end
+        else begin
+          match !live with
+          | (addr, _) :: rest ->
+              alloc.A.Allocator.free addr;
+              live := rest
+          | [] -> ()
+        end
+      done)
+    (allocators ())
+
+let stats_track_balance () =
+  List.iter
+    (fun (name, alloc) ->
+      let a1 = alloc.A.Allocator.malloc 100 in
+      let a2 = alloc.A.Allocator.malloc 200 in
+      let s = alloc.A.Allocator.stats () in
+      check_int (name ^ ": allocations") 2 s.A.Allocator.allocations;
+      check_int (name ^ ": live bytes") 300 s.A.Allocator.live_bytes;
+      alloc.A.Allocator.free a1;
+      alloc.A.Allocator.free a2;
+      let s = alloc.A.Allocator.stats () in
+      check_int (name ^ ": frees") 2 s.A.Allocator.frees;
+      check_int (name ^ ": drained") 0 s.A.Allocator.live_bytes)
+    (allocators ())
+
+let double_free_rejected () =
+  List.iter
+    (fun (name, alloc) ->
+      let a = alloc.A.Allocator.malloc 64 in
+      alloc.A.Allocator.free a;
+      let raised =
+        try
+          alloc.A.Allocator.free a;
+          false
+        with Invalid_argument _ -> true
+      in
+      check_bool (name ^ ": double free raises") true raised)
+    (allocators ())
+
+(* ------------------------------------------------------------------ *)
+(* Segregated specifics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let segregated_lifo_reuse () =
+  let alloc = A.Segregated.create (arena ()) in
+  let a = alloc.A.Allocator.malloc 100 in
+  alloc.A.Allocator.free a;
+  let b = alloc.A.Allocator.malloc 100 in
+  check_int "deterministic LIFO reuse" a b
+
+let segregated_rounding_waste () =
+  let alloc = A.Segregated.create (arena ()) in
+  (* 72 KiB rounds to 128 KiB: the cactusADM effect. *)
+  ignore (alloc.A.Allocator.malloc 73000);
+  let s = alloc.A.Allocator.stats () in
+  check_int "reserved is next power of two" 131072 s.A.Allocator.reserved_bytes
+
+(* ------------------------------------------------------------------ *)
+(* TLSF specifics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tlsf_mapping_monotone () =
+  let prev = ref (-1, -1) in
+  for size = 16 to 10000 do
+    let fl, sl = A.Tlsf.mapping size in
+    check_bool "mapping nondecreasing" true ((fl, sl) >= !prev);
+    prev := (fl, sl)
+  done
+
+let tlsf_no_rounding_waste () =
+  let alloc = A.Tlsf.create (arena ()) in
+  ignore (alloc.A.Allocator.malloc 73000);
+  let s = alloc.A.Allocator.stats () in
+  (* TLSF reserves in chunks but the block itself is not rounded to a
+     power of two; reserved space stays below the segregated heap's. *)
+  check_bool "reserved < pow2 rounding" true (s.A.Allocator.reserved_bytes < 131072)
+
+let tlsf_coalescing () =
+  let alloc = A.Tlsf.create (arena ()) in
+  (* Fill a region with small blocks, free them all, then a large
+     request must fit in the coalesced space without growing. *)
+  let blocks = List.init 64 (fun _ -> alloc.A.Allocator.malloc 1024) in
+  let reserved_before = (alloc.A.Allocator.stats ()).A.Allocator.reserved_bytes in
+  List.iter alloc.A.Allocator.free blocks;
+  ignore (alloc.A.Allocator.malloc (48 * 1024));
+  let reserved_after = (alloc.A.Allocator.stats ()).A.Allocator.reserved_bytes in
+  check_int "no new memory reserved" reserved_before reserved_after
+
+let tlsf_split_returns_remainder () =
+  let alloc = A.Tlsf.create (arena ()) in
+  let a = alloc.A.Allocator.malloc 4096 in
+  alloc.A.Allocator.free a;
+  (* A small allocation splits the 4 KiB block; a second small one must
+     fit in the remainder (same chunk). *)
+  let b = alloc.A.Allocator.malloc 64 in
+  let c = alloc.A.Allocator.malloc 64 in
+  check_bool "both in the freed region" true
+    (b >= a && b < a + 4096 && c >= a && c < a + 4096)
+
+let tlsf_stress =
+  QCheck.Test.make ~name:"tlsf random malloc/free keeps blocks disjoint" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let alloc = A.Tlsf.create (arena ()) in
+      let rng = Stz_prng.Xorshift.create ~seed:(Int64.of_int (seed + 1)) in
+      let live = Hashtbl.create 64 in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        if Stz_prng.Xorshift.next_float rng < 0.6 || Hashtbl.length live = 0 then begin
+          let size = 16 + Stz_prng.Xorshift.next_int rng 4000 in
+          let addr = alloc.A.Allocator.malloc size in
+          let usable = alloc.A.Allocator.usable_size addr in
+          Hashtbl.iter
+            (fun a s -> if not (addr + usable <= a || a + s <= addr) then ok := false)
+            live;
+          Hashtbl.replace live addr usable
+        end
+        else begin
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+          let k = List.nth keys (Stz_prng.Xorshift.next_int rng (List.length keys)) in
+          alloc.A.Allocator.free k;
+          Hashtbl.remove live k
+        end
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* DieHard specifics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let diehard_no_immediate_reuse () =
+  let alloc = A.Diehard.create ~source:(Stz_prng.Source.marsaglia ~seed:5L) (arena ()) in
+  (* Freed memory is not preferentially reused: across many free/malloc
+     pairs, at least some allocations land elsewhere. *)
+  let different = ref 0 in
+  for _ = 1 to 50 do
+    let a = alloc.A.Allocator.malloc 64 in
+    alloc.A.Allocator.free a;
+    let b = alloc.A.Allocator.malloc 64 in
+    if a <> b then incr different;
+    alloc.A.Allocator.free b
+  done;
+  check_bool "mostly not reused" true (!different > 30)
+
+let diehard_randomized_addresses () =
+  let alloc = A.Diehard.create ~source:(Stz_prng.Source.marsaglia ~seed:6L) (arena ()) in
+  let addrs = List.init 50 (fun _ -> alloc.A.Allocator.malloc 64) in
+  let sorted = List.sort compare addrs in
+  check_bool "not bump-sequential" true (addrs <> sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Shuffle layer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle_randomizes_base_order () =
+  let source = Stz_prng.Source.marsaglia ~seed:7L in
+  let alloc = A.Shuffle.create ~source ~n:64 (A.Segregated.create (arena ())) in
+  let addrs = List.init 100 (fun _ -> alloc.A.Allocator.malloc 64) in
+  let sorted = List.sort compare addrs in
+  check_bool "order shuffled" true (addrs <> sorted);
+  check_bool "no duplicates" true
+    (List.length (List.sort_uniq compare addrs) = 100)
+
+let shuffle_deterministic_by_seed () =
+  let mk seed =
+    let alloc =
+      A.Shuffle.create ~source:(Stz_prng.Source.marsaglia ~seed) ~n:32
+        (A.Segregated.create (arena ()))
+    in
+    List.init 50 (fun _ -> alloc.A.Allocator.malloc 32)
+  in
+  check_bool "same seed same layout" true (mk 9L = mk 9L);
+  check_bool "different seed differs" true (mk 9L <> mk 10L)
+
+let shuffle_free_goes_to_base () =
+  let source = Stz_prng.Source.marsaglia ~seed:11L in
+  let base = A.Segregated.create (arena ()) in
+  let alloc = A.Shuffle.create ~source ~n:8 base in
+  let addrs = List.init 20 (fun _ -> alloc.A.Allocator.malloc 64) in
+  List.iter alloc.A.Allocator.free addrs;
+  let s = alloc.A.Allocator.stats () in
+  (* 20 frees hit the base heap (through swaps). *)
+  check_int "frees forwarded" 20 s.A.Allocator.frees
+
+let shuffle_n1_still_works () =
+  let source = Stz_prng.Source.marsaglia ~seed:12L in
+  let alloc = A.Shuffle.create ~source ~n:1 (A.Segregated.create (arena ())) in
+  let a = alloc.A.Allocator.malloc 64 in
+  alloc.A.Allocator.free a;
+  let b = alloc.A.Allocator.malloc 64 in
+  check_bool "valid addresses" true (a > 0 && b > 0)
+
+let shuffle_improves_randomness () =
+  (* The paper's §3.2 claim, miniaturized: on the index-bit window a
+     256-entry pool spans, the shuffled heap's allocation stream looks
+     random while the deterministic base heap's does not. *)
+  let base = A.Segregated.create (arena ()) in
+  let base_addrs = Array.init 8192 (fun _ -> base.A.Allocator.malloc 64) in
+  let shuffled =
+    A.Shuffle.create ~source:(Stz_prng.Source.marsaglia ~seed:13L) ~n:256
+      (A.Segregated.create (arena ()))
+  in
+  let shuffled_addrs = Array.init 8192 (fun _ -> shuffled.A.Allocator.malloc 64) in
+  let score addrs =
+    let seq = Stz_nist.Bitseq.of_addresses ~lo:6 ~hi:13 addrs in
+    fst (Stz_nist.Tests.summary (Stz_nist.Tests.all ~alpha:0.01 seq))
+  in
+  let base_score = score base_addrs in
+  let shuffled_score = score shuffled_addrs in
+  check_bool
+    (Printf.sprintf "shuffled (%d) > base (%d)" shuffled_score base_score)
+    true
+    (shuffled_score > base_score);
+  check_bool "shuffled passes >= 6 of 7" true (shuffled_score >= 6)
+
+let factory_kinds () =
+  List.iter
+    (fun kind ->
+      let alloc = A.Factory.base kind (arena ()) in
+      let a = alloc.A.Allocator.malloc 64 in
+      check_bool "valid" true (a > 0);
+      let r =
+        A.Factory.randomized ~source:(Stz_prng.Source.marsaglia ~seed:1L) kind (arena ())
+      in
+      check_bool "randomized valid" true (r.A.Allocator.malloc 64 > 0))
+    [ A.Allocator.Segregated; A.Allocator.Tlsf; A.Allocator.Diehard ]
+
+let kind_strings () =
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (A.Allocator.kind_to_string k))
+        (Option.map A.Allocator.kind_to_string
+           (A.Allocator.kind_of_string (A.Allocator.kind_to_string k))))
+    [ A.Allocator.Segregated; A.Allocator.Tlsf; A.Allocator.Diehard ]
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "alignment" `Quick arena_alignment;
+          Alcotest.test_case "exhaustion" `Quick arena_exhaustion;
+        ] );
+      ("size classes", [ Alcotest.test_case "roundtrip" `Quick size_class_roundtrip ]);
+      ( "generic",
+        [
+          Alcotest.test_case "live blocks disjoint" `Quick live_blocks_disjoint;
+          Alcotest.test_case "stats balance" `Quick stats_track_balance;
+          Alcotest.test_case "double free" `Quick double_free_rejected;
+        ] );
+      ( "segregated",
+        [
+          Alcotest.test_case "LIFO reuse" `Quick segregated_lifo_reuse;
+          Alcotest.test_case "rounding waste" `Quick segregated_rounding_waste;
+        ] );
+      ( "tlsf",
+        [
+          Alcotest.test_case "mapping monotone" `Quick tlsf_mapping_monotone;
+          Alcotest.test_case "no rounding waste" `Quick tlsf_no_rounding_waste;
+          Alcotest.test_case "coalescing" `Quick tlsf_coalescing;
+          Alcotest.test_case "split remainder" `Quick tlsf_split_returns_remainder;
+          QCheck_alcotest.to_alcotest tlsf_stress;
+        ] );
+      ( "diehard",
+        [
+          Alcotest.test_case "no immediate reuse" `Quick diehard_no_immediate_reuse;
+          Alcotest.test_case "randomized addresses" `Quick diehard_randomized_addresses;
+        ] );
+      ( "shuffle",
+        [
+          Alcotest.test_case "randomizes order" `Quick shuffle_randomizes_base_order;
+          Alcotest.test_case "deterministic by seed" `Quick shuffle_deterministic_by_seed;
+          Alcotest.test_case "frees forwarded" `Quick shuffle_free_goes_to_base;
+          Alcotest.test_case "N=1 works" `Quick shuffle_n1_still_works;
+          Alcotest.test_case "improves randomness" `Quick shuffle_improves_randomness;
+        ] );
+      ( "factory",
+        [
+          Alcotest.test_case "kinds" `Quick factory_kinds;
+          Alcotest.test_case "kind strings" `Quick kind_strings;
+        ] );
+    ]

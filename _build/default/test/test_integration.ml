@@ -1,0 +1,204 @@
+(* End-to-end integration tests: miniature versions of the paper's
+   experiments, checking the qualitative relationships the full bench
+   harness reproduces at scale. Kept small so `dune runtest` stays
+   fast; loose thresholds so they are robust to seed changes. *)
+
+module S = Stabilizer
+module W = Stz_workloads
+module Stats = Stz_stats
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mini name = W.Profile.scale 0.3 (Option.get (W.Spec.find name))
+
+let times config prof seed =
+  S.Sample.times ~config ~base_seed:seed ~runs:12 ~args:[ 1 ]
+    (W.Generate.program prof)
+
+(* ------------------------------------------------------------------ *)
+(* E2 miniature: re-randomization and timing distributions             *)
+(* ------------------------------------------------------------------ *)
+
+let rerandomization_reduces_or_keeps_variance () =
+  (* The Brown-Forsythe result of Table 1, aggregated over three
+     benchmarks to damp seed noise: re-randomization must not increase
+     total variance materially. *)
+  let total config =
+    List.fold_left
+      (fun acc name ->
+        let ts = times config (mini name) 21L in
+        acc +. (Stats.Desc.variance ts /. (Stats.Desc.mean ts ** 2.0)))
+      0.0
+      [ "astar"; "gromacs"; "lbm" ]
+  in
+  let one = total S.Config.one_time in
+  let re = total S.Config.stabilizer in
+  check_bool
+    (Printf.sprintf "rel. variance with re-rand (%.2e) <= one-time (%.2e) * 1.5" re one)
+    true (re <= one *. 1.5)
+
+let stabilizer_samples_vary_baseline_fixed () =
+  let fixed = times S.Config.baseline (mini "bzip2") 5L in
+  let random = times S.Config.stabilizer (mini "bzip2") 5L in
+  check_bool "baseline identical across runs" true
+    (Array.for_all (fun t -> t = fixed.(0)) fixed);
+  check_bool "stabilizer varies" true
+    (not (Array.for_all (fun t -> t = random.(0)) random))
+
+(* ------------------------------------------------------------------ *)
+(* E3 miniature: overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+let overhead_ordering () =
+  (* Enabling more randomizations costs more (on a churny benchmark),
+     and the total stays within the paper's <40%-ish envelope for this
+     mid-weight benchmark. *)
+  let prof = mini "sphinx3" in
+  let mean config = Stats.Desc.mean (times config prof 7L) in
+  let base = mean { S.Config.baseline with link_order = S.Config.Random_link } in
+  let code = mean S.Config.code_only in
+  let full = mean S.Config.stabilizer in
+  check_bool "code costs something" true (code > base *. 1.0);
+  check_bool "full costs more than code-only" true (full > code);
+  check_bool
+    (Printf.sprintf "overhead %.1f%% below 60%%" ((full /. base -. 1.) *. 100.))
+    true
+    (full < base *. 1.6)
+
+(* ------------------------------------------------------------------ *)
+(* E4/E5 miniature: optimization evaluation                            *)
+(* ------------------------------------------------------------------ *)
+
+let opt_evaluation_shapes () =
+  let prof = mini "bzip2" in
+  let p = W.Generate.program prof in
+  let sample opt seed =
+    (S.Driver.build_and_run ~config:S.Config.stabilizer ~opt ~base_seed:seed
+       ~runs:12 ~args:[ 1 ] p).S.Sample.times
+  in
+  let o1 = sample Stz_vm.Opt.O1 31L in
+  let o2 = sample Stz_vm.Opt.O2 32L in
+  let o3 = sample Stz_vm.Opt.O3 33L in
+  let m = Stats.Desc.mean in
+  (* O2 over O1 is a real improvement; O3 over O2 stays small in
+     absolute terms (the suite-wide wash is asserted by the ANOVA test
+     below; per-benchmark effects legitimately vary in sign). *)
+  check_bool "O2 faster than O1" true (m o2 < m o1);
+  let o3_effect = abs_float ((m o2 /. m o3) -. 1.0) in
+  check_bool
+    (Printf.sprintf "O3 effect (%.3f) below 5%%" o3_effect)
+    true
+    (o3_effect < 0.05)
+
+let suite_anova_on_mini_suite () =
+  (* A 4-benchmark within-subjects ANOVA of O2 vs O1 must find the
+     effect; the same data with a label-preserving copy (no treatment)
+     must not. *)
+  let benches = [ "namd"; "bzip2"; "h264ref"; "sjeng" ] in
+  let samples =
+    Array.of_list
+      (List.map
+         (fun name ->
+           let p = W.Generate.program (mini name) in
+           let s opt seed =
+             (S.Driver.build_and_run ~config:S.Config.stabilizer ~opt
+                ~base_seed:seed ~runs:10 ~args:[ 1 ] p).S.Sample.times
+           in
+           (s Stz_vm.Opt.O1 41L, s Stz_vm.Opt.O2 42L))
+         benches)
+  in
+  let r = S.Experiment.suite_anova samples in
+  check_bool
+    (Printf.sprintf "O2 vs O1 detectable suite-wide (p=%.4f)" r.Stats.Anova.p_value)
+    true
+    (r.Stats.Anova.p_value < 0.15);
+  (* Null control: same treatment on both sides. *)
+  let null_samples = Array.map (fun (a, _) -> (a, Array.copy a)) samples in
+  let r0 = S.Experiment.suite_anova null_samples in
+  check_bool "identical treatments not significant" true
+    (r0.Stats.Anova.p_value > 0.05 || Float.is_nan r0.Stats.Anova.f)
+
+(* ------------------------------------------------------------------ *)
+(* E6 miniature: measurement bias without STABILIZER                   *)
+(* ------------------------------------------------------------------ *)
+
+let link_order_changes_timing () =
+  let p = W.Generate.program (mini "astar") in
+  let cycles order_seed =
+    (S.Runtime.run
+       ~config:{ S.Config.baseline with link_order = S.Config.Random_link }
+       ~seed:order_seed p ~args:[ 1 ])
+      .S.Runtime.cycles
+  in
+  let values = List.init 8 (fun i -> cycles (Int64.of_int (i + 1))) in
+  check_bool "different link orders give different times" true
+    (List.length (List.sort_uniq compare values) > 1)
+
+let env_size_changes_timing () =
+  let p = W.Generate.program (mini "hmmer") in
+  let cycles env_bytes =
+    (S.Runtime.run ~config:{ S.Config.baseline with env_bytes } ~seed:1L p
+       ~args:[ 1 ])
+      .S.Runtime.cycles
+  in
+  let values = List.init 8 (fun i -> cycles (i * 1040)) in
+  check_bool "environment size perturbs timing" true
+    (List.length (List.sort_uniq compare values) > 1)
+
+(* ------------------------------------------------------------------ *)
+(* E1 miniature: heap randomness                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shuffled_heap_randomness () =
+  (* §3.2 via the Heap_randomness protocol: the shuffled heap passes the
+     suite on its window, the base heap does not, and DieHard passes on
+     the full paper range. *)
+  let shuffled = S.Heap_randomness.shuffled ~n:256 ~seed:3L Stz_alloc.Allocator.Segregated in
+  let base = S.Heap_randomness.base ~n:256 Stz_alloc.Allocator.Segregated in
+  let diehard = S.Heap_randomness.diehard ~seed:3L () in
+  check_bool
+    (Printf.sprintf "shuffled (%d) > base (%d)" shuffled.S.Heap_randomness.passed
+       base.S.Heap_randomness.passed)
+    true
+    (shuffled.S.Heap_randomness.passed > base.S.Heap_randomness.passed);
+  check_bool "shuffled passes >= 6" true (shuffled.S.Heap_randomness.passed >= 6);
+  check_bool "diehard passes >= 6" true (diehard.S.Heap_randomness.passed >= 6)
+
+(* ------------------------------------------------------------------ *)
+(* §8 extension: block granularity end-to-end                          *)
+(* ------------------------------------------------------------------ *)
+
+let block_granularity_runs () =
+  let prof = mini "namd" in
+  let p = W.Generate.program prof in
+  let config =
+    { S.Config.stabilizer with granularity = Stz_layout.Code_rand.Block_grain }
+  in
+  let r = S.Runtime.run ~config ~seed:1L p ~args:[ 1 ] in
+  let reference = S.Runtime.run ~config:S.Config.baseline ~seed:1L p ~args:[ 1 ] in
+  check_int "same result" reference.S.Runtime.return_value r.S.Runtime.return_value;
+  check_bool "relocations happened" true (r.S.Runtime.relocations > 0)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "normality (E2)",
+        [
+          Alcotest.test_case "variance not inflated" `Slow rerandomization_reduces_or_keeps_variance;
+          Alcotest.test_case "sampling behaviour" `Quick stabilizer_samples_vary_baseline_fixed;
+        ] );
+      ("overhead (E3)", [ Alcotest.test_case "ordering" `Slow overhead_ordering ]);
+      ( "optimizations (E4/E5)",
+        [
+          Alcotest.test_case "O2 vs O3 shapes" `Slow opt_evaluation_shapes;
+          Alcotest.test_case "suite anova" `Slow suite_anova_on_mini_suite;
+        ] );
+      ( "bias (E6)",
+        [
+          Alcotest.test_case "link order" `Quick link_order_changes_timing;
+          Alcotest.test_case "environment size" `Quick env_size_changes_timing;
+        ] );
+      ("heap randomness (E1)", [ Alcotest.test_case "NIST" `Quick shuffled_heap_randomness ]);
+      ("block granularity (§8)", [ Alcotest.test_case "runs" `Quick block_granularity_runs ]);
+    ]

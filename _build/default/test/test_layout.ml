@@ -1,0 +1,417 @@
+module L = Stz_layout
+module Ir = Stz_vm.Ir
+module B = Stz_vm.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_func fid n_instrs =
+  let b = B.func ~fid ~name:(Printf.sprintf "f%d" fid) ~n_args:0 ~frame_size:64 () in
+  for i = 1 to n_instrs - 1 do
+    B.emit b (Ir.Mov (B.fresh_reg b, Ir.Imm i))
+  done;
+  B.emit b (Ir.Ret (Ir.Imm 0));
+  B.finish b
+
+let mk_program n =
+  B.program
+    ~funcs:(List.init n (fun fid -> mk_func fid (4 + fid)))
+    ~globals:
+      [
+        { Ir.gid = 0; gname = "g0"; gsize = 100 };
+        { Ir.gid = 1; gname = "g1"; gsize = 64 };
+      ]
+    ~entry:0
+
+(* ------------------------------------------------------------------ *)
+(* Address space                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let address_space_env_shift () =
+  let base = L.Address_space.stack_base L.Address_space.default in
+  let shifted =
+    L.Address_space.stack_base (L.Address_space.with_env_bytes L.Address_space.default 1000)
+  in
+  check_bool "stack moved down" true (shifted < base);
+  check_int "alignment" 0 (shifted land 15);
+  check_bool "shift is about env size" true (base - shifted >= 1000 - 16 && base - shifted <= 1000 + 16)
+
+let address_space_segments_disjoint () =
+  let s = L.Address_space.default in
+  check_bool "code < globals" true (s.L.Address_space.code_base < s.L.Address_space.globals_base);
+  check_bool "globals < heap" true (s.L.Address_space.globals_base < s.L.Address_space.heap_base);
+  check_bool "heap segment ends before code heap" true
+    (s.L.Address_space.heap_base + s.L.Address_space.heap_size
+     <= s.L.Address_space.code_heap_base);
+  check_bool "code heap ends below stack" true
+    (s.L.Address_space.code_heap_base + s.L.Address_space.code_heap_size
+     < L.Address_space.stack_base s)
+
+(* ------------------------------------------------------------------ *)
+(* Static layout                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let static_no_overlap () =
+  let p = mk_program 6 in
+  let l = L.Static_layout.place L.Address_space.default p in
+  let ranges =
+    Array.to_list
+      (Array.mapi
+         (fun fid addr -> (addr, addr + Ir.func_size_bytes p.Ir.funcs.(fid)))
+         l.L.Static_layout.code_addrs)
+  in
+  List.iteri
+    (fun i (a1, e1) ->
+      List.iteri
+        (fun j (a2, e2) ->
+          if i <> j then
+            check_bool "functions disjoint" true (e1 <= a2 || e2 <= a1))
+        ranges)
+    ranges;
+  Array.iter (fun a -> check_int "16-aligned" 0 (a land 15)) l.L.Static_layout.code_addrs
+
+let static_respects_order () =
+  let p = mk_program 4 in
+  let order = [| 3; 1; 0; 2 |] in
+  let l = L.Static_layout.place ~order L.Address_space.default p in
+  let a = l.L.Static_layout.code_addrs in
+  check_bool "f3 placed first" true (a.(3) < a.(1) && a.(1) < a.(0) && a.(0) < a.(2))
+
+let static_random_order_is_permutation () =
+  let p = mk_program 10 in
+  let src = Stz_prng.Source.xorshift ~seed:4L in
+  let order = L.Static_layout.random_order ~source:src p in
+  Alcotest.(check (list int))
+    "permutation" (List.init 10 Fun.id)
+    (List.sort compare (Array.to_list order))
+
+let static_globals_sequential () =
+  let p = mk_program 2 in
+  let l = L.Static_layout.place L.Address_space.default p in
+  let g = l.L.Static_layout.global_addrs in
+  check_int "first at base" L.Address_space.default.L.Address_space.globals_base g.(0);
+  check_int "second after aligned first" (g.(0) + 112) g.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Stack                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let plain_stack_contiguous () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st = L.Stack.plain ~machine ~base:0x7000_0000 ~frame_sizes:[| 64; 128 |] in
+  let f0 = L.Stack.push st ~fid:0 in
+  check_int "first frame" (0x7000_0000 - 64) f0;
+  let f1 = L.Stack.push st ~fid:1 in
+  check_int "second frame adjacent" (f0 - 128) f1;
+  L.Stack.pop st ~fid:1;
+  L.Stack.pop st ~fid:0;
+  check_int "restored" 0 (L.Stack.depth_bytes st)
+
+let randomized_stack_pads () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st =
+    L.Stack.randomized ~machine
+      ~source:(Stz_prng.Source.marsaglia ~seed:3L)
+      ~base:0x7000_0000 ~table_base:0x0060_F000 ~frame_sizes:(Array.make 4 64)
+  in
+  let pads = Hashtbl.create 16 in
+  for _ = 1 to 200 do
+    let f = L.Stack.push st ~fid:0 in
+    let pad = 0x7000_0000 - 64 - f in
+    check_bool "pad in [0, 4080]" true (pad >= 0 && pad <= 4080);
+    check_int "pad multiple of 16" 0 (pad land 15);
+    Hashtbl.replace pads pad ();
+    L.Stack.pop st ~fid:0
+  done;
+  check_bool "pads vary" true (Hashtbl.length pads > 10)
+
+let randomized_stack_balanced () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st =
+    L.Stack.randomized ~machine
+      ~source:(Stz_prng.Source.marsaglia ~seed:5L)
+      ~base:0x7000_0000 ~table_base:0x0060_F000 ~frame_sizes:[| 64; 96; 128 |]
+  in
+  ignore (L.Stack.push st ~fid:0);
+  ignore (L.Stack.push st ~fid:1);
+  ignore (L.Stack.push st ~fid:2);
+  L.Stack.pop st ~fid:2;
+  L.Stack.pop st ~fid:1;
+  L.Stack.pop st ~fid:0;
+  check_int "balanced" 0 (L.Stack.depth_bytes st)
+
+let stack_rerandomize_changes_pads () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st =
+    L.Stack.randomized ~machine
+      ~source:(Stz_prng.Source.marsaglia ~seed:7L)
+      ~base:0x7000_0000 ~table_base:0x0060_F000 ~frame_sizes:[| 64 |]
+  in
+  (* Record the pad sequence of one full table pass. *)
+  let record () =
+    List.init 256 (fun _ ->
+        let f = L.Stack.push st ~fid:0 in
+        L.Stack.pop st ~fid:0;
+        f)
+  in
+  let first = record () in
+  (* Index wrapped: the same table replays identically... *)
+  let replay = record () in
+  check_bool "table reused after wraparound" true (first = replay);
+  (* ...until re-randomization refills it. *)
+  let rewritten = L.Stack.rerandomize st in
+  check_int "bytes rewritten" 256 rewritten;
+  let fresh = record () in
+  check_bool "pads changed" true (first <> fresh)
+
+let plain_rerandomize_noop () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st = L.Stack.plain ~machine ~base:0x7000_0000 ~frame_sizes:[| 64 |] in
+  check_int "no tables" 0 (L.Stack.rerandomize st)
+
+let stack_pop_without_push () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st = L.Stack.plain ~machine ~base:0x7000_0000 ~frame_sizes:[| 64 |] in
+  Alcotest.check_raises "unbalanced"
+    (Invalid_argument "Stack.pop: pop without matching push") (fun () ->
+      L.Stack.pop st ~fid:0)
+
+let stack_mismatched_pop () =
+  let machine = Stz_machine.Hierarchy.create () in
+  let st = L.Stack.plain ~machine ~base:0x7000_0000 ~frame_sizes:[| 64; 96 |] in
+  ignore (L.Stack.push st ~fid:0);
+  let raised =
+    try
+      L.Stack.pop st ~fid:1;
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "out-of-order exit detected" true raised
+
+let stack_table_bytes () =
+  check_int "260 per function" (3 * 260) (L.Stack.table_bytes ~frame_sizes:(Array.make 3 64))
+
+(* ------------------------------------------------------------------ *)
+(* Code randomizer                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_code_rand ?(granularity = L.Code_rand.Function_grain) ?reloc_style p =
+  let machine = Stz_machine.Hierarchy.create () in
+  let arena = L.Address_space.code_heap_arena L.Address_space.default in
+  let heap =
+    Stz_alloc.Factory.randomized ~source:(Stz_prng.Source.marsaglia ~seed:11L)
+      Stz_alloc.Allocator.Segregated arena
+  in
+  let cr =
+    L.Code_rand.create ~machine ~code_heap:heap
+      ~source:(Stz_prng.Source.xorshift ~seed:12L)
+      ~granularity ?reloc_style p
+  in
+  (cr, machine)
+
+let code_rand_relocates_on_first_entry () =
+  let p = mk_program 3 in
+  let cr, _ = mk_code_rand p in
+  check_int "no relocations yet" 0 (L.Code_rand.relocations cr);
+  let view = L.Code_rand.enter cr ~fid:0 in
+  check_int "one relocation" 1 (L.Code_rand.relocations cr);
+  check_bool "address in code heap segment" true
+    (view.Stz_vm.Interp.block_addrs.(0)
+     >= L.Address_space.default.L.Address_space.code_heap_base);
+  L.Code_rand.leave cr ~fid:0;
+  (* Second entry without re-randomization: same copy, no new relocation. *)
+  let view2 = L.Code_rand.enter cr ~fid:0 in
+  check_int "still one relocation" 1 (L.Code_rand.relocations cr);
+  check_bool "same address" true
+    (view.Stz_vm.Interp.block_addrs.(0) = view2.Stz_vm.Interp.block_addrs.(0));
+  L.Code_rand.leave cr ~fid:0
+
+let code_rand_rerandomize_moves () =
+  let p = mk_program 3 in
+  let cr, _ = mk_code_rand p in
+  let v1 = L.Code_rand.enter cr ~fid:1 in
+  L.Code_rand.leave cr ~fid:1;
+  L.Code_rand.rerandomize cr;
+  let v2 = L.Code_rand.enter cr ~fid:1 in
+  L.Code_rand.leave cr ~fid:1;
+  check_bool "moved" true
+    (v1.Stz_vm.Interp.block_addrs.(0) <> v2.Stz_vm.Interp.block_addrs.(0));
+  check_int "two relocations" 2 (L.Code_rand.relocations cr)
+
+let code_rand_pile_respects_live_copies () =
+  let p = mk_program 3 in
+  let cr, _ = mk_code_rand p in
+  (* Enter without leaving: the copy is pinned by the activation. *)
+  let v1 = L.Code_rand.enter cr ~fid:2 in
+  L.Code_rand.rerandomize cr;
+  (* Re-entry relocates (trap armed) while the old activation lives. *)
+  let v2 = L.Code_rand.enter cr ~fid:2 in
+  check_bool "fresh copy at new address" true
+    (v1.Stz_vm.Interp.block_addrs.(0) <> v2.Stz_vm.Interp.block_addrs.(0));
+  check_int "both copies occupy memory" 2 (L.Code_rand.live_copies cr);
+  (* Inner activation exits: its (current) copy stays; the outer stale
+     copy is freed when the outer activation exits. *)
+  L.Code_rand.leave cr ~fid:2;
+  check_int "current copy kept" 2 (L.Code_rand.live_copies cr);
+  L.Code_rand.leave cr ~fid:2;
+  check_int "stale copy freed" 1 (L.Code_rand.live_copies cr)
+
+let code_rand_views_stable_for_invocation () =
+  (* The paper: a relocated function's running activation keeps its old
+     code. The view handed to an activation never mutates. *)
+  let p = mk_program 2 in
+  let cr, _ = mk_code_rand p in
+  let v1 = L.Code_rand.enter cr ~fid:0 in
+  let addr_before = v1.Stz_vm.Interp.block_addrs.(0) in
+  L.Code_rand.rerandomize cr;
+  ignore (L.Code_rand.enter cr ~fid:1);
+  L.Code_rand.leave cr ~fid:1;
+  check_int "old view unchanged" addr_before v1.Stz_vm.Interp.block_addrs.(0);
+  L.Code_rand.leave cr ~fid:0
+
+let code_rand_block_grain () =
+  let b = B.func ~fid:0 ~name:"multi" ~n_args:0 () in
+  let b1 = B.new_block b in
+  let b2 = B.new_block b in
+  B.emit b (Ir.Br b1);
+  B.set_block b b1;
+  B.emit b (Ir.Br b2);
+  B.set_block b b2;
+  B.emit b (Ir.Ret (Ir.Imm 0));
+  let p = B.program ~funcs:[ B.finish b ] ~globals:[] ~entry:0 in
+  let cr, _ = mk_code_rand ~granularity:L.Code_rand.Block_grain p in
+  let v = L.Code_rand.enter cr ~fid:0 in
+  let a = v.Stz_vm.Interp.block_addrs in
+  check_int "three blocks" 3 (Array.length a);
+  (* Blocks are independently placed: not contiguous in general. *)
+  check_bool "not all contiguous" true
+    (not (a.(1) = a.(0) + 4 && a.(2) = a.(1) + 4));
+  check_int "flips present" 3 (Array.length v.Stz_vm.Interp.branch_flips);
+  L.Code_rand.leave cr ~fid:0
+
+let code_rand_function_grain_contiguous () =
+  let p = mk_program 2 in
+  let cr, _ = mk_code_rand p in
+  let v = L.Code_rand.enter cr ~fid:0 in
+  Array.iter (fun f -> check_bool "no flips at function grain" false f)
+    v.Stz_vm.Interp.branch_flips;
+  L.Code_rand.leave cr ~fid:0
+
+let code_rand_reloc_tables () =
+  (* A function referencing a global and calling another function has a
+     two-entry relocation table adjacent to its code. *)
+  let caller =
+    let b = B.func ~fid:0 ~name:"caller" ~n_args:0 () in
+    let g = B.fresh_reg b in
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Global (g, 0));
+    B.emit b (Ir.Call { fn = 1; args = []; dst = r });
+    B.emit b (Ir.Ret (Ir.Reg r));
+    B.finish b
+  in
+  let callee =
+    let b = B.func ~fid:1 ~name:"callee" ~n_args:0 () in
+    B.emit b (Ir.Ret (Ir.Imm 1));
+    B.finish b
+  in
+  let p =
+    B.program ~funcs:[ caller; callee ]
+      ~globals:[ { Ir.gid = 0; gname = "g"; gsize = 8 } ]
+      ~entry:0
+  in
+  let cr, _ = mk_code_rand p in
+  let v = L.Code_rand.enter cr ~fid:0 in
+  let code_end = v.Stz_vm.Interp.block_addrs.(0) + Ir.func_size_bytes p.Ir.funcs.(0) in
+  let ga = L.Code_rand.global_entry_addr cr ~caller:0 ~gid:0 in
+  let ca = L.Code_rand.call_entry_addr cr ~caller:0 ~callee:1 in
+  (match ga with
+  | Some a -> check_int "global slot right after code" code_end a
+  | None -> Alcotest.fail "expected an adjacent-table entry");
+  check_int "call slot next" (code_end + 8) ca;
+  L.Code_rand.leave cr ~fid:0
+
+let code_rand_fixed_tables () =
+  (* §3.5 PowerPC/x86-32 style: the call-relocation table keeps its
+     address across re-randomizations, and globals need no table. *)
+  let caller =
+    let b = B.func ~fid:0 ~name:"caller" ~n_args:0 () in
+    let g = B.fresh_reg b in
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Global (g, 0));
+    B.emit b (Ir.Call { fn = 1; args = []; dst = r });
+    B.emit b (Ir.Ret (Ir.Reg r));
+    B.finish b
+  in
+  let callee =
+    let b = B.func ~fid:1 ~name:"callee" ~n_args:0 () in
+    B.emit b (Ir.Ret (Ir.Imm 1));
+    B.finish b
+  in
+  let p =
+    B.program ~funcs:[ caller; callee ]
+      ~globals:[ { Ir.gid = 0; gname = "g"; gsize = 8 } ]
+      ~entry:0
+  in
+  let cr, _ = mk_code_rand ~reloc_style:L.Code_rand.Fixed_table p in
+  let v1 = L.Code_rand.enter cr ~fid:0 in
+  check_bool "no table entry for globals" true
+    (L.Code_rand.global_entry_addr cr ~caller:0 ~gid:0 = None);
+  let table1 = L.Code_rand.call_entry_addr cr ~caller:0 ~callee:1 in
+  L.Code_rand.leave cr ~fid:0;
+  L.Code_rand.rerandomize cr;
+  let v2 = L.Code_rand.enter cr ~fid:0 in
+  let table2 = L.Code_rand.call_entry_addr cr ~caller:0 ~callee:1 in
+  check_bool "code moved" true
+    (v1.Stz_vm.Interp.block_addrs.(0) <> v2.Stz_vm.Interp.block_addrs.(0));
+  check_int "table address is fixed" table1 table2;
+  L.Code_rand.leave cr ~fid:0
+
+let code_rand_current_base () =
+  let p = mk_program 2 in
+  let cr, _ = mk_code_rand p in
+  check_bool "none before entry" true (L.Code_rand.current_base cr ~fid:0 = None);
+  let v = L.Code_rand.enter cr ~fid:0 in
+  (match L.Code_rand.current_base cr ~fid:0 with
+  | Some a -> check_int "matches view" v.Stz_vm.Interp.block_addrs.(0) a
+  | None -> Alcotest.fail "expected a base");
+  L.Code_rand.leave cr ~fid:0
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "address_space",
+        [
+          Alcotest.test_case "env shift" `Quick address_space_env_shift;
+          Alcotest.test_case "segments disjoint" `Quick address_space_segments_disjoint;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "no overlap" `Quick static_no_overlap;
+          Alcotest.test_case "respects order" `Quick static_respects_order;
+          Alcotest.test_case "random order" `Quick static_random_order_is_permutation;
+          Alcotest.test_case "globals sequential" `Quick static_globals_sequential;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "plain contiguous" `Quick plain_stack_contiguous;
+          Alcotest.test_case "pads bounded" `Quick randomized_stack_pads;
+          Alcotest.test_case "balanced" `Quick randomized_stack_balanced;
+          Alcotest.test_case "rerandomize refills" `Quick stack_rerandomize_changes_pads;
+          Alcotest.test_case "plain rerandomize noop" `Quick plain_rerandomize_noop;
+          Alcotest.test_case "pop without push" `Quick stack_pop_without_push;
+          Alcotest.test_case "mismatched pop" `Quick stack_mismatched_pop;
+          Alcotest.test_case "table bytes" `Quick stack_table_bytes;
+        ] );
+      ( "code_rand",
+        [
+          Alcotest.test_case "on-demand relocation" `Quick code_rand_relocates_on_first_entry;
+          Alcotest.test_case "rerandomize moves" `Quick code_rand_rerandomize_moves;
+          Alcotest.test_case "pile refcounts" `Quick code_rand_pile_respects_live_copies;
+          Alcotest.test_case "stable views" `Quick code_rand_views_stable_for_invocation;
+          Alcotest.test_case "block grain" `Quick code_rand_block_grain;
+          Alcotest.test_case "function grain" `Quick code_rand_function_grain_contiguous;
+          Alcotest.test_case "reloc tables" `Quick code_rand_reloc_tables;
+          Alcotest.test_case "fixed tables (§3.5)" `Quick code_rand_fixed_tables;
+          Alcotest.test_case "current base" `Quick code_rand_current_base;
+        ] );
+    ]

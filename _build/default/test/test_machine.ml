@@ -1,0 +1,293 @@
+module M = Stz_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_cache () =
+  M.Cache.create { M.Cache.name = "t"; sets = 4; ways = 2; line_bits = 6 }
+
+let cache_hit_after_fill () =
+  let c = small_cache () in
+  check_bool "first is miss" false (M.Cache.access c 0x1000);
+  check_bool "second is hit" true (M.Cache.access c 0x1000);
+  check_bool "same line hit" true (M.Cache.access c 0x103F);
+  check_bool "next line miss" false (M.Cache.access c 0x1040)
+
+let cache_lru_eviction () =
+  let c = small_cache () in
+  (* Three lines mapping to set 0 in a 2-way cache: 256-byte set span. *)
+  let a = 0x0000 and b = 0x0100 and d = 0x0200 in
+  ignore (M.Cache.access c a);
+  ignore (M.Cache.access c b);
+  ignore (M.Cache.access c d);
+  (* a was least recently used: evicted. *)
+  check_bool "a evicted" false (M.Cache.probe c a);
+  check_bool "b resident" true (M.Cache.probe c b);
+  check_bool "d resident" true (M.Cache.probe c d);
+  (* Touch b, then insert a new line: d should now be the victim. *)
+  ignore (M.Cache.access c b);
+  ignore (M.Cache.access c 0x0300);
+  check_bool "b kept (recently used)" true (M.Cache.probe c b);
+  check_bool "d evicted" false (M.Cache.probe c d)
+
+let cache_sets_disjoint () =
+  let c = small_cache () in
+  (* Lines in different sets never evict each other. *)
+  for s = 0 to 3 do
+    ignore (M.Cache.access c (s * 64));
+    ignore (M.Cache.access c ((s * 64) + 0x100))
+  done;
+  for s = 0 to 3 do
+    check_bool "still resident" true (M.Cache.probe c (s * 64))
+  done
+
+let cache_counters () =
+  let c = small_cache () in
+  ignore (M.Cache.access c 0);
+  ignore (M.Cache.access c 0);
+  ignore (M.Cache.access c 64);
+  check_int "accesses" 3 (M.Cache.accesses c);
+  check_int "misses" 2 (M.Cache.misses c)
+
+let cache_probe_no_state_change () =
+  let c = small_cache () in
+  check_bool "probe empty" false (M.Cache.probe c 0);
+  check_int "no access recorded" 0 (M.Cache.accesses c);
+  check_bool "still miss" false (M.Cache.access c 0)
+
+let cache_flush_and_reset () =
+  let c = small_cache () in
+  ignore (M.Cache.access c 0);
+  M.Cache.flush c;
+  check_bool "flushed" false (M.Cache.probe c 0);
+  check_int "stats kept" 1 (M.Cache.accesses c);
+  M.Cache.reset c;
+  check_int "stats cleared" 0 (M.Cache.accesses c)
+
+let cache_index_bits () =
+  let c = M.Cache.create { M.Cache.name = "t"; sets = 64; ways = 2; line_bits = 6 } in
+  Alcotest.(check (pair int int)) "bits 6..11" (6, 11) (M.Cache.index_bits c)
+
+let cache_bad_config () =
+  Alcotest.check_raises "non-pow2 sets"
+    (Invalid_argument "Cache.create: sets must be a positive power of two")
+    (fun () -> ignore (M.Cache.create { M.Cache.name = "t"; sets = 3; ways = 1; line_bits = 6 }))
+
+(* Reference model: a cache as a list of (set, tag) with exact LRU,
+   checked against the array implementation on random address streams. *)
+let cache_matches_reference_model =
+  QCheck.Test.make ~name:"cache agrees with reference LRU model" ~count:50
+    QCheck.(pair small_int (list (int_bound 0xFFFF)))
+    (fun (seed, addrs) ->
+      let sets = 4 and ways = 2 and line_bits = 4 in
+      let c = M.Cache.create { M.Cache.name = "ref"; sets; ways; line_bits } in
+      (* reference: per set, most-recent-first list of tags *)
+      let model = Array.make sets [] in
+      let ok = ref true in
+      let rng = Stz_prng.Xorshift.create ~seed:(Int64.of_int (seed + 1)) in
+      let stream =
+        addrs @ List.init 200 (fun _ -> Stz_prng.Xorshift.next_int rng 0x10000)
+      in
+      List.iter
+        (fun addr ->
+          let set = (addr lsr line_bits) land (sets - 1) in
+          let tag = addr lsr line_bits in
+          let hit_model = List.mem tag model.(set) in
+          let hit_impl = M.Cache.access c addr in
+          if hit_model <> hit_impl then ok := false;
+          let without = List.filter (fun t -> t <> tag) model.(set) in
+          let updated = tag :: without in
+          model.(set) <-
+            (if List.length updated > ways then
+               List.filteri (fun i _ -> i < ways) updated
+             else updated))
+        stream;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* TLB                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tlb_page_granularity () =
+  let t = M.Tlb.create { M.Tlb.name = "t"; entries = 8; ways = 2; page_bits = 12 } in
+  check_bool "first access misses" false (M.Tlb.access t 0x5000);
+  check_bool "same page hits" true (M.Tlb.access t 0x5FFF);
+  check_bool "next page misses" false (M.Tlb.access t 0x6000);
+  check_int "misses" 2 (M.Tlb.misses t)
+
+let tlb_capacity () =
+  let t = M.Tlb.create { M.Tlb.name = "t"; entries = 4; ways = 4; page_bits = 12 } in
+  (* Touch 5 pages in the same set (fully associative here): one must go. *)
+  for p = 0 to 4 do
+    ignore (M.Tlb.access t (p * 4096))
+  done;
+  check_bool "first page evicted" false (M.Tlb.access t 0)
+
+(* ------------------------------------------------------------------ *)
+(* Branch predictor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let branch_learns_bias () =
+  let b = M.Branch.create ~entries:16 () in
+  (* Always-taken branch: after warmup, always predicted. *)
+  for _ = 1 to 4 do
+    ignore (M.Branch.predict_and_update b ~pc:0x40 ~taken:true)
+  done;
+  let before = M.Branch.mispredictions b in
+  for _ = 1 to 100 do
+    ignore (M.Branch.predict_and_update b ~pc:0x40 ~taken:true)
+  done;
+  check_int "no further mispredictions" before (M.Branch.mispredictions b)
+
+let branch_aliasing_interferes () =
+  let b = M.Branch.create ~entries:16 () in
+  (* Two branches 16 entries apart alias: (pc >> 2) mod 16 equal. *)
+  let pc1 = 0x100 and pc2 = 0x100 + (16 * 4) in
+  check_int "alias confirmed" (M.Branch.index_of b pc1) (M.Branch.index_of b pc2);
+  (* Opposite-biased aliasing branches destroy each other's state. *)
+  for _ = 1 to 200 do
+    ignore (M.Branch.predict_and_update b ~pc:pc1 ~taken:true);
+    ignore (M.Branch.predict_and_update b ~pc:pc2 ~taken:false)
+  done;
+  let aliased = M.Branch.mispredictions b in
+  (* Same workload without aliasing barely mispredicts. *)
+  let b2 = M.Branch.create ~entries:16 () in
+  for _ = 1 to 200 do
+    ignore (M.Branch.predict_and_update b2 ~pc:0x100 ~taken:true);
+    ignore (M.Branch.predict_and_update b2 ~pc:0x104 ~taken:false)
+  done;
+  let clean = M.Branch.mispredictions b2 in
+  check_bool
+    (Printf.sprintf "aliasing hurts (%d vs %d)" aliased clean)
+    true
+    (aliased > 10 * Stdlib.max 1 clean)
+
+let gshare_learns_alternating () =
+  (* A strictly alternating branch defeats a bimodal 2-bit counter but
+     is perfectly predictable once history indexes the table. *)
+  let run kind =
+    let b = M.Branch.create ~entries:256 ~kind () in
+    for i = 1 to 400 do
+      ignore (M.Branch.predict_and_update b ~pc:0x80 ~taken:(i land 1 = 0))
+    done;
+    M.Branch.mispredictions b
+  in
+  let bimodal = run M.Branch.Bimodal in
+  let gshare = run (M.Branch.Gshare 8) in
+  check_bool
+    (Printf.sprintf "gshare (%d) beats bimodal (%d) on alternation" gshare bimodal)
+    true
+    (gshare < bimodal / 4)
+
+let gshare_history_moves_index () =
+  let b = M.Branch.create ~entries:256 ~kind:(M.Branch.Gshare 8) () in
+  let i0 = M.Branch.index_of b 0x80 in
+  ignore (M.Branch.predict_and_update b ~pc:0x80 ~taken:true);
+  let i1 = M.Branch.index_of b 0x80 in
+  check_bool "history changes the slot" true (i0 <> i1)
+
+let branch_counts () =
+  let b = M.Branch.create ~entries:16 () in
+  for _ = 1 to 10 do
+    ignore (M.Branch.predict_and_update b ~pc:0 ~taken:true)
+  done;
+  check_int "branches" 10 (M.Branch.branches b);
+  M.Branch.reset b;
+  check_int "reset" 0 (M.Branch.branches b)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hierarchy_fetch_locality () =
+  let h = M.Hierarchy.create () in
+  let cold = M.Hierarchy.fetch h 0x400000 in
+  let warm = M.Hierarchy.fetch h 0x400004 in
+  check_bool "cold fetch expensive" true (cold > warm);
+  check_int "same-line fetch is base cost" (M.Cost.default.M.Cost.base_cycles) warm
+
+let hierarchy_data_levels () =
+  let h = M.Hierarchy.create () in
+  let miss = M.Hierarchy.data h 0x10000000 in
+  let hit = M.Hierarchy.data h 0x10000000 in
+  check_bool "miss costs more than hit" true (miss > hit)
+
+let hierarchy_branch_penalty () =
+  let h = M.Hierarchy.create () in
+  (* Train, then a surprise branch costs the misprediction penalty. *)
+  for _ = 1 to 8 do
+    ignore (M.Hierarchy.branch h ~pc:0x40 ~taken:true)
+  done;
+  let penalty = M.Hierarchy.branch h ~pc:0x40 ~taken:false in
+  check_int "penalty" M.Cost.default.M.Cost.branch_misprediction penalty
+
+let hierarchy_counters_consistent () =
+  let h = M.Hierarchy.create () in
+  ignore (M.Hierarchy.fetch h 0x400000);
+  ignore (M.Hierarchy.data h 0x10000000);
+  ignore (M.Hierarchy.branch h ~pc:0x40 ~taken:true);
+  let c = M.Hierarchy.counters h in
+  check_int "instructions" 1 c.M.Hierarchy.instructions;
+  check_int "branches" 1 c.M.Hierarchy.branches;
+  check_bool "cycles positive" true (c.M.Hierarchy.cycles > 0);
+  check_bool "cycles match accessor" true (c.M.Hierarchy.cycles = M.Hierarchy.cycles h)
+
+let hierarchy_flush_forces_misses () =
+  let h = M.Hierarchy.create () in
+  ignore (M.Hierarchy.data h 0x20000000);
+  ignore (M.Hierarchy.data h 0x20000000);
+  let c1 = M.Hierarchy.counters h in
+  M.Hierarchy.flush h;
+  ignore (M.Hierarchy.data h 0x20000000);
+  let c2 = M.Hierarchy.counters h in
+  check_bool "miss after flush" true (c2.M.Hierarchy.l1d_misses > c1.M.Hierarchy.l1d_misses)
+
+let hierarchy_charge_and_reset () =
+  let h = M.Hierarchy.create () in
+  M.Hierarchy.charge h 123;
+  check_int "charged" 123 (M.Hierarchy.cycles h);
+  M.Hierarchy.reset h;
+  check_int "reset" 0 (M.Hierarchy.cycles h)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit after fill" `Quick cache_hit_after_fill;
+          Alcotest.test_case "lru eviction" `Quick cache_lru_eviction;
+          Alcotest.test_case "sets disjoint" `Quick cache_sets_disjoint;
+          Alcotest.test_case "counters" `Quick cache_counters;
+          Alcotest.test_case "probe is pure" `Quick cache_probe_no_state_change;
+          Alcotest.test_case "flush/reset" `Quick cache_flush_and_reset;
+          Alcotest.test_case "index bits" `Quick cache_index_bits;
+          Alcotest.test_case "bad config" `Quick cache_bad_config;
+          QCheck_alcotest.to_alcotest cache_matches_reference_model;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "page granularity" `Quick tlb_page_granularity;
+          Alcotest.test_case "capacity" `Quick tlb_capacity;
+        ] );
+      ( "branch",
+        [
+          Alcotest.test_case "learns bias" `Quick branch_learns_bias;
+          Alcotest.test_case "aliasing interferes" `Quick branch_aliasing_interferes;
+          Alcotest.test_case "counts" `Quick branch_counts;
+          Alcotest.test_case "gshare alternation" `Quick gshare_learns_alternating;
+          Alcotest.test_case "gshare history index" `Quick gshare_history_moves_index;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "fetch locality" `Quick hierarchy_fetch_locality;
+          Alcotest.test_case "data levels" `Quick hierarchy_data_levels;
+          Alcotest.test_case "branch penalty" `Quick hierarchy_branch_penalty;
+          Alcotest.test_case "counters" `Quick hierarchy_counters_consistent;
+          Alcotest.test_case "flush forces misses" `Quick hierarchy_flush_forces_misses;
+          Alcotest.test_case "charge/reset" `Quick hierarchy_charge_and_reset;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+module N = Stz_nist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Bitseq                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bitseq_of_int_array () =
+  let s = N.Bitseq.of_int_array [| 1; 0; 1; 1; 0 |] in
+  check_int "length" 5 (N.Bitseq.length s);
+  check_int "ones" 3 (N.Bitseq.ones s);
+  check_int "bit 0" 1 (N.Bitseq.get s 0);
+  check_int "bit 1" 0 (N.Bitseq.get s 1);
+  check_int "bit 3" 1 (N.Bitseq.get s 3)
+
+let bitseq_of_words_msb_first () =
+  (* 0b101 over 3 bits -> bits 1,0,1. *)
+  let s = N.Bitseq.of_words ~bits_per_word:3 [| 0b101; 0b010 |] in
+  check_int "length" 6 (N.Bitseq.length s);
+  Alcotest.(check (list int))
+    "bits msb-first"
+    [ 1; 0; 1; 0; 1; 0 ]
+    (List.init 6 (N.Bitseq.get s))
+
+let bitseq_of_addresses () =
+  (* Extract bits 6..17 (the paper's cache index bits). *)
+  let addr = 0b101010101010 lsl 6 in
+  let s = N.Bitseq.of_addresses ~lo:6 ~hi:17 [| addr |] in
+  check_int "width" 12 (N.Bitseq.length s);
+  Alcotest.(check (list int))
+    "extracted"
+    [ 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0 ]
+    (List.init 12 (N.Bitseq.get s))
+
+let bitseq_slice () =
+  let s = N.Bitseq.of_int_array [| 1; 1; 0; 0; 1; 0 |] in
+  let sl = N.Bitseq.slice s 2 3 in
+  Alcotest.(check (list int)) "slice" [ 0; 0; 1 ] (List.init 3 (N.Bitseq.get sl))
+
+let bitseq_of_source_length () =
+  let src = Stz_prng.Source.xorshift ~seed:1L in
+  let s = N.Bitseq.of_source src 1000 in
+  check_int "length" 1000 (N.Bitseq.length s);
+  let ones = N.Bitseq.ones s in
+  check_bool "roughly balanced" true (ones > 400 && ones < 600)
+
+let bitseq_bounds () =
+  let s = N.Bitseq.of_int_array [| 1; 0 |] in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitseq.get: out of bounds")
+    (fun () -> ignore (N.Bitseq.get s 2))
+
+(* ------------------------------------------------------------------ *)
+(* FFT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fft_impulse_flat () =
+  let n = 64 in
+  let signal = Array.make n 0.0 in
+  signal.(0) <- 1.0;
+  let mags = N.Fft.half_spectrum signal in
+  Array.iter (fun m -> check_bool "flat spectrum" true (abs_float (m -. 1.0) < 1e-9)) mags
+
+let fft_sine_peak () =
+  let n = 128 in
+  let k = 5 in
+  let signal =
+    Array.init n (fun i ->
+        sin (2.0 *. Float.pi *. float_of_int k *. float_of_int i /. float_of_int n))
+  in
+  let mags = N.Fft.half_spectrum signal in
+  let peak = ref 0 in
+  Array.iteri (fun i m -> if m > mags.(!peak) then peak := i) mags;
+  check_int "peak at k" k !peak;
+  check_bool "peak magnitude n/2" true (abs_float (mags.(k) -. 64.0) < 1e-6)
+
+let fft_parseval =
+  QCheck.Test.make ~name:"Parseval energy conservation" ~count:50
+    QCheck.(list_of_size (Gen.return 64) (float_range (-1.0) 1.0))
+    (fun l ->
+      let signal = Array.of_list l in
+      let re = Array.copy signal in
+      let im = Array.make 64 0.0 in
+      N.Fft.transform re im;
+      let time_energy = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 signal in
+      let freq_energy = ref 0.0 in
+      for i = 0 to 63 do
+        freq_energy := !freq_energy +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+      done;
+      abs_float ((!freq_energy /. 64.0) -. time_energy) < 1e-6 *. (1.0 +. time_energy))
+
+let fft_requires_pow2 () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft.half_spectrum: length must be a power of two")
+    (fun () -> ignore (N.Fft.half_spectrum (Array.make 100 0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* GF(2) rank                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gf2_identity_full_rank () =
+  let bits = Array.init (8 * 8) (fun i -> if i / 8 = i mod 8 then 1 else 0) in
+  let m = N.Gf2.of_bits (N.Bitseq.of_int_array bits) 0 ~rows:8 ~cols:8 in
+  check_int "rank" 8 (N.Gf2.rank m)
+
+let gf2_zero_rank () =
+  let m = N.Gf2.of_bits (N.Bitseq.of_int_array (Array.make 64 0)) 0 ~rows:8 ~cols:8 in
+  check_int "rank" 0 (N.Gf2.rank m)
+
+let gf2_repeated_rows_rank1 () =
+  let bits = Array.init 64 (fun i -> if i mod 8 < 4 then 1 else 0) in
+  let m = N.Gf2.of_bits (N.Bitseq.of_int_array bits) 0 ~rows:8 ~cols:8 in
+  check_int "identical rows" 1 (N.Gf2.rank m)
+
+let gf2_rank_probabilities () =
+  (* Known asymptotic values for 32x32 random binary matrices. *)
+  let p32 = N.Gf2.probability_rank ~n:32 32 in
+  let p31 = N.Gf2.probability_rank ~n:32 31 in
+  check_bool "p(full) ~ 0.2888" true (abs_float (p32 -. 0.2888) < 0.001);
+  check_bool "p(n-1) ~ 0.5776" true (abs_float (p31 -. 0.5776) < 0.001);
+  let total = ref 0.0 in
+  for r = 0 to 32 do
+    total := !total +. N.Gf2.probability_rank ~n:32 r
+  done;
+  check_bool "probabilities sum to 1" true (abs_float (!total -. 1.0) < 1e-9)
+
+let gf2_rank_distribution_matches () =
+  (* Empirical rank distribution of random matrices matches theory. *)
+  let src = Stz_prng.Source.xorshift ~seed:31L in
+  let seq = N.Bitseq.of_source src (1024 * 200) in
+  let full = ref 0 in
+  for i = 0 to 199 do
+    if N.Gf2.rank (N.Gf2.of_bits seq (i * 1024) ~rows:32 ~cols:32) = 32 then incr full
+  done;
+  let rate = float_of_int !full /. 200.0 in
+  check_bool "empirical p(full) near 0.2888" true (abs_float (rate -. 0.2888) < 0.12)
+
+(* ------------------------------------------------------------------ *)
+(* NIST tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let good_sequence = lazy (N.Bitseq.of_source (Stz_prng.Source.xorshift ~seed:7L) 131072)
+
+let nist_good_prng_passes_all () =
+  let outcomes = N.Tests.all (Lazy.force good_sequence) in
+  check_int "seven tests run" 7 (List.length outcomes);
+  List.iter
+    (fun (o : N.Tests.outcome) -> check_bool (o.name ^ " passes") true o.pass)
+    outcomes
+
+let nist_biased_fails_frequency () =
+  let seq =
+    N.Bitseq.of_int_array (Array.init 10000 (fun i -> if i mod 10 < 6 then 1 else 0))
+  in
+  let o = N.Tests.frequency seq in
+  check_bool "fails" false o.N.Tests.pass
+
+let nist_alternating_fails_runs () =
+  (* 0101... has the maximum possible number of runs. *)
+  let seq = N.Bitseq.of_int_array (Array.init 10000 (fun i -> i land 1)) in
+  let o = N.Tests.runs seq in
+  check_bool "fails runs" false o.N.Tests.pass;
+  (* ...but is perfectly balanced, so frequency passes. *)
+  check_bool "passes frequency" true (N.Tests.frequency seq).N.Tests.pass
+
+let nist_blocky_fails_block_frequency () =
+  (* Alternating blocks of 128 ones / 128 zeros: globally balanced but
+     each block is maximally unbalanced. *)
+  let seq = N.Bitseq.of_int_array (Array.init 16384 (fun i -> (i / 128) land 1)) in
+  check_bool "fails block frequency" false (N.Tests.block_frequency seq).N.Tests.pass
+
+let nist_long_runs_detected () =
+  (* Biased run structure: long stretches of ones. *)
+  let seq =
+    N.Bitseq.of_int_array (Array.init 16384 (fun i -> if i mod 32 < 24 then 1 else 0))
+  in
+  check_bool "fails longest-run" false (N.Tests.longest_run seq).N.Tests.pass
+
+let nist_low_rank_fails () =
+  (* Periodic sequence => repeated matrix rows => low rank. *)
+  let seq = N.Bitseq.of_int_array (Array.init 50000 (fun i -> (i / 32) land 1)) in
+  check_bool "fails rank" false (N.Tests.rank seq).N.Tests.pass
+
+let nist_periodic_fails_fft () =
+  let seq =
+    N.Bitseq.of_int_array (Array.init 8192 (fun i -> if i mod 8 < 4 then 1 else 0))
+  in
+  check_bool "fails fft" false (N.Tests.fft seq).N.Tests.pass
+
+let nist_cusum_both_directions () =
+  let s = Lazy.force good_sequence in
+  check_bool "forward passes" true (N.Tests.cumulative_sums ~forward:true s).N.Tests.pass;
+  check_bool "backward passes" true
+    (N.Tests.cumulative_sums ~forward:false s).N.Tests.pass
+
+let nist_marsaglia_passes_most () =
+  (* The Marsaglia MWC the runtime uses: must pass at least 6 of 7,
+     matching the paper's observations for lrand48 and DieHard. *)
+  let seq = N.Bitseq.of_source (Stz_prng.Source.marsaglia ~seed:99L) 131072 in
+  let passed, total = N.Tests.summary (N.Tests.all ~alpha:0.01 seq) in
+  check_int "seven run" 7 total;
+  check_bool "passes >= 6" true (passed >= 6)
+
+let nist_serial_and_apen () =
+  let good = Lazy.force good_sequence in
+  check_bool "serial passes on good prng" true (N.Tests.serial good).N.Tests.pass;
+  check_bool "apen passes on good prng" true
+    (N.Tests.approximate_entropy good).N.Tests.pass;
+  (* A short-period sequence has wildly non-uniform pattern counts. *)
+  let periodic = N.Bitseq.of_int_array (Array.init 65536 (fun i -> (i / 3) land 1)) in
+  check_bool "serial fails on periodic" false (N.Tests.serial periodic).N.Tests.pass;
+  check_bool "apen fails on periodic" false
+    (N.Tests.approximate_entropy periodic).N.Tests.pass
+
+let nist_summary () =
+  let outcomes =
+    [
+      { N.Tests.name = "a"; p_value = 0.5; pass = true };
+      { N.Tests.name = "b"; p_value = 0.001; pass = false };
+    ]
+  in
+  Alcotest.(check (pair int int)) "summary" (1, 2) (N.Tests.summary outcomes)
+
+let () =
+  Alcotest.run "nist"
+    [
+      ( "bitseq",
+        [
+          Alcotest.test_case "of_int_array" `Quick bitseq_of_int_array;
+          Alcotest.test_case "of_words msb" `Quick bitseq_of_words_msb_first;
+          Alcotest.test_case "of_addresses" `Quick bitseq_of_addresses;
+          Alcotest.test_case "slice" `Quick bitseq_slice;
+          Alcotest.test_case "of_source" `Quick bitseq_of_source_length;
+          Alcotest.test_case "bounds" `Quick bitseq_bounds;
+        ] );
+      ( "fft",
+        [
+          Alcotest.test_case "impulse" `Quick fft_impulse_flat;
+          Alcotest.test_case "sine peak" `Quick fft_sine_peak;
+          QCheck_alcotest.to_alcotest fft_parseval;
+          Alcotest.test_case "pow2 required" `Quick fft_requires_pow2;
+        ] );
+      ( "gf2",
+        [
+          Alcotest.test_case "identity" `Quick gf2_identity_full_rank;
+          Alcotest.test_case "zero" `Quick gf2_zero_rank;
+          Alcotest.test_case "rank 1" `Quick gf2_repeated_rows_rank1;
+          Alcotest.test_case "probabilities" `Quick gf2_rank_probabilities;
+          Alcotest.test_case "empirical distribution" `Quick gf2_rank_distribution_matches;
+        ] );
+      ( "tests",
+        [
+          Alcotest.test_case "good prng passes" `Quick nist_good_prng_passes_all;
+          Alcotest.test_case "biased fails freq" `Quick nist_biased_fails_frequency;
+          Alcotest.test_case "alternating fails runs" `Quick nist_alternating_fails_runs;
+          Alcotest.test_case "blocky fails blockfreq" `Quick nist_blocky_fails_block_frequency;
+          Alcotest.test_case "long runs detected" `Quick nist_long_runs_detected;
+          Alcotest.test_case "low rank fails" `Quick nist_low_rank_fails;
+          Alcotest.test_case "periodic fails fft" `Quick nist_periodic_fails_fft;
+          Alcotest.test_case "cusum directions" `Quick nist_cusum_both_directions;
+          Alcotest.test_case "marsaglia passes" `Quick nist_marsaglia_passes_most;
+          Alcotest.test_case "serial + apen" `Quick nist_serial_and_apen;
+          Alcotest.test_case "summary" `Quick nist_summary;
+        ] );
+    ]

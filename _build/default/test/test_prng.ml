@@ -1,0 +1,202 @@
+module P = Stz_prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* SplitMix64                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let splitmix_known_vector () =
+  (* Published test vector: the first outputs of SplitMix64 seeded 0. *)
+  let g = P.Splitmix.create 0L in
+  Alcotest.(check int64) "first" 0xE220A8397B1DCDAFL (P.Splitmix.next g);
+  Alcotest.(check int64) "second" 0x6E789E6AA1B965F4L (P.Splitmix.next g);
+  Alcotest.(check int64) "third" 0x06C45D188009454FL (P.Splitmix.next g)
+
+let splitmix_split_differs () =
+  let g = P.Splitmix.create 42L in
+  let a = P.Splitmix.split g in
+  let b = P.Splitmix.split g in
+  check_bool "derived seeds differ" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Marsaglia                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let marsaglia_deterministic () =
+  let a = P.Marsaglia.create ~seed:123L in
+  let b = P.Marsaglia.create ~seed:123L in
+  for _ = 1 to 100 do
+    check_int "same stream" (P.Marsaglia.next a) (P.Marsaglia.next b)
+  done
+
+let marsaglia_range () =
+  let g = P.Marsaglia.create ~seed:7L in
+  for _ = 1 to 10_000 do
+    let v = P.Marsaglia.next g in
+    check_bool "in [0, 2^32)" true (v >= 0 && v < 0x100000000)
+  done
+
+let marsaglia_seeds_differ () =
+  let a = P.Marsaglia.create ~seed:1L in
+  let b = P.Marsaglia.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if P.Marsaglia.next a = P.Marsaglia.next b then incr same
+  done;
+  check_bool "streams mostly differ" true (!same < 5)
+
+let marsaglia_zero_seed () =
+  let g = P.Marsaglia.create ~seed:0L in
+  (* The zero state must be remapped, not produce a constant stream. *)
+  let a = P.Marsaglia.next g in
+  let b = P.Marsaglia.next g in
+  check_bool "not stuck" true (a <> b || a <> 0)
+
+let marsaglia_next_in_bounds () =
+  let g = P.Marsaglia.create ~seed:99L in
+  for n = 1 to 50 do
+    for _ = 1 to 100 do
+      let v = P.Marsaglia.next_in g n in
+      check_bool "in range" true (v >= 0 && v < n)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* lrand48                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lrand48_is_posix_lcg () =
+  (* Re-derive the values from the published LCG recurrence. *)
+  let g = P.Lrand48.create ~seed:12345 in
+  let state = ref Int64.(logor (shift_left (of_int 12345) 16) 0x330EL) in
+  for _ = 1 to 100 do
+    state :=
+      Int64.(logand (add (mul 0x5DEECE66DL !state) 0xBL) 0xFFFFFFFFFFFFL);
+    let expected = Int64.to_int (Int64.shift_right_logical !state 17) in
+    check_int "matches recurrence" expected (P.Lrand48.next g)
+  done
+
+let lrand48_range () =
+  let g = P.Lrand48.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = P.Lrand48.next g in
+    check_bool "31-bit" true (v >= 0 && v < 0x80000000)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* xorshift                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let xorshift_zero_seed_ok () =
+  let g = P.Xorshift.create ~seed:0L in
+  check_bool "produces non-zero output" true (P.Xorshift.next g <> 0L)
+
+let xorshift_float_range () =
+  let g = P.Xorshift.create ~seed:5L in
+  let sum = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let f = P.Xorshift.next_float g in
+    check_bool "in [0,1)" true (f >= 0.0 && f < 1.0);
+    sum := !sum +. f
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let xorshift_int_uniformish () =
+  let g = P.Xorshift.create ~seed:77L in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = P.Xorshift.next_int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "each bucket near n/10" true
+        (abs (c - (n / 10)) < n / 50))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Source                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let source_int_bounds =
+  QCheck.Test.make ~name:"Source.int stays in bounds" ~count:500
+    QCheck.(pair (int_bound 60) (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let src = P.Source.xorshift ~seed:(Int64.of_int (seed + 1)) in
+      let v = P.Source.int src n in
+      v >= 0 && v < n)
+
+let source_shuffle_is_permutation =
+  QCheck.Test.make ~name:"Source.shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      let b = Array.copy a in
+      let src = P.Source.marsaglia ~seed:(Int64.of_int (seed + 1)) in
+      P.Source.shuffle_in_place src b;
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
+
+let source_shuffle_actually_shuffles () =
+  let src = P.Source.xorshift ~seed:3L in
+  let a = Array.init 100 (fun i -> i) in
+  P.Source.shuffle_in_place src a;
+  check_bool "not identity" true (a <> Array.init 100 (fun i -> i))
+
+let source_bool_balanced () =
+  let src = P.Source.marsaglia ~seed:9L in
+  let trues = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if P.Source.bool src then incr trues
+  done;
+  check_bool "roughly fair" true (abs (!trues - (n / 2)) < n / 25)
+
+let source_lrand48_combines_draws () =
+  (* The 32-bit facade over lrand48 must still be deterministic. *)
+  let a = P.Source.lrand48 ~seed:10L in
+  let b = P.Source.lrand48 ~seed:10L in
+  for _ = 1 to 50 do
+    check_int "same" (a.P.Source.next_u32 ()) (b.P.Source.next_u32 ())
+  done
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "known vector" `Quick splitmix_known_vector;
+          Alcotest.test_case "split differs" `Quick splitmix_split_differs;
+        ] );
+      ( "marsaglia",
+        [
+          Alcotest.test_case "deterministic" `Quick marsaglia_deterministic;
+          Alcotest.test_case "range" `Quick marsaglia_range;
+          Alcotest.test_case "seeds differ" `Quick marsaglia_seeds_differ;
+          Alcotest.test_case "zero seed" `Quick marsaglia_zero_seed;
+          Alcotest.test_case "next_in bounds" `Quick marsaglia_next_in_bounds;
+        ] );
+      ( "lrand48",
+        [
+          Alcotest.test_case "posix recurrence" `Quick lrand48_is_posix_lcg;
+          Alcotest.test_case "range" `Quick lrand48_range;
+        ] );
+      ( "xorshift",
+        [
+          Alcotest.test_case "zero seed ok" `Quick xorshift_zero_seed_ok;
+          Alcotest.test_case "float range" `Quick xorshift_float_range;
+          Alcotest.test_case "int uniformish" `Quick xorshift_int_uniformish;
+        ] );
+      ( "source",
+        [
+          QCheck_alcotest.to_alcotest source_int_bounds;
+          QCheck_alcotest.to_alcotest source_shuffle_is_permutation;
+          Alcotest.test_case "shuffle shuffles" `Quick source_shuffle_actually_shuffles;
+          Alcotest.test_case "bool balanced" `Quick source_bool_balanced;
+          Alcotest.test_case "lrand48 facade" `Quick source_lrand48_combines_draws;
+        ] );
+    ]

@@ -1,0 +1,633 @@
+module S = Stz_stats
+
+let checkf msg ?(eps = 1e-4) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_bool = Alcotest.(check bool)
+
+(* Deterministic Box-Muller normal sampler for calibration tests. *)
+let normal_samples ~seed n =
+  let g = Stz_prng.Xorshift.create ~seed in
+  Array.init n (fun _ ->
+      let u1 = Stz_prng.Xorshift.next_float g +. 1e-12 in
+      let u2 = Stz_prng.Xorshift.next_float g in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(* ------------------------------------------------------------------ *)
+(* Special functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let special_gold () =
+  checkf "erf(1)" ~eps:1e-9 0.8427007929497149 (S.Special.erf 1.0);
+  checkf "erf(-1) odd" ~eps:1e-9 (-0.8427007929497149) (S.Special.erf (-1.0));
+  checkf "erfc(2)" ~eps:1e-9 0.004677734981063 (S.Special.erfc 2.0);
+  checkf "log_gamma(5)=ln 24" ~eps:1e-9 (log 24.0) (S.Special.log_gamma 5.0);
+  checkf "log_gamma(0.5)=ln sqrt(pi)" ~eps:1e-9
+    (0.5 *. log Float.pi)
+    (S.Special.log_gamma 0.5)
+
+let gamma_pq_complementary =
+  QCheck.Test.make ~name:"gamma_p + gamma_q = 1" ~count:300
+    QCheck.(pair (float_range 0.1 20.0) (float_range 0.0 40.0))
+    (fun (a, x) ->
+      abs_float (S.Special.gamma_p a x +. S.Special.gamma_q a x -. 1.0) < 1e-9)
+
+let beta_inc_symmetry =
+  QCheck.Test.make ~name:"I_x(a,b) = 1 - I_(1-x)(b,a)" ~count:300
+    QCheck.(triple (float_range 0.2 10.0) (float_range 0.2 10.0) (float_range 0.01 0.99))
+    (fun (a, b, x) ->
+      abs_float (S.Special.beta_inc a b x -. (1.0 -. S.Special.beta_inc b a (1.0 -. x)))
+      < 1e-8)
+
+let beta_inc_monotone () =
+  let prev = ref (-1.0) in
+  for i = 0 to 100 do
+    let x = float_of_int i /. 100.0 in
+    let v = S.Special.beta_inc 2.5 3.5 x in
+    check_bool "monotone nondecreasing" true (v >= !prev -. 1e-12);
+    prev := v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Distributions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let normal_gold () =
+  checkf "cdf(0)" 0.5 (S.Dist.Normal.cdf 0.0);
+  checkf "cdf(1.96)" ~eps:1e-6 0.9750021 (S.Dist.Normal.cdf 1.96);
+  checkf "sf(1.6449)" ~eps:1e-4 0.05 (S.Dist.Normal.sf 1.6449);
+  checkf "quantile(0.975)" ~eps:1e-5 1.959964 (S.Dist.Normal.quantile 0.975);
+  checkf "quantile(0.5)" ~eps:1e-9 0.0 (S.Dist.Normal.quantile 0.5);
+  checkf "pdf(0)" ~eps:1e-9 (1.0 /. sqrt (2.0 *. Float.pi)) (S.Dist.Normal.pdf 0.0)
+
+let normal_quantile_roundtrip =
+  QCheck.Test.make ~name:"quantile (cdf x) = x" ~count:500
+    QCheck.(float_range (-5.0) 5.0)
+    (fun x ->
+      let p = S.Dist.Normal.cdf x in
+      p <= 0.0 || p >= 1.0 || abs_float (S.Dist.Normal.quantile p -. x) < 1e-6)
+
+let student_t_gold () =
+  (* Critical values from standard t tables. *)
+  checkf "t(10) 95%" ~eps:2e-4 0.95 (S.Dist.Student_t.cdf ~df:10.0 1.8125);
+  checkf "t(1) 95%" ~eps:2e-4 0.95 (S.Dist.Student_t.cdf ~df:1.0 6.3138);
+  checkf "t(30) 97.5%" ~eps:2e-4 0.975 (S.Dist.Student_t.cdf ~df:30.0 2.0423);
+  checkf "symmetric" ~eps:1e-9
+    (1.0 -. S.Dist.Student_t.cdf ~df:7.0 1.3)
+    (S.Dist.Student_t.cdf ~df:7.0 (-1.3))
+
+let f_dist_gold () =
+  (* F table: F(0.95; 1, 17) = 4.4513, F(0.95; 2, 10) = 4.1028. *)
+  checkf "F(1,17) upper 5%" ~eps:2e-4 0.05 (S.Dist.F_dist.sf ~df1:1.0 ~df2:17.0 4.4513);
+  checkf "F(2,10) upper 5%" ~eps:2e-4 0.05 (S.Dist.F_dist.sf ~df1:2.0 ~df2:10.0 4.1028);
+  checkf "cdf + sf = 1" ~eps:1e-9
+    1.0
+    (S.Dist.F_dist.cdf ~df1:3.0 ~df2:8.0 2.5 +. S.Dist.F_dist.sf ~df1:3.0 ~df2:8.0 2.5)
+
+let chi2_gold () =
+  checkf "chi2(1) 95%" ~eps:2e-4 0.05 (S.Dist.Chi2.sf ~df:1.0 3.8415);
+  checkf "chi2(5) 95%" ~eps:2e-4 0.05 (S.Dist.Chi2.sf ~df:5.0 11.0705);
+  checkf "chi2(2) cdf is exponential" ~eps:1e-9
+    (1.0 -. exp (-1.5))
+    (S.Dist.Chi2.cdf ~df:2.0 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptive statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let desc_gold () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  checkf "mean" 5.0 (S.Desc.mean xs);
+  checkf "variance" ~eps:1e-9 (32.0 /. 7.0) (S.Desc.variance xs);
+  checkf "median" 4.5 (S.Desc.median xs);
+  checkf "min" 2.0 (S.Desc.min xs);
+  checkf "max" 9.0 (S.Desc.max xs);
+  checkf "q0" 2.0 (S.Desc.quantile xs 0.0);
+  checkf "q1" 9.0 (S.Desc.quantile xs 1.0)
+
+let desc_ranks_ties () =
+  let xs = [| 3.0; 1.0; 4.0; 1.0; 5.0 |] in
+  let r = S.Desc.ranks xs in
+  Alcotest.(check (array (float 1e-9)))
+    "average ranks for ties" [| 3.0; 1.5; 4.0; 1.5; 5.0 |] r
+
+let desc_geometric () =
+  checkf "geomean" ~eps:1e-9 4.0 (S.Desc.geometric_mean [| 2.0; 8.0 |]);
+  Alcotest.check_raises "rejects non-positive"
+    (Invalid_argument "Desc.geometric_mean: requires positive samples")
+    (fun () -> ignore (S.Desc.geometric_mean [| 1.0; -1.0 |]))
+
+let desc_variance_nonneg =
+  QCheck.Test.make ~name:"variance >= 0" ~count:300
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_range (-1000.) 1000.))
+    (fun l ->
+      let xs = Array.of_list l in
+      S.Desc.variance xs >= 0.0)
+
+let desc_quantile_in_range =
+  QCheck.Test.make ~name:"quantile within [min,max]" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.)) (float_range 0. 1.))
+    (fun (l, q) ->
+      let xs = Array.of_list l in
+      let v = S.Desc.quantile xs q in
+      v >= S.Desc.min xs -. 1e-9 && v <= S.Desc.max xs +. 1e-9)
+
+let desc_empty_raises () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Desc.mean: empty input")
+    (fun () -> ignore (S.Desc.mean [||]))
+
+(* ------------------------------------------------------------------ *)
+(* t-tests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let welch_gold () =
+  (* Classic textbook example. *)
+  let a = [| 30.02; 29.99; 30.11; 29.97; 30.01; 29.99 |] in
+  let b = [| 29.89; 29.93; 29.72; 29.98; 30.02; 29.98 |] in
+  let r = S.Ttest.welch a b in
+  checkf "t" ~eps:1e-3 1.959 r.S.Ttest.t;
+  checkf "df" ~eps:0.05 7.03 r.S.Ttest.df;
+  checkf "p" ~eps:2e-3 0.0909 r.S.Ttest.p_value
+
+let two_sample_equal_means () =
+  let a = normal_samples ~seed:1L 50 in
+  let b = normal_samples ~seed:2L 50 in
+  let r = S.Ttest.two_sample a b in
+  check_bool "no significance on same dist" true (r.S.Ttest.p_value > 0.01)
+
+let ttest_detects_shift () =
+  let a = normal_samples ~seed:3L 40 in
+  let b = Array.map (fun x -> x +. 2.0) (normal_samples ~seed:4L 40) in
+  let r = S.Ttest.welch a b in
+  check_bool "detects 2-sigma shift" true (r.S.Ttest.p_value < 1e-6);
+  check_bool "sign of difference" true (r.S.Ttest.mean_difference < 0.0)
+
+let paired_matches_one_sample () =
+  let a = [| 1.0; 2.0; 3.0; 4.5; 6.0 |] in
+  let b = [| 0.5; 2.5; 2.0; 4.0; 5.0 |] in
+  let diffs = Array.init 5 (fun i -> a.(i) -. b.(i)) in
+  let p1 = (S.Ttest.paired a b).S.Ttest.p_value in
+  let p2 = (S.Ttest.one_sample ~mu:0.0 diffs).S.Ttest.p_value in
+  checkf "paired = one-sample on diffs" ~eps:1e-12 p2 p1
+
+let ttest_symmetry =
+  QCheck.Test.make ~name:"welch p symmetric under swap" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a = normal_samples ~seed:(Int64.of_int (s1 + 10)) 12 in
+      let b = Array.map (fun x -> x +. 0.5) (normal_samples ~seed:(Int64.of_int (s2 + 999)) 12) in
+      let p1 = (S.Ttest.welch a b).S.Ttest.p_value in
+      let p2 = (S.Ttest.welch b a).S.Ttest.p_value in
+      abs_float (p1 -. p2) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Wilcoxon                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let wilcoxon_null () =
+  let a = normal_samples ~seed:5L 30 in
+  let b = normal_samples ~seed:6L 30 in
+  let r = S.Wilcoxon.signed_rank a b in
+  check_bool "no significance" true (r.S.Wilcoxon.p_value > 0.01)
+
+let wilcoxon_shift () =
+  let a = normal_samples ~seed:7L 30 in
+  let b = Array.map (fun x -> x +. 1.5) a in
+  let r = S.Wilcoxon.signed_rank a b in
+  check_bool "detects shift" true (r.S.Wilcoxon.p_value < 1e-4)
+
+let wilcoxon_drops_zeros () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let b = [| 1.0; 2.0; 2.0; 5.0; 4.0; 7.0 |] in
+  let r = S.Wilcoxon.signed_rank a b in
+  Alcotest.(check int) "zero differences dropped" 4 r.S.Wilcoxon.n_effective
+
+let wilcoxon_exact_small_sample () =
+  (* Known critical values of the signed-rank null distribution:
+     P(W+ <= 0 | n=5) = 1/32; P(W+ <= 2 | n=8) = 4/256. *)
+  checkf "n=5, w=0" ~eps:1e-12 (1.0 /. 32.0) (S.Wilcoxon.exact_cdf ~n:5 0.0);
+  checkf "n=8, w=2" ~eps:1e-12 (3.0 /. 256.0) (S.Wilcoxon.exact_cdf ~n:8 2.0);
+  checkf "full mass" ~eps:1e-12 1.0 (S.Wilcoxon.exact_cdf ~n:10 55.0);
+  (* A strictly one-sided 6-pair sample: W = 0, exact two-sided
+     p = 2/64 = 0.03125. *)
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let b = [| 1.5; 2.7; 3.1; 4.9; 5.2; 6.4 |] in
+  let r = S.Wilcoxon.signed_rank a b in
+  check_bool "exact path taken" true r.S.Wilcoxon.exact;
+  checkf "exact p" ~eps:1e-12 0.03125 r.S.Wilcoxon.p_value
+
+let wilcoxon_exact_agrees_with_normal_approx () =
+  (* At n = 25 the exact and approximate p-values should be close. *)
+  let g = Stz_prng.Xorshift.create ~seed:77L in
+  let a = Array.init 25 (fun i -> float_of_int i +. Stz_prng.Xorshift.next_float g) in
+  let b =
+    Array.mapi (fun i x -> x +. 0.4 +. (0.3 *. sin (float_of_int i))) a
+  in
+  let exact = S.Wilcoxon.signed_rank a b in
+  check_bool "exact used" true exact.S.Wilcoxon.exact;
+  (* Force the approximation path by going one sample over the cutoff. *)
+  let a26 = Array.append a [| 100.0 |] in
+  let b26 = Array.append b [| 100.7 |] in
+  let approx = S.Wilcoxon.signed_rank a26 b26 in
+  check_bool "approx used" false approx.S.Wilcoxon.exact;
+  check_bool
+    (Printf.sprintf "p-values in the same regime (%.4f vs %.4f)"
+       exact.S.Wilcoxon.p_value approx.S.Wilcoxon.p_value)
+    true
+    (abs_float (exact.S.Wilcoxon.p_value -. approx.S.Wilcoxon.p_value) < 0.05)
+
+let student_t_quantile_roundtrip () =
+  List.iter
+    (fun df ->
+      List.iter
+        (fun p ->
+          let q = S.Dist.Student_t.quantile ~df p in
+          checkf (Printf.sprintf "cdf(quantile) df=%g p=%g" df p) ~eps:1e-9 p
+            (S.Dist.Student_t.cdf ~df q))
+        [ 0.01; 0.1; 0.5; 0.9; 0.975; 0.999 ])
+    [ 1.0; 3.0; 10.0; 30.0 ];
+  (* Table value: t(0.975, 3) = 3.1824. *)
+  checkf "critical value" ~eps:1e-3 3.1824 (S.Dist.Student_t.quantile ~df:3.0 0.975)
+
+let rank_sum_detects () =
+  let a = normal_samples ~seed:8L 25 in
+  let b = Array.map (fun x -> x +. 2.0) (normal_samples ~seed:9L 35) in
+  let r = S.Wilcoxon.rank_sum a b in
+  check_bool "detects shift" true (r.S.Wilcoxon.p_value < 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Shapiro-Wilk                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shapiro_normal_scores () =
+  (* Perfect normal scores: W should be very close to 1. *)
+  let xs =
+    Array.init 30 (fun i ->
+        S.Dist.Normal.quantile ((float_of_int i +. 0.625) /. 30.25))
+  in
+  let r = S.Shapiro.test xs in
+  check_bool "W near 1" true (r.S.Shapiro.w > 0.99);
+  check_bool "not rejected" true (r.S.Shapiro.p_value > 0.5)
+
+let shapiro_rejects_exponential () =
+  let xs =
+    Array.init 30 (fun i -> -.log (1.0 -. ((float_of_int i +. 0.5) /. 30.0)))
+  in
+  let r = S.Shapiro.test xs in
+  check_bool "rejected" true (r.S.Shapiro.p_value < 0.01)
+
+let shapiro_rejects_bimodal () =
+  let xs = Array.init 40 (fun i -> if i < 20 then 0.0 +. (0.01 *. float_of_int i) else 10.0 +. (0.01 *. float_of_int i)) in
+  let r = S.Shapiro.test xs in
+  check_bool "bimodal rejected" true (r.S.Shapiro.p_value < 0.01)
+
+let shapiro_calibration () =
+  (* Under H0 the rejection rate at alpha must be close to alpha. *)
+  let trials = 500 in
+  let rejected = ref 0 in
+  for t = 1 to trials do
+    let xs = normal_samples ~seed:(Int64.of_int (t * 7919)) 30 in
+    if (S.Shapiro.test xs).S.Shapiro.p_value < 0.05 then incr rejected
+  done;
+  let rate = float_of_int !rejected /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "rejection rate %.3f within [0.02, 0.09]" rate)
+    true
+    (rate > 0.02 && rate < 0.09)
+
+let shapiro_small_n () =
+  (* The n <= 11 branch. *)
+  let xs = [| 148.; 154.; 158.; 160.; 161.; 162.; 166.; 170.; 182.; 195.; 236. |] in
+  let r = S.Shapiro.test xs in
+  (* This sample (Royston's weight data) is clearly right-skewed. *)
+  check_bool "skewed data flagged" true (r.S.Shapiro.p_value < 0.05);
+  check_bool "W sensible" true (r.S.Shapiro.w > 0.5 && r.S.Shapiro.w < 0.95)
+
+let shapiro_errors () =
+  Alcotest.check_raises "n < 3" (Invalid_argument "Shapiro.test: needs n >= 3")
+    (fun () -> ignore (S.Shapiro.test [| 1.0; 2.0 |]));
+  Alcotest.check_raises "zero range"
+    (Invalid_argument "Shapiro.test: sample range is zero") (fun () ->
+      ignore (S.Shapiro.test [| 5.0; 5.0; 5.0; 5.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Levene / Brown-Forsythe                                             *)
+(* ------------------------------------------------------------------ *)
+
+let brown_forsythe_null () =
+  let a = normal_samples ~seed:11L 40 in
+  let b = normal_samples ~seed:12L 40 in
+  let r = S.Levene.brown_forsythe [ a; b ] in
+  check_bool "equal variances accepted" true (r.S.Levene.p_value > 0.01)
+
+let brown_forsythe_detects () =
+  let a = normal_samples ~seed:13L 40 in
+  let b = Array.map (fun x -> x *. 5.0) (normal_samples ~seed:14L 40) in
+  let r = S.Levene.brown_forsythe [ a; b ] in
+  check_bool "detects 5x scale" true (r.S.Levene.p_value < 0.001)
+
+let levene_mean_variant () =
+  let a = normal_samples ~seed:15L 30 in
+  let b = Array.map (fun x -> x *. 4.0) (normal_samples ~seed:16L 30) in
+  let r = S.Levene.levene_mean [ a; b ] in
+  check_bool "mean-centered variant detects" true (r.S.Levene.p_value < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* ANOVA                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let anova_within_equals_paired_t () =
+  (* For two treatments, within-subjects ANOVA is the paired t-test:
+     F = t^2 and identical p-values. *)
+  let a = [| 10.1; 11.2; 9.8; 10.6; 12.0; 10.9; 11.4; 9.9 |] in
+  let b = [| 10.4; 11.5; 9.9; 11.1; 12.1; 11.2; 11.9; 10.3 |] in
+  let data = Array.init 8 (fun i -> [| a.(i); b.(i) |]) in
+  let anova = S.Anova.within_subjects data in
+  let t = S.Ttest.paired a b in
+  checkf "F = t^2" ~eps:1e-6 (t.S.Ttest.t *. t.S.Ttest.t) anova.S.Anova.f;
+  checkf "same p" ~eps:1e-6 t.S.Ttest.p_value anova.S.Anova.p_value
+
+let anova_partitions_subjects () =
+  (* Large between-subject differences must not mask a consistent
+     treatment effect. *)
+  let data =
+    Array.init 10 (fun i ->
+        let base = float_of_int (i * 100) in
+        [| base; base +. 1.0 |])
+  in
+  let r = S.Anova.within_subjects data in
+  check_bool "consistent +1 effect found" true (r.S.Anova.p_value < 1e-6);
+  check_bool "subjects SS captured" true (r.S.Anova.ss_subjects > 1000.0)
+
+let anova_one_way_null () =
+  let groups =
+    [ normal_samples ~seed:17L 25; normal_samples ~seed:18L 25; normal_samples ~seed:19L 25 ]
+  in
+  let r = S.Anova.one_way groups in
+  check_bool "null accepted" true (r.S.Anova.p_value > 0.01)
+
+let anova_one_way_effect () =
+  let groups =
+    [
+      normal_samples ~seed:20L 25;
+      Array.map (fun x -> x +. 3.0) (normal_samples ~seed:21L 25);
+      normal_samples ~seed:22L 25;
+    ]
+  in
+  let r = S.Anova.one_way groups in
+  check_bool "effect found" true (r.S.Anova.p_value < 1e-6);
+  check_bool "eta^2 meaningful" true (r.S.Anova.eta_squared > 0.3)
+
+let anova_one_way_equals_t_squared () =
+  (* For two independent groups, one-way ANOVA is the pooled-variance
+     two-sample t-test: F = t^2, identical p. *)
+  let a = normal_samples ~seed:50L 14 in
+  let b = Array.map (fun x -> x +. 0.7) (normal_samples ~seed:51L 20) in
+  let anova = S.Anova.one_way [ a; b ] in
+  let t = S.Ttest.two_sample a b in
+  checkf "F = t^2" ~eps:1e-8 (t.S.Ttest.t *. t.S.Ttest.t) anova.S.Anova.f;
+  checkf "same p" ~eps:1e-8 t.S.Ttest.p_value anova.S.Anova.p_value
+
+let anova_ragged_raises () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Anova.within_subjects: ragged data matrix") (fun () ->
+      ignore (S.Anova.within_subjects [| [| 1.0; 2.0 |]; [| 1.0 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* QQ                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let qq_normal_correlation () =
+  let xs = normal_samples ~seed:23L 100 in
+  check_bool "correlation near 1" true (S.Qq.correlation xs > 0.98)
+
+let qq_exponential_lower () =
+  let xs = Array.init 100 (fun i -> -.log (1.0 -. ((float_of_int i +. 0.5) /. 100.0))) in
+  check_bool "worse than normal data" true (S.Qq.correlation xs < 0.97)
+
+let qq_line_slope_is_scale () =
+  let xs = Array.map (fun x -> (x *. 3.0) +. 10.0) (normal_samples ~seed:24L 2000) in
+  let slope, intercept = S.Qq.line xs in
+  check_bool "slope near 3" true (abs_float (slope -. 3.0) < 0.3);
+  check_bool "intercept near 10" true (abs_float (intercept -. 10.0) < 0.3)
+
+let qq_points_normalized () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let pts = S.Qq.points ~shift:2.5 ~scale:0.5 xs in
+  Alcotest.(check int) "count" 4 (Array.length pts);
+  checkf "first observed" ~eps:1e-9 (-3.0) pts.(0).S.Qq.observed
+
+let qq_ascii_smoke () =
+  let xs = normal_samples ~seed:25L 30 in
+  let s = S.Qq.ascii_plot (S.Qq.points xs) in
+  check_bool "plot non-empty" true (String.length s > 100);
+  check_bool "has points" true (String.contains s 'o')
+
+(* ------------------------------------------------------------------ *)
+(* Effect sizes and confidence intervals                               *)
+(* ------------------------------------------------------------------ *)
+
+let cohen_d_gold () =
+  (* Means 0 and 1, both sd = 1 -> d = -1. *)
+  let a = normal_samples ~seed:30L 4000 in
+  let b = Array.map (fun x -> x +. 1.0) (normal_samples ~seed:31L 4000) in
+  let d = S.Effect.cohen_d a b in
+  check_bool "d near -1" true (abs_float (d +. 1.0) < 0.1)
+
+let hedges_smaller_than_cohen () =
+  let a = normal_samples ~seed:32L 10 in
+  let b = Array.map (fun x -> x +. 1.0) (normal_samples ~seed:33L 10) in
+  check_bool "bias correction shrinks magnitude" true
+    (abs_float (S.Effect.hedges_g a b) < abs_float (S.Effect.cohen_d a b))
+
+let mean_ci_gold () =
+  (* Known example: n=4, mean 10, sd 2 -> half-width t(3,0.975)*2/2 = 3.1824*1 *)
+  let xs = [| 8.0; 10.0; 10.0; 12.0 |] in
+  let lo, hi = S.Effect.mean_ci xs in
+  checkf "center" ~eps:1e-9 10.0 ((lo +. hi) /. 2.0);
+  let sd = S.Desc.std_dev xs in
+  checkf "half width" ~eps:1e-3 (3.1824 *. sd /. 2.0) ((hi -. lo) /. 2.0)
+
+let mean_ci_coverage () =
+  (* Monte-Carlo: the 95% CI must contain the true mean ~95% of the time. *)
+  let trials = 400 in
+  let hits = ref 0 in
+  for t = 1 to trials do
+    let xs = normal_samples ~seed:(Int64.of_int (t * 131)) 15 in
+    let lo, hi = S.Effect.mean_ci xs in
+    if lo <= 0.0 && 0.0 <= hi then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  check_bool (Printf.sprintf "coverage %.3f in [0.90, 0.99]" rate) true
+    (rate > 0.90 && rate < 0.99)
+
+let bootstrap_ci_sane () =
+  let xs = normal_samples ~seed:40L 50 in
+  let lo, hi = S.Effect.bootstrap_ci ~seed:1L ~statistic:S.Desc.mean xs in
+  let m = S.Desc.mean xs in
+  check_bool "contains sample mean" true (lo <= m && m <= hi);
+  check_bool "nonzero width" true (hi > lo);
+  (* Deterministic by seed. *)
+  let lo2, hi2 = S.Effect.bootstrap_ci ~seed:1L ~statistic:S.Desc.mean xs in
+  checkf "lo deterministic" ~eps:0.0 lo lo2;
+  checkf "hi deterministic" ~eps:0.0 hi hi2
+
+let speedup_ci_contains_ratio () =
+  let a = Array.map (fun x -> 10.0 +. x) (normal_samples ~seed:41L 40) in
+  let b = Array.map (fun x -> 8.0 +. x) (normal_samples ~seed:42L 40) in
+  let lo, hi = S.Effect.speedup_ci ~seed:2L a b in
+  check_bool "covers ~1.25" true (lo < 1.25 && 1.25 < hi);
+  check_bool "excludes 1.0" true (lo > 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Power analysis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let power_textbook_values () =
+  (* Classic rules of thumb: d = 0.5 needs ~64 per group for 80% power;
+     d = 1.0 needs ~17; d = 0.2 needs ~393. *)
+  check_bool "medium effect" true
+    (abs (S.Power.required_runs ~effect:0.5 () - 64) <= 2);
+  check_bool "large effect" true
+    (abs (S.Power.required_runs ~effect:1.0 () - 17) <= 2);
+  check_bool "small effect" true
+    (abs (S.Power.required_runs ~effect:0.2 () - 393) <= 8)
+
+let power_monotone () =
+  let p n = S.Power.two_sample ~effect:0.5 ~n () in
+  check_bool "power rises with n" true (p 10 < p 20 && p 20 < p 80);
+  let q d = S.Power.two_sample ~effect:d ~n:30 () in
+  check_bool "power rises with effect" true (q 0.2 < q 0.5 && q 0.5 < q 1.0);
+  check_bool "alpha = power under the null... effect 0" true
+    (abs_float (S.Power.two_sample ~effect:0.0 ~n:30 () -. 0.05) < 0.01)
+
+let power_roundtrips () =
+  (* required_runs and two_sample agree at the boundary. *)
+  let n = S.Power.required_runs ~effect:0.4 ~power:0.9 () in
+  check_bool "reaches target" true (S.Power.two_sample ~effect:0.4 ~n () >= 0.9);
+  check_bool "minimal" true (S.Power.two_sample ~effect:0.4 ~n:(n - 1) () < 0.9);
+  (* detectable_effect inverts two_sample. *)
+  let d = S.Power.detectable_effect ~n:25 () in
+  checkf "inverse" ~eps:1e-3 0.8 (S.Power.two_sample ~effect:d ~n:25 ())
+
+let power_calibration () =
+  (* Monte-Carlo check: simulated t-tests reject at about the predicted
+     rate for d = 0.8, n = 20. *)
+  let n = 20 and d = 0.8 in
+  let predicted = S.Power.two_sample ~effect:d ~n () in
+  let trials = 400 in
+  let rejected = ref 0 in
+  for t = 1 to trials do
+    let a = normal_samples ~seed:(Int64.of_int (t * 37)) n in
+    let b =
+      Array.map (fun x -> x +. d) (normal_samples ~seed:(Int64.of_int ((t * 37) + 1)) n)
+    in
+    if (S.Ttest.two_sample a b).S.Ttest.p_value < 0.05 then incr rejected
+  done;
+  let observed = float_of_int !rejected /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "observed %.3f near predicted %.3f" observed predicted)
+    true
+    (abs_float (observed -. predicted) < 0.08)
+
+let power_effect_of_speedup () =
+  checkf "1%% at cv 0.5%% is d = 2" ~eps:1e-9 2.0
+    (S.Power.effect_of_speedup ~speedup:1.01 ~cv:0.005);
+  checkf "symmetric for slowdowns" ~eps:1e-9 2.0
+    (S.Power.effect_of_speedup ~speedup:0.99 ~cv:0.005)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "gold values" `Quick special_gold;
+          QCheck_alcotest.to_alcotest gamma_pq_complementary;
+          QCheck_alcotest.to_alcotest beta_inc_symmetry;
+          Alcotest.test_case "beta monotone" `Quick beta_inc_monotone;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "normal gold" `Quick normal_gold;
+          QCheck_alcotest.to_alcotest normal_quantile_roundtrip;
+          Alcotest.test_case "student-t gold" `Quick student_t_gold;
+          Alcotest.test_case "F gold" `Quick f_dist_gold;
+          Alcotest.test_case "chi2 gold" `Quick chi2_gold;
+        ] );
+      ( "desc",
+        [
+          Alcotest.test_case "gold" `Quick desc_gold;
+          Alcotest.test_case "ranks with ties" `Quick desc_ranks_ties;
+          Alcotest.test_case "geometric mean" `Quick desc_geometric;
+          QCheck_alcotest.to_alcotest desc_variance_nonneg;
+          QCheck_alcotest.to_alcotest desc_quantile_in_range;
+          Alcotest.test_case "empty raises" `Quick desc_empty_raises;
+        ] );
+      ( "ttest",
+        [
+          Alcotest.test_case "welch gold" `Quick welch_gold;
+          Alcotest.test_case "null accepted" `Quick two_sample_equal_means;
+          Alcotest.test_case "detects shift" `Quick ttest_detects_shift;
+          Alcotest.test_case "paired = one-sample" `Quick paired_matches_one_sample;
+          QCheck_alcotest.to_alcotest ttest_symmetry;
+        ] );
+      ( "wilcoxon",
+        [
+          Alcotest.test_case "null" `Quick wilcoxon_null;
+          Alcotest.test_case "shift" `Quick wilcoxon_shift;
+          Alcotest.test_case "drops zeros" `Quick wilcoxon_drops_zeros;
+          Alcotest.test_case "rank-sum" `Quick rank_sum_detects;
+          Alcotest.test_case "exact small-sample" `Quick wilcoxon_exact_small_sample;
+          Alcotest.test_case "exact vs approx" `Quick wilcoxon_exact_agrees_with_normal_approx;
+          Alcotest.test_case "t quantile" `Quick student_t_quantile_roundtrip;
+        ] );
+      ( "shapiro",
+        [
+          Alcotest.test_case "normal scores" `Quick shapiro_normal_scores;
+          Alcotest.test_case "rejects exponential" `Quick shapiro_rejects_exponential;
+          Alcotest.test_case "rejects bimodal" `Quick shapiro_rejects_bimodal;
+          Alcotest.test_case "calibrated" `Slow shapiro_calibration;
+          Alcotest.test_case "small n branch" `Quick shapiro_small_n;
+          Alcotest.test_case "errors" `Quick shapiro_errors;
+        ] );
+      ( "levene",
+        [
+          Alcotest.test_case "null" `Quick brown_forsythe_null;
+          Alcotest.test_case "detects scale" `Quick brown_forsythe_detects;
+          Alcotest.test_case "mean variant" `Quick levene_mean_variant;
+        ] );
+      ( "anova",
+        [
+          Alcotest.test_case "within = paired t" `Quick anova_within_equals_paired_t;
+          Alcotest.test_case "partitions subjects" `Quick anova_partitions_subjects;
+          Alcotest.test_case "one-way null" `Quick anova_one_way_null;
+          Alcotest.test_case "one-way effect" `Quick anova_one_way_effect;
+          Alcotest.test_case "one-way = t^2" `Quick anova_one_way_equals_t_squared;
+          Alcotest.test_case "ragged raises" `Quick anova_ragged_raises;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "textbook values" `Quick power_textbook_values;
+          Alcotest.test_case "monotone" `Quick power_monotone;
+          Alcotest.test_case "roundtrips" `Quick power_roundtrips;
+          Alcotest.test_case "calibrated" `Slow power_calibration;
+          Alcotest.test_case "speedup conversion" `Quick power_effect_of_speedup;
+        ] );
+      ( "effect",
+        [
+          Alcotest.test_case "cohen d" `Quick cohen_d_gold;
+          Alcotest.test_case "hedges g" `Quick hedges_smaller_than_cohen;
+          Alcotest.test_case "mean CI gold" `Quick mean_ci_gold;
+          Alcotest.test_case "mean CI coverage" `Slow mean_ci_coverage;
+          Alcotest.test_case "bootstrap CI" `Quick bootstrap_ci_sane;
+          Alcotest.test_case "speedup CI" `Quick speedup_ci_contains_ratio;
+        ] );
+      ( "qq",
+        [
+          Alcotest.test_case "normal correlation" `Quick qq_normal_correlation;
+          Alcotest.test_case "exponential lower" `Quick qq_exponential_lower;
+          Alcotest.test_case "line slope" `Quick qq_line_slope_is_scale;
+          Alcotest.test_case "normalized points" `Quick qq_points_normalized;
+          Alcotest.test_case "ascii smoke" `Quick qq_ascii_smoke;
+        ] );
+    ]
