@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- reloc     -- §3.5 relocation-table ABIs
      dune exec bench/main.exe -- adaptive  -- §8 adaptive re-randomization
      dune exec bench/main.exe -- predictor -- §8 predictor structure
+     dune exec bench/main.exe -- faults    -- supervised campaigns under faults
      dune exec bench/main.exe -- perf      -- Bechamel microbenchmarks
 
    Environment knobs: STZ_RUNS (default 30) and STZ_SCALE (default 1.0)
@@ -528,6 +529,48 @@ let run_predictor_ablation () =
     [ ("bimodal", Stz_machine.Branch.Bimodal); ("gshare", Stz_machine.Branch.Gshare 8) ]
 
 (* ------------------------------------------------------------------ *)
+(* E7: supervised campaigns under fault injection                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_faults () =
+  heading "E7 Supervised campaigns under fault injection";
+  Printf.printf
+    "Per benchmark and fault profile: surviving sample after bounded retry\n\
+     and quarantine, censored runs by final class, and whether the min-N\n\
+     gate still admits a verdict against a clean campaign of equal size.\n\n";
+  let module F = Stz_faults.Fault in
+  let profiles = [ ("none", F.none); ("light", F.light); ("heavy", F.heavy) ] in
+  let min_n = max 3 (runs / 3) in
+  Printf.printf "%-12s %-6s | %9s %7s %7s %7s | %s\n" "benchmark" "faults"
+    "completed" "retried" "quarant" "censord" "verdict vs clean";
+  List.iter
+    (fun prof ->
+      let p = W.Generate.program prof in
+      let clean =
+        S.Driver.campaign ~config:S.Config.stabilizer ~opt:Opt.O2 ~base_seed:1L
+          ~runs ~args p
+      in
+      List.iter
+        (fun (name, profile) ->
+          let c =
+            S.Driver.campaign ~profile ~config:S.Config.stabilizer ~opt:Opt.O2
+              ~base_seed:2L ~runs ~args p
+          in
+          let s = S.Supervisor.summarize c in
+          let verdict =
+            S.Experiment.describe_gated (S.Supervisor.verdict ~min_n clean c)
+          in
+          Printf.printf "%-12s %-6s | %5d/%3d %7d %7d %7d | %s\n"
+            prof.W.Profile.name name s.S.Supervisor.completed
+            s.S.Supervisor.runs s.S.Supervisor.retried_runs
+            s.S.Supervisor.quarantined s.S.Supervisor.censored verdict;
+          progress "#%!")
+        profiles;
+      Printf.printf "\n")
+    (match suite with a :: b :: c :: _ -> [ a; b; c ] | s -> s);
+  progress "\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrate itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -603,7 +646,7 @@ let run_perf () =
 let usage () =
   print_endline
     "usage: main.exe [nist|normality|overhead|optimizations|anova|bias|table2|\
-     ablations|reloc|adaptive|predictor|perf|all]"
+     ablations|reloc|adaptive|predictor|faults|perf|all]"
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -620,6 +663,7 @@ let () =
   | "reloc" -> run_reloc_styles ()
   | "predictor" -> run_predictor_ablation ()
   | "adaptive" -> run_adaptive ()
+  | "faults" -> run_faults ()
   | "perf" -> run_perf ()
   | "all" ->
       run_nist ();
@@ -632,6 +676,7 @@ let () =
       run_ablations ();
       run_reloc_styles ();
       run_adaptive ();
-      run_predictor_ablation ()
+      run_predictor_ablation ();
+      run_faults ()
   | _ -> usage ());
   Printf.eprintf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -103,6 +103,42 @@ let lookup_bench name scale =
   | Some prof -> Ok (Stz_workloads.Profile.scale scale prof)
   | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S; try `szc list'" name))
 
+let faults_term =
+  let fault_conv =
+    Arg.conv
+      ( (fun s ->
+          match Stz_faults.Fault.profile_of_string s with
+          | Ok p -> Ok p
+          | Error e -> Error (`Msg e)),
+        fun fmt p -> Format.pp_print_string fmt (Stz_faults.Fault.fingerprint p) )
+  in
+  Arg.(
+    value
+    & opt fault_conv Stz_faults.Fault.none
+    & info [ "faults" ] ~docv:"PROFILE"
+        ~doc:
+          "Fault-injection profile: none, light, heavy, chaos, or a \
+           key=prob list over fuel, depth, oom, preempt, poison (e.g. \
+           $(b,fuel=0.1,oom=0.05)).")
+
+let min_n_term =
+  Arg.(
+    value & opt int 3
+    & info [ "min-n" ] ~docv:"N"
+        ~doc:
+          "Minimum uncensored runs per side below which no verdict is \
+           emitted (exit code 2).")
+
+let retries_term =
+  Arg.(
+    value
+    & opt int Stabilizer.Supervisor.default_policy.Stabilizer.Supervisor.max_retries
+    & info [ "retries" ] ~docv:"K"
+        ~doc:"Retry attempts per failed run, each with a fresh derived seed.")
+
+let policy_of retries =
+  { Stabilizer.Supervisor.default_policy with Stabilizer.Supervisor.max_retries = retries }
+
 (* ------------------------------------------------------------------ *)
 (* szc list                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -121,7 +157,8 @@ let list_cmd =
              0 p.Stz_vm.Ir.funcs)
           prof.Stz_workloads.Profile.heap_churn
           (Stz_vm.Ir.program_size_bytes p))
-      Stz_workloads.Spec.all
+      Stz_workloads.Spec.all;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.") Term.(const run $ const ())
 
@@ -168,7 +205,7 @@ let run_cmd =
         (if sw.Stz_stats.Shapiro.p_value >= 0.05 then "plausibly normal"
          else "not normal")
     end;
-    Ok ()
+    Ok 0
   in
   let term =
     Term.(
@@ -197,29 +234,41 @@ let compare_cmd =
           | None -> Error (`Msg ("unknown optimization level " ^ s))),
         fun fmt l -> Format.pp_print_string fmt (Stz_vm.Opt.level_to_string l) )
   in
-  let run bench runs seed scale config opt_a opt_b =
+  let run bench runs seed scale config opt_a opt_b profile min_n retries =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
-    let c =
-      Stabilizer.Driver.compare_opt_levels ~config ~base_seed:(Int64.of_int seed)
-        ~runs ~args:Stz_workloads.Generate.default_args opt_a opt_b p
+    let a, b, verdict =
+      Stabilizer.Driver.compare_campaigns ~policy:(policy_of retries) ~profile
+        ~min_n ~config ~base_seed:(Int64.of_int seed) ~runs
+        ~args:Stz_workloads.Generate.default_args opt_a opt_b p
     in
     Printf.printf "# %s: %s vs %s under %s (%d runs each)\n" bench
       (Stz_vm.Opt.level_to_string opt_a)
       (Stz_vm.Opt.level_to_string opt_b)
       (Stabilizer.Config.describe config)
       runs;
-    Printf.printf "mean %s = %.6f s, mean %s = %.6f s\n"
+    Printf.printf "%s campaign: %s\n"
       (Stz_vm.Opt.level_to_string opt_a)
-      c.Stabilizer.Experiment.mean_a
+      (Stabilizer.Report.campaign_line (Stabilizer.Supervisor.summarize a));
+    Printf.printf "%s campaign: %s\n"
       (Stz_vm.Opt.level_to_string opt_b)
-      c.Stabilizer.Experiment.mean_b;
-    Printf.printf "speedup of %s over %s: %.4f\n"
-      (Stz_vm.Opt.level_to_string opt_b)
-      (Stz_vm.Opt.level_to_string opt_a)
-      c.Stabilizer.Experiment.speedup;
-    Printf.printf "%s\n" (Stabilizer.Experiment.describe c);
-    Ok ()
+      (Stabilizer.Report.campaign_line (Stabilizer.Supervisor.summarize b));
+    (match verdict with
+    | Stabilizer.Experiment.Verdict c ->
+        Printf.printf "mean %s = %.6f s, mean %s = %.6f s\n"
+          (Stz_vm.Opt.level_to_string opt_a)
+          c.Stabilizer.Experiment.mean_a
+          (Stz_vm.Opt.level_to_string opt_b)
+          c.Stabilizer.Experiment.mean_b;
+        Printf.printf "speedup of %s over %s: %.4f\n"
+          (Stz_vm.Opt.level_to_string opt_b)
+          (Stz_vm.Opt.level_to_string opt_a)
+          c.Stabilizer.Experiment.speedup
+    | Stabilizer.Experiment.Insufficient _ -> ());
+    Printf.printf "%s\n" (Stabilizer.Experiment.describe_gated verdict);
+    match verdict with
+    | Stabilizer.Experiment.Verdict _ -> Ok 0
+    | Stabilizer.Experiment.Insufficient _ -> Ok 2
   in
   let term =
     Term.(
@@ -230,11 +279,15 @@ let compare_cmd =
             & info [ "opt-a" ] ~docv:"LEVEL" ~doc:"First optimization level.")
         $ Arg.(
             value & opt opt_conv Stz_vm.Opt.O2
-            & info [ "opt-b" ] ~docv:"LEVEL" ~doc:"Second optimization level.")))
+            & info [ "opt-b" ] ~docv:"LEVEL" ~doc:"Second optimization level.")
+        $ faults_term $ min_n_term $ retries_term))
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Statistically compare two optimization levels of a benchmark.")
+       ~doc:
+         "Statistically compare two optimization levels of a benchmark \
+          (supervised campaigns; exit 2 when censoring leaves fewer than \
+          --min-n usable runs).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -246,7 +299,8 @@ let nist_cmd =
     Printf.printf "# NIST SP 800-22 over heap-address index bits (paper #3.2)\n";
     List.iter
       (fun r -> Format.printf "%a@." Stabilizer.Heap_randomness.pp_report r)
-      (Stabilizer.Heap_randomness.table ~seed:(Int64.of_int seed) ())
+      (Stabilizer.Heap_randomness.table ~seed:(Int64.of_int seed) ());
+    0
   in
   Cmd.v
     (Cmd.info "nist" ~doc:"Randomness of allocator address streams (paper #3.2).")
@@ -275,7 +329,7 @@ let disasm_cmd =
     Array.iteri
       (fun i f -> if i < funcs then Format.printf "%a@." Stz_vm.Ir.pp_func f)
       p.Stz_vm.Ir.funcs;
-    Ok ()
+    Ok 0
   in
   let term =
     Term.(
@@ -326,7 +380,7 @@ let power_cmd =
     Printf.printf
       "with the pilot's %d runs you can detect changes of about %.2f%%\n" runs
       detectable;
-    Ok ()
+    Ok 0
   in
   let term =
     Term.(
@@ -366,7 +420,7 @@ let exec_cmd =
         Printf.printf "cycles = %d (%.6f s) under %s\n" r.Stabilizer.Runtime.cycles
           r.Stabilizer.Runtime.virtual_seconds
           (Stabilizer.Config.describe config);
-        Ok ()
+        Ok 0
   in
   let term =
     Term.(
@@ -421,7 +475,7 @@ let profile_cmd =
                 *. float_of_int e.Stabilizer.Profiler.exclusive_cycles
                 /. float_of_int (max 1 r.Stabilizer.Runtime.cycles)))
           entries);
-    Ok ()
+    Ok 0
   in
   let term =
     Term.(
@@ -437,13 +491,246 @@ let profile_cmd =
        ~doc:"Per-function cycle attribution for one run (paper §8's counters).")
     term
 
+(* ------------------------------------------------------------------ *)
+(* szc campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let run bench runs seed scale opt csv config profile min_n retries checkpoint
+      resume quiet =
+    let* prof = lookup_bench bench scale in
+    let p = Stz_workloads.Generate.program prof in
+    match
+      Stabilizer.Driver.campaign ~policy:(policy_of retries) ~profile
+        ?checkpoint ~resume
+        ~on_record:(fun r ->
+          if not quiet then
+            Printf.printf "run %3d: %s%s\n%!" r.Stabilizer.Supervisor.run
+              (match r.Stabilizer.Supervisor.outcome with
+              | Stabilizer.Supervisor.Done d ->
+                  Printf.sprintf "%10d cycles (%.6f s)" d.Stabilizer.Supervisor.cycles
+                    d.Stabilizer.Supervisor.seconds
+              | Stabilizer.Supervisor.Trapped cls ->
+                  "censored: " ^ Stz_faults.Fault.class_to_string cls
+              | Stabilizer.Supervisor.Budget_exceeded -> "censored: budget-exceeded"
+              | Stabilizer.Supervisor.Invalid_result -> "censored: invalid-result")
+              (if r.Stabilizer.Supervisor.retries > 0 then
+                 Printf.sprintf "  (retries=%d)" r.Stabilizer.Supervisor.retries
+               else ""))
+        ~config ~opt ~base_seed:(Int64.of_int seed) ~runs
+        ~args:Stz_workloads.Generate.default_args p
+    with
+    | exception Stabilizer.Supervisor.Mismatch msg ->
+        Printf.eprintf "szc: campaign aborted: %s\n" msg;
+        Ok 3
+    | campaign ->
+        let summary = Stabilizer.Supervisor.summarize campaign in
+        (match csv with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Stabilizer.Report.csv_of_campaign campaign);
+            close_out oc;
+            Printf.printf "# wrote %s\n" path
+        | None -> ());
+        Printf.printf "# %s under %s, %s, %d runs, faults %s\n" bench
+          (Stabilizer.Config.describe config)
+          (Stz_vm.Opt.level_to_string opt)
+          runs
+          (Stz_faults.Fault.fingerprint profile);
+        Printf.printf "%s\n" (Stabilizer.Report.campaign_line summary);
+        let times = Stabilizer.Supervisor.times campaign in
+        if Array.length times > 0 then
+          Printf.printf "%s\n" (Stabilizer.Report.summary_line times);
+        if summary.Stabilizer.Supervisor.completed = 0 then begin
+          Printf.eprintf "szc: campaign aborted: every run was censored\n";
+          Ok 3
+        end
+        else if summary.Stabilizer.Supervisor.completed < min_n then begin
+          Printf.printf
+            "no verdict possible: %d uncensored runs, need %d (exit 2)\n"
+            summary.Stabilizer.Supervisor.completed min_n;
+          Ok 2
+        end
+        else Ok 0
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ runs_term $ seed_term $ scale_term $ opt_term
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "csv" ] ~docv:"FILE"
+                ~doc:"Write the long-format outcome CSV (one row per run).")
+        $ config_term $ faults_term $ min_n_term $ retries_term
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "checkpoint" ] ~docv:"FILE"
+                ~doc:"JSON checkpoint file, written as runs finish.")
+        $ flag [ "resume" ]
+            "Resume the campaign from --checkpoint if the file exists."
+        $ flag [ "quiet" ] "Suppress per-run progress lines."))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a supervised, resumable experiment campaign: per-run fault \
+          classification, bounded retry with fresh seeds, seed quarantine, \
+          calibrated budgets, JSON checkpoint/resume. Exit codes: 0 enough \
+          uncensored runs, 2 fewer than --min-n, 3 aborted.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc selftest                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let selftest_cmd =
+  let module S = Stabilizer in
+  let module F = Stz_faults.Fault in
+  let run budget seed =
+    let t0 = Sys.time () in
+    let within_budget () = Sys.time () -. t0 < float_of_int budget in
+    let failures = ref [] in
+    let check name ok = if not ok then failures := name :: !failures in
+    let tiny =
+      {
+        Stz_workloads.Profile.default with
+        Stz_workloads.Profile.name = "selftest";
+        functions = 8;
+        hot_functions = 4;
+        iterations = 12;
+        inner_trips = 6;
+        seed = 0x5E1F_7E57L;
+      }
+    in
+    let p = Stz_workloads.Generate.program tiny in
+    let config = S.Config.stabilizer in
+    let base_seed = Int64.of_int seed in
+    let policy = { S.Supervisor.default_policy with S.Supervisor.max_retries = 2 } in
+    let campaign ?checkpoint ?(resume = false) profile =
+      S.Supervisor.run_campaign ~policy ~profile ?checkpoint ~resume ~config
+        ~base_seed ~runs:10 ~args:[ 1 ] p
+    in
+    (* One campaign per single fault class at probability 1, plus every
+       preset: none of them may raise, and the books must balance. *)
+    let single name f = (name, { F.none with F.seed_poisoning = 0.0 } |> f) in
+    let profiles =
+      [
+        single "fuel" (fun pr -> { pr with F.fuel_starvation = 1.0 });
+        (* starved_depth 1 forbids the hot->leaf call chain, so depth
+           blowout actually fires on this shallow workload. *)
+        single "depth" (fun pr ->
+            { pr with F.depth_blowout = 1.0; F.starved_depth = 1 });
+        single "oom" (fun pr -> { pr with F.alloc_failure = 1.0 });
+        single "preempt" (fun pr -> { pr with F.preemption_spike = 1.0 });
+        single "poison" (fun pr -> { pr with F.seed_poisoning = 1.0 });
+      ]
+      @ F.named
+    in
+    List.iter
+      (fun (name, profile) ->
+        if within_budget () then begin
+          match campaign profile with
+          | exception e ->
+              check
+                (Printf.sprintf "%s: campaign raised %s" name
+                   (Printexc.to_string e))
+                false
+          | c ->
+              let s = S.Supervisor.summarize c in
+              Printf.printf "%-8s %s\n%!" name (S.Report.campaign_line s);
+              check
+                (name ^ ": books balance")
+                (s.S.Supervisor.completed + s.S.Supervisor.censored
+                = s.S.Supervisor.runs);
+              check
+                (name ^ ": retries bounded")
+                (List.for_all
+                   (fun r ->
+                     r.S.Supervisor.retries <= policy.S.Supervisor.max_retries)
+                   c.S.Supervisor.records)
+        end)
+      profiles;
+    (* The budget and reference gates, checked directly: address-level
+       faults cannot change these workloads' answers (every load follows
+       a store to the same location), so Invalid_result is exercised
+       against a doctored reference instead. *)
+    if within_budget () then begin
+      match
+        S.Outcome.run ~config ~seed:base_seed p ~args:[ 1 ]
+      with
+      | S.Outcome.Completed r ->
+          check "budget gate censors slow runs"
+            (S.Outcome.check ~budget_cycles:(r.S.Runtime.cycles - 1) r
+            = S.Outcome.Budget_exceeded);
+          check "reference gate flags corrupted answers"
+            (S.Outcome.check ~reference:(r.S.Runtime.return_value + 1) r
+            = S.Outcome.Invalid_result);
+          check "clean runs pass both gates"
+            (S.Outcome.check ~budget_cycles:r.S.Runtime.cycles
+               ~reference:r.S.Runtime.return_value r
+            = S.Outcome.Completed r)
+      | o ->
+          check
+            (Printf.sprintf "clean run completed (got %s)" (S.Outcome.to_string o))
+            false
+    end;
+    (* Checkpoint round-trip + resume identity under the heavy profile. *)
+    if within_budget () then begin
+      let path = Filename.temp_file "szc-selftest" ".json" in
+      let c1 = campaign ~checkpoint:path F.heavy in
+      (match S.Supervisor.load path with
+      | Error e -> check ("checkpoint load: " ^ e) false
+      | Ok c2 ->
+          check "checkpoint round-trips records"
+            (c1.S.Supervisor.records = c2.S.Supervisor.records));
+      let c3 = campaign ~checkpoint:path ~resume:true F.heavy in
+      check "resume over a finished campaign is the identity"
+        (c1.S.Supervisor.records = c3.S.Supervisor.records
+        && S.Supervisor.times c1 = S.Supervisor.times c3);
+      Sys.remove path
+    end;
+    match !failures with
+    | [] ->
+        Printf.printf "selftest ok (%.1fs)\n" (Sys.time () -. t0);
+        0
+    | fs ->
+        List.iter (fun f -> Printf.eprintf "selftest FAILED: %s\n" f) (List.rev fs);
+        3
+  in
+  let term =
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 30
+          & info [ "budget-seconds" ] ~docv:"S"
+              ~doc:"Wall budget; later campaigns are skipped once exceeded.")
+      $ seed_term)
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Smoke-test the fault-injection harness: one small campaign per \
+          fault class and preset profile, plus checkpoint/resume identity. \
+          Exit 0 on pass, 3 on failure.")
+    term
+
 let () =
   let info =
     Cmd.info "szc" ~version:"1.0.0"
       ~doc:"STABILIZER driver: run simulated benchmarks under layout randomization."
   in
-  exit (Cmd.eval (Cmd.group info
-          [
-            list_cmd; run_cmd; compare_cmd; nist_cmd; disasm_cmd; profile_cmd;
-            exec_cmd; power_cmd;
-          ]))
+  (* Exit-code contract: 0 = verdict/success, 1 = usage or bad input,
+     2 = insufficient uncensored samples, 3 = campaign aborted. *)
+  match
+    Cmd.eval_value
+      (Cmd.group info
+         [
+           list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
+           disasm_cmd; profile_cmd; exec_cmd; power_cmd;
+         ])
+  with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error _ -> exit 1

@@ -1,0 +1,133 @@
+module Interp = Stz_vm.Interp
+module Hierarchy = Stz_machine.Hierarchy
+module Splitmix = Stz_prng.Splitmix
+
+type plan = {
+  armed : Fault.fault_class list;
+  limits : Interp.limits;
+  env_wrap : Interp.env -> Interp.env;
+  machine_factory : (unit -> Hierarchy.t) option;
+}
+
+(* Salt separating the injector's random stream from the layout stream
+   the same seed drives inside the runtime. *)
+let salt = 0xFA_017_5EEDL
+
+let to_unit_float x = Int64.to_float (Int64.shift_right_logical x 11) *. 0x1p-53
+
+let wrap_alloc_failure ~oom_after env =
+  let served = ref 0 in
+  {
+    env with
+    Interp.malloc =
+      (fun ~size ->
+        if !served >= oom_after then raise Fault.Injected_oom;
+        incr served;
+        env.Interp.malloc ~size);
+  }
+
+(* Seed poisoning: after the first allocation every malloc returns the
+   same block, and after the first call every frame reports the same
+   base, so heap objects and stack frames silently alias and overwrite
+   each other — a wrong *answer*, not a crash, detectable only against
+   the reference value. Frees become no-ops because the base allocator
+   never saw the aliased addresses; the real frame_push/pop still run so
+   the stack machinery's own bookkeeping stays balanced. *)
+let wrap_seed_poisoning env =
+  let heap_alias = ref None in
+  let frame_alias = ref None in
+  {
+    env with
+    Interp.malloc =
+      (fun ~size ->
+        match !heap_alias with
+        | Some addr ->
+            ignore (Hierarchy.data env.Interp.machine addr);
+            addr
+        | None ->
+            let addr = env.Interp.malloc ~size in
+            heap_alias := Some addr;
+            addr);
+    free = (fun ~addr:_ -> ());
+    frame_push =
+      (fun ~fid ->
+        let real = env.Interp.frame_push ~fid in
+        match !frame_alias with
+        | Some addr -> addr
+        | None ->
+            frame_alias := Some real;
+            real);
+  }
+
+let wrap_preemption ~rng ~spike_rate ~spike_cycles env =
+  {
+    env with
+    Interp.enter_function =
+      (fun ~fid ->
+        if to_unit_float (Splitmix.next rng) < spike_rate then
+          Hierarchy.charge env.Interp.machine spike_cycles;
+        env.Interp.enter_function ~fid);
+  }
+
+let preemptive_factory () =
+  let cost = Stz_machine.Cost.default in
+  let cost =
+    {
+      cost with
+      Stz_machine.Cost.memory =
+        cost.Stz_machine.Cost.memory + (cost.Stz_machine.Cost.memory / 4);
+    }
+  in
+  Hierarchy.create ~cost ()
+
+let plan ?machine_factory ~profile ~limits ~seed () =
+  let rng = Splitmix.create (Int64.logxor seed salt) in
+  let draw prob = to_unit_float (Splitmix.next rng) < prob in
+  (* Fixed draw order keeps plans stable as profiles vary. *)
+  let fuel = draw profile.Fault.fuel_starvation in
+  let depth = draw profile.Fault.depth_blowout in
+  let oom = draw profile.Fault.alloc_failure in
+  let preempt = draw profile.Fault.preemption_spike in
+  let poison = draw profile.Fault.seed_poisoning in
+  let armed =
+    List.filter_map
+      (fun (on, c) -> if on then Some c else None)
+      [
+        (fuel, Fault.Fuel_starvation);
+        (depth, Fault.Depth_blowout);
+        (oom, Fault.Alloc_failure);
+        (preempt, Fault.Preemption_spike);
+        (poison, Fault.Seed_poisoning);
+      ]
+  in
+  let limits =
+    {
+      Interp.max_instructions =
+        (if fuel then
+           Stdlib.max 1
+             (int_of_float
+                (profile.Fault.fuel_fraction
+                *. float_of_int limits.Interp.max_instructions))
+         else limits.Interp.max_instructions);
+      max_call_depth =
+        (if depth then
+           Stdlib.min profile.Fault.starved_depth limits.Interp.max_call_depth
+         else limits.Interp.max_call_depth);
+    }
+  in
+  let env_wrap env =
+    let env = if oom then wrap_alloc_failure ~oom_after:profile.Fault.oom_after env else env in
+    let env = if poison then wrap_seed_poisoning env else env in
+    if preempt then
+      wrap_preemption ~rng ~spike_rate:profile.Fault.spike_rate
+        ~spike_cycles:profile.Fault.spike_cycles env
+    else env
+  in
+  let machine_factory =
+    match (preempt, machine_factory) with
+    | true, None -> Some preemptive_factory
+    | _, f -> f
+  in
+  { armed; limits; env_wrap; machine_factory }
+
+let armed p cls = List.mem cls p.armed

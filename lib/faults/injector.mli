@@ -1,0 +1,31 @@
+(** Seed-deterministic fault injection. [plan ~profile ~limits ~seed]
+    draws the run's arming decisions from [seed] (salted, so the draw is
+    independent of the layout randomness the same seed drives) and
+    returns everything the runtime needs to execute the run under those
+    faults: tightened interpreter limits, an [Interp.env] wrapper, and a
+    machine factory. The same [(profile, seed)] pair always yields the
+    same plan — a faulty run can be replayed bit-for-bit. *)
+
+type plan = {
+  armed : Fault.fault_class list;
+      (** classes armed for this run, fixed order; empty = clean run *)
+  limits : Stz_vm.Interp.limits;
+      (** caller's limits, tightened by fuel starvation / depth blowout *)
+  env_wrap : Stz_vm.Interp.env -> Stz_vm.Interp.env;
+      (** injects allocation failures, heap poisoning and preemption
+          spikes; identity when nothing is armed *)
+  machine_factory : (unit -> Stz_machine.Hierarchy.t) option;
+      (** machine with preemption-inflated memory latency when a spike
+          fault is armed, otherwise the caller's factory *)
+}
+
+val plan :
+  ?machine_factory:(unit -> Stz_machine.Hierarchy.t) ->
+  profile:Fault.profile ->
+  limits:Stz_vm.Interp.limits ->
+  seed:int64 ->
+  unit ->
+  plan
+
+(** [armed plan cls] — is [cls] armed in this plan? *)
+val armed : plan -> Fault.fault_class -> bool

@@ -3,14 +3,31 @@ let compile ~opt p =
   Stz_vm.Validate.check_exn compiled;
   compiled
 
-let build_and_run ?limits ~config ~opt ~base_seed ~runs ~args p =
-  Sample.collect ?limits ~config ~base_seed ~runs ~args (compile ~opt p)
+let build_and_run ?limits ?profile ~config ~opt ~base_seed ~runs ~args p =
+  Sample.collect ?limits ?profile ~config ~base_seed ~runs ~args (compile ~opt p)
+
+let arm_b_salt = 0x0B5EEDL
 
 let compare_opt_levels ?alpha ?limits ~config ~base_seed ~runs ~args la lb p =
   let a = build_and_run ?limits ~config ~opt:la ~base_seed ~runs ~args p in
   let b =
     build_and_run ?limits ~config ~opt:lb
-      ~base_seed:(Int64.add base_seed 0x0B5EEDL)
+      ~base_seed:(Int64.add base_seed arm_b_salt)
       ~runs ~args p
   in
   Experiment.compare_samples ?alpha a.Sample.times b.Sample.times
+
+let campaign ?policy ?profile ?limits ?checkpoint ?resume ?on_record ~config
+    ~opt ~base_seed ~runs ~args p =
+  Supervisor.run_campaign ?policy ?profile ?limits ?checkpoint ?resume
+    ?on_record ~config ~base_seed ~runs ~args (compile ~opt p)
+
+let compare_campaigns ?alpha ?policy ?profile ?limits ~min_n ~config ~base_seed
+    ~runs ~args la lb p =
+  let a = campaign ?policy ?profile ?limits ~config ~opt:la ~base_seed ~runs ~args p in
+  let b =
+    campaign ?policy ?profile ?limits ~config ~opt:lb
+      ~base_seed:(Int64.add base_seed arm_b_salt)
+      ~runs ~args p
+  in
+  (a, b, Supervisor.verdict ?alpha ~min_n a b)

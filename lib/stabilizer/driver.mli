@@ -8,9 +8,12 @@
 val compile : opt:Stz_vm.Opt.level -> Stz_vm.Ir.program -> Stz_vm.Ir.program
 
 (** [build_and_run ~config ~opt ~base_seed ~runs ~args p] compiles then
-    collects [runs] timing samples. *)
+    collects [runs] timing samples. Runs that trap are censored into
+    [Sample.failures] instead of aborting the loop; [profile] injects
+    faults via {!Stz_faults.Injector}. *)
 val build_and_run :
   ?limits:Stz_vm.Interp.limits ->
+  ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->
   opt:Stz_vm.Opt.level ->
   base_seed:int64 ->
@@ -18,6 +21,41 @@ val build_and_run :
   args:int list ->
   Stz_vm.Ir.program ->
   Sample.t
+
+(** Compile then run a supervised campaign (retry, quarantine, budgets,
+    checkpoint/resume) — see {!Supervisor.run_campaign}. *)
+val campaign :
+  ?policy:Supervisor.policy ->
+  ?profile:Stz_faults.Fault.profile ->
+  ?limits:Stz_vm.Interp.limits ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?on_record:(Supervisor.record -> unit) ->
+  config:Config.t ->
+  opt:Stz_vm.Opt.level ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  Supervisor.campaign
+
+(** Supervised two-arm comparison of optimization levels: both arms run
+    as campaigns, and the verdict is min-N-gated — a campaign censored
+    below [min_n] usable runs per side refuses to conclude. *)
+val compare_campaigns :
+  ?alpha:float ->
+  ?policy:Supervisor.policy ->
+  ?profile:Stz_faults.Fault.profile ->
+  ?limits:Stz_vm.Interp.limits ->
+  min_n:int ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Opt.level ->
+  Stz_vm.Opt.level ->
+  Stz_vm.Ir.program ->
+  Supervisor.campaign * Supervisor.campaign * Experiment.gated
 
 (** Compare two optimization levels of the same program under
     STABILIZER, per §6: returns the comparison where [speedup > 1]

@@ -38,6 +38,18 @@ let compare_samples ?(alpha = 0.05) a b =
     alpha;
   }
 
+type gated =
+  | Verdict of comparison
+  | Insufficient of { min_n : int; n_a : int; n_b : int }
+
+let compare_samples_gated ?alpha ~min_n a b =
+  (* compare_samples itself needs >= 3 per side; the gate can only be
+     stricter than that. *)
+  let min_n = Stdlib.max 3 min_n in
+  let n_a = Array.length a and n_b = Array.length b in
+  if n_a < min_n || n_b < min_n then Insufficient { min_n; n_a; n_b }
+  else Verdict (compare_samples ?alpha a b)
+
 let compare_programs ?alpha ?limits ~config ~base_seed ~runs ~args pa pb =
   let a = Sample.times ?limits ~config ~base_seed ~runs ~args pa in
   let b =
@@ -62,3 +74,11 @@ let describe c =
     (if c.used_ttest then "t-test" else "Wilcoxon")
     c.p_value
     (if c.significant then "significant" else "not significant")
+
+let describe_gated = function
+  | Verdict c -> describe c
+  | Insufficient { min_n; n_a; n_b } ->
+      Printf.sprintf
+        "no verdict: %d/%d uncensored runs, need %d per side (censored \
+         campaign — collect more runs)"
+        n_a n_b min_n

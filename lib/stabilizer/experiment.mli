@@ -22,6 +22,20 @@ type comparison = {
     is used, else the rank-sum test. *)
 val compare_samples : ?alpha:float -> float array -> float array -> comparison
 
+(** Minimum-N-gated comparison: a campaign whose censored (trapped,
+    budget-exceeded, invalid) runs leave fewer than [min_n] usable
+    samples per side gets {!Insufficient}, never a verdict — a censored
+    sample is a biased sample, so refusing is the sound answer.
+    [min_n] is clamped to at least 3 ({!compare_samples}'s own floor). *)
+type gated =
+  | Verdict of comparison
+  | Insufficient of { min_n : int; n_a : int; n_b : int }
+
+val compare_samples_gated :
+  ?alpha:float -> min_n:int -> float array -> float array -> gated
+
+val describe_gated : gated -> string
+
 (** Run two program versions under a configuration and compare their
     time samples. *)
 val compare_programs :

@@ -1,0 +1,41 @@
+module Fault = Stz_faults.Fault
+module Interp = Stz_vm.Interp
+
+type run_outcome =
+  | Completed of Runtime.result
+  | Trapped of Fault.fault_class
+  | Budget_exceeded
+  | Invalid_result
+
+let classify_exn = function
+  | Interp.Fuel_exhausted -> Fault.Fuel_starvation
+  | Interp.Call_depth_exceeded -> Fault.Depth_blowout
+  | Fault.Injected_oom | Stdlib.Out_of_memory -> Fault.Alloc_failure
+  | _ -> Fault.Unknown_trap
+
+let check ?budget_cycles ?reference (r : Runtime.result) =
+  match budget_cycles with
+  | Some budget when r.Runtime.cycles > budget -> Budget_exceeded
+  | _ -> (
+      match reference with
+      | Some v when r.Runtime.return_value <> v -> Invalid_result
+      | _ -> Completed r)
+
+let run ?limits ?machine_factory ?env_wrap ?budget_cycles ?reference ~config
+    ~seed p ~args =
+  match Runtime.run ?limits ?machine_factory ?env_wrap ~config ~seed p ~args with
+  | r -> check ?budget_cycles ?reference r
+  | exception ((Stack_overflow | Assert_failure _) as fatal) -> raise fatal
+  | exception e -> Trapped (classify_exn e)
+
+let tag = function
+  | Completed _ -> "completed"
+  | Trapped c -> Fault.class_to_string c
+  | Budget_exceeded -> "budget-exceeded"
+  | Invalid_result -> "invalid-result"
+
+let to_string = function
+  | Completed r ->
+      Printf.sprintf "completed (%d cycles, value %d)" r.Runtime.cycles
+        r.Runtime.return_value
+  | o -> tag o

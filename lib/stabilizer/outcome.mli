@@ -1,0 +1,43 @@
+(** Classification of one run: every way a run can end, as a value. The
+    sampling layer and the campaign supervisor both route runs through
+    this type instead of letting [Interp.Fuel_exhausted] and friends
+    abort a whole campaign and destroy the samples already gathered. *)
+
+type run_outcome =
+  | Completed of Runtime.result
+  | Trapped of Stz_faults.Fault.fault_class
+  | Budget_exceeded
+      (** the run finished but took longer than the calibrated cycle
+          budget — censored, like a watchdog kill in a real harness *)
+  | Invalid_result
+      (** the run finished with a value different from the reference —
+          a silently corrupted computation *)
+
+(** Map a trap to its fault class: [Fuel_exhausted] is fuel starvation,
+    [Call_depth_exceeded] depth blowout, [Injected_oom]/[Out_of_memory]
+    allocation failure; anything else is {!Stz_faults.Fault.Unknown_trap}. *)
+val classify_exn : exn -> Stz_faults.Fault.fault_class
+
+(** [check ?budget_cycles ?reference r] grades a completed run against
+    the campaign's gates (cycle budget first, then reference value). *)
+val check : ?budget_cycles:int -> ?reference:int -> Runtime.result -> run_outcome
+
+(** One run that cannot raise: executes {!Runtime.run} and classifies
+    whatever happens. *)
+val run :
+  ?limits:Stz_vm.Interp.limits ->
+  ?machine_factory:(unit -> Stz_machine.Hierarchy.t) ->
+  ?env_wrap:(Stz_vm.Interp.env -> Stz_vm.Interp.env) ->
+  ?budget_cycles:int ->
+  ?reference:int ->
+  config:Config.t ->
+  seed:int64 ->
+  Stz_vm.Ir.program ->
+  args:int list ->
+  run_outcome
+
+val to_string : run_outcome -> string
+
+(** Compact outcome tag for CSV / checkpoint files: ["completed"],
+    ["budget-exceeded"], ["invalid-result"] or the fault-class name. *)
+val tag : run_outcome -> string

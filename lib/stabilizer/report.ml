@@ -19,6 +19,51 @@ let csv_of_series series =
     series;
   Buffer.contents buf
 
+let campaign_line (s : Supervisor.summary) =
+  let faults =
+    List.filter_map
+      (fun (cls, n) ->
+        if n > 0 then
+          Some (Printf.sprintf "%d %s" n (Stz_faults.Fault.class_to_string cls))
+        else None)
+      s.Supervisor.by_class
+  in
+  let faults_part =
+    match faults with [] -> "" | l -> ", " ^ String.concat ", " l
+  in
+  Printf.sprintf
+    "runs %d/%d, %d retried (%d retries), %d quarantined seed%s, %d \
+     budget-exceeded, %d invalid%s"
+    s.Supervisor.completed s.Supervisor.runs s.Supervisor.retried_runs
+    s.Supervisor.total_retries s.Supervisor.quarantined
+    (if s.Supervisor.quarantined = 1 then "" else "s")
+    s.Supervisor.budget_exceeded s.Supervisor.invalid faults_part
+
+let csv_of_campaign (c : Supervisor.campaign) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "run,seed,retries,outcome,cycles,seconds,value\n";
+  List.iter
+    (fun (r : Supervisor.record) ->
+      match r.Supervisor.outcome with
+      | Supervisor.Done d ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%Ld,%d,completed,%d,%.9f,%d\n" r.Supervisor.run
+               r.Supervisor.seed r.Supervisor.retries d.Supervisor.cycles
+               d.Supervisor.seconds d.Supervisor.return_value)
+      | o ->
+          let tag =
+            match o with
+            | Supervisor.Trapped cls -> Stz_faults.Fault.class_to_string cls
+            | Supervisor.Budget_exceeded -> "budget-exceeded"
+            | Supervisor.Invalid_result -> "invalid-result"
+            | Supervisor.Done _ -> assert false
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%Ld,%d,%s,,,\n" r.Supervisor.run
+               r.Supervisor.seed r.Supervisor.retries tag))
+    c.Supervisor.records;
+  Buffer.contents buf
+
 let summary_line xs =
   Printf.sprintf
     "n=%d min=%.6f q1=%.6f median=%.6f q3=%.6f max=%.6f mean=%.6f sd=%.6f"

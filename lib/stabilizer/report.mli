@@ -8,6 +8,16 @@ val csv_of_sample : Sample.t -> string
     ["label,run,seconds"]. *)
 val csv_of_series : (string * float array) list -> string
 
+(** Campaign health on one line, e.g.
+    ["runs 30/34, 3 retried (5 retries), 4 quarantined seeds, 1
+     budget-exceeded, 0 invalid, 2 fuel-starvation, 1 alloc-failure"]. *)
+val campaign_line : Supervisor.summary -> string
+
+(** Long-format CSV of every run outcome of a campaign, for external
+    analysis: header ["run,seed,retries,outcome,cycles,seconds,value"];
+    censored runs leave the numeric fields empty. *)
+val csv_of_campaign : Supervisor.campaign -> string
+
 (** Five-number summary plus mean/sd on one line. *)
 val summary_line : float array -> string
 

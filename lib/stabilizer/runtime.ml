@@ -43,7 +43,8 @@ let globals_end space p =
     (fun acc (g : Ir.global) -> acc + ((g.Ir.gsize + 15) land lnot 15))
     space.Address_space.globals_base p.Ir.globals
 
-let run ?limits ?(profile = false) ?machine_factory ~config ~seed p ~args =
+let run ?limits ?(profile = false) ?machine_factory ?(env_wrap = Fun.id) ~config
+    ~seed p ~args =
   let machine =
     match machine_factory with Some f -> f () | None -> Hierarchy.create ()
   in
@@ -202,7 +203,7 @@ let run ?limits ?(profile = false) ?machine_factory ~config ~seed p ~args =
       call_prologue;
     }
   in
-  let return_value = Interp.run ?limits env p ~args in
+  let return_value = Interp.run ?limits (env_wrap env) p ~args in
   let cycles = Hierarchy.cycles machine in
   (match profiler with Some pr -> Profiler.finish pr ~now:cycles | None -> ());
   {

@@ -32,11 +32,15 @@ type result = {
     drives every random choice (link order, heap shuffling, code
     placement, stack pads), so runs are reproducible; vary the seed to
     sample the layout space. [machine_factory] substitutes a non-default
-    machine model (each run gets a fresh instance). *)
+    machine model (each run gets a fresh instance). [env_wrap] is
+    applied to the fully-built interpreter environment just before
+    execution — the hook through which {!Stz_faults.Injector} injects
+    allocation failures, heap poisoning and preemption spikes. *)
 val run :
   ?limits:Stz_vm.Interp.limits ->
   ?profile:bool ->
   ?machine_factory:(unit -> Stz_machine.Hierarchy.t) ->
+  ?env_wrap:(Stz_vm.Interp.env -> Stz_vm.Interp.env) ->
   config:Config.t ->
   seed:int64 ->
   Stz_vm.Ir.program ->

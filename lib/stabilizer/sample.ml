@@ -1,22 +1,57 @@
+module Fault = Stz_faults.Fault
+module Injector = Stz_faults.Injector
+
+type failure = { run : int; seed : int64; fault : Fault.fault_class }
+
 type t = {
   times : float array;
   cycles : int array;
   results : Runtime.result array;
+  failures : failure list;
 }
 
-let collect ?limits ~config ~base_seed ~runs ~args p =
+let seeds ~base_seed ~runs =
+  let g = Stz_prng.Splitmix.create base_seed in
+  Array.init runs (fun _ -> Stz_prng.Splitmix.split g)
+
+let run_one ?limits ?profile ~config ~seed p ~args =
+  match profile with
+  | None -> Outcome.run ?limits ~config ~seed p ~args
+  | Some profile ->
+      let base = Option.value limits ~default:Stz_vm.Interp.default_limits in
+      let plan = Injector.plan ~profile ~limits:base ~seed () in
+      Outcome.run ~limits:plan.Injector.limits
+        ?machine_factory:plan.Injector.machine_factory
+        ~env_wrap:plan.Injector.env_wrap ~config ~seed p ~args
+
+let collect_outcomes ?limits ?profile ~config ~base_seed ~runs ~args p =
   if runs < 1 then invalid_arg "Sample.collect: runs must be >= 1";
-  let seeds = Stz_prng.Splitmix.create base_seed in
-  let results =
-    Array.init runs (fun _ ->
-        let seed = Stz_prng.Splitmix.split seeds in
-        Runtime.run ?limits ~config ~seed p ~args)
-  in
+  Array.map
+    (fun seed -> (seed, run_one ?limits ?profile ~config ~seed p ~args))
+    (seeds ~base_seed ~runs)
+
+let collect ?limits ?profile ~config ~base_seed ~runs ~args p =
+  let outcomes = collect_outcomes ?limits ?profile ~config ~base_seed ~runs ~args p in
+  let completed = ref [] in
+  let failures = ref [] in
+  Array.iteri
+    (fun i (seed, outcome) ->
+      match outcome with
+      | Outcome.Completed r -> completed := r :: !completed
+      | Outcome.Trapped fault -> failures := { run = i; seed; fault } :: !failures
+      | Outcome.Budget_exceeded | Outcome.Invalid_result ->
+          (* No budget/reference gates at this layer (the supervisor
+             sets them), but a profile's poisoned runs still complete;
+             keep the variant exhaustive. *)
+          failures := { run = i; seed; fault = Fault.Unknown_trap } :: !failures)
+    outcomes;
+  let results = Array.of_list (List.rev !completed) in
   {
     times = Array.map (fun r -> r.Runtime.virtual_seconds) results;
     cycles = Array.map (fun r -> r.Runtime.cycles) results;
     results;
+    failures = List.rev !failures;
   }
 
-let times ?limits ~config ~base_seed ~runs ~args p =
-  (collect ?limits ~config ~base_seed ~runs ~args p).times
+let times ?limits ?profile ~config ~base_seed ~runs ~args p =
+  (collect ?limits ?profile ~config ~base_seed ~runs ~args p).times

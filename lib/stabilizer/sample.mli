@@ -1,16 +1,30 @@
 (** Repeated-run sampling. Each run gets an independent seed derived
     from [base_seed], so the sample is drawn over the space of layouts
     — the paper's point that a single binary is a single layout sample
-    no matter how many times it runs. *)
+    no matter how many times it runs.
+
+    Runs that trap ([Interp.Fuel_exhausted], [Call_depth_exceeded],
+    allocator OOM, …) no longer abort the loop and destroy the samples
+    already gathered: each run is classified through
+    {!Outcome.run_outcome}, completed runs land in [times]/[results],
+    and censored runs are reported in [failures]. *)
+
+type failure = {
+  run : int;  (** run index within the sample *)
+  seed : int64;  (** the exact seed that reproduces the failure *)
+  fault : Stz_faults.Fault.fault_class;
+}
 
 type t = {
-  times : float array;  (** virtual seconds per run *)
+  times : float array;  (** virtual seconds per *completed* run *)
   cycles : int array;
   results : Runtime.result array;
+  failures : failure list;  (** censored runs, in run order *)
 }
 
 val collect :
   ?limits:Stz_vm.Interp.limits ->
+  ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->
@@ -18,9 +32,28 @@ val collect :
   Stz_vm.Ir.program ->
   t
 
-(** Convenience: just the times. *)
+(** The per-run seeds [collect] uses, in order: sequential
+    {!Stz_prng.Splitmix.split}s of [base_seed]. Exposed so the
+    supervisor's checkpoint/resume can re-derive them. *)
+val seeds : base_seed:int64 -> runs:int -> int64 array
+
+(** [collect_outcomes] is the raw classified stream, one entry per run
+    (seed, outcome) — nothing censored, nothing re-ordered. [profile]
+    injects faults per {!Stz_faults.Injector}. *)
+val collect_outcomes :
+  ?limits:Stz_vm.Interp.limits ->
+  ?profile:Stz_faults.Fault.profile ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  (int64 * Outcome.run_outcome) array
+
+(** Convenience: just the times of completed runs. *)
 val times :
   ?limits:Stz_vm.Interp.limits ->
+  ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->

@@ -1,0 +1,462 @@
+module Fault = Stz_faults.Fault
+module Injector = Stz_faults.Injector
+module Interp = Stz_vm.Interp
+module Splitmix = Stz_prng.Splitmix
+
+type policy = {
+  max_retries : int;
+  calibration_runs : int;
+  budget_margin : float;
+  checkpoint_every : int;
+}
+
+let default_policy =
+  { max_retries = 3; calibration_runs = 5; budget_margin = 8.0; checkpoint_every = 1 }
+
+type completed = {
+  cycles : int;
+  seconds : float;
+  return_value : int;
+  instructions : int;
+}
+
+type stored_outcome =
+  | Done of completed
+  | Trapped of Fault.fault_class
+  | Budget_exceeded
+  | Invalid_result
+
+type record = {
+  run : int;
+  seed : int64;
+  retries : int;
+  outcome : stored_outcome;
+}
+
+type campaign = {
+  base_seed : int64;
+  runs : int;
+  profile_fp : string;
+  config_desc : string;
+  records : record list;
+  quarantined : int64 list;
+  budget_cycles : int option;
+  budget_fuel : int option;
+  reference : int option;
+}
+
+type summary = {
+  runs : int;
+  completed : int;
+  censored : int;
+  retried_runs : int;
+  total_retries : int;
+  quarantined : int;
+  budget_exceeded : int;
+  invalid : int;
+  by_class : (Fault.fault_class * int) list;
+  retry_histogram : int array;
+}
+
+exception Mismatch of string
+
+(* ------------------------------------------------------------------ *)
+(* JSON checkpoint format                                              *)
+(* ------------------------------------------------------------------ *)
+
+let seconds_of_cycles cycles = float_of_int cycles /. 3.2e9
+
+let record_to_json r =
+  let base =
+    [
+      ("run", Json.Int r.run);
+      ("seed", Json.of_int64 r.seed);
+      ("retries", Json.Int r.retries);
+      ("outcome", Json.String (match r.outcome with
+        | Done _ -> "completed"
+        | Trapped c -> Fault.class_to_string c
+        | Budget_exceeded -> "budget-exceeded"
+        | Invalid_result -> "invalid-result"));
+    ]
+  in
+  match r.outcome with
+  | Done c ->
+      Json.Obj
+        (base
+        @ [
+            ("cycles", Json.Int c.cycles);
+            ("value", Json.Int c.return_value);
+            ("instructions", Json.Int c.instructions);
+          ])
+  | _ -> Json.Obj base
+
+let record_of_json j =
+  let ( let* ) = Option.bind in
+  let* run = Option.bind (Json.member "run" j) Json.to_int in
+  let* seed = Option.bind (Json.member "seed" j) Json.to_int64 in
+  let* retries = Option.bind (Json.member "retries" j) Json.to_int in
+  let* tag = Option.bind (Json.member "outcome" j) Json.to_str in
+  let* outcome =
+    match tag with
+    | "completed" ->
+        let* cycles = Option.bind (Json.member "cycles" j) Json.to_int in
+        let* return_value = Option.bind (Json.member "value" j) Json.to_int in
+        let* instructions =
+          Option.bind (Json.member "instructions" j) Json.to_int
+        in
+        Some
+          (Done
+             { cycles; seconds = seconds_of_cycles cycles; return_value; instructions })
+    | "budget-exceeded" -> Some Budget_exceeded
+    | "invalid-result" -> Some Invalid_result
+    | s -> Option.map (fun c -> Trapped c) (Fault.class_of_string s)
+  in
+  Some { run; seed; retries; outcome }
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let to_json c =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("base_seed", Json.of_int64 c.base_seed);
+      ("runs", Json.Int c.runs);
+      ("profile", Json.String c.profile_fp);
+      ("config", Json.String c.config_desc);
+      ("reference", opt_int c.reference);
+      ("budget_cycles", opt_int c.budget_cycles);
+      ("budget_fuel", opt_int c.budget_fuel);
+      ("quarantined", Json.List (List.map Json.of_int64 c.quarantined));
+      ("records", Json.List (List.map record_to_json c.records));
+    ]
+
+let of_json j =
+  let get name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "checkpoint: bad or missing %S" name)
+  in
+  let get_opt name =
+    match Json.member name j with
+    | Some (Json.Int i) -> Ok (Some i)
+    | Some Json.Null | None -> Ok None
+    | Some _ -> Error (Printf.sprintf "checkpoint: bad %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* base_seed = get "base_seed" Json.to_int64 in
+  let* runs = get "runs" Json.to_int in
+  let* profile_fp = get "profile" Json.to_str in
+  let* config_desc = get "config" Json.to_str in
+  let* reference = get_opt "reference" in
+  let* budget_cycles = get_opt "budget_cycles" in
+  let* budget_fuel = get_opt "budget_fuel" in
+  let* quarantined_js = get "quarantined" Json.to_list in
+  let* records_js = get "records" Json.to_list in
+  let* quarantined =
+    List.fold_left
+      (fun acc x ->
+        Result.bind acc (fun l ->
+            match Json.to_int64 x with
+            | Some s -> Ok (s :: l)
+            | None -> Error "checkpoint: bad quarantined seed"))
+      (Ok []) quarantined_js
+    |> Result.map List.rev
+  in
+  let* records =
+    List.fold_left
+      (fun acc x ->
+        Result.bind acc (fun l ->
+            match record_of_json x with
+            | Some r -> Ok (r :: l)
+            | None -> Error "checkpoint: bad record"))
+      (Ok []) records_js
+    |> Result.map List.rev
+  in
+  Ok
+    {
+      base_seed;
+      runs;
+      profile_fp;
+      config_desc;
+      records;
+      quarantined;
+      budget_cycles;
+      budget_fuel;
+      reference;
+    }
+
+let save path c =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string (to_json c));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+  with
+  | exception Sys_error e -> Error e
+  | text -> Result.bind (Json.of_string text) of_json
+
+(* ------------------------------------------------------------------ *)
+(* Campaign execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Retry seeds are derived from the run's primary seed, not drawn from
+   the campaign stream, so a retry never shifts the seeds of later runs
+   — the property that makes checkpoint/resume exact. *)
+let attempt_seed primary k =
+  if k = 0 then primary
+  else begin
+    let g = Splitmix.create primary in
+    let s = ref primary in
+    for _ = 1 to k do
+      s := Splitmix.split g
+    done;
+    !s
+  end
+
+let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
+    ?(limits = Interp.default_limits) ?checkpoint ?(resume = false) ?on_record
+    ~config ~base_seed ~runs ~args p =
+  if runs < 1 then raise (Mismatch "run_campaign: runs must be >= 1");
+  let profile_fp = Fault.fingerprint profile in
+  let config_desc = Config.describe config in
+  let primary = Sample.seeds ~base_seed ~runs in
+  let loaded =
+    match (checkpoint, resume) with
+    | Some path, true when Sys.file_exists path -> (
+        match load path with
+        | Error e -> raise (Mismatch ("checkpoint " ^ path ^ ": " ^ e))
+        | Ok c ->
+            if c.base_seed <> base_seed then
+              raise (Mismatch "checkpoint belongs to a different base seed");
+            if c.runs <> runs then
+              raise (Mismatch "checkpoint belongs to a different run count");
+            if c.profile_fp <> profile_fp then
+              raise (Mismatch "checkpoint belongs to a different fault profile");
+            if c.config_desc <> config_desc then
+              raise (Mismatch "checkpoint belongs to a different configuration");
+            Some c)
+    | _ -> None
+  in
+  let records : record option array = Array.make runs None in
+  (match loaded with
+  | Some c ->
+      List.iter
+        (fun r -> if r.run >= 0 && r.run < runs then records.(r.run) <- Some r)
+        c.records
+  | None -> ());
+  let quarantine : (int64, unit) Hashtbl.t = Hashtbl.create 64 in
+  let quarantined = ref [] in
+  let add_quarantine seed =
+    if not (Hashtbl.mem quarantine seed) then begin
+      Hashtbl.add quarantine seed ();
+      quarantined := seed :: !quarantined
+    end
+  in
+  (match loaded with
+  | Some c -> List.iter add_quarantine c.quarantined
+  | None -> ());
+  let budget_cycles = ref (Option.bind loaded (fun c -> c.budget_cycles)) in
+  let budget_fuel = ref (Option.bind loaded (fun c -> c.budget_fuel)) in
+  (* The reference value comes from one clean (injection-free) run; a
+     campaign resumed from a checkpoint reuses the recorded decision so
+     the continuation matches the uninterrupted campaign exactly. *)
+  let reference =
+    match loaded with
+    | Some c -> c.reference
+    | None ->
+        let rec probe k =
+          if k > policy.max_retries then None
+          else
+            match
+              Runtime.run ~limits ~config ~seed:(attempt_seed primary.(0) k) p
+                ~args
+            with
+            | r -> Some r.Runtime.return_value
+            | exception ((Stack_overflow | Assert_failure _) as fatal) ->
+                raise fatal
+            | exception _ -> probe (k + 1)
+        in
+        probe 0
+  in
+  (* Budget calibration state: completed runs in run order feed the
+     calibrator until it freezes. Resumed records re-feed it, which
+     reproduces the budgets an uninterrupted campaign would have set. *)
+  let calib_cycles = ref [] in
+  let calib_fuel = ref [] in
+  let calib_n = ref 0 in
+  let feed_calibration (c : completed) =
+    if !budget_cycles = None && !calib_n < policy.calibration_runs then begin
+      calib_cycles := c.cycles :: !calib_cycles;
+      calib_fuel := c.instructions :: !calib_fuel;
+      incr calib_n;
+      if !calib_n >= policy.calibration_runs then begin
+        let scale xs =
+          int_of_float
+            (policy.budget_margin
+            *. float_of_int (List.fold_left Stdlib.max 1 xs))
+        in
+        budget_cycles := Some (scale !calib_cycles);
+        budget_fuel := Some (scale !calib_fuel)
+      end
+    end
+  in
+  (match loaded with
+  | Some _ ->
+      if !budget_cycles = None then
+        Array.iter
+          (function
+            | Some { outcome = Done c; _ } -> feed_calibration c
+            | _ -> ())
+          records
+  | None -> ());
+  let campaign_so_far () =
+    {
+      base_seed;
+      runs;
+      profile_fp;
+      config_desc;
+      records =
+        Array.to_list records |> List.filter_map Fun.id
+        |> List.sort (fun a b -> compare a.run b.run);
+      quarantined = List.rev !quarantined;
+      budget_cycles = !budget_cycles;
+      budget_fuel = !budget_fuel;
+      reference;
+    }
+  in
+  let finished = ref 0 in
+  let maybe_checkpoint ~force =
+    match checkpoint with
+    | Some path when force || !finished mod Stdlib.max 1 policy.checkpoint_every = 0
+      ->
+        save path (campaign_so_far ())
+    | _ -> ()
+  in
+  let effective_limits () =
+    match !budget_fuel with
+    | Some fuel ->
+        {
+          limits with
+          Interp.max_instructions = Stdlib.min limits.Interp.max_instructions fuel;
+        }
+    | None -> limits
+  in
+  let execute seed =
+    let plan = Injector.plan ~profile ~limits:(effective_limits ()) ~seed () in
+    Outcome.run ~limits:plan.Injector.limits
+      ?machine_factory:plan.Injector.machine_factory
+      ~env_wrap:plan.Injector.env_wrap ?budget_cycles:!budget_cycles ?reference
+      ~config ~seed p ~args
+  in
+  let store_outcome = function
+    | Outcome.Completed r ->
+        Done
+          {
+            cycles = r.Runtime.cycles;
+            seconds = r.Runtime.virtual_seconds;
+            return_value = r.Runtime.return_value;
+            instructions = r.Runtime.counters.Stz_machine.Hierarchy.instructions;
+          }
+    | Outcome.Trapped c -> Trapped c
+    | Outcome.Budget_exceeded -> Budget_exceeded
+    | Outcome.Invalid_result -> Invalid_result
+  in
+  for i = 0 to runs - 1 do
+    match records.(i) with
+    | Some _ -> () (* resumed *)
+    | None ->
+        let rec attempt k =
+          let seed = attempt_seed primary.(i) k in
+          let outcome =
+            if Hashtbl.mem quarantine seed then
+              (* Known-bad seed: counts as a failed attempt, not re-run. *)
+              Outcome.Trapped Fault.Unknown_trap
+            else execute seed
+          in
+          match outcome with
+          | Outcome.Completed _ ->
+              let stored = store_outcome outcome in
+              (match stored with Done c -> feed_calibration c | _ -> ());
+              { run = i; seed; retries = k; outcome = stored }
+          | failed ->
+              add_quarantine seed;
+              if k < policy.max_retries then attempt (k + 1)
+              else { run = i; seed; retries = k; outcome = store_outcome failed }
+        in
+        let r = attempt 0 in
+        records.(i) <- Some r;
+        incr finished;
+        (match on_record with Some f -> f r | None -> ());
+        maybe_checkpoint ~force:false
+  done;
+  let c = campaign_so_far () in
+  (match checkpoint with Some path -> save path c | None -> ());
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Derived views                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let times c =
+  c.records
+  |> List.filter_map (fun r ->
+         match r.outcome with Done d -> Some d.seconds | _ -> None)
+  |> Array.of_list
+
+let summarize c =
+  let completed = ref 0 in
+  let censored = ref 0 in
+  let retried_runs = ref 0 in
+  let total_retries = ref 0 in
+  let budget_exceeded = ref 0 in
+  let invalid = ref 0 in
+  let class_counts = Hashtbl.create 8 in
+  let max_retries =
+    List.fold_left (fun acc r -> Stdlib.max acc r.retries) 0 c.records
+  in
+  let retry_histogram = Array.make (max_retries + 1) 0 in
+  List.iter
+    (fun r ->
+      retry_histogram.(r.retries) <- retry_histogram.(r.retries) + 1;
+      if r.retries > 0 then incr retried_runs;
+      total_retries := !total_retries + r.retries;
+      match r.outcome with
+      | Done _ -> incr completed
+      | Budget_exceeded ->
+          incr censored;
+          incr budget_exceeded
+      | Invalid_result ->
+          incr censored;
+          incr invalid
+      | Trapped cls ->
+          incr censored;
+          Hashtbl.replace class_counts cls
+            (1 + Option.value ~default:0 (Hashtbl.find_opt class_counts cls)))
+    c.records;
+  {
+    runs = c.runs;
+    completed = !completed;
+    censored = !censored;
+    retried_runs = !retried_runs;
+    total_retries = !total_retries;
+    quarantined = List.length c.quarantined;
+    budget_exceeded = !budget_exceeded;
+    invalid = !invalid;
+    by_class =
+      List.map
+        (fun cls ->
+          (cls, Option.value ~default:0 (Hashtbl.find_opt class_counts cls)))
+        Fault.all_classes;
+    retry_histogram;
+  }
+
+let verdict ?alpha ~min_n a b =
+  Experiment.compare_samples_gated ?alpha ~min_n (times a) (times b)

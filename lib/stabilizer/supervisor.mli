@@ -1,0 +1,122 @@
+(** Supervised, resumable experiment campaigns. A campaign is [runs]
+    supervised runs of one program under one configuration: every run is
+    classified through {!Outcome.run_outcome} instead of aborting the
+    loop, failed runs are retried a bounded number of times with fresh
+    derived seeds, seeds that produced failures are quarantined, cycle
+    and fuel budgets are calibrated from the first successful runs, and
+    the whole campaign state checkpoints to JSON so an interrupted sweep
+    resumes exactly where it stopped — with a final sample bit-identical
+    to an uninterrupted campaign's (same seeds, same cycle counts).
+
+    Never raises on run failures: under any fault profile the campaign
+    completes and reports what happened. *)
+
+type policy = {
+  max_retries : int;  (** retry attempts per run beyond the first *)
+  calibration_runs : int;
+      (** successful runs observed before budgets are frozen *)
+  budget_margin : float;
+      (** budgets = margin × the calibration maximum (cycles / fuel) *)
+  checkpoint_every : int;  (** checkpoint after every [k] finished runs *)
+}
+
+val default_policy : policy
+
+(** Compact, checkpointable payload of a completed run. [seconds] is
+    recomputed from [cycles] on load, so resumed times are bit-identical. *)
+type completed = {
+  cycles : int;
+  seconds : float;
+  return_value : int;
+  instructions : int;
+}
+
+type stored_outcome =
+  | Done of completed
+  | Trapped of Stz_faults.Fault.fault_class
+  | Budget_exceeded
+  | Invalid_result
+
+type record = {
+  run : int;
+  seed : int64;  (** seed of the final attempt *)
+  retries : int;
+  outcome : stored_outcome;  (** censored unless [Done] *)
+}
+
+type campaign = {
+  base_seed : int64;
+  runs : int;
+  profile_fp : string;  (** {!Stz_faults.Fault.fingerprint} *)
+  config_desc : string;  (** {!Config.describe} *)
+  records : record list;  (** ascending run order *)
+  quarantined : int64 list;  (** every seed that produced a failure *)
+  budget_cycles : int option;  (** calibrated; [None] until frozen *)
+  budget_fuel : int option;
+  reference : int option;  (** expected return value, from a clean run *)
+}
+
+type summary = {
+  runs : int;
+  completed : int;
+  censored : int;
+  retried_runs : int;  (** runs that needed at least one retry *)
+  total_retries : int;
+  quarantined : int;
+  budget_exceeded : int;
+  invalid : int;
+  by_class : (Stz_faults.Fault.fault_class * int) list;
+      (** final-outcome trap tallies, every class listed *)
+  retry_histogram : int array;
+      (** [histogram.(k)] = finished runs that took [k] retries *)
+}
+
+(** Raised only for unusable campaign setups: [runs < 1], or a
+    [~checkpoint] file that exists but belongs to a different campaign
+    (other seed, run count, fault profile or configuration) while
+    [~resume:true]. Run failures never raise. *)
+exception Mismatch of string
+
+(** [run_campaign ~config ~base_seed ~runs ~args p] executes the
+    campaign. [profile] injects faults via {!Stz_faults.Injector}
+    (default {!Stz_faults.Fault.none}). With [checkpoint], progress is
+    written to that JSON file as runs finish; with [resume] also set,
+    an existing file's finished runs are loaded and skipped, and
+    calibrated budgets, the reference value and the quarantine list are
+    restored so the continuation behaves exactly as the uninterrupted
+    campaign would. [on_record] observes each finished run (useful for
+    progress display — and for tests that kill a campaign mid-flight). *)
+val run_campaign :
+  ?policy:policy ->
+  ?profile:Stz_faults.Fault.profile ->
+  ?limits:Stz_vm.Interp.limits ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?on_record:(record -> unit) ->
+  config:Config.t ->
+  base_seed:int64 ->
+  runs:int ->
+  args:int list ->
+  Stz_vm.Ir.program ->
+  campaign
+
+(** Times (virtual seconds) of completed runs, in run order — the
+    campaign's sample. *)
+val times : campaign -> float array
+
+val summarize : campaign -> summary
+
+(** Min-N-gated comparison of two campaigns' samples (§6 procedure with
+    the censoring gate in front). *)
+val verdict :
+  ?alpha:float -> min_n:int -> campaign -> campaign -> Experiment.gated
+
+(** JSON round-trip (the checkpoint file format). *)
+val to_json : campaign -> Json.t
+
+val of_json : Json.t -> (campaign, string) result
+
+(** Checkpoint IO. [save] writes atomically (temp file + rename). *)
+val save : string -> campaign -> unit
+
+val load : string -> (campaign, string) result

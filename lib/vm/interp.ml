@@ -17,6 +17,10 @@ type limits = { max_instructions : int; max_call_depth : int }
 
 let default_limits = { max_instructions = 200_000_000; max_call_depth = 10_000 }
 
+let limits ?(max_instructions = default_limits.max_instructions)
+    ?(max_call_depth = default_limits.max_call_depth) () =
+  { max_instructions; max_call_depth }
+
 exception Fuel_exhausted
 exception Call_depth_exceeded
 

@@ -42,6 +42,11 @@ type limits = { max_instructions : int; max_call_depth : int }
 
 val default_limits : limits
 
+(** [limits ()] is {!default_limits} with the given overrides — the
+    constructor the fault injector and campaign supervisor use to
+    tighten budgets without restating the defaults. *)
+val limits : ?max_instructions:int -> ?max_call_depth:int -> unit -> limits
+
 exception Fuel_exhausted
 exception Call_depth_exceeded
 
