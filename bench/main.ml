@@ -17,7 +17,9 @@
      dune exec bench/main.exe -- perf      -- Bechamel microbenchmarks
 
    Environment knobs: STZ_RUNS (default 30) and STZ_SCALE (default 1.0)
-   shrink the experiments for quick passes. *)
+   shrink the experiments for quick passes; SZC_JOBS (default 1) fans
+   sample collection and campaigns out over forked workers — outputs
+   are bit-identical whatever the worker count. *)
 
 module S = Stabilizer
 module W = Stz_workloads
@@ -29,6 +31,9 @@ let runs =
 
 let scale =
   match Sys.getenv_opt "STZ_SCALE" with Some s -> float_of_string s | None -> 1.0
+
+let jobs =
+  match Sys.getenv_opt "SZC_JOBS" with Some s -> int_of_string s | None -> 1
 
 let args = W.Generate.default_args
 let alpha = 0.05
@@ -63,7 +68,7 @@ let collect_bench prof =
     prof.W.Profile.name runs;
   let p = W.Generate.program prof in
   let sample ?(opt = Opt.O2) config seed =
-    (S.Driver.build_and_run ~config ~opt ~base_seed:seed ~runs ~args p)
+    (S.Driver.build_and_run ~jobs ~config ~opt ~base_seed:seed ~runs ~args p)
       .S.Sample.times
   in
   {
@@ -547,14 +552,14 @@ let run_faults () =
     (fun prof ->
       let p = W.Generate.program prof in
       let clean =
-        S.Driver.campaign ~config:S.Config.stabilizer ~opt:Opt.O2 ~base_seed:1L
-          ~runs ~args p
+        S.Driver.campaign ~jobs ~config:S.Config.stabilizer ~opt:Opt.O2
+          ~base_seed:1L ~runs ~args p
       in
       List.iter
         (fun (name, profile) ->
           let c =
-            S.Driver.campaign ~profile ~config:S.Config.stabilizer ~opt:Opt.O2
-              ~base_seed:2L ~runs ~args p
+            S.Driver.campaign ~jobs ~profile ~config:S.Config.stabilizer
+              ~opt:Opt.O2 ~base_seed:2L ~runs ~args p
           in
           let s = S.Supervisor.summarize c in
           let verdict =

@@ -27,6 +27,14 @@ let scale_term =
     & opt float 1.0
     & info [ "scale" ] ~docv:"F" ~doc:"Scale workload iteration counts by $(docv).")
 
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Execute runs on $(docv) forked workers. Results are merged in \
+           run order, so outputs are bit-identical to $(b,--jobs 1).")
+
 let opt_term =
   let level_conv =
     Arg.conv
@@ -167,12 +175,13 @@ let list_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let run bench runs seed scale opt csv config =
+  let run bench runs seed scale opt csv config jobs =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
     let sample =
-      Stabilizer.Driver.build_and_run ~config ~opt ~base_seed:(Int64.of_int seed)
-        ~runs ~args:Stz_workloads.Generate.default_args p
+      Stabilizer.Driver.build_and_run ~jobs ~config ~opt
+        ~base_seed:(Int64.of_int seed) ~runs
+        ~args:Stz_workloads.Generate.default_args p
     in
     (match csv with
     | Some path ->
@@ -215,7 +224,7 @@ let run_cmd =
             value
             & opt (some string) None
             & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the samples as CSV.")
-        $ config_term))
+        $ config_term $ jobs_term))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark under a randomization configuration.")
@@ -234,12 +243,12 @@ let compare_cmd =
           | None -> Error (`Msg ("unknown optimization level " ^ s))),
         fun fmt l -> Format.pp_print_string fmt (Stz_vm.Opt.level_to_string l) )
   in
-  let run bench runs seed scale config opt_a opt_b profile min_n retries =
+  let run bench runs seed scale config opt_a opt_b profile min_n retries jobs =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
     let a, b, verdict =
       Stabilizer.Driver.compare_campaigns ~policy:(policy_of retries) ~profile
-        ~min_n ~config ~base_seed:(Int64.of_int seed) ~runs
+        ~jobs ~min_n ~config ~base_seed:(Int64.of_int seed) ~runs
         ~args:Stz_workloads.Generate.default_args opt_a opt_b p
     in
     Printf.printf "# %s: %s vs %s under %s (%d runs each)\n" bench
@@ -280,7 +289,7 @@ let compare_cmd =
         $ Arg.(
             value & opt opt_conv Stz_vm.Opt.O2
             & info [ "opt-b" ] ~docv:"LEVEL" ~doc:"Second optimization level.")
-        $ faults_term $ min_n_term $ retries_term))
+        $ faults_term $ min_n_term $ retries_term $ jobs_term))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -497,11 +506,11 @@ let profile_cmd =
 
 let campaign_cmd =
   let run bench runs seed scale opt csv config profile min_n retries checkpoint
-      resume quiet =
+      resume quiet jobs =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
     match
-      Stabilizer.Driver.campaign ~policy:(policy_of retries) ~profile
+      Stabilizer.Driver.campaign ~policy:(policy_of retries) ~profile ~jobs
         ?checkpoint ~resume
         ~on_record:(fun r ->
           if not quiet then
@@ -513,7 +522,8 @@ let campaign_cmd =
               | Stabilizer.Supervisor.Trapped cls ->
                   "censored: " ^ Stz_faults.Fault.class_to_string cls
               | Stabilizer.Supervisor.Budget_exceeded -> "censored: budget-exceeded"
-              | Stabilizer.Supervisor.Invalid_result -> "censored: invalid-result")
+              | Stabilizer.Supervisor.Invalid_result -> "censored: invalid-result"
+              | Stabilizer.Supervisor.Worker_lost -> "censored: worker-lost")
               (if r.Stabilizer.Supervisor.retries > 0 then
                  Printf.sprintf "  (retries=%d)" r.Stabilizer.Supervisor.retries
                else ""))
@@ -570,7 +580,8 @@ let campaign_cmd =
                 ~doc:"JSON checkpoint file, written as runs finish.")
         $ flag [ "resume" ]
             "Resume the campaign from --checkpoint if the file exists."
-        $ flag [ "quiet" ] "Suppress per-run progress lines."))
+        $ flag [ "quiet" ] "Suppress per-run progress lines."
+        $ jobs_term))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -588,7 +599,7 @@ let campaign_cmd =
 let selftest_cmd =
   let module S = Stabilizer in
   let module F = Stz_faults.Fault in
-  let run budget seed =
+  let run budget seed jobs =
     let t0 = Sys.time () in
     let within_budget () = Sys.time () -. t0 < float_of_int budget in
     let failures = ref [] in
@@ -608,9 +619,9 @@ let selftest_cmd =
     let config = S.Config.stabilizer in
     let base_seed = Int64.of_int seed in
     let policy = { S.Supervisor.default_policy with S.Supervisor.max_retries = 2 } in
-    let campaign ?checkpoint ?(resume = false) profile =
-      S.Supervisor.run_campaign ~policy ~profile ?checkpoint ~resume ~config
-        ~base_seed ~runs:10 ~args:[ 1 ] p
+    let campaign ?(jobs = jobs) ?checkpoint ?(resume = false) profile =
+      S.Supervisor.run_campaign ~policy ~profile ~jobs ?checkpoint ~resume
+        ~config ~base_seed ~runs:10 ~args:[ 1 ] p
     in
     (* One campaign per single fault class at probability 1, plus every
        preset: none of them may raise, and the books must balance. *)
@@ -691,6 +702,15 @@ let selftest_cmd =
         && S.Supervisor.times c1 = S.Supervisor.times c3);
       Sys.remove path
     end;
+    (* Parallel determinism: --jobs N must be bit-identical to serial. *)
+    if jobs > 1 && within_budget () then begin
+      let serial = campaign ~jobs:1 F.light in
+      let par = campaign ~jobs F.light in
+      check
+        (Printf.sprintf "--jobs %d campaign is bit-identical to serial" jobs)
+        (S.Report.csv_of_campaign serial = S.Report.csv_of_campaign par
+        && S.Supervisor.to_json serial = S.Supervisor.to_json par)
+    end;
     match !failures with
     | [] ->
         Printf.printf "selftest ok (%.1fs)\n" (Sys.time () -. t0);
@@ -706,7 +726,7 @@ let selftest_cmd =
           value & opt int 30
           & info [ "budget-seconds" ] ~docv:"S"
               ~doc:"Wall budget; later campaigns are skipped once exceeded.")
-      $ seed_term)
+      $ seed_term $ jobs_term)
   in
   Cmd.v
     (Cmd.info "selftest"

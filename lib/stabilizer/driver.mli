@@ -10,8 +10,10 @@ val compile : opt:Stz_vm.Opt.level -> Stz_vm.Ir.program -> Stz_vm.Ir.program
 (** [build_and_run ~config ~opt ~base_seed ~runs ~args p] compiles then
     collects [runs] timing samples. Runs that trap are censored into
     [Sample.failures] instead of aborting the loop; [profile] injects
-    faults via {!Stz_faults.Injector}. *)
+    faults via {!Stz_faults.Injector}; [jobs] fans the runs out over a
+    {!Parallel} fork pool with a deterministic in-run-order merge. *)
 val build_and_run :
+  ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->
@@ -28,6 +30,7 @@ val campaign :
   ?policy:Supervisor.policy ->
   ?profile:Stz_faults.Fault.profile ->
   ?limits:Stz_vm.Interp.limits ->
+  ?jobs:int ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?on_record:(Supervisor.record -> unit) ->
@@ -47,6 +50,7 @@ val compare_campaigns :
   ?policy:Supervisor.policy ->
   ?profile:Stz_faults.Fault.profile ->
   ?limits:Stz_vm.Interp.limits ->
+  ?jobs:int ->
   min_n:int ->
   config:Config.t ->
   base_seed:int64 ->
@@ -62,6 +66,7 @@ val compare_campaigns :
     means the *second* level is faster. *)
 val compare_opt_levels :
   ?alpha:float ->
+  ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   config:Config.t ->
   base_seed:int64 ->

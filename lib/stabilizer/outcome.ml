@@ -6,6 +6,7 @@ type run_outcome =
   | Trapped of Fault.fault_class
   | Budget_exceeded
   | Invalid_result
+  | Worker_lost
 
 let classify_exn = function
   | Interp.Fuel_exhausted -> Fault.Fuel_starvation
@@ -33,6 +34,7 @@ let tag = function
   | Trapped c -> Fault.class_to_string c
   | Budget_exceeded -> "budget-exceeded"
   | Invalid_result -> "invalid-result"
+  | Worker_lost -> "worker-lost"
 
 let to_string = function
   | Completed r ->

@@ -12,6 +12,10 @@ type run_outcome =
   | Invalid_result
       (** the run finished with a value different from the reference —
           a silently corrupted computation *)
+  | Worker_lost
+      (** the {!Parallel} worker executing the run died (crash, kill,
+          nonzero exit) before reporting a result — censored like any
+          other failure; never produced by the in-process path *)
 
 (** Map a trap to its fault class: [Fuel_exhausted] is fuel starvation,
     [Call_depth_exceeded] depth blowout, [Injected_oom]/[Out_of_memory]
@@ -39,5 +43,6 @@ val run :
 val to_string : run_outcome -> string
 
 (** Compact outcome tag for CSV / checkpoint files: ["completed"],
-    ["budget-exceeded"], ["invalid-result"] or the fault-class name. *)
+    ["budget-exceeded"], ["invalid-result"], ["worker-lost"] or the
+    fault-class name. *)
 val tag : run_outcome -> string

@@ -1,0 +1,135 @@
+type 'a result = Value of 'a | Lost
+
+type worker = {
+  pid : int;
+  fd : Unix.file_descr;
+  mutable pending : int list;  (* task indices still unreported, in order *)
+}
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+(* Returns false on EOF before [len] bytes arrived. *)
+let read_exact fd buf pos len =
+  let rec go pos len =
+    if len = 0 then true
+    else
+      match restart_on_eintr (fun () -> Unix.read fd buf pos len) with
+      | 0 -> false
+      | k -> go (pos + k) (len - k)
+  in
+  go pos len
+
+(* One marshalled message, or None on EOF / truncation (worker died
+   mid-write; the partial payload is discarded). *)
+let read_message fd =
+  let header = Bytes.create Marshal.header_size in
+  if not (read_exact fd header 0 Marshal.header_size) then None
+  else
+    let data_len = Marshal.data_size header 0 in
+    let buf = Bytes.create (Marshal.header_size + data_len) in
+    Bytes.blit header 0 buf 0 Marshal.header_size;
+    if not (read_exact fd buf Marshal.header_size data_len) then None
+    else Some (Marshal.from_bytes buf 0)
+
+let write_exact fd buf =
+  let len = Bytes.length buf in
+  let rec go pos =
+    if pos < len then
+      let k = restart_on_eintr (fun () -> Unix.write fd buf pos (len - pos)) in
+      go (pos + k)
+  in
+  go 0
+
+(* The child never returns: it streams (index, f index) pairs and
+   _exits without flushing the parent's inherited stdio buffers (a
+   plain [exit] would run at_exit and print them twice). A raising [f]
+   ends the stream early; the parent charges exactly that task. *)
+let spawn f indices =
+  (* Anything buffered before the fork would otherwise be inherited,
+     and duplicated if the child's libc flushes it. *)
+  flush stdout;
+  flush stderr;
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      (try
+         List.iter
+           (fun i ->
+             let v = f i in
+             write_exact w (Marshal.to_bytes (i, v) []))
+           indices
+       with _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close w;
+      { pid; fd = r; pending = indices }
+
+let reap w =
+  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  try ignore (restart_on_eintr (fun () -> Unix.waitpid [] w.pid))
+  with Unix.Unix_error _ -> ()
+
+let map ?on_result ~jobs ~f n =
+  let notify i r = match on_result with Some g -> g i r | None -> () in
+  if n < 0 then invalid_arg "Parallel.map: negative task count";
+  let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
+  if jobs <= 1 then
+    Array.init n (fun i ->
+        let r = Value (f i) in
+        notify i r;
+        r)
+  else begin
+    let results = Array.make n Lost in
+    let stripe j =
+      List.filter (fun i -> i mod jobs = j) (List.init n Fun.id)
+    in
+    let workers = ref (List.init jobs (fun j -> spawn f (stripe j))) in
+    (* If the caller's [on_result] raises (checkpoint write failure, a
+       test killing the campaign mid-flight), don't leave children
+       blocked on a pipe nobody reads. *)
+    let kill_all () =
+      List.iter
+        (fun w ->
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          reap w)
+        !workers;
+      workers := []
+    in
+    try
+      while !workers <> [] do
+      let fds = List.map (fun w -> w.fd) !workers in
+      let ready, _, _ =
+        restart_on_eintr (fun () -> Unix.select fds [] [] (-1.0))
+      in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun w -> w.fd = fd) !workers with
+          | None -> () (* already reaped in this round *)
+          | Some w -> (
+              match read_message fd with
+              | Some (i, v) ->
+                  results.(i) <- Value v;
+                  w.pending <- List.filter (fun j -> j <> i) w.pending;
+                  notify i (Value v)
+              | None ->
+                  (* EOF: clean completion when nothing is pending;
+                     otherwise the worker died executing the earliest
+                     unreported task of its stripe. *)
+                  reap w;
+                  workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+                  (match w.pending with
+                  | [] -> ()
+                  | lost :: rest ->
+                      results.(lost) <- Lost;
+                      notify lost Lost;
+                      if rest <> [] then workers := spawn f rest :: !workers)))
+        ready
+      done;
+      results
+    with e ->
+      kill_all ();
+      raise e
+  end

@@ -1,0 +1,37 @@
+(** Fork-based worker pool for embarrassingly parallel, seed-determined
+    task arrays (the shape of a STABILIZER campaign: every run is a pure
+    function of its precomputed seed and shares no mutable state).
+
+    [map ~jobs ~f n] evaluates [f i] for every [i] in [0..n-1] across
+    [jobs] forked Unix processes and returns the results merged in task
+    order, so the output is independent of worker count and completion
+    order. Tasks are striped statically (worker [j] gets [j], [j+jobs],
+    …) and each worker streams [(index, value)] pairs back over its own
+    pipe with [Marshal], so values must be closure-free data.
+
+    Worker death is not an error: when a worker exits (crash, kill,
+    nonzero status) before reporting all of its tasks, the task it was
+    executing — the earliest unreported index of its stripe — is
+    recorded as {!Lost} and a replacement worker is forked for the rest
+    of the stripe. A task whose [f] raises likewise costs exactly that
+    task. The pool itself never raises on worker failure.
+
+    With [jobs <= 1] (or [n <= 1]) everything runs in-process, no forks,
+    which is the reference semantics the parallel path must reproduce
+    bit-for-bit. *)
+
+(** One task's fate: the computed value, or lost with the worker that
+    was executing it. *)
+type 'a result = Value of 'a | Lost
+
+(** [map ?on_result ~jobs ~f n] — see the module description.
+    [on_result] observes each task's result in *arrival* order (callers
+    needing task order buffer and reorder themselves); it runs in the
+    parent, so it may touch shared state. [jobs] is clamped to
+    [1..n]. *)
+val map :
+  ?on_result:(int -> 'a result -> unit) ->
+  jobs:int ->
+  f:(int -> 'a) ->
+  int ->
+  'a result array

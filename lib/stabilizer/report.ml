@@ -33,11 +33,15 @@ let campaign_line (s : Supervisor.summary) =
   in
   Printf.sprintf
     "runs %d/%d, %d retried (%d retries), %d quarantined seed%s, %d \
-     budget-exceeded, %d invalid%s"
+     budget-exceeded, %d invalid%s%s"
     s.Supervisor.completed s.Supervisor.runs s.Supervisor.retried_runs
     s.Supervisor.total_retries s.Supervisor.quarantined
     (if s.Supervisor.quarantined = 1 then "" else "s")
-    s.Supervisor.budget_exceeded s.Supervisor.invalid faults_part
+    s.Supervisor.budget_exceeded s.Supervisor.invalid
+    (if s.Supervisor.worker_lost > 0 then
+       Printf.sprintf ", %d worker-lost" s.Supervisor.worker_lost
+     else "")
+    faults_part
 
 let csv_of_campaign (c : Supervisor.campaign) =
   let buf = Buffer.create 256 in
@@ -56,6 +60,7 @@ let csv_of_campaign (c : Supervisor.campaign) =
             | Supervisor.Trapped cls -> Stz_faults.Fault.class_to_string cls
             | Supervisor.Budget_exceeded -> "budget-exceeded"
             | Supervisor.Invalid_result -> "invalid-result"
+            | Supervisor.Worker_lost -> "worker-lost"
             | Supervisor.Done _ -> assert false
           in
           Buffer.add_string buf

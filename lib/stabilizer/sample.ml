@@ -1,7 +1,13 @@
 module Fault = Stz_faults.Fault
 module Injector = Stz_faults.Injector
 
-type failure = { run : int; seed : int64; fault : Fault.fault_class }
+type failure_kind =
+  | Faulted of Fault.fault_class
+  | Budget_exceeded
+  | Invalid_result
+  | Worker_lost
+
+type failure = { run : int; seed : int64; kind : failure_kind }
 
 type t = {
   times : float array;
@@ -9,6 +15,12 @@ type t = {
   results : Runtime.result array;
   failures : failure list;
 }
+
+let failure_kind_to_string = function
+  | Faulted c -> Fault.class_to_string c
+  | Budget_exceeded -> "budget-exceeded"
+  | Invalid_result -> "invalid-result"
+  | Worker_lost -> "worker-lost"
 
 let seeds ~base_seed ~runs =
   let g = Stz_prng.Splitmix.create base_seed in
@@ -24,26 +36,41 @@ let run_one ?limits ?profile ~config ~seed p ~args =
         ?machine_factory:plan.Injector.machine_factory
         ~env_wrap:plan.Injector.env_wrap ~config ~seed p ~args
 
-let collect_outcomes ?limits ?profile ~config ~base_seed ~runs ~args p =
+let collect_outcomes ?(jobs = 1) ?limits ?profile ~config ~base_seed ~runs
+    ~args p =
   if runs < 1 then invalid_arg "Sample.collect: runs must be >= 1";
-  Array.map
-    (fun seed -> (seed, run_one ?limits ?profile ~config ~seed p ~args))
-    (seeds ~base_seed ~runs)
+  let seeds = seeds ~base_seed ~runs in
+  let outcomes =
+    Parallel.map ~jobs
+      ~f:(fun i -> run_one ?limits ?profile ~config ~seed:seeds.(i) p ~args)
+      runs
+  in
+  Array.mapi
+    (fun i o ->
+      ( seeds.(i),
+        match o with
+        | Parallel.Value outcome -> outcome
+        | Parallel.Lost -> Outcome.Worker_lost ))
+    outcomes
 
-let collect ?limits ?profile ~config ~base_seed ~runs ~args p =
-  let outcomes = collect_outcomes ?limits ?profile ~config ~base_seed ~runs ~args p in
+let collect ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p =
+  let outcomes =
+    collect_outcomes ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p
+  in
   let completed = ref [] in
   let failures = ref [] in
+  let censor i seed kind = failures := { run = i; seed; kind } :: !failures in
   Array.iteri
     (fun i (seed, outcome) ->
       match outcome with
       | Outcome.Completed r -> completed := r :: !completed
-      | Outcome.Trapped fault -> failures := { run = i; seed; fault } :: !failures
-      | Outcome.Budget_exceeded | Outcome.Invalid_result ->
+      | Outcome.Trapped fault -> censor i seed (Faulted fault)
+      | Outcome.Budget_exceeded ->
           (* No budget/reference gates at this layer (the supervisor
-             sets them), but a profile's poisoned runs still complete;
-             keep the variant exhaustive. *)
-          failures := { run = i; seed; fault = Fault.Unknown_trap } :: !failures)
+             sets them), but the variant stays exhaustive. *)
+          censor i seed Budget_exceeded
+      | Outcome.Invalid_result -> censor i seed Invalid_result
+      | Outcome.Worker_lost -> censor i seed Worker_lost)
     outcomes;
   let results = Array.of_list (List.rev !completed) in
   {
@@ -53,5 +80,5 @@ let collect ?limits ?profile ~config ~base_seed ~runs ~args p =
     failures = List.rev !failures;
   }
 
-let times ?limits ?profile ~config ~base_seed ~runs ~args p =
-  (collect ?limits ?profile ~config ~base_seed ~runs ~args p).times
+let times ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p =
+  (collect ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p).times

@@ -7,12 +7,27 @@
     allocator OOM, …) no longer abort the loop and destroy the samples
     already gathered: each run is classified through
     {!Outcome.run_outcome}, completed runs land in [times]/[results],
-    and censored runs are reported in [failures]. *)
+    and censored runs are reported in [failures].
+
+    With [jobs > 1] the runs execute on a {!Parallel} fork pool. Every
+    run is a pure function of its seed, so the merged sample is
+    bit-identical to the serial one regardless of worker count or
+    completion order; a worker that dies costs exactly the run it was
+    executing, censored as {!Worker_lost}. *)
+
+(** Why a run was censored. Unlike a {!Stz_faults.Fault.fault_class},
+    this also covers the gate and harness outcomes that are not faults
+    of the run itself (formerly mis-reported as [Unknown_trap]). *)
+type failure_kind =
+  | Faulted of Stz_faults.Fault.fault_class  (** the run trapped *)
+  | Budget_exceeded  (** over the supervisor's cycle budget *)
+  | Invalid_result  (** return value differs from the reference *)
+  | Worker_lost  (** the parallel worker died mid-run *)
 
 type failure = {
   run : int;  (** run index within the sample *)
   seed : int64;  (** the exact seed that reproduces the failure *)
-  fault : Stz_faults.Fault.fault_class;
+  kind : failure_kind;
 }
 
 type t = {
@@ -22,7 +37,10 @@ type t = {
   failures : failure list;  (** censored runs, in run order *)
 }
 
+val failure_kind_to_string : failure_kind -> string
+
 val collect :
+  ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->
@@ -38,9 +56,11 @@ val collect :
 val seeds : base_seed:int64 -> runs:int -> int64 array
 
 (** [collect_outcomes] is the raw classified stream, one entry per run
-    (seed, outcome) — nothing censored, nothing re-ordered. [profile]
-    injects faults per {!Stz_faults.Injector}. *)
+    (seed, outcome) — nothing censored, nothing re-ordered (the merge
+    is in run order even with [jobs > 1]). [profile] injects faults per
+    {!Stz_faults.Injector}. *)
 val collect_outcomes :
+  ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->
@@ -52,6 +72,7 @@ val collect_outcomes :
 
 (** Convenience: just the times of completed runs. *)
 val times :
+  ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
   config:Config.t ->

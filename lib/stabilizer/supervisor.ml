@@ -25,6 +25,7 @@ type stored_outcome =
   | Trapped of Fault.fault_class
   | Budget_exceeded
   | Invalid_result
+  | Worker_lost
 
 type record = {
   run : int;
@@ -54,6 +55,7 @@ type summary = {
   quarantined : int;
   budget_exceeded : int;
   invalid : int;
+  worker_lost : int;
   by_class : (Fault.fault_class * int) list;
   retry_histogram : int array;
 }
@@ -76,7 +78,8 @@ let record_to_json r =
         | Done _ -> "completed"
         | Trapped c -> Fault.class_to_string c
         | Budget_exceeded -> "budget-exceeded"
-        | Invalid_result -> "invalid-result"));
+        | Invalid_result -> "invalid-result"
+        | Worker_lost -> "worker-lost"));
     ]
   in
   match r.outcome with
@@ -109,6 +112,7 @@ let record_of_json j =
              { cycles; seconds = seconds_of_cycles cycles; return_value; instructions })
     | "budget-exceeded" -> Some Budget_exceeded
     | "invalid-result" -> Some Invalid_result
+    | "worker-lost" -> Some Worker_lost
     | s -> Option.map (fun c -> Trapped c) (Fault.class_of_string s)
   in
   Some { run; seed; retries; outcome }
@@ -222,9 +226,10 @@ let attempt_seed primary k =
   end
 
 let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
-    ?(limits = Interp.default_limits) ?checkpoint ?(resume = false) ?on_record
-    ~config ~base_seed ~runs ~args p =
+    ?(limits = Interp.default_limits) ?(jobs = 1) ?checkpoint ?(resume = false)
+    ?on_record ~config ~base_seed ~runs ~args p =
   if runs < 1 then raise (Mismatch "run_campaign: runs must be >= 1");
+  let jobs = Stdlib.max 1 jobs in
   let profile_fp = Fault.fingerprint profile in
   let config_desc = Config.describe config in
   let primary = Sample.seeds ~base_seed ~runs in
@@ -368,35 +373,103 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     | Outcome.Trapped c -> Trapped c
     | Outcome.Budget_exceeded -> Budget_exceeded
     | Outcome.Invalid_result -> Invalid_result
+    | Outcome.Worker_lost -> Worker_lost
   in
-  for i = 0 to runs - 1 do
-    match records.(i) with
-    | Some _ -> () (* resumed *)
-    | None ->
-        let rec attempt k =
-          let seed = attempt_seed primary.(i) k in
-          let outcome =
-            if Hashtbl.mem quarantine seed then
-              (* Known-bad seed: counts as a failed attempt, not re-run. *)
-              Outcome.Trapped Fault.Unknown_trap
-            else execute seed
-          in
-          match outcome with
-          | Outcome.Completed _ ->
-              let stored = store_outcome outcome in
-              (match stored with Done c -> feed_calibration c | _ -> ());
-              { run = i; seed; retries = k; outcome = stored }
-          | failed ->
-              add_quarantine seed;
-              if k < policy.max_retries then attempt (k + 1)
-              else { run = i; seed; retries = k; outcome = store_outcome failed }
-        in
-        let r = attempt 0 in
-        records.(i) <- Some r;
-        incr finished;
-        (match on_record with Some f -> f r | None -> ());
-        maybe_checkpoint ~force:false
+  (* One supervised run: the bounded retry loop. Quarantine lookups see
+     the global table as of the call (in a worker: as of the fork) plus
+     this run's own failed attempts; the failed seeds come back with
+     the record so the parent can merge them in run order. Cross-run
+     quarantine hits require two splitmix streams to collide (~2^-64),
+     which is what makes the parallel merge bit-identical to a serial
+     campaign. *)
+  let attempt_run i =
+    let failed_seeds = ref [] in
+    let rec attempt k =
+      let seed = attempt_seed primary.(i) k in
+      let outcome =
+        if Hashtbl.mem quarantine seed || List.mem seed !failed_seeds then
+          (* Known-bad seed: counts as a failed attempt, not re-run. *)
+          Outcome.Trapped Fault.Unknown_trap
+        else execute seed
+      in
+      match outcome with
+      | Outcome.Completed _ ->
+          { run = i; seed; retries = k; outcome = store_outcome outcome }
+      | failed ->
+          failed_seeds := seed :: !failed_seeds;
+          if k < policy.max_retries then attempt (k + 1)
+          else { run = i; seed; retries = k; outcome = store_outcome failed }
+    in
+    let r = attempt 0 in
+    (r, List.rev !failed_seeds)
+  in
+  (* All bookkeeping stays in the parent and happens in run order, so
+     quarantine, calibration, on_record and checkpoints are identical
+     whatever the worker count. *)
+  let deliver i ((r : record), failed_seeds) =
+    List.iter add_quarantine failed_seeds;
+    (match r.outcome with Done c -> feed_calibration c | _ -> ());
+    records.(i) <- Some r;
+    incr finished;
+    (match on_record with Some f -> f r | None -> ());
+    maybe_checkpoint ~force:false
+  in
+  let pending = ref [] in
+  for i = runs - 1 downto 0 do
+    if records.(i) = None then pending := i :: !pending
   done;
+  if jobs <= 1 then List.iter (fun i -> deliver i (attempt_run i)) !pending
+  else begin
+    (* Budget calibration is order-dependent — budgets freeze after the
+       first [calibration_runs] completed runs and tighten the limits
+       of every later run — so runs execute serially until the budgets
+       are frozen; only the remainder fans out. *)
+    let rec serial_head = function
+      | i :: rest when !budget_cycles = None ->
+          deliver i (attempt_run i);
+          serial_head rest
+      | rest -> rest
+    in
+    let tasks = Array.of_list (serial_head !pending) in
+    if Array.length tasks > 0 then begin
+      (* Worker results arrive in completion order; [buffered] and
+         [next_run] re-serialize them so delivery happens in run order
+         — a mid-flight checkpoint therefore always holds a prefix of
+         completed runs, exactly what a serial campaign interrupted at
+         the same point would have written, and resume composes with
+         in-flight workers without double-running anything. *)
+      let buffered = Array.make runs None in
+      let next_run = ref 0 in
+      let advance () =
+        let blocked = ref false in
+        while (not !blocked) && !next_run < runs do
+          match (records.(!next_run), buffered.(!next_run)) with
+          | Some _, _ -> incr next_run
+          | None, Some payload ->
+              buffered.(!next_run) <- None;
+              deliver !next_run payload;
+              incr next_run
+          | None, None -> blocked := true
+        done
+      in
+      let on_result pos res =
+        let i = tasks.(pos) in
+        let payload =
+          match res with
+          | Parallel.Value record_and_seeds -> record_and_seeds
+          | Parallel.Lost ->
+              ( { run = i; seed = primary.(i); retries = 0; outcome = Worker_lost },
+                [] )
+        in
+        buffered.(i) <- Some payload;
+        advance ()
+      in
+      ignore
+        (Parallel.map ~on_result ~jobs
+           ~f:(fun pos -> attempt_run tasks.(pos))
+           (Array.length tasks))
+    end
+  end;
   let c = campaign_so_far () in
   (match checkpoint with Some path -> save path c | None -> ());
   c
@@ -418,6 +491,7 @@ let summarize c =
   let total_retries = ref 0 in
   let budget_exceeded = ref 0 in
   let invalid = ref 0 in
+  let worker_lost = ref 0 in
   let class_counts = Hashtbl.create 8 in
   let max_retries =
     List.fold_left (fun acc r -> Stdlib.max acc r.retries) 0 c.records
@@ -436,6 +510,9 @@ let summarize c =
       | Invalid_result ->
           incr censored;
           incr invalid
+      | Worker_lost ->
+          incr censored;
+          incr worker_lost
       | Trapped cls ->
           incr censored;
           Hashtbl.replace class_counts cls
@@ -450,6 +527,7 @@ let summarize c =
     quarantined = List.length c.quarantined;
     budget_exceeded = !budget_exceeded;
     invalid = !invalid;
+    worker_lost = !worker_lost;
     by_class =
       List.map
         (fun cls ->

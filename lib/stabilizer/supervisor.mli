@@ -36,6 +36,9 @@ type stored_outcome =
   | Trapped of Stz_faults.Fault.fault_class
   | Budget_exceeded
   | Invalid_result
+  | Worker_lost
+      (** the parallel worker executing the run died before reporting —
+          see {!Outcome.run_outcome} *)
 
 type record = {
   run : int;
@@ -65,6 +68,7 @@ type summary = {
   quarantined : int;
   budget_exceeded : int;
   invalid : int;
+  worker_lost : int;  (** runs censored because their worker died *)
   by_class : (Stz_faults.Fault.fault_class * int) list;
       (** final-outcome trap tallies, every class listed *)
   retry_histogram : int array;
@@ -85,11 +89,21 @@ exception Mismatch of string
     calibrated budgets, the reference value and the quarantine list are
     restored so the continuation behaves exactly as the uninterrupted
     campaign would. [on_record] observes each finished run (useful for
-    progress display — and for tests that kill a campaign mid-flight). *)
+    progress display — and for tests that kill a campaign mid-flight).
+
+    [jobs] (default 1) executes runs on a {!Parallel} fork pool. Runs
+    are serialized until the cycle/fuel budgets freeze (they change the
+    limits of later runs), then the remainder fans out; results are
+    merged, quarantined, reported through [on_record] and checkpointed
+    strictly in run order, so samples, checkpoints and outcome CSVs are
+    bit-identical to a serial campaign's for any worker count. A worker
+    that dies censors exactly the run it was executing as
+    {!Worker_lost}; the rest of its task stripe is re-spawned. *)
 val run_campaign :
   ?policy:policy ->
   ?profile:Stz_faults.Fault.profile ->
   ?limits:Stz_vm.Interp.limits ->
+  ?jobs:int ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?on_record:(record -> unit) ->

@@ -23,7 +23,7 @@ let max xs =
 
 let sorted xs =
   let copy = Array.copy xs in
-  Array.sort compare copy;
+  Array.sort Float.compare copy;
   copy
 
 let quantile xs q =
@@ -71,13 +71,13 @@ let ranks xs =
   check_nonempty "ranks" xs;
   let n = Array.length xs in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare xs.(i) xs.(j)) order;
+  Array.sort (fun i j -> Float.compare xs.(i) xs.(j)) order;
   let result = Array.make n 0.0 in
   let i = ref 0 in
   while !i < n do
     (* Find the run of ties starting at !i and give each its average rank. *)
     let j = ref !i in
-    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+    while !j + 1 < n && Float.compare xs.(order.(!j + 1)) xs.(order.(!i)) = 0 do
       incr j
     done;
     let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in

@@ -1,5 +1,10 @@
 (** Descriptive statistics over float arrays. Input arrays are never
-    modified; functions requiring order work on an internal sorted copy. *)
+    modified; functions requiring order work on an internal sorted copy.
+
+    Ordering is {!Float.compare}'s total order: NaNs sort before every
+    other value and compare equal to each other, so NaN inputs yield a
+    deterministic (if statistically meaningless) result rather than the
+    unspecified order a polymorphic sort would give. *)
 
 val mean : float array -> float
 
@@ -23,7 +28,7 @@ val skewness : float array -> float
 (** Excess kurtosis (g2, biased moment estimator). *)
 val kurtosis : float array -> float
 
-(** Sorted copy of the input. *)
+(** Sorted copy of the input ({!Float.compare} order: NaNs first). *)
 val sorted : float array -> float array
 
 (** Standard error of the mean. *)
@@ -33,5 +38,5 @@ val std_error : float array -> float
 val geometric_mean : float array -> float
 
 (** Ranks with ties sharing their average rank (1-based), as used by
-    rank-based tests. *)
+    rank-based tests. NaNs rank lowest and tie with each other. *)
 val ranks : float array -> float array

@@ -28,7 +28,14 @@ let exact_cdf ~n w =
   done;
   !acc /. (2.0 ** float_of_int n)
 
+let check_finite name xs =
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then invalid_arg ("Wilcoxon." ^ name ^ ": NaN input"))
+    xs
+
 let signed_rank_of_diffs diffs =
+  check_finite "signed_rank" diffs;
   let nonzero = Array.of_list (List.filter (fun d -> d <> 0.0) (Array.to_list diffs)) in
   let n = Array.length nonzero in
   if n < 2 then invalid_arg "Wilcoxon: fewer than 2 non-zero differences";
@@ -50,7 +57,9 @@ let signed_rank_of_diffs diffs =
   let i = ref 0 in
   while !i < n do
     let j = ref !i in
-    while !j + 1 < n && sorted.(!j + 1) = sorted.(!i) do incr j done;
+    while !j + 1 < n && Float.compare sorted.(!j + 1) sorted.(!i) = 0 do
+      incr j
+    done;
     let t = float_of_int (!j - !i + 1) in
     if t > 1.0 then tie_term := !tie_term +. ((t *. t *. t) -. t);
     i := !j + 1
@@ -59,8 +68,17 @@ let signed_rank_of_diffs diffs =
      rather than the normal approximation. *)
   let has_ties = !tie_term > 0.0 in
   if (not has_ties) && n <= 25 then begin
-    let p = Stdlib.min 1.0 (2.0 *. exact_cdf ~n w) in
-    { w; z = 0.0; p_value = p; n_effective = n; exact = true }
+    (* Two-sided p = 2 min(P(W <= w), P(W >= w)), capped at 1 — doubling
+       only the lower tail double-counts the atom at w itself (the
+       distribution is discrete) and overshoots 1 near the center.
+       With no ties W is integral, so P(W >= w) = 1 - P(W <= w-1). *)
+    let cdf_le = exact_cdf ~n w in
+    let cdf_ge = 1.0 -. exact_cdf ~n (w -. 1.0) in
+    let p = Stdlib.min 1.0 (2.0 *. Stdlib.min cdf_le cdf_ge) in
+    (* The z a normal approximation would have needed to produce this
+       p, so callers can treat exact and approximate results alike. *)
+    let z = Dist.Normal.quantile (Stdlib.max 1e-300 (p /. 2.0)) in
+    { w; z; p_value = p; n_effective = n; exact = true }
   end
   else begin
     let var =
@@ -80,6 +98,8 @@ let signed_rank a b =
 let one_sample ~mu xs = signed_rank_of_diffs (Array.map (fun x -> x -. mu) xs)
 
 let rank_sum a b =
+  check_finite "rank_sum" a;
+  check_finite "rank_sum" b;
   let na = Array.length a and nb = Array.length b in
   if na < 2 || nb < 2 then invalid_arg "Wilcoxon.rank_sum: needs >= 2 samples each";
   let combined = Array.append a b in
@@ -98,7 +118,9 @@ let rank_sum a b =
   let n = na + nb in
   while !i < n do
     let j = ref !i in
-    while !j + 1 < n && sorted.(!j + 1) = sorted.(!i) do incr j done;
+    while !j + 1 < n && Float.compare sorted.(!j + 1) sorted.(!i) = 0 do
+      incr j
+    done;
     let t = float_of_int (!j - !i + 1) in
     if t > 1.0 then tie_term := !tie_term +. ((t *. t *. t) -. t);
     i := !j + 1

@@ -5,9 +5,14 @@
 
 type result = {
   w : float;  (** signed-rank statistic (min of W+ and W-) *)
-  z : float;  (** normal approximation z-score (0 when the exact
-                  distribution was used) *)
-  p_value : float;  (** two-sided p-value *)
+  z : float;
+      (** normal-approximation z-score; on the exact path, the
+          equivalent normal deviate of the exact p-value, so exact and
+          approximate results read alike *)
+  p_value : float;
+      (** two-sided p-value. The exact path uses
+          2 min(P(W <= w), P(W >= w)) capped at 1 — doubling only the
+          lower tail would double-count the discrete atom at w *)
   n_effective : int;  (** pairs remaining after dropping zero differences *)
   exact : bool;
       (** true when the p-value came from the exact null distribution of
@@ -15,14 +20,15 @@ type result = {
           than the normal approximation *)
 }
 
-(** Paired test; arrays must have equal length. *)
+(** Paired test; arrays must have equal length. Raises [Invalid_argument]
+    on NaN differences — a silent NaN would otherwise corrupt the ranks. *)
 val signed_rank : float array -> float array -> result
 
 (** One-sample variant against a hypothesized median [mu]. *)
 val one_sample : mu:float -> float array -> result
 
 (** Mann-Whitney U (rank-sum) test for two independent samples, with
-    normal approximation. *)
+    normal approximation. Raises [Invalid_argument] on NaN inputs. *)
 val rank_sum : float array -> float array -> result
 
 (** [exact_cdf ~n w] is P(W+ <= w) under the signed-rank null for [n]

@@ -1,0 +1,240 @@
+(* The fork pool and the parallel campaign path: --jobs N must be an
+   implementation detail, never an observable one. Samples, outcome
+   CSVs and JSON checkpoints have to be byte-identical to a serial
+   campaign's, for any worker count, through worker deaths and through
+   kill + resume. *)
+
+module S = Stabilizer
+module F = Stz_faults.Fault
+module P = Stz_workloads.Profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.map, directly                                              *)
+(* ------------------------------------------------------------------ *)
+
+let value = function
+  | S.Parallel.Value v -> v
+  | S.Parallel.Lost -> Alcotest.fail "unexpected Lost"
+
+let map_matches_serial () =
+  for n = 0 to 12 do
+    for jobs = 1 to 5 do
+      let f i = (i * i) + (31 * i) + 7 in
+      let got = S.Parallel.map ~jobs ~f n in
+      check_int (Printf.sprintf "n=%d jobs=%d: length" n jobs) n
+        (Array.length got);
+      Array.iteri
+        (fun i r ->
+          check_int (Printf.sprintf "n=%d jobs=%d: slot %d" n jobs i) (f i)
+            (value r))
+        got
+    done
+  done
+
+let map_matches_serial_prop =
+  QCheck.Test.make ~name:"map is f applied index-wise, any worker count"
+    ~count:30
+    QCheck.(pair (int_bound 20) (int_bound 6))
+    (fun (n, jobs) ->
+      let f i = (7 * i) + 3 in
+      S.Parallel.map ~jobs:(jobs + 1) ~f n
+      = Array.init n (fun i -> S.Parallel.Value (f i)))
+
+let on_result_reports_each_task_once () =
+  let n = 17 and jobs = 4 in
+  let counts = Array.make n 0 in
+  let results =
+    S.Parallel.map
+      ~on_result:(fun i _ -> counts.(i) <- counts.(i) + 1)
+      ~jobs ~f:(fun i -> i) n
+  in
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "task %d reported once" i) 1 c)
+    counts;
+  Array.iteri (fun i r -> check_int "result" i (value r)) results
+
+let workers_actually_overlap () =
+  (* Sleeping tasks prove concurrency even on a single-CPU box: eight
+     0.15 s sleeps across four workers must beat the 1.2 s a serial
+     execution needs by a wide margin. *)
+  let t0 = Unix.gettimeofday () in
+  let r = S.Parallel.map ~jobs:4 ~f:(fun i -> Unix.sleepf 0.15; i) 8 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.iteri (fun i x -> check_int "slot" i (value x)) r;
+  check_bool
+    (Printf.sprintf "8x0.15s over 4 workers took %.2fs (serial: 1.2s)" elapsed)
+    true (elapsed < 1.0)
+
+let dead_worker_censors_only_its_task () =
+  (* Worker 2's stripe is [2; 5; 8]: it reports 2, dies executing 5,
+     and the respawned replacement still delivers 8. *)
+  let f i = if i = 5 then Unix._exit 42 else i * 10 in
+  let got = S.Parallel.map ~jobs:3 ~f 9 in
+  Array.iteri
+    (fun i r ->
+      if i = 5 then
+        check_bool "task 5 lost" true (r = S.Parallel.Lost)
+      else check_int (Printf.sprintf "task %d survives" i) (i * 10) (value r))
+    got
+
+exception Boom
+
+let raising_on_result_reaps_workers () =
+  (* The pool must not leak children when the merge callback raises. *)
+  let raised = ref false in
+  (try
+     ignore
+       (S.Parallel.map
+          ~on_result:(fun _ _ -> raise Boom)
+          ~jobs:3
+          ~f:(fun i -> Unix.sleepf 0.05; i)
+          9)
+   with Boom -> raised := true);
+  check_bool "exception propagates" true !raised;
+  (* Every child is dead and reaped: no process in our group left. *)
+  let none_left =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+    | 0, _ -> false
+    | _ -> false
+  in
+  check_bool "no zombie workers" true none_left
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism under --jobs                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tiny =
+  {
+    P.default with
+    P.name = "parallel";
+    functions = 8;
+    hot_functions = 4;
+    iterations = 12;
+    inner_trips = 6;
+    seed = 0xBA_8A_11E1L;
+  }
+
+let program = lazy (Stz_workloads.Generate.program tiny)
+let config = S.Config.stabilizer
+let args = [ 1 ]
+
+let policy =
+  { S.Supervisor.default_policy with S.Supervisor.max_retries = 2 }
+
+let campaign ?(runs = 50) ?(jobs = 1) ?checkpoint ?(resume = false) ?on_record
+    ~seed profile =
+  S.Supervisor.run_campaign ~policy ~profile ~jobs ?checkpoint ~resume
+    ?on_record ~config ~base_seed:(Int64.of_int seed) ~runs ~args
+    (Lazy.force program)
+
+let with_temp f =
+  let path = Filename.temp_file "stz-parallel" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let jobs4_is_byte_identical_to_serial () =
+  (* The tentpole property: a 50-run light-fault campaign under --jobs 4
+     leaves exactly the bytes a serial one does — outcome CSV and JSON
+     checkpoint both. *)
+  with_temp (fun path1 ->
+      with_temp (fun path4 ->
+          let c1 = campaign ~seed:7 ~checkpoint:path1 F.light in
+          let c4 = campaign ~seed:7 ~jobs:4 ~checkpoint:path4 F.light in
+          check_string "outcome CSVs byte-identical"
+            (S.Report.csv_of_campaign c1)
+            (S.Report.csv_of_campaign c4);
+          check_string "checkpoints byte-identical" (read_file path1)
+            (read_file path4);
+          check_bool "times bit-identical" true
+            (S.Supervisor.times c1 = S.Supervisor.times c4)))
+
+exception Killed
+
+let kill_and_resume_under_jobs4_is_byte_identical () =
+  (* Kill a --jobs 4 campaign after 12 delivered runs, resume it under
+     --jobs 4, and demand the serial campaign's exact bytes. *)
+  with_temp (fun serial_path ->
+      with_temp (fun par_path ->
+          let serial = campaign ~seed:11 ~checkpoint:serial_path F.light in
+          let seen = ref 0 in
+          (try
+             ignore
+               (campaign ~seed:11 ~jobs:4 ~checkpoint:par_path
+                  ~on_record:(fun _ ->
+                    incr seen;
+                    if !seen = 12 then raise Killed)
+                  F.light)
+           with Killed -> ());
+          check_int "killed mid-campaign" 12 !seen;
+          (* The interrupted checkpoint holds a prefix of completed
+             runs, exactly as a serial interruption would. *)
+          (match S.Supervisor.load par_path with
+          | Error e -> Alcotest.failf "mid-flight checkpoint: %s" e
+          | Ok mid ->
+              let serial_prefix =
+                List.filteri
+                  (fun i _ -> i < List.length mid.S.Supervisor.records)
+                  serial.S.Supervisor.records
+              in
+              check_bool "mid-flight checkpoint is a run-order prefix" true
+                (mid.S.Supervisor.records = serial_prefix));
+          let resumed =
+            campaign ~seed:11 ~jobs:4 ~checkpoint:par_path ~resume:true F.light
+          in
+          check_bool "records identical after resume" true
+            (serial.S.Supervisor.records = resumed.S.Supervisor.records);
+          check_string "final checkpoints byte-identical"
+            (read_file serial_path) (read_file par_path);
+          check_string "outcome CSVs byte-identical"
+            (S.Report.csv_of_campaign serial)
+            (S.Report.csv_of_campaign resumed)))
+
+let heavy_faults_jobs_identical () =
+  (* Retries and quarantine stay seed-derived, so even a heavily
+     faulting campaign merges identically. *)
+  let c1 = campaign ~runs:16 ~seed:3 F.heavy in
+  let c3 = campaign ~runs:16 ~seed:3 ~jobs:3 F.heavy in
+  check_bool "records" true
+    (c1.S.Supervisor.records = c3.S.Supervisor.records);
+  check_bool "quarantine order" true
+    (c1.S.Supervisor.quarantined = c3.S.Supervisor.quarantined);
+  check_string "CSV" (S.Report.csv_of_campaign c1) (S.Report.csv_of_campaign c3)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches serial" `Quick map_matches_serial;
+          QCheck_alcotest.to_alcotest map_matches_serial_prop;
+          Alcotest.test_case "on_result covers each task once" `Quick
+            on_result_reports_each_task_once;
+          Alcotest.test_case "workers overlap in time" `Quick
+            workers_actually_overlap;
+          Alcotest.test_case "dead worker censors only its task" `Quick
+            dead_worker_censors_only_its_task;
+          Alcotest.test_case "raising on_result reaps workers" `Quick
+            raising_on_result_reaps_workers;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs 4 byte-identical to serial" `Quick
+            jobs4_is_byte_identical_to_serial;
+          Alcotest.test_case "kill+resume under jobs 4 byte-identical" `Quick
+            kill_and_resume_under_jobs4_is_byte_identical;
+          Alcotest.test_case "heavy faults identical under jobs" `Quick
+            heavy_faults_jobs_identical;
+        ] );
+    ]

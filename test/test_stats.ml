@@ -216,6 +216,40 @@ let wilcoxon_exact_small_sample () =
   check_bool "exact path taken" true r.S.Wilcoxon.exact;
   checkf "exact p" ~eps:1e-12 0.03125 r.S.Wilcoxon.p_value
 
+let wilcoxon_exact_reports_equivalent_z () =
+  (* The exact path used to report z = 0; now it reports the normal
+     deviate equivalent to the exact p, so exact and approximate
+     results read alike downstream. *)
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let b = [| 1.5; 2.7; 3.1; 4.9; 5.2; 6.4 |] in
+  let r = S.Wilcoxon.signed_rank a b in
+  check_bool "exact path" true r.S.Wilcoxon.exact;
+  checkf "z is the deviate of p/2" ~eps:1e-9
+    (S.Dist.Normal.quantile (r.S.Wilcoxon.p_value /. 2.0))
+    r.S.Wilcoxon.z;
+  check_bool "z in the lower tail" true (r.S.Wilcoxon.z < -1.5)
+
+let wilcoxon_rejects_nan () =
+  let with_nan = [| 1.0; Float.nan; 3.0; 4.0 |] in
+  let clean = [| 1.5; 2.5; 3.5; 4.5 |] in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "signed_rank refuses NaN" true
+    (raises (fun () -> S.Wilcoxon.signed_rank with_nan clean));
+  check_bool "rank_sum refuses NaN" true
+    (raises (fun () -> S.Wilcoxon.rank_sum with_nan clean))
+
+let desc_order_is_total_on_nan () =
+  (* Float.compare's total order: NaNs sort first and tie together,
+     instead of the unspecified shuffle a polymorphic sort gives. *)
+  let s = S.Desc.sorted [| 2.0; Float.nan; 1.0 |] in
+  check_bool "nan first" true (Float.is_nan s.(0));
+  checkf "then ascending" ~eps:0.0 1.0 s.(1);
+  checkf "then ascending" ~eps:0.0 2.0 s.(2);
+  let r = S.Desc.ranks [| 2.0; Float.nan; Float.nan; 1.0 |] in
+  checkf "nans tie on the lowest ranks" ~eps:0.0 1.5 r.(1);
+  checkf "nans tie on the lowest ranks" ~eps:0.0 1.5 r.(2);
+  checkf "real values rank above" ~eps:0.0 4.0 r.(0)
+
 let wilcoxon_exact_agrees_with_normal_approx () =
   (* At n = 25 the exact and approximate p-values should be close. *)
   let g = Stz_prng.Xorshift.create ~seed:77L in
@@ -579,6 +613,9 @@ let () =
           Alcotest.test_case "rank-sum" `Quick rank_sum_detects;
           Alcotest.test_case "exact small-sample" `Quick wilcoxon_exact_small_sample;
           Alcotest.test_case "exact vs approx" `Quick wilcoxon_exact_agrees_with_normal_approx;
+          Alcotest.test_case "exact equivalent z" `Quick wilcoxon_exact_reports_equivalent_z;
+          Alcotest.test_case "rejects NaN" `Quick wilcoxon_rejects_nan;
+          Alcotest.test_case "NaN order total" `Quick desc_order_is_total_on_nan;
           Alcotest.test_case "t quantile" `Quick student_t_quantile_roundtrip;
         ] );
       ( "shapiro",

@@ -126,7 +126,7 @@ let sample_starved_fuel_escapes_no_more () =
   List.iter
     (fun f ->
       check_bool "classified as fuel starvation" true
-        (f.S.Sample.fault = F.Fuel_starvation))
+        (f.S.Sample.kind = S.Sample.Faulted F.Fuel_starvation))
     s.S.Sample.failures
 
 let sample_seed_derivation_is_stable () =
