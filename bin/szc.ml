@@ -148,6 +148,71 @@ let policy_of retries =
   { Stabilizer.Supervisor.default_policy with Stabilizer.Supervisor.max_retries = retries }
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry options (shared by run / compare / campaign)              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON trace of the runs, clocked in \
+           simulated cycles. For a fixed seed the bytes are identical \
+           whatever $(b,--jobs) is; load it at chrome://tracing or Perfetto.")
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a flat `key value' metrics snapshot (hardware-counter \
+           totals, censoring tallies, epochs/relocations, retries).")
+
+let lanes_term =
+  Arg.(
+    value & opt int 4
+    & info [ "lanes" ] ~docv:"N"
+        ~doc:
+          "Virtual worker lanes in the exported trace. Runs are dealt \
+           round-robin onto lanes independently of $(b,--jobs), so traces \
+           stay byte-identical across worker counts.")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "# wrote %s\n" path
+
+let top_table ?(top = max_int) ~total_cycles entries =
+  let module H = Stz_machine.Hierarchy in
+  Printf.printf "%-16s %9s %12s %7s %8s %8s %7s %7s %6s %6s %8s\n" "function"
+    "calls" "excl.cycles" "share" "l1i" "l1d" "l2" "l3" "itlb" "dtlb" "br.miss";
+  List.iteri
+    (fun i (e : Stabilizer.Profiler.entry) ->
+      if i < top then begin
+        let c = e.Stabilizer.Profiler.counters in
+        Printf.printf "%-16s %9d %12d %6.2f%% %8d %8d %7d %7d %6d %6d %8d\n"
+          e.Stabilizer.Profiler.name e.Stabilizer.Profiler.calls
+          e.Stabilizer.Profiler.exclusive_cycles
+          (100.0
+          *. float_of_int e.Stabilizer.Profiler.exclusive_cycles
+          /. float_of_int (max 1 total_cycles))
+          c.H.l1i_misses c.H.l1d_misses c.H.l2_misses c.H.l3_misses
+          c.H.itlb_misses c.H.dtlb_misses c.H.branch_mispredictions
+      end)
+    entries
+
+let merged_profile (sample : Stabilizer.Sample.t) =
+  Stabilizer.Profiler.merge_entries
+    (Array.to_list
+       (Array.map
+          (fun (r : Stabilizer.Runtime.result) ->
+            Option.value ~default:[] r.Stabilizer.Runtime.profile)
+          sample.Stabilizer.Sample.results))
+
+(* ------------------------------------------------------------------ *)
 (* szc list                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -175,11 +240,13 @@ let list_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let run bench runs seed scale opt csv config jobs =
+  let run bench runs seed scale opt csv config jobs trace metrics lanes profiled
+      =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
     let sample =
       Stabilizer.Driver.build_and_run ~jobs ~config ~opt
+        ~events:(trace <> None) ~profiled
         ~base_seed:(Int64.of_int seed) ~runs
         ~args:Stz_workloads.Generate.default_args p
     in
@@ -189,6 +256,20 @@ let run_cmd =
         output_string oc (Stabilizer.Report.csv_of_sample sample);
         close_out oc;
         Printf.printf "# wrote %s\n" path
+    | None -> ());
+    (match trace with
+    | Some path ->
+        let tr =
+          Stabilizer.Rollup.trace_of_outcomes ~lanes
+            sample.Stabilizer.Sample.outcomes
+        in
+        write_file path
+          (Stz_telemetry.Export.chrome_string (Stz_telemetry.Trace.events tr))
+    | None -> ());
+    (match metrics with
+    | Some path ->
+        write_file path
+          (Stz_telemetry.Metrics.snapshot (Stabilizer.Rollup.of_sample sample))
     | None -> ());
     let times = sample.Stabilizer.Sample.times in
     Printf.printf "# %s under %s, %s, %d runs\n" bench
@@ -214,6 +295,13 @@ let run_cmd =
         (if sw.Stz_stats.Shapiro.p_value >= 0.05 then "plausibly normal"
          else "not normal")
     end;
+    if profiled then begin
+      Printf.printf "# hottest functions over %d runs (exclusive counters)\n"
+        runs;
+      top_table ~top:12
+        ~total_cycles:(Array.fold_left ( + ) 0 sample.Stabilizer.Sample.cycles)
+        (merged_profile sample)
+    end;
     Ok 0
   in
   let term =
@@ -224,7 +312,10 @@ let run_cmd =
             value
             & opt (some string) None
             & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the samples as CSV.")
-        $ config_term $ jobs_term))
+        $ config_term $ jobs_term $ trace_term $ metrics_term $ lanes_term
+        $ flag [ "profile" ]
+            "Also profile every run and print the merged hottest-function \
+             table (see `szc top')."))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark under a randomization configuration.")
@@ -243,14 +334,43 @@ let compare_cmd =
           | None -> Error (`Msg ("unknown optimization level " ^ s))),
         fun fmt l -> Format.pp_print_string fmt (Stz_vm.Opt.level_to_string l) )
   in
-  let run bench runs seed scale config opt_a opt_b profile min_n retries jobs =
+  let run bench runs seed scale config opt_a opt_b profile min_n retries jobs
+      trace metrics lanes =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
+    let arm () =
+      Option.map (fun _ -> Stz_telemetry.Trace.create ~lanes ()) trace
+    in
+    let tel_a = arm () and tel_b = arm () in
     let a, b, verdict =
       Stabilizer.Driver.compare_campaigns ~policy:(policy_of retries) ~profile
-        ~jobs ~min_n ~config ~base_seed:(Int64.of_int seed) ~runs
+        ~jobs ?telemetry_a:tel_a ?telemetry_b:tel_b ~min_n ~config
+        ~base_seed:(Int64.of_int seed) ~runs
         ~args:Stz_workloads.Generate.default_args opt_a opt_b p
     in
+    (match (trace, tel_a, tel_b) with
+    | Some path, Some ta, Some tb ->
+        write_file path
+          (Stz_telemetry.Export.chrome_groups_string
+             [
+               ( "arm-a " ^ Stz_vm.Opt.level_to_string opt_a,
+                 Stz_telemetry.Trace.events ta );
+               ( "arm-b " ^ Stz_vm.Opt.level_to_string opt_b,
+                 Stz_telemetry.Trace.events tb );
+             ])
+    | _ -> ());
+    (match metrics with
+    | Some path ->
+        let m = Stz_telemetry.Metrics.create () in
+        let graft prefix c =
+          List.iter
+            (fun (k, v) -> Stz_telemetry.Metrics.set m (prefix ^ "." ^ k) v)
+            (Stz_telemetry.Metrics.to_assoc (Stabilizer.Rollup.of_campaign c))
+        in
+        graft "arm_a" a;
+        graft "arm_b" b;
+        write_file path (Stz_telemetry.Metrics.snapshot m)
+    | None -> ());
     Printf.printf "# %s: %s vs %s under %s (%d runs each)\n" bench
       (Stz_vm.Opt.level_to_string opt_a)
       (Stz_vm.Opt.level_to_string opt_b)
@@ -289,7 +409,8 @@ let compare_cmd =
         $ Arg.(
             value & opt opt_conv Stz_vm.Opt.O2
             & info [ "opt-b" ] ~docv:"LEVEL" ~doc:"Second optimization level.")
-        $ faults_term $ min_n_term $ retries_term $ jobs_term))
+        $ faults_term $ min_n_term $ retries_term $ jobs_term $ trace_term
+        $ metrics_term $ lanes_term))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -501,17 +622,105 @@ let profile_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* szc top                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let run bench runs seed scale opt top config jobs =
+    let* prof = lookup_bench bench scale in
+    let p = Stz_workloads.Generate.program prof in
+    let sample =
+      Stabilizer.Driver.build_and_run ~jobs ~config ~opt ~profiled:true
+        ~base_seed:(Int64.of_int seed) ~runs
+        ~args:Stz_workloads.Generate.default_args p
+    in
+    let completed = Array.length sample.Stabilizer.Sample.results in
+    if completed = 0 then Error (`Msg "every run was censored; nothing to rank")
+    else begin
+      let total = Array.fold_left ( + ) 0 sample.Stabilizer.Sample.cycles in
+      Printf.printf
+        "# %s under %s, %s: hottest functions over %d completed runs\n" bench
+        (Stabilizer.Config.describe config)
+        (Stz_vm.Opt.level_to_string opt)
+        completed;
+      Printf.printf
+        "# exclusive per-function counters, summed across runs (layouts)\n";
+      top_table ~top ~total_cycles:total (merged_profile sample);
+      Ok 0
+    end
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ bench_arg $ runs_term $ seed_term $ scale_term $ opt_term
+        $ Arg.(
+            value & opt int 12
+            & info [ "top" ] ~docv:"N" ~doc:"How many functions to show.")
+        $ config_term $ jobs_term))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Rank functions by exclusive cycles across a whole sample of \
+          layouts, with cache/TLB/branch miss attribution — the paper §8 \
+          layout-problem detector. Unlike `szc profile' (one run, one \
+          layout), `szc top' merges per-run profiles so a function that is \
+          only hot under unlucky layouts still surfaces.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc check-trace                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_trace_cmd =
+  let run path =
+    match
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      text
+    with
+    | exception Sys_error e -> Error (`Msg e)
+    | text -> (
+        match Stz_telemetry.Export.validate_chrome_string text with
+        | Ok (spans, points) ->
+            Printf.printf "%s: ok (%d spans, %d point events)\n" path spans
+              points;
+            Ok 0
+        | Error e -> Error (`Msg (Printf.sprintf "%s: invalid trace: %s" path e)))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some file) None
+            & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file.")))
+  in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:
+         "Validate a --trace output file: JSON parse, traceEvents \
+          structure, non-negative timestamps, at least one real event. \
+          Exit 0 when valid, 1 otherwise (used by CI).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* szc campaign                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let campaign_cmd =
   let run bench runs seed scale opt csv config profile min_n retries checkpoint
-      resume quiet jobs =
+      resume quiet jobs trace metrics lanes =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
+    let telemetry =
+      Option.map (fun _ -> Stz_telemetry.Trace.create ~lanes ()) trace
+    in
     match
       Stabilizer.Driver.campaign ~policy:(policy_of retries) ~profile ~jobs
-        ?checkpoint ~resume
+        ?checkpoint ~resume ?telemetry
         ~on_record:(fun r ->
           if not quiet then
             Printf.printf "run %3d: %s%s\n%!" r.Stabilizer.Supervisor.run
@@ -519,10 +728,12 @@ let campaign_cmd =
               | Stabilizer.Supervisor.Done d ->
                   Printf.sprintf "%10d cycles (%.6f s)" d.Stabilizer.Supervisor.cycles
                     d.Stabilizer.Supervisor.seconds
-              | Stabilizer.Supervisor.Trapped cls ->
+              | Stabilizer.Supervisor.Trapped (cls, _) ->
                   "censored: " ^ Stz_faults.Fault.class_to_string cls
-              | Stabilizer.Supervisor.Budget_exceeded -> "censored: budget-exceeded"
-              | Stabilizer.Supervisor.Invalid_result -> "censored: invalid-result"
+              | Stabilizer.Supervisor.Budget_exceeded _ ->
+                  "censored: budget-exceeded"
+              | Stabilizer.Supervisor.Invalid_result _ ->
+                  "censored: invalid-result"
               | Stabilizer.Supervisor.Worker_lost -> "censored: worker-lost")
               (if r.Stabilizer.Supervisor.retries > 0 then
                  Printf.sprintf "  (retries=%d)" r.Stabilizer.Supervisor.retries
@@ -535,6 +746,18 @@ let campaign_cmd =
         Ok 3
     | campaign ->
         let summary = Stabilizer.Supervisor.summarize campaign in
+        (match (trace, telemetry) with
+        | Some path, Some tr ->
+            write_file path
+              (Stz_telemetry.Export.chrome_string
+                 (Stz_telemetry.Trace.events tr))
+        | _ -> ());
+        (match metrics with
+        | Some path ->
+            write_file path
+              (Stz_telemetry.Metrics.snapshot
+                 (Stabilizer.Rollup.of_campaign campaign))
+        | None -> ());
         (match csv with
         | Some path ->
             let oc = open_out path in
@@ -581,7 +804,7 @@ let campaign_cmd =
         $ flag [ "resume" ]
             "Resume the campaign from --checkpoint if the file exists."
         $ flag [ "quiet" ] "Suppress per-run progress lines."
-        $ jobs_term))
+        $ jobs_term $ trace_term $ metrics_term $ lanes_term))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -673,11 +896,13 @@ let selftest_cmd =
       with
       | S.Outcome.Completed r ->
           check "budget gate censors slow runs"
-            (S.Outcome.check ~budget_cycles:(r.S.Runtime.cycles - 1) r
-            = S.Outcome.Budget_exceeded);
+            (match S.Outcome.check ~budget_cycles:(r.S.Runtime.cycles - 1) r with
+            | S.Outcome.Budget_exceeded _ -> true
+            | _ -> false);
           check "reference gate flags corrupted answers"
-            (S.Outcome.check ~reference:(r.S.Runtime.return_value + 1) r
-            = S.Outcome.Invalid_result);
+            (match S.Outcome.check ~reference:(r.S.Runtime.return_value + 1) r with
+            | S.Outcome.Invalid_result _ -> true
+            | _ -> false);
           check "clean runs pass both gates"
             (S.Outcome.check ~budget_cycles:r.S.Runtime.cycles
                ~reference:r.S.Runtime.return_value r
@@ -748,7 +973,8 @@ let () =
       (Cmd.group info
          [
            list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
-           disasm_cmd; profile_cmd; exec_cmd; power_cmd;
+           disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; exec_cmd;
+           power_cmd;
          ])
   with
   | Ok (`Ok code) -> exit code

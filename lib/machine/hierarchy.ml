@@ -125,6 +125,68 @@ let counters t =
     branch_mispredictions = Branch.mispredictions t.predictor;
   }
 
+let counters_zero =
+  {
+    cycles = 0;
+    instructions = 0;
+    l1i_misses = 0;
+    l1d_misses = 0;
+    l2_misses = 0;
+    l3_misses = 0;
+    itlb_misses = 0;
+    dtlb_misses = 0;
+    branches = 0;
+    branch_mispredictions = 0;
+  }
+
+let counters_map2 f (a : counters) (b : counters) : counters =
+  {
+    cycles = f a.cycles b.cycles;
+    instructions = f a.instructions b.instructions;
+    l1i_misses = f a.l1i_misses b.l1i_misses;
+    l1d_misses = f a.l1d_misses b.l1d_misses;
+    l2_misses = f a.l2_misses b.l2_misses;
+    l3_misses = f a.l3_misses b.l3_misses;
+    itlb_misses = f a.itlb_misses b.itlb_misses;
+    dtlb_misses = f a.dtlb_misses b.dtlb_misses;
+    branches = f a.branches b.branches;
+    branch_mispredictions = f a.branch_mispredictions b.branch_mispredictions;
+  }
+
+let counters_add = counters_map2 ( + )
+let counters_sub = counters_map2 ( - )
+
+let counters_fields (c : counters) =
+  [
+    ("cycles", c.cycles);
+    ("instructions", c.instructions);
+    ("l1i_misses", c.l1i_misses);
+    ("l1d_misses", c.l1d_misses);
+    ("l2_misses", c.l2_misses);
+    ("l3_misses", c.l3_misses);
+    ("itlb_misses", c.itlb_misses);
+    ("dtlb_misses", c.dtlb_misses);
+    ("branches", c.branches);
+    ("branch_mispredictions", c.branch_mispredictions);
+  ]
+
+let counters_of_fields fields =
+  List.fold_left
+    (fun (c : counters) (k, v) ->
+      match k with
+      | "cycles" -> { c with cycles = v }
+      | "instructions" -> { c with instructions = v }
+      | "l1i_misses" -> { c with l1i_misses = v }
+      | "l1d_misses" -> { c with l1d_misses = v }
+      | "l2_misses" -> { c with l2_misses = v }
+      | "l3_misses" -> { c with l3_misses = v }
+      | "itlb_misses" -> { c with itlb_misses = v }
+      | "dtlb_misses" -> { c with dtlb_misses = v }
+      | "branches" -> { c with branches = v }
+      | "branch_mispredictions" -> { c with branch_mispredictions = v }
+      | _ -> c)
+    counters_zero fields
+
 let flush t =
   Cache.flush t.l1i;
   Cache.flush t.l1d;

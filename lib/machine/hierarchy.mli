@@ -56,6 +56,20 @@ val retire : t -> unit
 val cycles : t -> int
 val counters : t -> counters
 
+(** Counter arithmetic, for snapshot/delta attribution (profiling,
+    telemetry rollups). *)
+val counters_zero : counters
+
+val counters_add : counters -> counters -> counters
+val counters_sub : counters -> counters -> counters
+
+(** Field names and values in declaration order, for uniform export. *)
+val counters_fields : counters -> (string * int) list
+
+(** Inverse of {!counters_fields}: unknown keys ignored, missing keys
+    zero — lenient on purpose for checkpoint-format evolution. *)
+val counters_of_fields : (string * int) list -> counters
+
 (** Cost model in effect. *)
 val cost : t -> Cost.t
 

@@ -3,9 +3,10 @@ let compile ~opt p =
   Stz_vm.Validate.check_exn compiled;
   compiled
 
-let build_and_run ?jobs ?limits ?profile ~config ~opt ~base_seed ~runs ~args p =
-  Sample.collect ?jobs ?limits ?profile ~config ~base_seed ~runs ~args
-    (compile ~opt p)
+let build_and_run ?jobs ?limits ?profile ?events ?profiled ~config ~opt
+    ~base_seed ~runs ~args p =
+  Sample.collect ?jobs ?limits ?profile ?events ?profiled ~config ~base_seed
+    ~runs ~args (compile ~opt p)
 
 let arm_b_salt = 0x0B5EEDL
 
@@ -20,18 +21,19 @@ let compare_opt_levels ?alpha ?jobs ?limits ~config ~base_seed ~runs ~args la lb
   Experiment.compare_samples ?alpha a.Sample.times b.Sample.times
 
 let campaign ?policy ?profile ?limits ?jobs ?checkpoint ?resume ?on_record
-    ~config ~opt ~base_seed ~runs ~args p =
+    ?telemetry ~config ~opt ~base_seed ~runs ~args p =
   Supervisor.run_campaign ?policy ?profile ?limits ?jobs ?checkpoint ?resume
-    ?on_record ~config ~base_seed ~runs ~args (compile ~opt p)
+    ?on_record ?telemetry ~config ~base_seed ~runs ~args (compile ~opt p)
 
-let compare_campaigns ?alpha ?policy ?profile ?limits ?jobs ~min_n ~config
-    ~base_seed ~runs ~args la lb p =
+let compare_campaigns ?alpha ?policy ?profile ?limits ?jobs ?telemetry_a
+    ?telemetry_b ~min_n ~config ~base_seed ~runs ~args la lb p =
   let a =
-    campaign ?policy ?profile ?limits ?jobs ~config ~opt:la ~base_seed ~runs
-      ~args p
+    campaign ?policy ?profile ?limits ?jobs ?telemetry:telemetry_a ~config
+      ~opt:la ~base_seed ~runs ~args p
   in
   let b =
-    campaign ?policy ?profile ?limits ?jobs ~config ~opt:lb
+    campaign ?policy ?profile ?limits ?jobs ?telemetry:telemetry_b ~config
+      ~opt:lb
       ~base_seed:(Int64.add base_seed arm_b_salt)
       ~runs ~args p
   in

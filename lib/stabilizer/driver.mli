@@ -16,6 +16,8 @@ val build_and_run :
   ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
+  ?events:bool ->
+  ?profiled:bool ->
   config:Config.t ->
   opt:Stz_vm.Opt.level ->
   base_seed:int64 ->
@@ -34,6 +36,7 @@ val campaign :
   ?checkpoint:string ->
   ?resume:bool ->
   ?on_record:(Supervisor.record -> unit) ->
+  ?telemetry:Stz_telemetry.Trace.t ->
   config:Config.t ->
   opt:Stz_vm.Opt.level ->
   base_seed:int64 ->
@@ -44,13 +47,18 @@ val campaign :
 
 (** Supervised two-arm comparison of optimization levels: both arms run
     as campaigns, and the verdict is min-N-gated — a campaign censored
-    below [min_n] usable runs per side refuses to conclude. *)
+    below [min_n] usable runs per side refuses to conclude.
+    [telemetry_a]/[telemetry_b] trace each arm into its own
+    {!Stz_telemetry.Trace} (separate traces, exported as two process
+    groups). *)
 val compare_campaigns :
   ?alpha:float ->
   ?policy:Supervisor.policy ->
   ?profile:Stz_faults.Fault.profile ->
   ?limits:Stz_vm.Interp.limits ->
   ?jobs:int ->
+  ?telemetry_a:Stz_telemetry.Trace.t ->
+  ?telemetry_b:Stz_telemetry.Trace.t ->
   min_n:int ->
   config:Config.t ->
   base_seed:int64 ->

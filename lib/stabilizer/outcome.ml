@@ -3,37 +3,49 @@ module Interp = Stz_vm.Interp
 
 type run_outcome =
   | Completed of Runtime.result
-  | Trapped of Fault.fault_class
-  | Budget_exceeded
-  | Invalid_result
+  | Trapped of Fault.fault_class * Runtime.partial option
+  | Budget_exceeded of Runtime.result
+  | Invalid_result of Runtime.result
   | Worker_lost
 
-let classify_exn = function
+let rec classify_exn = function
   | Interp.Fuel_exhausted -> Fault.Fuel_starvation
   | Interp.Call_depth_exceeded -> Fault.Depth_blowout
   | Fault.Injected_oom | Stdlib.Out_of_memory -> Fault.Alloc_failure
+  | Runtime.Trap { trap; _ } -> classify_exn trap
   | _ -> Fault.Unknown_trap
 
 let check ?budget_cycles ?reference (r : Runtime.result) =
   match budget_cycles with
-  | Some budget when r.Runtime.cycles > budget -> Budget_exceeded
+  | Some budget when r.Runtime.cycles > budget -> Budget_exceeded r
   | _ -> (
       match reference with
-      | Some v when r.Runtime.return_value <> v -> Invalid_result
+      | Some v when r.Runtime.return_value <> v -> Invalid_result r
       | _ -> Completed r)
 
-let run ?limits ?machine_factory ?env_wrap ?budget_cycles ?reference ~config
-    ~seed p ~args =
-  match Runtime.run ?limits ?machine_factory ?env_wrap ~config ~seed p ~args with
+let run ?limits ?machine_factory ?env_wrap ?budget_cycles ?reference ?events
+    ?profiled ~config ~seed p ~args =
+  match
+    Runtime.run ?limits ?profile:profiled ?events ?machine_factory ?env_wrap
+      ~config ~seed p ~args
+  with
   | r -> check ?budget_cycles ?reference r
   | exception ((Stack_overflow | Assert_failure _) as fatal) -> raise fatal
-  | exception e -> Trapped (classify_exn e)
+  | exception Runtime.Trap { trap; partial; events = _ } ->
+      Trapped (classify_exn trap, Some partial)
+  | exception e -> Trapped (classify_exn e, None)
+
+let partial = function
+  | Completed r | Budget_exceeded r | Invalid_result r ->
+      Some (Runtime.partial_of_result r)
+  | Trapped (_, p) -> p
+  | Worker_lost -> None
 
 let tag = function
   | Completed _ -> "completed"
-  | Trapped c -> Fault.class_to_string c
-  | Budget_exceeded -> "budget-exceeded"
-  | Invalid_result -> "invalid-result"
+  | Trapped (c, _) -> Fault.class_to_string c
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Invalid_result _ -> "invalid-result"
   | Worker_lost -> "worker-lost"
 
 let to_string = function

@@ -1,25 +1,37 @@
 (** Classification of one run: every way a run can end, as a value. The
     sampling layer and the campaign supervisor both route runs through
     this type instead of letting [Interp.Fuel_exhausted] and friends
-    abort a whole campaign and destroy the samples already gathered. *)
+    abort a whole campaign and destroy the samples already gathered.
+
+    Censored outcomes carry what the machine measured before the run
+    was cut off — the {!Runtime.result} for runs that finished but were
+    rejected by a gate, the {!Runtime.partial} for runs that trapped —
+    so failure telemetry is never silently dropped. *)
 
 type run_outcome =
   | Completed of Runtime.result
-  | Trapped of Stz_faults.Fault.fault_class
-  | Budget_exceeded
+  | Trapped of Stz_faults.Fault.fault_class * Runtime.partial option
+      (** the fault class, plus the counters at the trap when the run
+          got far enough to measure anything ([None] only for traps
+          raised outside the runtime, e.g. a worker-side Marshal
+          failure) *)
+  | Budget_exceeded of Runtime.result
       (** the run finished but took longer than the calibrated cycle
-          budget — censored, like a watchdog kill in a real harness *)
-  | Invalid_result
+          budget — censored, like a watchdog kill in a real harness;
+          the full result is retained for telemetry *)
+  | Invalid_result of Runtime.result
       (** the run finished with a value different from the reference —
           a silently corrupted computation *)
   | Worker_lost
       (** the {!Parallel} worker executing the run died (crash, kill,
           nonzero exit) before reporting a result — censored like any
-          other failure; never produced by the in-process path *)
+          other failure; never produced by the in-process path. No
+          counters survive: the worker took them down with it. *)
 
 (** Map a trap to its fault class: [Fuel_exhausted] is fuel starvation,
     [Call_depth_exceeded] depth blowout, [Injected_oom]/[Out_of_memory]
-    allocation failure; anything else is {!Stz_faults.Fault.Unknown_trap}. *)
+    allocation failure; a {!Runtime.Trap} wrapper is unwrapped first;
+    anything else is {!Stz_faults.Fault.Unknown_trap}. *)
 val classify_exn : exn -> Stz_faults.Fault.fault_class
 
 (** [check ?budget_cycles ?reference r] grades a completed run against
@@ -27,18 +39,25 @@ val classify_exn : exn -> Stz_faults.Fault.fault_class
 val check : ?budget_cycles:int -> ?reference:int -> Runtime.result -> run_outcome
 
 (** One run that cannot raise: executes {!Runtime.run} and classifies
-    whatever happens. *)
+    whatever happens, keeping partial counters from {!Runtime.Trap}. *)
 val run :
   ?limits:Stz_vm.Interp.limits ->
   ?machine_factory:(unit -> Stz_machine.Hierarchy.t) ->
   ?env_wrap:(Stz_vm.Interp.env -> Stz_vm.Interp.env) ->
   ?budget_cycles:int ->
   ?reference:int ->
+  ?events:bool ->
+  ?profiled:bool ->
   config:Config.t ->
   seed:int64 ->
   Stz_vm.Ir.program ->
   args:int list ->
   run_outcome
+
+(** The counters an outcome carries, however it ended: [Some] for
+    completed and gate-censored runs, the trap's partial state when one
+    was captured, [None] for lost workers. *)
+val partial : run_outcome -> Runtime.partial option
 
 val to_string : run_outcome -> string
 

@@ -1,5 +1,10 @@
 type 'a result = Value of 'a | Lost
 
+type pool_event =
+  | Worker_spawned of { pid : int; tasks : int }
+  | Worker_done of { pid : int }
+  | Worker_died of { pid : int; lost_task : int option; respawned : bool }
+
 type worker = {
   pid : int;
   fd : Unix.file_descr;
@@ -72,8 +77,9 @@ let reap w =
   try ignore (restart_on_eintr (fun () -> Unix.waitpid [] w.pid))
   with Unix.Unix_error _ -> ()
 
-let map ?on_result ~jobs ~f n =
+let map ?on_result ?on_pool_event ~jobs ~f n =
   let notify i r = match on_result with Some g -> g i r | None -> () in
+  let pool_notify e = match on_pool_event with Some g -> g e | None -> () in
   if n < 0 then invalid_arg "Parallel.map: negative task count";
   let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
   if jobs <= 1 then
@@ -86,7 +92,12 @@ let map ?on_result ~jobs ~f n =
     let stripe j =
       List.filter (fun i -> i mod jobs = j) (List.init n Fun.id)
     in
-    let workers = ref (List.init jobs (fun j -> spawn f (stripe j))) in
+    let spawn_noted f indices =
+      let w = spawn f indices in
+      pool_notify (Worker_spawned { pid = w.pid; tasks = List.length indices });
+      w
+    in
+    let workers = ref (List.init jobs (fun j -> spawn_noted f (stripe j))) in
     (* If the caller's [on_result] raises (checkpoint write failure, a
        test killing the campaign mid-flight), don't leave children
        blocked on a pipe nobody reads. *)
@@ -121,11 +132,18 @@ let map ?on_result ~jobs ~f n =
                   reap w;
                   workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
                   (match w.pending with
-                  | [] -> ()
+                  | [] -> pool_notify (Worker_done { pid = w.pid })
                   | lost :: rest ->
+                      pool_notify
+                        (Worker_died
+                           {
+                             pid = w.pid;
+                             lost_task = Some lost;
+                             respawned = rest <> [];
+                           });
                       results.(lost) <- Lost;
                       notify lost Lost;
-                      if rest <> [] then workers := spawn f rest :: !workers)))
+                      if rest <> [] then workers := spawn_noted f rest :: !workers)))
         ready
       done;
       results

@@ -24,13 +24,25 @@
     was executing it. *)
 type 'a result = Value of 'a | Lost
 
-(** [map ?on_result ~jobs ~f n] — see the module description.
-    [on_result] observes each task's result in *arrival* order (callers
-    needing task order buffer and reorder themselves); it runs in the
-    parent, so it may touch shared state. [jobs] is clamped to
-    [1..n]. *)
+(** Physical pool lifecycle, observed from the parent. These facts are
+    wall-clock nondeterministic (which pid, when, whether a respawn
+    happened) — telemetry records them on the segregated harness
+    stream, never in the deterministic trace. Not emitted on the
+    in-process ([jobs <= 1]) path, which forks nothing. *)
+type pool_event =
+  | Worker_spawned of { pid : int; tasks : int }
+  | Worker_done of { pid : int }  (** clean exit, stripe fully reported *)
+  | Worker_died of { pid : int; lost_task : int option; respawned : bool }
+
+(** [map ?on_result ?on_pool_event ~jobs ~f n] — see the module
+    description. [on_result] observes each task's result in *arrival*
+    order (callers needing task order buffer and reorder themselves);
+    it runs in the parent, so it may touch shared state.
+    [on_pool_event] likewise runs in the parent and observes worker
+    spawn/exit/death. [jobs] is clamped to [1..n]. *)
 val map :
   ?on_result:(int -> 'a result -> unit) ->
+  ?on_pool_event:(pool_event -> unit) ->
   jobs:int ->
   f:(int -> 'a) ->
   int ->

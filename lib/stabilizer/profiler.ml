@@ -1,49 +1,89 @@
-type entry = { fid : int; name : string; calls : int; exclusive_cycles : int }
+module H = Stz_machine.Hierarchy
+
+type entry = {
+  fid : int;
+  name : string;
+  calls : int;
+  exclusive_cycles : int;
+  counters : H.counters;
+}
 
 type t = {
   names : string array;
   calls : int array;
-  cycles : int array;
+  counters : H.counters array;
   mutable stack : int list;  (** fids of live activations *)
-  mutable mark : int;  (** cycle count at the last attribution point *)
+  mutable mark : H.counters;  (** machine counters at the last attribution point *)
 }
 
 let create p =
   {
     names = Array.map (fun f -> f.Stz_vm.Ir.fname) p.Stz_vm.Ir.funcs;
     calls = Array.make (Array.length p.Stz_vm.Ir.funcs) 0;
-    cycles = Array.make (Array.length p.Stz_vm.Ir.funcs) 0;
+    counters = Array.make (Array.length p.Stz_vm.Ir.funcs) H.counters_zero;
     stack = [];
-    mark = 0;
+    mark = H.counters_zero;
   }
 
-let attribute t ~now =
+let attribute t ~at =
   (match t.stack with
-  | fid :: _ -> t.cycles.(fid) <- t.cycles.(fid) + (now - t.mark)
+  | fid :: _ ->
+      t.counters.(fid) <- H.counters_add t.counters.(fid) (H.counters_sub at t.mark)
   | [] -> ());
-  t.mark <- now
+  t.mark <- at
 
-let on_enter t ~fid ~now =
-  attribute t ~now;
+let on_enter t ~fid ~at =
+  attribute t ~at;
   t.calls.(fid) <- t.calls.(fid) + 1;
   t.stack <- fid :: t.stack
 
-let on_leave t ~fid ~now =
-  attribute t ~now;
+let on_leave t ~fid ~at =
+  attribute t ~at;
   match t.stack with
   | top :: rest when top = fid -> t.stack <- rest
   | _ -> invalid_arg "Profiler.on_leave: mismatched exit"
 
-let finish t ~now = attribute t ~now
+let finish t ~at = attribute t ~at
+
+let sort_entries entries =
+  List.stable_sort (fun a b -> compare b.exclusive_cycles a.exclusive_cycles) entries
 
 let hottest t =
-  let entries =
-    Array.to_list
-      (Array.mapi
-         (fun fid name ->
-           { fid; name; calls = t.calls.(fid); exclusive_cycles = t.cycles.(fid) })
-         t.names)
-  in
-  List.sort (fun a b -> compare b.exclusive_cycles a.exclusive_cycles) entries
+  sort_entries
+    (Array.to_list
+       (Array.mapi
+          (fun fid name ->
+            let counters = t.counters.(fid) in
+            {
+              fid;
+              name;
+              calls = t.calls.(fid);
+              exclusive_cycles = counters.H.cycles;
+              counters;
+            })
+          t.names))
 
-let total_cycles t = Array.fold_left ( + ) 0 t.cycles
+let total_cycles t =
+  Array.fold_left (fun acc c -> acc + c.H.cycles) 0 t.counters
+
+(* Sum per-function attributions across runs (keyed by fid; function
+   tables are identical for every run of the same program). *)
+let merge_entries profiles =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun entries ->
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt tbl e.fid with
+          | None -> Hashtbl.replace tbl e.fid e
+          | Some acc ->
+              Hashtbl.replace tbl e.fid
+                {
+                  acc with
+                  calls = acc.calls + e.calls;
+                  exclusive_cycles = acc.exclusive_cycles + e.exclusive_cycles;
+                  counters = H.counters_add acc.counters e.counters;
+                })
+        entries)
+    profiles;
+  sort_entries (Hashtbl.fold (fun _ e acc -> e :: acc) tbl [])

@@ -1,13 +1,17 @@
-(** Per-function cycle attribution, the "sampling with performance
-    counters" infrastructure the paper's §8 sketches for detecting
-    layout-related performance problems: exclusive cycles and call
-    counts per function, collected from the runtime's entry/exit hooks. *)
+(** Per-function attribution of the simulated machine's performance
+    counters — the "sampling with performance counters" infrastructure
+    the paper's §8 sketches for detecting layout-related performance
+    problems. Each function accumulates the *exclusive* delta of every
+    hardware counter (cycles, cache misses at each level, TLB misses,
+    branch mispredictions) between the runtime's entry/exit hooks. *)
 
 type entry = {
   fid : int;
   name : string;
   calls : int;
   exclusive_cycles : int;  (** cycles spent in the function itself *)
+  counters : Stz_machine.Hierarchy.counters;
+      (** exclusive counter deltas, [counters.cycles = exclusive_cycles] *)
 }
 
 type t
@@ -15,16 +19,20 @@ type t
 (** [create p] sets up counters for every function of [p]. *)
 val create : Stz_vm.Ir.program -> t
 
-(** Hooks, called with the machine's current cycle count. *)
-val on_enter : t -> fid:int -> now:int -> unit
+(** Hooks, called with the machine's current counter snapshot. *)
+val on_enter : t -> fid:int -> at:Stz_machine.Hierarchy.counters -> unit
 
-val on_leave : t -> fid:int -> now:int -> unit
+val on_leave : t -> fid:int -> at:Stz_machine.Hierarchy.counters -> unit
 
 (** Close attribution at the end of the run. *)
-val finish : t -> now:int -> unit
+val finish : t -> at:Stz_machine.Hierarchy.counters -> unit
 
 (** Entries sorted by exclusive cycles, hottest first. *)
 val hottest : t -> entry list
 
 (** Total attributed cycles (= run cycles once finished). *)
 val total_cycles : t -> int
+
+(** Merge per-run profiles of the same program into one table, summing
+    calls and counters per function, hottest first. *)
+val merge_entries : entry list list -> entry list

@@ -44,27 +44,40 @@ let campaign_line (s : Supervisor.summary) =
     faults_part
 
 let csv_of_campaign (c : Supervisor.campaign) =
+  let module H = Stz_machine.Hierarchy in
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "run,seed,retries,outcome,cycles,seconds,value\n";
+  Buffer.add_string buf
+    "run,seed,retries,outcome,cycles,seconds,value,l1i_misses,l1d_misses,l2_misses,l3_misses,itlb_misses,dtlb_misses,branch_mispredictions,epochs,relocations\n";
+  let counter_cols (k : H.counters) epochs relocations =
+    Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d,%d" k.H.l1i_misses k.H.l1d_misses
+      k.H.l2_misses k.H.l3_misses k.H.itlb_misses k.H.dtlb_misses
+      k.H.branch_mispredictions epochs relocations
+  in
   List.iter
     (fun (r : Supervisor.record) ->
+      let tag = Supervisor.stored_tag r.Supervisor.outcome in
       match r.Supervisor.outcome with
       | Supervisor.Done d ->
           Buffer.add_string buf
-            (Printf.sprintf "%d,%Ld,%d,completed,%d,%.9f,%d\n" r.Supervisor.run
-               r.Supervisor.seed r.Supervisor.retries d.Supervisor.cycles
-               d.Supervisor.seconds d.Supervisor.return_value)
-      | o ->
-          let tag =
-            match o with
-            | Supervisor.Trapped cls -> Stz_faults.Fault.class_to_string cls
-            | Supervisor.Budget_exceeded -> "budget-exceeded"
-            | Supervisor.Invalid_result -> "invalid-result"
-            | Supervisor.Worker_lost -> "worker-lost"
-            | Supervisor.Done _ -> assert false
-          in
+            (Printf.sprintf "%d,%Ld,%d,%s,%d,%.9f,%d,%s\n" r.Supervisor.run
+               r.Supervisor.seed r.Supervisor.retries tag d.Supervisor.cycles
+               d.Supervisor.seconds d.Supervisor.return_value
+               (counter_cols d.Supervisor.counters d.Supervisor.epochs
+                  d.Supervisor.relocations))
+      | Supervisor.Trapped (_, Some pp)
+      | Supervisor.Budget_exceeded pp
+      | Supervisor.Invalid_result pp ->
+          (* Censored runs keep their counters-at-censoring (cycles
+             too), only seconds/value stay empty: the run never produced
+             a valid time or value, but the machine state is real. *)
           Buffer.add_string buf
-            (Printf.sprintf "%d,%Ld,%d,%s,,,\n" r.Supervisor.run
+            (Printf.sprintf "%d,%Ld,%d,%s,%d,,,%s\n" r.Supervisor.run
+               r.Supervisor.seed r.Supervisor.retries tag pp.Runtime.p_cycles
+               (counter_cols pp.Runtime.p_counters pp.Runtime.p_epochs
+                  pp.Runtime.p_relocations))
+      | Supervisor.Trapped (_, None) | Supervisor.Worker_lost ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%Ld,%d,%s,,,,,,,,,,,,\n" r.Supervisor.run
                r.Supervisor.seed r.Supervisor.retries tag))
     c.Supervisor.records;
   Buffer.contents buf

@@ -14,8 +14,13 @@ val csv_of_series : (string * float array) list -> string
 val campaign_line : Supervisor.summary -> string
 
 (** Long-format CSV of every run outcome of a campaign, for external
-    analysis: header ["run,seed,retries,outcome,cycles,seconds,value"];
-    censored runs leave the numeric fields empty. *)
+    analysis. Header:
+    ["run,seed,retries,outcome,cycles,seconds,value,l1i_misses,l1d_misses,l2_misses,l3_misses,itlb_misses,dtlb_misses,branch_mispredictions,epochs,relocations"]
+    — the first seven columns unchanged from earlier versions, the
+    hardware-counter and randomization columns appended after [value].
+    Censored runs with counters-at-censoring fill [cycles] and the
+    counter columns (leaving [seconds]/[value] empty); runs that
+    measured nothing leave every numeric field empty. *)
 val csv_of_campaign : Supervisor.campaign -> string
 
 (** Five-number summary plus mean/sd on one line. *)

@@ -8,6 +8,8 @@ module Stack = Stz_layout.Stack
 module Code_rand = Stz_layout.Code_rand
 module Source = Stz_prng.Source
 module Splitmix = Stz_prng.Splitmix
+module Event = Stz_telemetry.Event
+module Runlog = Stz_telemetry.Runlog
 
 type result = {
   cycles : int;
@@ -20,7 +22,33 @@ type result = {
   heap_stats : Stz_alloc.Allocator.stats;
   profile : Profiler.entry list option;
       (** hottest-first per-function attribution when profiling is on *)
+  events : Event.t list;
+      (** run-local telemetry (empty unless [events] was requested) *)
 }
+
+type partial = {
+  p_cycles : int;
+  p_counters : Hierarchy.counters;
+  p_epochs : int;
+  p_relocations : int;
+  p_adaptive_triggers : int;
+}
+
+exception
+  Trap of {
+    trap : exn;
+    partial : partial;
+    events : Event.t list;
+  }
+
+let partial_of_result r =
+  {
+    p_cycles = r.cycles;
+    p_counters = r.counters;
+    p_epochs = r.epochs;
+    p_relocations = r.relocations;
+    p_adaptive_triggers = r.adaptive_triggers;
+  }
 
 let malloc_cycles = 30
 let free_cycles = 15
@@ -43,12 +71,13 @@ let globals_end space p =
     (fun acc (g : Ir.global) -> acc + ((g.Ir.gsize + 15) land lnot 15))
     space.Address_space.globals_base p.Ir.globals
 
-let run ?limits ?(profile = false) ?machine_factory ?(env_wrap = Fun.id) ~config
-    ~seed p ~args =
+let run ?limits ?(profile = false) ?(events = false) ?machine_factory
+    ?(env_wrap = Fun.id) ~config ~seed p ~args =
   let machine =
     match machine_factory with Some f -> f () | None -> Hierarchy.create ()
   in
   let profiler = if profile then Some (Profiler.create p) else None in
+  let rlog = if events then Some (Runlog.create ()) else None in
   let seeds = Splitmix.create seed in
   let link_seed = Splitmix.split seeds in
   let heap_seed = Splitmix.split seeds in
@@ -140,6 +169,18 @@ let run ?limits ?(profile = false) ?machine_factory ?(env_wrap = Fun.id) ~config
         penalties_at_epoch_start := penalties ();
         incr epochs;
         if adaptive_fired then incr adaptive_triggers;
+        (match rlog with
+        | Some l ->
+            Runlog.instant l ~cat:"runtime" "rerandomize"
+              ~args:
+                [
+                  ("epoch", Stz_telemetry.Json.Int !epochs);
+                  ( "trigger",
+                    Stz_telemetry.Json.String
+                      (if adaptive_fired then "adaptive" else "timer") );
+                ]
+              ~now:(Hierarchy.cycles machine)
+        | None -> ());
         (match code_rand with Some cr -> Code_rand.rerandomize cr | None -> ());
         let rewritten = Stack.rerandomize stack in
         (* Refilling the pad tables streams over them once. *)
@@ -150,7 +191,7 @@ let run ?limits ?(profile = false) ?machine_factory ?(env_wrap = Fun.id) ~config
   let enter_function ~fid =
     maybe_rerandomize ();
     (match profiler with
-    | Some pr -> Profiler.on_enter pr ~fid ~now:(Hierarchy.cycles machine)
+    | Some pr -> Profiler.on_enter pr ~fid ~at:(Hierarchy.counters machine)
     | None -> ());
     match code_rand with
     | Some cr -> Code_rand.enter cr ~fid
@@ -159,7 +200,7 @@ let run ?limits ?(profile = false) ?machine_factory ?(env_wrap = Fun.id) ~config
   let frame_pop ~fid =
     Stack.pop stack ~fid;
     (match profiler with
-    | Some pr -> Profiler.on_leave pr ~fid ~now:(Hierarchy.cycles machine)
+    | Some pr -> Profiler.on_leave pr ~fid ~at:(Hierarchy.counters machine)
     | None -> ());
     match code_rand with Some cr -> Code_rand.leave cr ~fid | None -> ()
   in
@@ -203,18 +244,61 @@ let run ?limits ?(profile = false) ?machine_factory ?(env_wrap = Fun.id) ~config
       call_prologue;
     }
   in
-  let return_value = Interp.run ?limits (env_wrap env) p ~args in
-  let cycles = Hierarchy.cycles machine in
-  (match profiler with Some pr -> Profiler.finish pr ~now:cycles | None -> ());
-  {
-    cycles;
-    virtual_seconds = float_of_int cycles /. 3.2e9;
-    return_value;
-    counters = Hierarchy.counters machine;
-    relocations =
-      (match code_rand with Some cr -> Code_rand.relocations cr | None -> 0);
-    epochs = !epochs;
-    adaptive_triggers = !adaptive_triggers;
-    heap_stats = heap.Stz_alloc.Allocator.stats ();
-    profile = Option.map Profiler.hottest profiler;
-  }
+  (match rlog with
+  | Some l -> Runlog.begin_span l ~cat:"runtime" "execute" ~now:0
+  | None -> ());
+  let relocations () =
+    match code_rand with Some cr -> Code_rand.relocations cr | None -> 0
+  in
+  match Interp.run ?limits (env_wrap env) p ~args with
+  | return_value ->
+      let cycles = Hierarchy.cycles machine in
+      (match profiler with
+      | Some pr -> Profiler.finish pr ~at:(Hierarchy.counters machine)
+      | None -> ());
+      let run_events =
+        match rlog with
+        | None -> []
+        | Some l ->
+            Runlog.end_span l ~now:cycles;
+            Runlog.events l
+      in
+      {
+        cycles;
+        virtual_seconds = float_of_int cycles /. 3.2e9;
+        return_value;
+        counters = Hierarchy.counters machine;
+        relocations = relocations ();
+        epochs = !epochs;
+        adaptive_triggers = !adaptive_triggers;
+        heap_stats = heap.Stz_alloc.Allocator.stats ();
+        profile = Option.map Profiler.hottest profiler;
+        events = run_events;
+      }
+  | exception ((Stack_overflow | Assert_failure _) as fatal) -> raise fatal
+  | exception trap ->
+      (* The run died mid-flight (fuel starvation, injected OOM, depth
+         blowout, …). Don't lose what the machine measured up to the
+         trap: wrap the exception together with the partial counters and
+         a closed, well-formed event stream. *)
+      let cycles = Hierarchy.cycles machine in
+      let trap_events =
+        match rlog with
+        | None -> []
+        | Some l ->
+            Runlog.instant l ~cat:"runtime" "trap"
+              ~args:[ ("exn", Stz_telemetry.Json.String (Printexc.to_string trap)) ]
+              ~now:cycles;
+            Runlog.close l ~now:cycles;
+            Runlog.events l
+      in
+      let partial =
+        {
+          p_cycles = cycles;
+          p_counters = Hierarchy.counters machine;
+          p_epochs = !epochs;
+          p_relocations = relocations ();
+          p_adaptive_triggers = !adaptive_triggers;
+        }
+      in
+      raise (Trap { trap; partial; events = trap_events })

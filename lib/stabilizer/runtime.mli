@@ -26,7 +26,36 @@ type result = {
   profile : Profiler.entry list option;
       (** hottest-first per-function attribution when [profile] was
           requested *)
+  events : Stz_telemetry.Event.t list;
+      (** run-local telemetry, clocked in simulated cycles from 0 — an
+          ["execute"] span wrapping ["rerandomize"] instants. Empty
+          unless [events] was requested, so the default path allocates
+          nothing. *)
 }
+
+(** What the machine had measured when a run died mid-flight. *)
+type partial = {
+  p_cycles : int;
+  p_counters : Stz_machine.Hierarchy.counters;
+  p_epochs : int;
+  p_relocations : int;
+  p_adaptive_triggers : int;
+}
+
+(** Raised by {!run} in place of any non-fatal trap from the
+    interpreter or a fault injector: the original exception plus the
+    partial counters and a closed (well-formed) event stream, so
+    censored runs keep their measurements. [Stack_overflow] and
+    [Assert_failure] still propagate raw — those are harness bugs, not
+    run outcomes. *)
+exception
+  Trap of {
+    trap : exn;
+    partial : partial;
+    events : Stz_telemetry.Event.t list;
+  }
+
+val partial_of_result : result -> partial
 
 (** [run ~config ~seed p ~args] executes one complete run. [seed]
     drives every random choice (link order, heap shuffling, code
@@ -39,6 +68,7 @@ type result = {
 val run :
   ?limits:Stz_vm.Interp.limits ->
   ?profile:bool ->
+  ?events:bool ->
   ?machine_factory:(unit -> Stz_machine.Hierarchy.t) ->
   ?env_wrap:(Stz_vm.Interp.env -> Stz_vm.Interp.env) ->
   config:Config.t ->

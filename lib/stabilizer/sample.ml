@@ -7,13 +7,19 @@ type failure_kind =
   | Invalid_result
   | Worker_lost
 
-type failure = { run : int; seed : int64; kind : failure_kind }
+type failure = {
+  run : int;
+  seed : int64;
+  kind : failure_kind;
+  at_censoring : Runtime.partial option;
+}
 
 type t = {
   times : float array;
   cycles : int array;
   results : Runtime.result array;
   failures : failure list;
+  outcomes : (int64 * Outcome.run_outcome) array;
 }
 
 let failure_kind_to_string = function
@@ -26,23 +32,25 @@ let seeds ~base_seed ~runs =
   let g = Stz_prng.Splitmix.create base_seed in
   Array.init runs (fun _ -> Stz_prng.Splitmix.split g)
 
-let run_one ?limits ?profile ~config ~seed p ~args =
+let run_one ?limits ?profile ?events ?profiled ~config ~seed p ~args =
   match profile with
-  | None -> Outcome.run ?limits ~config ~seed p ~args
+  | None -> Outcome.run ?limits ?events ?profiled ~config ~seed p ~args
   | Some profile ->
       let base = Option.value limits ~default:Stz_vm.Interp.default_limits in
       let plan = Injector.plan ~profile ~limits:base ~seed () in
       Outcome.run ~limits:plan.Injector.limits
         ?machine_factory:plan.Injector.machine_factory
-        ~env_wrap:plan.Injector.env_wrap ~config ~seed p ~args
+        ~env_wrap:plan.Injector.env_wrap ?events ?profiled ~config ~seed p ~args
 
-let collect_outcomes ?(jobs = 1) ?limits ?profile ~config ~base_seed ~runs
-    ~args p =
+let collect_outcomes ?(jobs = 1) ?limits ?profile ?events ?profiled ~config
+    ~base_seed ~runs ~args p =
   if runs < 1 then invalid_arg "Sample.collect: runs must be >= 1";
   let seeds = seeds ~base_seed ~runs in
   let outcomes =
     Parallel.map ~jobs
-      ~f:(fun i -> run_one ?limits ?profile ~config ~seed:seeds.(i) p ~args)
+      ~f:(fun i ->
+        run_one ?limits ?profile ?events ?profiled ~config ~seed:seeds.(i) p
+          ~args)
       runs
   in
   Array.mapi
@@ -53,24 +61,24 @@ let collect_outcomes ?(jobs = 1) ?limits ?profile ~config ~base_seed ~runs
         | Parallel.Lost -> Outcome.Worker_lost ))
     outcomes
 
-let collect ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p =
-  let outcomes =
-    collect_outcomes ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p
-  in
+let of_outcomes outcomes =
   let completed = ref [] in
   let failures = ref [] in
-  let censor i seed kind = failures := { run = i; seed; kind } :: !failures in
+  let censor i seed kind at_censoring =
+    failures := { run = i; seed; kind; at_censoring } :: !failures
+  in
   Array.iteri
     (fun i (seed, outcome) ->
       match outcome with
       | Outcome.Completed r -> completed := r :: !completed
-      | Outcome.Trapped fault -> censor i seed (Faulted fault)
-      | Outcome.Budget_exceeded ->
+      | Outcome.Trapped (fault, partial) -> censor i seed (Faulted fault) partial
+      | Outcome.Budget_exceeded r ->
           (* No budget/reference gates at this layer (the supervisor
              sets them), but the variant stays exhaustive. *)
-          censor i seed Budget_exceeded
-      | Outcome.Invalid_result -> censor i seed Invalid_result
-      | Outcome.Worker_lost -> censor i seed Worker_lost)
+          censor i seed Budget_exceeded (Some (Runtime.partial_of_result r))
+      | Outcome.Invalid_result r ->
+          censor i seed Invalid_result (Some (Runtime.partial_of_result r))
+      | Outcome.Worker_lost -> censor i seed Worker_lost None)
     outcomes;
   let results = Array.of_list (List.rev !completed) in
   {
@@ -78,7 +86,14 @@ let collect ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p =
     cycles = Array.map (fun r -> r.Runtime.cycles) results;
     results;
     failures = List.rev !failures;
+    outcomes;
   }
+
+let collect ?jobs ?limits ?profile ?events ?profiled ~config ~base_seed ~runs
+    ~args p =
+  of_outcomes
+    (collect_outcomes ?jobs ?limits ?profile ?events ?profiled ~config
+       ~base_seed ~runs ~args p)
 
 let times ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p =
   (collect ?jobs ?limits ?profile ~config ~base_seed ~runs ~args p).times

@@ -28,6 +28,17 @@ type failure = {
   run : int;  (** run index within the sample *)
   seed : int64;  (** the exact seed that reproduces the failure *)
   kind : failure_kind;
+  at_censoring : Runtime.partial option;
+      (** what the machine had measured when the run was censored.
+          [Some] whenever the run got far enough to measure anything:
+          always for {!Budget_exceeded} and {!Invalid_result} (the run
+          finished, only the gate rejected it), and for every
+          {!Faulted} run whose trap was raised inside the runtime.
+          [None] only for {!Worker_lost} (the counters died with the
+          worker process) and for traps raised before or outside the
+          runtime. Earlier versions dropped these counters silently;
+          rollups count them under the [censored.*] metric keys,
+          separate from the [counters.*] sums over completed runs. *)
 }
 
 type t = {
@@ -35,14 +46,22 @@ type t = {
   cycles : int array;
   results : Runtime.result array;
   failures : failure list;  (** censored runs, in run order *)
+  outcomes : (int64 * Outcome.run_outcome) array;
+      (** the raw per-run classification the other fields are views of,
+          in run order — what trace/metrics rollups consume *)
 }
 
 val failure_kind_to_string : failure_kind -> string
 
+(** [events] forwards to {!Runtime.run}, populating each result's
+    telemetry stream; [profiled] likewise enables the per-function
+    profiler. Both default to off. *)
 val collect :
   ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
+  ?events:bool ->
+  ?profiled:bool ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->
@@ -63,12 +82,18 @@ val collect_outcomes :
   ?jobs:int ->
   ?limits:Stz_vm.Interp.limits ->
   ?profile:Stz_faults.Fault.profile ->
+  ?events:bool ->
+  ?profiled:bool ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->
   args:int list ->
   Stz_vm.Ir.program ->
   (int64 * Outcome.run_outcome) array
+
+(** Classify-and-censor an outcome stream into a sample (pure; what
+    {!collect} applies to {!collect_outcomes}). *)
+val of_outcomes : (int64 * Outcome.run_outcome) array -> t
 
 (** Convenience: just the times of completed runs. *)
 val times :

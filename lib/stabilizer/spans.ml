@@ -1,0 +1,63 @@
+module Event = Stz_telemetry.Event
+module H = Stz_machine.Hierarchy
+module Fault = Stz_faults.Fault
+
+let seed_arg seed = ("seed", Json.String (Int64.to_string seed))
+
+(* One classified outcome as a run-local stream (lane 0, clock from 0):
+   a span covering the measured cycles — the full result for completed
+   and gate-censored runs, the partial for traps — with the run's own
+   runtime events nested inside, closed by a hardware-counter sample.
+   Outcomes that measured nothing (lost worker, quarantine hit)
+   collapse to a zero-extent instant. *)
+let of_outcome ~name ?(args = []) outcome =
+  let args = args @ [ ("outcome", Json.String (Outcome.tag outcome)) ] in
+  match outcome with
+  | Outcome.Completed r | Outcome.Budget_exceeded r | Outcome.Invalid_result r
+    ->
+      let args = args @ [ ("value", Json.Int r.Runtime.return_value) ] in
+      (Event.Span
+         { name; cat = "run"; lane = 0; ts = 0; dur = r.Runtime.cycles; args }
+      :: r.Runtime.events)
+      @ [
+          Event.Counter
+            {
+              name = "hw";
+              cat = "run";
+              lane = 0;
+              ts = r.Runtime.cycles;
+              values = H.counters_fields r.Runtime.counters;
+            };
+        ]
+  | Outcome.Trapped (_, Some pp) ->
+      [
+        Event.Span
+          { name; cat = "run"; lane = 0; ts = 0; dur = pp.Runtime.p_cycles; args };
+        Event.Counter
+          {
+            name = "hw";
+            cat = "run";
+            lane = 0;
+            ts = pp.Runtime.p_cycles;
+            values = H.counters_fields pp.Runtime.p_counters;
+          };
+      ]
+  | Outcome.Trapped (_, None) | Outcome.Worker_lost ->
+      [ Event.Instant { name; cat = "run"; lane = 0; ts = 0; args } ]
+
+(* Concatenate run-local streams end-to-end: each stream is shifted past
+   the extent of everything before it, so an attempt sequence reads as
+   consecutive spans on one lane. *)
+let sequence streams =
+  let _, rev =
+    List.fold_left
+      (fun (off, acc) stream ->
+        let acc =
+          List.fold_left
+            (fun acc e -> Event.shift ~lane:0 ~by:off e :: acc)
+            acc stream
+        in
+        (off + Event.extent stream, acc))
+      (0, []) streams
+  in
+  List.rev rev

@@ -1,0 +1,21 @@
+(** Builders turning classified run outcomes into run-local telemetry
+    streams — shared by the sampling layer and the campaign supervisor
+    so both produce identical events for identical outcomes (the
+    byte-identity guarantee lives or dies on this). *)
+
+val seed_arg : int64 -> string * Stz_telemetry.Json.t
+
+(** [of_outcome ~name outcome] is the outcome as a run-local stream
+    (lane 0, clock starting at 0): a [name] span spanning the measured
+    cycles with the runtime's own events nested inside and a closing
+    ["hw"] counter sample, or a zero-extent instant for outcomes that
+    measured nothing. [args] are prepended to the span's arguments. *)
+val of_outcome :
+  name:string ->
+  ?args:Stz_telemetry.Event.args ->
+  Outcome.run_outcome ->
+  Stz_telemetry.Event.t list
+
+(** Concatenate run-local streams end-to-end (each shifted past the
+    extent of its predecessors) into one run-local stream. *)
+val sequence : Stz_telemetry.Event.t list list -> Stz_telemetry.Event.t list

@@ -2,6 +2,9 @@ module Fault = Stz_faults.Fault
 module Injector = Stz_faults.Injector
 module Interp = Stz_vm.Interp
 module Splitmix = Stz_prng.Splitmix
+module Hierarchy = Stz_machine.Hierarchy
+module Event = Stz_telemetry.Event
+module Trace = Stz_telemetry.Trace
 
 type policy = {
   max_retries : int;
@@ -18,13 +21,19 @@ type completed = {
   seconds : float;
   return_value : int;
   instructions : int;
+  counters : Hierarchy.counters;
+  epochs : int;
+  relocations : int;
+  adaptive_triggers : int;
+  allocations : int;
+  frees : int;
 }
 
 type stored_outcome =
   | Done of completed
-  | Trapped of Fault.fault_class
-  | Budget_exceeded
-  | Invalid_result
+  | Trapped of Fault.fault_class * Runtime.partial option
+  | Budget_exceeded of Runtime.partial
+  | Invalid_result of Runtime.partial
   | Worker_lost
 
 type record = {
@@ -68,18 +77,61 @@ exception Mismatch of string
 
 let seconds_of_cycles cycles = float_of_int cycles /. 3.2e9
 
+let stored_tag = function
+  | Done _ -> "completed"
+  | Trapped (c, _) -> Fault.class_to_string c
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Invalid_result _ -> "invalid-result"
+  | Worker_lost -> "worker-lost"
+
+let counters_to_json c =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Hierarchy.counters_fields c))
+
+let counters_of_json j =
+  match j with
+  | Json.Obj fields ->
+      Some
+        (Hierarchy.counters_of_fields
+           (List.filter_map
+              (fun (k, v) -> Option.map (fun v -> (k, v)) (Json.to_int v))
+              fields))
+  | _ -> None
+
+let partial_to_json (pp : Runtime.partial) =
+  Json.Obj
+    [
+      ("cycles", Json.Int pp.Runtime.p_cycles);
+      ("epochs", Json.Int pp.Runtime.p_epochs);
+      ("relocations", Json.Int pp.Runtime.p_relocations);
+      ("adaptive_triggers", Json.Int pp.Runtime.p_adaptive_triggers);
+      ("counters", counters_to_json pp.Runtime.p_counters);
+    ]
+
+let partial_of_json j =
+  let ( let* ) = Option.bind in
+  let* p_cycles = Option.bind (Json.member "cycles" j) Json.to_int in
+  let* p_epochs = Option.bind (Json.member "epochs" j) Json.to_int in
+  let* p_relocations = Option.bind (Json.member "relocations" j) Json.to_int in
+  let* p_adaptive_triggers =
+    Option.bind (Json.member "adaptive_triggers" j) Json.to_int
+  in
+  let* p_counters = Option.bind (Json.member "counters" j) counters_of_json in
+  Some
+    {
+      Runtime.p_cycles;
+      p_counters;
+      p_epochs;
+      p_relocations;
+      p_adaptive_triggers;
+    }
+
 let record_to_json r =
   let base =
     [
       ("run", Json.Int r.run);
       ("seed", Json.of_int64 r.seed);
       ("retries", Json.Int r.retries);
-      ("outcome", Json.String (match r.outcome with
-        | Done _ -> "completed"
-        | Trapped c -> Fault.class_to_string c
-        | Budget_exceeded -> "budget-exceeded"
-        | Invalid_result -> "invalid-result"
-        | Worker_lost -> "worker-lost"));
+      ("outcome", Json.String (stored_tag r.outcome));
     ]
   in
   match r.outcome with
@@ -90,8 +142,16 @@ let record_to_json r =
             ("cycles", Json.Int c.cycles);
             ("value", Json.Int c.return_value);
             ("instructions", Json.Int c.instructions);
+            ("counters", counters_to_json c.counters);
+            ("epochs", Json.Int c.epochs);
+            ("relocations", Json.Int c.relocations);
+            ("adaptive_triggers", Json.Int c.adaptive_triggers);
+            ("allocations", Json.Int c.allocations);
+            ("frees", Json.Int c.frees);
           ])
-  | _ -> Json.Obj base
+  | Trapped (_, Some pp) | Budget_exceeded pp | Invalid_result pp ->
+      Json.Obj (base @ [ ("at", partial_to_json pp) ])
+  | Trapped (_, None) | Worker_lost -> Json.Obj base
 
 let record_of_json j =
   let ( let* ) = Option.bind in
@@ -99,6 +159,23 @@ let record_of_json j =
   let* seed = Option.bind (Json.member "seed" j) Json.to_int64 in
   let* retries = Option.bind (Json.member "retries" j) Json.to_int in
   let* tag = Option.bind (Json.member "outcome" j) Json.to_str in
+  (* Censored-run counters appeared in checkpoint version 2; older
+     checkpoints load with them absent, never rejected. *)
+  let at = Option.bind (Json.member "at" j) partial_of_json in
+  let require_at k =
+    match at with
+    | Some pp -> Some (k pp)
+    | None ->
+        Some
+          (k
+             {
+               Runtime.p_cycles = 0;
+               p_counters = Hierarchy.counters_zero;
+               p_epochs = 0;
+               p_relocations = 0;
+               p_adaptive_triggers = 0;
+             })
+  in
   let* outcome =
     match tag with
     | "completed" ->
@@ -107,13 +184,35 @@ let record_of_json j =
         let* instructions =
           Option.bind (Json.member "instructions" j) Json.to_int
         in
+        let int_field name default =
+          Option.value ~default
+            (Option.bind (Json.member name j) Json.to_int)
+        in
+        let counters =
+          match Option.bind (Json.member "counters" j) counters_of_json with
+          | Some c -> c
+          | None ->
+              Hierarchy.counters_of_fields
+                [ ("cycles", cycles); ("instructions", instructions) ]
+        in
         Some
           (Done
-             { cycles; seconds = seconds_of_cycles cycles; return_value; instructions })
-    | "budget-exceeded" -> Some Budget_exceeded
-    | "invalid-result" -> Some Invalid_result
+             {
+               cycles;
+               seconds = seconds_of_cycles cycles;
+               return_value;
+               instructions;
+               counters;
+               epochs = int_field "epochs" 1;
+               relocations = int_field "relocations" 0;
+               adaptive_triggers = int_field "adaptive_triggers" 0;
+               allocations = int_field "allocations" 0;
+               frees = int_field "frees" 0;
+             })
+    | "budget-exceeded" -> require_at (fun pp -> Budget_exceeded pp)
+    | "invalid-result" -> require_at (fun pp -> Invalid_result pp)
     | "worker-lost" -> Some Worker_lost
-    | s -> Option.map (fun c -> Trapped c) (Fault.class_of_string s)
+    | s -> Option.map (fun c -> Trapped (c, at)) (Fault.class_of_string s)
   in
   Some { run; seed; retries; outcome }
 
@@ -122,7 +221,7 @@ let opt_int = function None -> Json.Null | Some i -> Json.Int i
 let to_json c =
   Json.Obj
     [
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
       ("base_seed", Json.of_int64 c.base_seed);
       ("runs", Json.Int c.runs);
       ("profile", Json.String c.profile_fp);
@@ -225,11 +324,66 @@ let attempt_seed primary k =
     !s
   end
 
+(* The synthetic stream standing in for a checkpointed run on resume:
+   the lane advances by the run's recorded cycles, so the post-resume
+   part of the trace lines up with where the interrupted campaign left
+   off, but the run's inner events (which happened in a previous
+   process) are represented by a single "restored" span. *)
+let restored_stream (r : record) =
+  let args =
+    [
+      ("run", Json.Int r.run);
+      Spans.seed_arg r.seed;
+      ("retries", Json.Int r.retries);
+      ("outcome", Json.String (stored_tag r.outcome));
+    ]
+  in
+  let span_and_hw dur counters =
+    [
+      Event.Span { name = "restored"; cat = "run"; lane = 0; ts = 0; dur; args };
+      Event.Counter
+        {
+          name = "hw";
+          cat = "run";
+          lane = 0;
+          ts = dur;
+          values = Hierarchy.counters_fields counters;
+        };
+    ]
+  in
+  match r.outcome with
+  | Done c -> span_and_hw c.cycles c.counters
+  | Trapped (_, Some pp) | Budget_exceeded pp | Invalid_result pp ->
+      span_and_hw pp.Runtime.p_cycles pp.Runtime.p_counters
+  | Trapped (_, None) | Worker_lost ->
+      [ Event.Instant { name = "restored"; cat = "run"; lane = 0; ts = 0; args } ]
+
+let pool_event_args = function
+  | Parallel.Worker_spawned { pid; tasks } ->
+      ("worker-spawned", [ ("pid", Json.Int pid); ("tasks", Json.Int tasks) ])
+  | Parallel.Worker_done { pid } -> ("worker-done", [ ("pid", Json.Int pid) ])
+  | Parallel.Worker_died { pid; lost_task; respawned } ->
+      ( "worker-died",
+        [
+          ("pid", Json.Int pid);
+          ( "lost_task",
+            match lost_task with Some i -> Json.Int i | None -> Json.Null );
+          ("respawned", Json.Bool respawned);
+        ] )
+
 let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     ?(limits = Interp.default_limits) ?(jobs = 1) ?checkpoint ?(resume = false)
-    ?on_record ~config ~base_seed ~runs ~args p =
+    ?on_record ?telemetry ~config ~base_seed ~runs ~args p =
   if runs < 1 then raise (Mismatch "run_campaign: runs must be >= 1");
   let jobs = Stdlib.max 1 jobs in
+  (* Captured before any fork: workers must agree with the parent on
+     whether to produce events, whatever process executes the run. *)
+  let tracing = telemetry <> None in
+  let control name args =
+    match telemetry with
+    | Some tr -> Trace.control_instant tr ~args name
+    | None -> ()
+  in
   let profile_fp = Fault.fingerprint profile in
   let config_desc = Config.describe config in
   let primary = Sample.seeds ~base_seed ~runs in
@@ -256,6 +410,25 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
       List.iter
         (fun r -> if r.run >= 0 && r.run < runs then records.(r.run) <- Some r)
         c.records
+  | None -> ());
+  control "campaign-start"
+    [
+      ("runs", Json.Int runs);
+      ("base_seed", Json.String (Int64.to_string base_seed));
+      ("profile", Json.String profile_fp);
+      ("config", Json.String config_desc);
+      ("resumed", Json.Bool (loaded <> None));
+    ];
+  (* Checkpointed runs re-enter the trace as synthetic spans, in run
+     order, so the resumed timeline is a consistent continuation. *)
+  (match telemetry with
+  | Some tr ->
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some r -> Trace.add_run tr ~run:i (restored_stream r)
+          | None -> ())
+        records
   | None -> ());
   let quarantine : (int64, unit) Hashtbl.t = Hashtbl.create 64 in
   let quarantined = ref [] in
@@ -291,6 +464,11 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
         in
         probe 0
   in
+  control "reference-probe"
+    [
+      ( "value",
+        match reference with Some v -> Json.Int v | None -> Json.Null );
+    ];
   (* Budget calibration state: completed runs in run order feed the
      calibrator until it freezes. Resumed records re-feed it, which
      reproduces the budgets an uninterrupted campaign would have set. *)
@@ -342,7 +520,8 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     match checkpoint with
     | Some path when force || !finished mod Stdlib.max 1 policy.checkpoint_every = 0
       ->
-        save path (campaign_so_far ())
+        save path (campaign_so_far ());
+        control "checkpoint" [ ("finished", Json.Int !finished) ]
     | _ -> ()
   in
   let effective_limits () =
@@ -359,7 +538,7 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     Outcome.run ~limits:plan.Injector.limits
       ?machine_factory:plan.Injector.machine_factory
       ~env_wrap:plan.Injector.env_wrap ?budget_cycles:!budget_cycles ?reference
-      ~config ~seed p ~args
+      ~events:tracing ~config ~seed p ~args
   in
   let store_outcome = function
     | Outcome.Completed r ->
@@ -368,11 +547,17 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
             cycles = r.Runtime.cycles;
             seconds = r.Runtime.virtual_seconds;
             return_value = r.Runtime.return_value;
-            instructions = r.Runtime.counters.Stz_machine.Hierarchy.instructions;
+            instructions = r.Runtime.counters.Hierarchy.instructions;
+            counters = r.Runtime.counters;
+            epochs = r.Runtime.epochs;
+            relocations = r.Runtime.relocations;
+            adaptive_triggers = r.Runtime.adaptive_triggers;
+            allocations = r.Runtime.heap_stats.Stz_alloc.Allocator.allocations;
+            frees = r.Runtime.heap_stats.Stz_alloc.Allocator.frees;
           }
-    | Outcome.Trapped c -> Trapped c
-    | Outcome.Budget_exceeded -> Budget_exceeded
-    | Outcome.Invalid_result -> Invalid_result
+    | Outcome.Trapped (c, pp) -> Trapped (c, pp)
+    | Outcome.Budget_exceeded r -> Budget_exceeded (Runtime.partial_of_result r)
+    | Outcome.Invalid_result r -> Invalid_result (Runtime.partial_of_result r)
     | Outcome.Worker_lost -> Worker_lost
   in
   (* One supervised run: the bounded retry loop. Quarantine lookups see
@@ -384,14 +569,27 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
      campaign. *)
   let attempt_run i =
     let failed_seeds = ref [] in
+    let streams = ref [] in
+    let note k seed outcome =
+      if tracing then
+        streams :=
+          Spans.of_outcome
+            ~name:(if k = 0 then "run" else "retry")
+            ~args:
+              (("run", Json.Int i) :: Spans.seed_arg seed
+              :: (if k > 0 then [ ("attempt", Json.Int k) ] else []))
+            outcome
+          :: !streams
+    in
     let rec attempt k =
       let seed = attempt_seed primary.(i) k in
       let outcome =
         if Hashtbl.mem quarantine seed || List.mem seed !failed_seeds then
           (* Known-bad seed: counts as a failed attempt, not re-run. *)
-          Outcome.Trapped Fault.Unknown_trap
+          Outcome.Trapped (Fault.Unknown_trap, None)
         else execute seed
       in
+      note k seed outcome;
       match outcome with
       | Outcome.Completed _ ->
           { run = i; seed; retries = k; outcome = store_outcome outcome }
@@ -401,14 +599,30 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
           else { run = i; seed; retries = k; outcome = store_outcome failed }
     in
     let r = attempt 0 in
-    (r, List.rev !failed_seeds)
+    (r, List.rev !failed_seeds, Spans.sequence (List.rev !streams))
   in
   (* All bookkeeping stays in the parent and happens in run order, so
      quarantine, calibration, on_record and checkpoints are identical
      whatever the worker count. *)
-  let deliver i ((r : record), failed_seeds) =
+  let deliver i ((r : record), failed_seeds, events) =
     List.iter add_quarantine failed_seeds;
+    (match telemetry with
+    | Some tr -> Trace.add_run tr ~run:i events
+    | None -> ());
+    let unfrozen = !budget_cycles = None in
     (match r.outcome with Done c -> feed_calibration c | _ -> ());
+    (if unfrozen then
+       match !budget_cycles with
+       | Some b ->
+           control "budgets-frozen"
+             [
+               ("budget_cycles", Json.Int b);
+               ( "budget_fuel",
+                 match !budget_fuel with
+                 | Some f -> Json.Int f
+                 | None -> Json.Null );
+             ]
+       | None -> ());
     records.(i) <- Some r;
     incr finished;
     (match on_record with Some f -> f r | None -> ());
@@ -456,22 +670,45 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
         let i = tasks.(pos) in
         let payload =
           match res with
-          | Parallel.Value record_and_seeds -> record_and_seeds
+          | Parallel.Value record_seeds_events -> record_seeds_events
           | Parallel.Lost ->
               ( { run = i; seed = primary.(i); retries = 0; outcome = Worker_lost },
-                [] )
+                [],
+                if tracing then
+                  Spans.of_outcome ~name:"run"
+                    ~args:[ ("run", Json.Int i); Spans.seed_arg primary.(i) ]
+                    Outcome.Worker_lost
+                else [] )
         in
         buffered.(i) <- Some payload;
         advance ()
       in
+      let on_pool_event =
+        Option.map
+          (fun tr e ->
+            let name, args = pool_event_args e in
+            Trace.harness_instant tr ~args name)
+          telemetry
+      in
       ignore
-        (Parallel.map ~on_result ~jobs
+        (Parallel.map ~on_result ?on_pool_event ~jobs
            ~f:(fun pos -> attempt_run tasks.(pos))
            (Array.length tasks))
     end
   end;
   let c = campaign_so_far () in
   (match checkpoint with Some path -> save path c | None -> ());
+  (match telemetry with
+  | Some tr ->
+      let s = List.length (List.filter (fun r -> match r.outcome with Done _ -> true | _ -> false) c.records) in
+      Trace.control_counter tr "campaign"
+        ~values:
+          [
+            ("finished", List.length c.records);
+            ("completed", s);
+            ("quarantined", List.length c.quarantined);
+          ]
+  | None -> ());
   c
 
 (* ------------------------------------------------------------------ *)
@@ -504,16 +741,16 @@ let summarize c =
       total_retries := !total_retries + r.retries;
       match r.outcome with
       | Done _ -> incr completed
-      | Budget_exceeded ->
+      | Budget_exceeded _ ->
           incr censored;
           incr budget_exceeded
-      | Invalid_result ->
+      | Invalid_result _ ->
           incr censored;
           incr invalid
       | Worker_lost ->
           incr censored;
           incr worker_lost
-      | Trapped cls ->
+      | Trapped (cls, _) ->
           incr censored;
           Hashtbl.replace class_counts cls
             (1 + Option.value ~default:0 (Hashtbl.find_opt class_counts cls)))

@@ -29,16 +29,28 @@ type completed = {
   seconds : float;
   return_value : int;
   instructions : int;
+  counters : Stz_machine.Hierarchy.counters;
+      (** the full hardware-counter sample ([counters.cycles = cycles],
+          [counters.instructions = instructions]) *)
+  epochs : int;
+  relocations : int;
+  adaptive_triggers : int;
+  allocations : int;
+  frees : int;
 }
 
 type stored_outcome =
   | Done of completed
-  | Trapped of Stz_faults.Fault.fault_class
-  | Budget_exceeded
-  | Invalid_result
+  | Trapped of Stz_faults.Fault.fault_class * Runtime.partial option
+      (** counters at the trap, when the run measured anything *)
+  | Budget_exceeded of Runtime.partial
+  | Invalid_result of Runtime.partial
   | Worker_lost
       (** the parallel worker executing the run died before reporting —
           see {!Outcome.run_outcome} *)
+
+(** Compact outcome tag, same vocabulary as {!Outcome.tag}. *)
+val stored_tag : stored_outcome -> string
 
 type record = {
   run : int;
@@ -98,7 +110,16 @@ exception Mismatch of string
     strictly in run order, so samples, checkpoints and outcome CSVs are
     bit-identical to a serial campaign's for any worker count. A worker
     that dies censors exactly the run it was executing as
-    {!Worker_lost}; the rest of its task stripe is re-spawned. *)
+    {!Worker_lost}; the rest of its task stripe is re-spawned.
+
+    [telemetry] streams the campaign into a {!Stz_telemetry.Trace}:
+    every run contributes its attempt spans (produced worker-side and
+    shipped back with the result, then merged in run order, so the
+    deterministic stream is byte-identical for any [jobs]); reference
+    probe, budget freeze and checkpoint writes land on the control
+    lane; physical pool lifecycle goes to the trace's wall-clocked
+    harness stream. On resume, checkpointed runs re-enter the trace as
+    synthetic ["restored"] spans so the timeline stays consistent. *)
 val run_campaign :
   ?policy:policy ->
   ?profile:Stz_faults.Fault.profile ->
@@ -107,6 +128,7 @@ val run_campaign :
   ?checkpoint:string ->
   ?resume:bool ->
   ?on_record:(record -> unit) ->
+  ?telemetry:Stz_telemetry.Trace.t ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->

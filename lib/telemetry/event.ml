@@ -1,0 +1,37 @@
+type args = (string * Json.t) list
+
+type t =
+  | Span of {
+      name : string;
+      cat : string;
+      lane : int;
+      ts : int;
+      dur : int;
+      args : args;
+    }
+  | Instant of { name : string; cat : string; lane : int; ts : int; args : args }
+  | Counter of {
+      name : string;
+      cat : string;
+      lane : int;
+      ts : int;
+      values : (string * int) list;
+    }
+
+let lane = function Span e -> e.lane | Instant e -> e.lane | Counter e -> e.lane
+let ts = function Span e -> e.ts | Instant e -> e.ts | Counter e -> e.ts
+let name = function Span e -> e.name | Instant e -> e.name | Counter e -> e.name
+let cat = function Span e -> e.cat | Instant e -> e.cat | Counter e -> e.cat
+
+(* End of the event on the timeline: spans extend, points don't. *)
+let finish = function
+  | Span e -> e.ts + e.dur
+  | Instant e -> e.ts
+  | Counter e -> e.ts
+
+let shift ~lane ~by = function
+  | Span e -> Span { e with lane; ts = e.ts + by }
+  | Instant e -> Instant { e with lane; ts = e.ts + by }
+  | Counter e -> Counter { e with lane; ts = e.ts + by }
+
+let extent events = List.fold_left (fun acc e -> max acc (finish e)) 0 events

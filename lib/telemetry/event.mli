@@ -1,0 +1,40 @@
+(** One telemetry event. Timestamps are integers on whatever clock the
+    producer chose — in this system, simulated cycles, so that a fixed
+    seed yields a bit-identical event stream regardless of host machine,
+    wall time or worker count. [lane] is a display track (Chrome
+    trace_event "tid"); producers of run-local streams leave it at 0 and
+    {!Trace.add_run} assigns the real lane at merge time. *)
+
+type args = (string * Json.t) list
+
+type t =
+  | Span of {
+      name : string;
+      cat : string;
+      lane : int;
+      ts : int;
+      dur : int;  (** duration in clock units; complete ("X") event *)
+      args : args;
+    }
+  | Instant of { name : string; cat : string; lane : int; ts : int; args : args }
+  | Counter of {
+      name : string;
+      cat : string;
+      lane : int;
+      ts : int;
+      values : (string * int) list;
+    }
+
+val lane : t -> int
+val ts : t -> int
+val name : t -> string
+val cat : t -> string
+
+(** [ts] plus the duration for spans; [ts] for point events. *)
+val finish : t -> int
+
+(** Relocate an event onto [lane], its timestamp advanced [by]. *)
+val shift : lane:int -> by:int -> t -> t
+
+(** Largest {!finish} over the list; 0 when empty. *)
+val extent : t list -> int

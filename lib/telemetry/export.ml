@@ -1,0 +1,168 @@
+let event_json ~pid e =
+  let base name cat lane ts =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String (if cat = "" then "default" else cat));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int lane);
+      ("ts", Json.Int ts);
+    ]
+  in
+  match e with
+  | Event.Span { name; cat; lane; ts; dur; args } ->
+      Json.Obj
+        (base name cat lane ts
+        @ [ ("ph", Json.String "X"); ("dur", Json.Int dur) ]
+        @ (match args with [] -> [] | a -> [ ("args", Json.Obj a) ]))
+  | Event.Instant { name; cat; lane; ts; args } ->
+      Json.Obj
+        (base name cat lane ts
+        @ [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+        @ (match args with [] -> [] | a -> [ ("args", Json.Obj a) ]))
+  | Event.Counter { name; cat; lane; ts; values } ->
+      Json.Obj
+        (base name cat lane ts
+        @ [
+            ("ph", Json.String "C");
+            ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values));
+          ])
+
+let metadata ~pid ~tid ~kind ~label =
+  Json.Obj
+    [
+      ("name", Json.String kind);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String label) ]);
+    ]
+
+let lane_label lane =
+  if lane = 0 then "control"
+  else if lane = Trace.harness_lane then "harness"
+  else Printf.sprintf "virtual-worker %d" (lane - 1)
+
+let sorted_lanes events =
+  List.sort_uniq compare (List.map Event.lane events)
+
+let chrome_of_groups groups =
+  let trace_events =
+    List.concat
+      (List.mapi
+         (fun pid (pname, events) ->
+           (metadata ~pid ~tid:0 ~kind:"process_name" ~label:pname
+           :: List.map
+                (fun lane ->
+                  metadata ~pid ~tid:lane ~kind:"thread_name"
+                    ~label:(lane_label lane))
+                (sorted_lanes events))
+           @ List.map (event_json ~pid) events)
+         groups)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List trace_events);
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.String "simulated-cycles");
+            ("generator", Json.String "stz_telemetry");
+          ] );
+    ]
+
+let chrome ?(process_name = "stabilizer") events =
+  chrome_of_groups [ (process_name, events) ]
+
+let chrome_string ?process_name events =
+  Json.to_string (chrome ?process_name events) ^ "\n"
+
+let chrome_groups_string groups = Json.to_string (chrome_of_groups groups) ^ "\n"
+
+let jsonl events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let kind, extra =
+        match e with
+        | Event.Span { dur; _ } -> ("span", [ ("dur", Json.Int dur) ])
+        | Event.Instant _ -> ("instant", [])
+        | Event.Counter { values; _ } ->
+            ( "counter",
+              [ ("values", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values)) ]
+            )
+      in
+      let line =
+        Json.Obj
+          ([
+             ("kind", Json.String kind);
+             ("name", Json.String (Event.name e));
+             ("cat", Json.String (Event.cat e));
+             ("lane", Json.Int (Event.lane e));
+             ("ts", Json.Int (Event.ts e));
+           ]
+          @ extra
+          @
+          match e with
+          | Event.Span { args = []; _ } | Event.Instant { args = []; _ } -> []
+          | Event.Span { args; _ } | Event.Instant { args; _ } ->
+              [ ("args", Json.Obj args) ]
+          | Event.Counter _ -> [])
+      in
+      Buffer.add_string buf (Json.to_string line);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validation: the check CI and tests run over an emitted trace file.   *)
+(* ------------------------------------------------------------------ *)
+
+let validate_chrome json =
+  let ( let* ) = Result.bind in
+  let* entries =
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "no traceEvents array"
+  in
+  let check_event i e =
+    let get name conv =
+      match Option.bind (Json.member name e) conv with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "event %d: bad or missing %S" i name)
+    in
+    let* ph = get "ph" Json.to_str in
+    let* _name = get "name" Json.to_str in
+    let* _pid = get "pid" Json.to_int in
+    let* _tid = get "tid" Json.to_int in
+    match ph with
+    | "M" -> Ok `Meta
+    | "X" ->
+        let* ts = get "ts" Json.to_int in
+        let* dur = get "dur" Json.to_int in
+        if ts < 0 || dur < 0 then
+          Error (Printf.sprintf "event %d: negative ts/dur" i)
+        else Ok `Span
+    | "i" | "C" ->
+        let* ts = get "ts" Json.to_int in
+        if ts < 0 then Error (Printf.sprintf "event %d: negative ts" i)
+        else Ok `Point
+    | ph -> Error (Printf.sprintf "event %d: unknown phase %S" i ph)
+  in
+  let* spans, points =
+    List.fold_left
+      (fun acc e ->
+        let* s, p = acc in
+        let i = s + p in
+        let* kind = check_event i e in
+        match kind with
+        | `Span -> Ok (s + 1, p)
+        | `Point -> Ok (s, p + 1)
+        | `Meta -> Ok (s, p))
+      (Ok (0, 0)) entries
+  in
+  if spans + points = 0 then Error "trace holds no events, only metadata"
+  else Ok (spans, points)
+
+let validate_chrome_string s =
+  Result.bind (Json.of_string s) validate_chrome

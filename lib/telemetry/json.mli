@@ -1,0 +1,30 @@
+(** A minimal JSON value type, emitter and recursive-descent parser —
+    just enough for the supervisor's checkpoint files. Int64 seeds are
+    stored as decimal strings to survive the 63-bit OCaml [int]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+(** Object member lookup; [None] on missing key or non-object. *)
+val member : string -> t -> t option
+
+(** Typed accessors; [None] on shape mismatch. *)
+val to_int : t -> int option
+
+val to_list : t -> t list option
+val to_str : t -> string option
+
+(** Int64 round-trip through decimal strings. *)
+val of_int64 : int64 -> t
+
+val to_int64 : t -> int64 option

@@ -1,0 +1,57 @@
+type t = (string, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let valid_key k =
+  String.length k > 0
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' -> true
+         | _ -> false)
+       k
+
+let check_key k =
+  if not (valid_key k) then invalid_arg (Printf.sprintf "Metrics: bad key %S" k)
+
+let set t k v =
+  check_key k;
+  Hashtbl.replace t k v
+
+let get t k = Option.value ~default:0 (Hashtbl.find_opt t k)
+
+let add t k v =
+  check_key k;
+  Hashtbl.replace t k (get t k + v)
+
+let merge_into ~dst src = Hashtbl.iter (fun k v -> add dst k v) src
+
+let to_assoc t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" k v))
+    (to_assoc t);
+  Buffer.contents buf
+
+let of_snapshot s =
+  let parse_line acc line =
+    Result.bind acc (fun m ->
+        match String.trim line with
+        | "" -> Ok m
+        | line -> (
+            match String.index_opt line ' ' with
+            | None -> Error (Printf.sprintf "metrics: bad line %S" line)
+            | Some i -> (
+                let k = String.sub line 0 i in
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                match int_of_string_opt (String.trim v) with
+                | Some v when valid_key k ->
+                    Hashtbl.replace m k v;
+                    Ok m
+                | _ -> Error (Printf.sprintf "metrics: bad line %S" line))))
+  in
+  List.fold_left parse_line (Ok (create ())) (String.split_on_char '\n' s)

@@ -1,0 +1,35 @@
+(** A flat registry of named integer counters — the aggregation target
+    for hardware-counter totals, censoring tallies, epoch/relocation
+    counts and pool statistics. Keys are dotted lowercase paths
+    ([counters.l1d_misses], [campaign.completed]); values are integers
+    on purpose: everything this system measures is a count or a cycle
+    total, and integer aggregation keeps rollups bit-deterministic.
+
+    The snapshot format is one ["key value"] line per counter, sorted by
+    key, so two equal registries always serialize to equal bytes. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t k v] accumulates into [k] (missing keys start at 0). Raises
+    [Invalid_argument] on malformed keys (anything outside
+    [[a-zA-Z0-9._/-]]). *)
+val add : t -> string -> int -> unit
+
+val set : t -> string -> int -> unit
+
+(** 0 for missing keys. *)
+val get : t -> string -> int
+
+(** Accumulate every counter of [src] into [dst]. *)
+val merge_into : dst:t -> t -> unit
+
+(** Key-sorted contents. *)
+val to_assoc : t -> (string * int) list
+
+(** The ["key value\n"] lines, key-sorted. *)
+val snapshot : t -> string
+
+(** Parse {!snapshot} output back (blank lines ignored). *)
+val of_snapshot : string -> (t, string) result

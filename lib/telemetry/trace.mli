@@ -1,0 +1,53 @@
+(** Campaign-level trace assembler. Run-local event streams (produced
+    by {!Runlog}, possibly inside forked workers and shipped back over
+    their result pipes) are merged *in run order* onto a virtual
+    timeline clocked in simulated cycles:
+
+    - lane 0 is the control lane (calibration, checkpoints, campaign
+      bookkeeping);
+    - runs are dealt round-robin onto [lanes] virtual worker lanes,
+      each with its own cumulative clock.
+
+    The lanes model a deterministic round-robin schedule, NOT the
+    physical worker pool: physical scheduling (which fork ran which
+    stripe, when) is wall-clock nondeterminism, and baking it into the
+    trace would break the system's core guarantee that [--jobs N]
+    output is byte-identical to serial. The deterministic trace is
+    therefore a pure function of (seed, run count, lanes); what the
+    physical pool did is recorded separately as harness events. *)
+
+type t
+
+(** [lanes] virtual worker lanes (default 1 — a single serial
+    timeline). Raises [Invalid_argument] when [lanes < 1]. *)
+val create : ?lanes:int -> unit -> t
+
+val lanes : t -> int
+
+(** The lane run [run] lands on: [1 + run mod lanes]. *)
+val lane_for : t -> run:int -> int
+
+(** Current virtual time: the latest point any lane has reached. *)
+val now : t -> int
+
+(** Merge one run's run-local events: shifted onto the run's lane at
+    that lane's current clock, which then advances by the stream's
+    {!Event.extent}. Call in run order for deterministic output. *)
+val add_run : t -> run:int -> Event.t list -> unit
+
+(** Control-lane point event at virtual time {!now}. *)
+val control_instant : t -> ?cat:string -> ?args:Event.args -> string -> unit
+
+val control_counter : t -> ?cat:string -> string -> values:(string * int) list -> unit
+
+(** The deterministic stream, in insertion order. *)
+val events : t -> Event.t list
+
+(** Nondeterministic facts about the physical execution (worker
+    spawn/death/respawn, reorder buffering), wall-clocked in
+    microseconds since trace creation on lane {!harness_lane}. Never
+    mixed into {!events}. *)
+val harness_instant : t -> ?cat:string -> ?args:Event.args -> string -> unit
+
+val harness_events : t -> Event.t list
+val harness_lane : int

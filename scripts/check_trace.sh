@@ -1,0 +1,37 @@
+#!/bin/sh
+# Telemetry acceptance check, used by CI and runnable locally:
+#
+#   1. run a fixed-seed traced campaign serially and under --jobs 4;
+#   2. demand the trace and metrics files are byte-identical;
+#   3. validate the trace's Chrome trace_event structure with
+#      `szc check-trace`.
+#
+# Usage: scripts/check_trace.sh [OUTDIR]   (default: ./trace-artifacts)
+# Leaves t-jobs1.json / t-jobs4.json / m-jobs1.txt / m-jobs4.txt in
+# OUTDIR for artifact upload. Exits nonzero on any divergence.
+set -eu
+
+outdir=${1:-trace-artifacts}
+mkdir -p "$outdir"
+
+szc() { dune exec --no-build bin/szc.exe -- "$@"; }
+dune build bin/szc.exe
+
+common="campaign bzip2 --runs 20 --seed 7 --scale 0.05 --faults light --quiet"
+
+echo "== traced campaign, --jobs 1"
+szc $common --trace "$outdir/t-jobs1.json" --metrics "$outdir/m-jobs1.txt"
+
+echo "== traced campaign, --jobs 4"
+szc $common --jobs 4 --trace "$outdir/t-jobs4.json" --metrics "$outdir/m-jobs4.txt"
+
+echo "== byte identity"
+cmp "$outdir/t-jobs1.json" "$outdir/t-jobs4.json"
+echo "trace: byte-identical across worker counts"
+cmp "$outdir/m-jobs1.txt" "$outdir/m-jobs4.txt"
+echo "metrics: byte-identical across worker counts"
+
+echo "== trace structure"
+szc check-trace "$outdir/t-jobs4.json"
+
+echo "telemetry check: OK"

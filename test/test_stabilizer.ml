@@ -341,13 +341,15 @@ let profiler_off_by_default () =
   check_bool "no profile" true (r.S.Runtime.profile = None)
 
 let profiler_unit_attribution () =
+  let module H = Stz_machine.Hierarchy in
+  let at cycles = { H.counters_zero with H.cycles } in
   let p = Lazy.force tiny_program in
   let pr = S.Profiler.create p in
-  S.Profiler.on_enter pr ~fid:0 ~now:0;
-  S.Profiler.on_enter pr ~fid:1 ~now:100;
-  S.Profiler.on_leave pr ~fid:1 ~now:250;
-  S.Profiler.on_leave pr ~fid:0 ~now:300;
-  S.Profiler.finish pr ~now:300;
+  S.Profiler.on_enter pr ~fid:0 ~at:(at 0);
+  S.Profiler.on_enter pr ~fid:1 ~at:(at 100);
+  S.Profiler.on_leave pr ~fid:1 ~at:(at 250);
+  S.Profiler.on_leave pr ~fid:0 ~at:(at 300);
+  S.Profiler.finish pr ~at:(at 300);
   let get fid =
     (List.find (fun e -> e.S.Profiler.fid = fid) (S.Profiler.hottest pr))
       .S.Profiler.exclusive_cycles
@@ -355,6 +357,48 @@ let profiler_unit_attribution () =
   check_int "callee exclusive" 150 (get 1);
   check_int "caller exclusive" 150 (get 0);
   check_int "total" 300 (S.Profiler.total_cycles pr)
+
+let profiler_counter_attribution () =
+  let module H = Stz_machine.Hierarchy in
+  let p = Lazy.force tiny_program in
+  let pr = S.Profiler.create p in
+  let at cycles l1d = { H.counters_zero with H.cycles; H.l1d_misses = l1d } in
+  S.Profiler.on_enter pr ~fid:0 ~at:(at 0 0);
+  S.Profiler.on_enter pr ~fid:1 ~at:(at 100 3);
+  S.Profiler.on_leave pr ~fid:1 ~at:(at 250 10);
+  S.Profiler.on_leave pr ~fid:0 ~at:(at 300 12);
+  S.Profiler.finish pr ~at:(at 300 12);
+  let get fid =
+    (List.find (fun e -> e.S.Profiler.fid = fid) (S.Profiler.hottest pr))
+      .S.Profiler.counters
+  in
+  check_int "callee l1d misses" 7 (get 1).H.l1d_misses;
+  check_int "caller l1d misses" 5 (get 0).H.l1d_misses
+
+let profiler_merge_entries () =
+  let module H = Stz_machine.Hierarchy in
+  let e ~fid ~name ~cycles ~l1d calls =
+    {
+      S.Profiler.fid;
+      name;
+      calls;
+      exclusive_cycles = cycles;
+      counters = { H.counters_zero with H.cycles; H.l1d_misses = l1d };
+    }
+  in
+  let merged =
+    S.Profiler.merge_entries
+      [
+        [ e ~fid:0 ~name:"main" ~cycles:10 ~l1d:1 1; e ~fid:1 ~name:"f" ~cycles:90 ~l1d:4 3 ];
+        [ e ~fid:1 ~name:"f" ~cycles:20 ~l1d:2 2 ];
+      ]
+  in
+  check_int "two functions" 2 (List.length merged);
+  let f = List.hd merged in
+  check_bool "hottest first" true (f.S.Profiler.fid = 1);
+  check_int "calls summed" 5 f.S.Profiler.calls;
+  check_int "cycles summed" 110 f.S.Profiler.exclusive_cycles;
+  check_int "counters summed" 6 f.S.Profiler.counters.H.l1d_misses
 
 (* ------------------------------------------------------------------ *)
 (* Report                                                              *)
@@ -457,6 +501,9 @@ let () =
           Alcotest.test_case "accounts all cycles" `Quick profiler_accounts_all_cycles;
           Alcotest.test_case "off by default" `Quick profiler_off_by_default;
           Alcotest.test_case "unit attribution" `Quick profiler_unit_attribution;
+          Alcotest.test_case "counter attribution" `Quick
+            profiler_counter_attribution;
+          Alcotest.test_case "merge entries" `Quick profiler_merge_entries;
         ] );
       ( "report",
         [
