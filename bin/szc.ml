@@ -126,8 +126,41 @@ let faults_term =
     & info [ "faults" ] ~docv:"PROFILE"
         ~doc:
           "Fault-injection profile: none, light, heavy, chaos, or a \
-           key=prob list over fuel, depth, oom, preempt, poison (e.g. \
-           $(b,fuel=0.1,oom=0.05)).")
+           key=prob list over fuel, depth, oom, preempt, poison, wedge \
+           (e.g. $(b,fuel=0.1,oom=0.05)). A wedge spins the run forever; \
+           it is only survivable with $(b,--jobs) >= 2, where the pool \
+           watchdog kills the hung worker and censors the run.")
+
+let storage_faults_term =
+  let storage_conv =
+    Arg.conv
+      ( (fun s ->
+          match Stz_faults.Storage.profile_of_string s with
+          | Ok p -> Ok p
+          | Error e -> Error (`Msg e)),
+        fun fmt p ->
+          Format.pp_print_string fmt (Stz_faults.Storage.fingerprint p) )
+  in
+  Arg.(
+    value
+    & opt storage_conv Stz_faults.Storage.none
+    & info [ "storage-faults" ] ~docv:"PROFILE"
+        ~doc:
+          "Storage fault-injection profile applied to every artifact write \
+           (checkpoints, CSV, trace, metrics): none, light, heavy, chaos, \
+           or a key=prob list over torn, flip, short, rename (e.g. \
+           $(b,torn=0.1,rename=0.2)). Faults are drawn deterministically \
+           from $(b,--storage-seed); `szc fsck' diagnoses and repairs the \
+           damage.")
+
+let storage_seed_term =
+  Arg.(
+    value & opt int 1
+    & info [ "storage-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the storage-fault stream (independent of $(b,--seed), \
+           so the same campaign can be replayed under different storage \
+           weather).")
 
 let min_n_term =
   Arg.(
@@ -179,10 +212,12 @@ let lanes_term =
            round-robin onto lanes independently of $(b,--jobs), so traces \
            stay byte-identical across worker counts.")
 
+(* Every exported artifact goes through the durable store path: temp
+   file + fsync + rename, plus a CRC32 sidecar (path.sum) that `szc
+   fsck' and `szc check-trace' verify. The payload itself stays plain
+   (Chrome can still load a trace, a spreadsheet the CSV). *)
 let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc;
+  Stz_store.Artifact.write_with_sum path contents;
   Printf.printf "# wrote %s\n" path
 
 let top_table ?(top = max_int) ~total_cycles entries =
@@ -251,11 +286,7 @@ let run_cmd =
         ~args:Stz_workloads.Generate.default_args p
     in
     (match csv with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Stabilizer.Report.csv_of_sample sample);
-        close_out oc;
-        Printf.printf "# wrote %s\n" path
+    | Some path -> write_file path (Stabilizer.Report.csv_of_sample sample)
     | None -> ());
     (match trace with
     | Some path ->
@@ -682,12 +713,18 @@ let check_trace_cmd =
     with
     | exception Sys_error e -> Error (`Msg e)
     | text -> (
-        match Stz_telemetry.Export.validate_chrome_string text with
-        | Ok (spans, points) ->
-            Printf.printf "%s: ok (%d spans, %d point events)\n" path spans
-              points;
-            Ok 0
-        | Error e -> Error (`Msg (Printf.sprintf "%s: invalid trace: %s" path e)))
+        match Stz_store.Artifact.verify_sum path with
+        | Error e ->
+            Error (`Msg (Printf.sprintf "%s: checksum mismatch: %s" path e))
+        | Ok has_sum -> (
+            match Stz_telemetry.Export.validate_chrome_string text with
+            | Ok (spans, points) ->
+                Printf.printf "%s: ok (%d spans, %d point events%s)\n" path
+                  spans points
+                  (if has_sum then ", checksum verified" else "");
+                Ok 0
+            | Error e ->
+                Error (`Msg (Printf.sprintf "%s: invalid trace: %s" path e))))
   in
   let term =
     Term.(
@@ -702,8 +739,103 @@ let check_trace_cmd =
     (Cmd.info "check-trace"
        ~doc:
          "Validate a --trace output file: JSON parse, traceEvents \
-          structure, non-negative timestamps, at least one real event. \
-          Exit 0 when valid, 1 otherwise (used by CI).")
+          structure, non-negative timestamps, at least one real event; \
+          when a .sum sidecar exists the file's CRC-32 is verified \
+          first. Exit 0 when valid, 1 otherwise (used by CI).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc fsck                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fsck_cmd =
+  let fsck_one ~repair path =
+    if not (Sys.file_exists path) then (
+      Printf.printf "%s: missing (skipped)\n" path;
+      0)
+    else
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      if Stz_store.Artifact.is_container contents then (
+        match Stabilizer.Supervisor.load path with
+        | Ok _ ->
+            Printf.printf "%s: ok (checkpoint container)\n" path;
+            0
+        | Error _ -> (
+            match Stabilizer.Supervisor.recover path with
+            | Ok (c, note) ->
+                Printf.printf "%s: salvageable — %s\n" path
+                  (Option.value note ~default:"prefix intact");
+                if repair then (
+                  Stabilizer.Supervisor.save path c;
+                  Printf.printf "%s: repaired (rewritten from the salvaged \
+                                 prefix, %d record%s)\n"
+                    path
+                    (List.length c.Stabilizer.Supervisor.records)
+                    (if List.length c.Stabilizer.Supervisor.records = 1 then ""
+                     else "s"));
+                2
+            | Error e ->
+                Printf.printf "%s: unrecoverable — %s\n" path e;
+                if repair then (
+                  let aside = path ^ ".corrupt" in
+                  Sys.rename path aside;
+                  Printf.printf "%s: moved aside to %s\n" path aside);
+                3))
+      else
+        match Stz_store.Artifact.verify_sum path with
+        | Error e ->
+            Printf.printf "%s: checksum mismatch — %s\n" path e;
+            2
+        | Ok true ->
+            Printf.printf "%s: ok (checksum verified)\n" path;
+            0
+        | Ok false -> (
+            (* No sidecar: the only other artifact we can vouch for is a
+               legacy JSON checkpoint. *)
+            match Stabilizer.Supervisor.load path with
+            | Ok _ ->
+                Printf.printf "%s: ok (legacy JSON checkpoint)\n" path;
+                0
+            | Error _ ->
+                Printf.printf "%s: unknown artifact (no .sum sidecar)\n" path;
+                1)
+  in
+  let run repair paths =
+    match
+      List.fold_left (fun acc p -> Stdlib.max acc (fsck_one ~repair p)) 0 paths
+    with
+    | code -> Ok code
+    | exception Sys_error e -> Error (`Msg e)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(value & flag & info [ "repair" ]
+              ~doc:
+                "Rewrite a salvageable checkpoint from its longest valid \
+                 record prefix; move an unrecoverable file aside to \
+                 FILE.corrupt.")
+        $ Arg.(
+            non_empty
+            & pos_all string []
+            & info [] ~docv:"FILE"
+                ~doc:"Artifacts to check (checkpoints, CSVs, traces)." )))
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify artifact integrity: checkpoint containers are fully \
+          parsed (header, per-record CRC-32, meta and state records); \
+          other artifacts are verified against their .sum sidecar. Exit \
+          0 all ok, 1 unknown artifact or IO error, 2 salvageable \
+          corruption (or checksum mismatch), 3 unrecoverable. The \
+          overall exit code is the worst per-file code.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -712,12 +844,15 @@ let check_trace_cmd =
 
 let campaign_cmd =
   let run bench runs seed scale opt csv config profile min_n retries checkpoint
-      resume quiet jobs trace metrics lanes =
+      resume quiet jobs trace metrics lanes storage_faults storage_seed =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
     let telemetry =
       Option.map (fun _ -> Stz_telemetry.Trace.create ~lanes ()) trace
     in
+    if Stz_faults.Storage.active storage_faults then
+      Stz_faults.Storage.arm ~seed:(Int64.of_int storage_seed) storage_faults;
+    Fun.protect ~finally:Stz_faults.Storage.disarm @@ fun () ->
     match
       Stabilizer.Driver.campaign ~policy:(policy_of retries) ~profile ~jobs
         ?checkpoint ~resume ?telemetry
@@ -734,7 +869,8 @@ let campaign_cmd =
                   "censored: budget-exceeded"
               | Stabilizer.Supervisor.Invalid_result _ ->
                   "censored: invalid-result"
-              | Stabilizer.Supervisor.Worker_lost -> "censored: worker-lost")
+              | Stabilizer.Supervisor.Worker_lost -> "censored: worker-lost"
+              | Stabilizer.Supervisor.Worker_hung -> "censored: worker-hung")
               (if r.Stabilizer.Supervisor.retries > 0 then
                  Printf.sprintf "  (retries=%d)" r.Stabilizer.Supervisor.retries
                else ""))
@@ -760,10 +896,7 @@ let campaign_cmd =
         | None -> ());
         (match csv with
         | Some path ->
-            let oc = open_out path in
-            output_string oc (Stabilizer.Report.csv_of_campaign campaign);
-            close_out oc;
-            Printf.printf "# wrote %s\n" path
+            write_file path (Stabilizer.Report.csv_of_campaign campaign)
         | None -> ());
         Printf.printf "# %s under %s, %s, %d runs, faults %s\n" bench
           (Stabilizer.Config.describe config)
@@ -800,18 +933,23 @@ let campaign_cmd =
             value
             & opt (some string) None
             & info [ "checkpoint" ] ~docv:"FILE"
-                ~doc:"JSON checkpoint file, written as runs finish.")
+                ~doc:
+                  "Checkpoint file (checksummed artifact container), \
+                   written durably as runs finish.")
         $ flag [ "resume" ]
-            "Resume the campaign from --checkpoint if the file exists."
+            "Resume the campaign from --checkpoint if the file exists. A \
+             corrupted checkpoint resumes from its longest valid prefix."
         $ flag [ "quiet" ] "Suppress per-run progress lines."
-        $ jobs_term $ trace_term $ metrics_term $ lanes_term))
+        $ jobs_term $ trace_term $ metrics_term $ lanes_term
+        $ storage_faults_term $ storage_seed_term))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run a supervised, resumable experiment campaign: per-run fault \
           classification, bounded retry with fresh seeds, seed quarantine, \
-          calibrated budgets, JSON checkpoint/resume. Exit codes: 0 enough \
+          calibrated budgets, durable checksummed checkpoint/resume, and a \
+          hung-worker watchdog when --jobs >= 2. Exit codes: 0 enough \
           uncensored runs, 2 fewer than --min-n, 3 aborted.")
     term
 
@@ -967,14 +1105,16 @@ let () =
       ~doc:"STABILIZER driver: run simulated benchmarks under layout randomization."
   in
   (* Exit-code contract: 0 = verdict/success, 1 = usage or bad input,
-     2 = insufficient uncensored samples, 3 = campaign aborted. *)
+     2 = insufficient uncensored samples, 3 = campaign aborted. fsck
+     reuses the numbers with its own meaning: 0 = intact, 1 = unknown
+     artifact, 2 = salvageable corruption, 3 = unrecoverable. *)
   match
     Cmd.eval_value
       (Cmd.group info
          [
            list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
-           disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; exec_cmd;
-           power_cmd;
+           disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; fsck_cmd;
+           exec_cmd; power_cmd;
          ])
   with
   | Ok (`Ok code) -> exit code

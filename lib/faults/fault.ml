@@ -31,6 +31,7 @@ type profile = {
   alloc_failure : float;
   preemption_spike : float;
   seed_poisoning : float;
+  wedge : float;
   fuel_fraction : float;
   starved_depth : int;
   oom_after : int;
@@ -45,6 +46,7 @@ let none =
     alloc_failure = 0.0;
     preemption_spike = 0.0;
     seed_poisoning = 0.0;
+    wedge = 0.0;
     fuel_fraction = 0.001;
     starved_depth = 2;
     oom_after = 4;
@@ -106,11 +108,12 @@ let profile_of_string s =
                       | "oom" -> Ok { p with alloc_failure = f }
                       | "preempt" -> Ok { p with preemption_spike = f }
                       | "poison" -> Ok { p with seed_poisoning = f }
+                      | "wedge" -> Ok { p with wedge = f }
                       | _ ->
                           Error
                             (Printf.sprintf
                                "unknown fault key %S (fuel, depth, oom, \
-                                preempt, poison)"
+                                preempt, poison, wedge)"
                                key)))
               | _ ->
                   Error
@@ -119,7 +122,8 @@ let profile_of_string s =
         (Ok none) parts
 
 let fingerprint p =
-  Printf.sprintf "fuel=%g,depth=%g,oom=%g,preempt=%g,poison=%g,ff=%g,sd=%d,oa=%d,sc=%d,sr=%g"
+  Printf.sprintf
+    "fuel=%g,depth=%g,oom=%g,preempt=%g,poison=%g,wedge=%g,ff=%g,sd=%d,oa=%d,sc=%d,sr=%g"
     p.fuel_starvation p.depth_blowout p.alloc_failure p.preemption_spike
-    p.seed_poisoning p.fuel_fraction p.starved_depth p.oom_after p.spike_cycles
-    p.spike_rate
+    p.seed_poisoning p.wedge p.fuel_fraction p.starved_depth p.oom_after
+    p.spike_cycles p.spike_rate

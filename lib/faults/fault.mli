@@ -30,6 +30,13 @@ type profile = {
   alloc_failure : float;
   preemption_spike : float;
   seed_poisoning : float;
+  wedge : float;
+      (** probability the run wedges — spins forever at its first
+          function entry without trapping or finishing. A wedged run
+          can only be survived by the parallel pool's hung-worker
+          watchdog, which SIGKILLs the worker and censors the run as
+          [Worker_hung]; the supervisor therefore refuses wedge-armed
+          profiles below [jobs >= 2]. Not part of any preset. *)
   fuel_fraction : float;
       (** fuel left to a starved run, as a fraction of its limit *)
   starved_depth : int;  (** call-depth limit under a depth blowout *)
@@ -54,8 +61,8 @@ val named : (string * profile) list
 
 (** Parse ["none"], ["light"], ["heavy"], ["chaos"], or a
     comma-separated [key=prob] list over keys [fuel], [depth], [oom],
-    [preempt] and [poison] (e.g. ["fuel=0.1,oom=0.05"]), starting from
-    {!none}. *)
+    [preempt], [poison] and [wedge] (e.g. ["fuel=0.1,oom=0.05"]),
+    starting from {!none}. *)
 val profile_of_string : string -> (profile, string) result
 
 (** Stable fingerprint of a profile, stored in checkpoints so a resumed

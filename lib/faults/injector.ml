@@ -4,6 +4,7 @@ module Splitmix = Stz_prng.Splitmix
 
 type plan = {
   armed : Fault.fault_class list;
+  wedged : bool;
   limits : Interp.limits;
   env_wrap : Interp.env -> Interp.env;
   machine_factory : (unit -> Hierarchy.t) option;
@@ -59,6 +60,21 @@ let wrap_seed_poisoning env =
             real);
   }
 
+(* A wedged run spins forever at its first function entry: no trap, no
+   result, no progress — the worker executing it goes silent and only
+   the pool watchdog's SIGKILL ends it. Sleeping in the loop keeps a
+   wedged worker from burning a core while it waits to be noticed. *)
+let wrap_wedge env =
+  {
+    env with
+    Interp.enter_function =
+      (fun ~fid:_ ->
+        while true do
+          ignore (Unix.select [] [] [] 0.05)
+        done;
+        assert false);
+  }
+
 let wrap_preemption ~rng ~spike_rate ~spike_cycles env =
   {
     env with
@@ -89,6 +105,7 @@ let plan ?machine_factory ~profile ~limits ~seed () =
   let oom = draw profile.Fault.alloc_failure in
   let preempt = draw profile.Fault.preemption_spike in
   let poison = draw profile.Fault.seed_poisoning in
+  let wedge = draw profile.Fault.wedge in
   let armed =
     List.filter_map
       (fun (on, c) -> if on then Some c else None)
@@ -118,16 +135,19 @@ let plan ?machine_factory ~profile ~limits ~seed () =
   let env_wrap env =
     let env = if oom then wrap_alloc_failure ~oom_after:profile.Fault.oom_after env else env in
     let env = if poison then wrap_seed_poisoning env else env in
-    if preempt then
-      wrap_preemption ~rng ~spike_rate:profile.Fault.spike_rate
-        ~spike_cycles:profile.Fault.spike_cycles env
-    else env
+    let env =
+      if preempt then
+        wrap_preemption ~rng ~spike_rate:profile.Fault.spike_rate
+          ~spike_cycles:profile.Fault.spike_cycles env
+      else env
+    in
+    if wedge then wrap_wedge env else env
   in
   let machine_factory =
     match (preempt, machine_factory) with
     | true, None -> Some preemptive_factory
     | _, f -> f
   in
-  { armed; limits; env_wrap; machine_factory }
+  { armed; wedged = wedge; limits; env_wrap; machine_factory }
 
 let armed p cls = List.mem cls p.armed

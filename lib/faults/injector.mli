@@ -9,6 +9,11 @@
 type plan = {
   armed : Fault.fault_class list;
       (** classes armed for this run, fixed order; empty = clean run *)
+  wedged : bool;
+      (** the run will spin forever at its first function entry (see
+          {!Fault.profile}[.wedge]); not a {!Fault.fault_class} because
+          a wedge never traps — it is detected and censored by the
+          pool watchdog as [Worker_hung] *)
   limits : Stz_vm.Interp.limits;
       (** caller's limits, tightened by fuel starvation / depth blowout *)
   env_wrap : Stz_vm.Interp.env -> Stz_vm.Interp.env;

@@ -1,0 +1,64 @@
+(** Seed-deterministic storage-fault injection at the
+    {!Stz_store.Artifact} layer — the durability counterpart of the
+    run-level taxonomy in {!Fault}. A profile assigns each storage
+    fault class an independent per-write arming probability; {!arm}
+    installs an injector whose decisions are drawn from a seeded
+    stream, so the same [(profile, seed)] pair corrupts the same writes
+    at the same offsets every time. At most one fault fires per write
+    (fixed priority: torn, flip, short, rename), mirroring how a single
+    crash or media error damages one write once.
+
+    The classes model the four ways a checkpoint/CSV/trace write goes
+    wrong in production:
+
+    - {b torn write}: the file is cut at an arbitrary byte [k] — a
+      crash mid-write that the artifact layer's rename would normally
+      make impossible, forced anyway to exercise recovery;
+    - {b bit flip}: one bit of the payload inverted — silent media
+      corruption that only a checksum catches;
+    - {b short write}: the final bytes dropped — an unchecked short
+      [write(2)];
+    - {b rename dropped}: the temp file is durable but the rename never
+      lands — a crash inside the commit window, leaving the previous
+      version of the file. *)
+
+type profile = {
+  torn_write : float;  (** per-write arming probability, [0,1] *)
+  bit_flip : float;
+  short_write : float;
+  rename_dropped : float;
+}
+
+(** No storage faults. *)
+val none : profile
+
+(** A few percent of writes damaged — the recovery-test profile. *)
+val light : profile
+
+(** Every class armed often; the crash-recovery CI profile. *)
+val heavy : profile
+
+(** Every write damaged. *)
+val chaos : profile
+
+val named : (string * profile) list
+
+(** Parse ["none"], ["light"], ["heavy"], ["chaos"], or a
+    comma-separated [key=prob] list over keys [torn], [flip], [short]
+    and [rename] (e.g. ["torn=0.1,rename=0.05"]), starting from
+    {!none}. *)
+val profile_of_string : string -> (profile, string) result
+
+(** Stable fingerprint, for logs and reports. *)
+val fingerprint : profile -> string
+
+(** Does any class have a nonzero probability? *)
+val active : profile -> bool
+
+(** Install the seeded injector into {!Stz_store.Artifact}. Replaces
+    any previous injector; {!arm} with {!none} is equivalent to
+    {!disarm}. *)
+val arm : seed:int64 -> profile -> unit
+
+(** Remove the injector: clean writes from here on. *)
+val disarm : unit -> unit

@@ -7,6 +7,7 @@ type run_outcome =
   | Budget_exceeded of Runtime.result
   | Invalid_result of Runtime.result
   | Worker_lost
+  | Worker_hung
 
 let rec classify_exn = function
   | Interp.Fuel_exhausted -> Fault.Fuel_starvation
@@ -39,7 +40,7 @@ let partial = function
   | Completed r | Budget_exceeded r | Invalid_result r ->
       Some (Runtime.partial_of_result r)
   | Trapped (_, p) -> p
-  | Worker_lost -> None
+  | Worker_lost | Worker_hung -> None
 
 let tag = function
   | Completed _ -> "completed"
@@ -47,6 +48,7 @@ let tag = function
   | Budget_exceeded _ -> "budget-exceeded"
   | Invalid_result _ -> "invalid-result"
   | Worker_lost -> "worker-lost"
+  | Worker_hung -> "worker-hung"
 
 let to_string = function
   | Completed r ->

@@ -27,6 +27,12 @@ type run_outcome =
           nonzero exit) before reporting a result — censored like any
           other failure; never produced by the in-process path. No
           counters survive: the worker took them down with it. *)
+  | Worker_hung
+      (** the {!Parallel} worker executing the run went silent past the
+          pool watchdog's grace and was SIGKILLed — the run wedged
+          (infinite loop, deadlock) rather than crashed. Censored like
+          {!Worker_lost}: no counters survive. Never produced without a
+          watchdog. *)
 
 (** Map a trap to its fault class: [Fuel_exhausted] is fuel starvation,
     [Call_depth_exceeded] depth blowout, [Injected_oom]/[Out_of_memory]
@@ -62,6 +68,6 @@ val partial : run_outcome -> Runtime.partial option
 val to_string : run_outcome -> string
 
 (** Compact outcome tag for CSV / checkpoint files: ["completed"],
-    ["budget-exceeded"], ["invalid-result"], ["worker-lost"] or the
-    fault-class name. *)
+    ["budget-exceeded"], ["invalid-result"], ["worker-lost"],
+    ["worker-hung"] or the fault-class name. *)
 val tag : run_outcome -> string

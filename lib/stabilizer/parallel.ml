@@ -1,15 +1,27 @@
-type 'a result = Value of 'a | Lost
+type 'a result = Value of 'a | Lost | Hung
 
 type pool_event =
   | Worker_spawned of { pid : int; tasks : int }
   | Worker_done of { pid : int }
   | Worker_died of { pid : int; lost_task : int option; respawned : bool }
+  | Worker_hung of { pid : int; lost_task : int option; respawned : bool }
+
+(* Wire protocol, child -> parent. [Beat] carries the index of the task
+   the worker is currently executing. Its payload never contains a value
+   of the result type, so marshalling it at [unit msg] in {!beat} and
+   reading it back at ['a msg] in the parent is representation-safe. *)
+type 'a msg = Beat of int | Done of int * 'a
 
 type worker = {
   pid : int;
   fd : Unix.file_descr;
   mutable pending : int list;  (* task indices still unreported, in order *)
+  mutable last_beat : float;  (* wall clock of the last message received *)
 }
+
+(* How long one select waits before the watchdog gets a chance to look
+   at the clock. Also bounds how stale [last_beat] comparisons can be. *)
+let tick = 0.25
 
 let rec restart_on_eintr f =
   try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
@@ -46,10 +58,23 @@ let write_exact fd buf =
   in
   go 0
 
-(* The child never returns: it streams (index, f index) pairs and
-   _exits without flushing the parent's inherited stdio buffers (a
-   plain [exit] would run at_exit and print them twice). A raising [f]
-   ends the stream early; the parent charges exactly that task. *)
+(* Set inside a forked worker, never in the parent: [beat] is a no-op
+   on the in-process path and in the pool's parent process, so callers
+   (the supervisor heartbeats at every attempt start) can call it
+   unconditionally. *)
+let beat_state : (Unix.file_descr * int ref) option ref = ref None
+
+let beat () =
+  match !beat_state with
+  | None -> ()
+  | Some (fd, task) ->
+      write_exact fd (Marshal.to_bytes (Beat !task : unit msg) [])
+
+(* The child never returns: it streams a [Beat] at each task start and
+   a [Done] per finished task, then _exits without flushing the
+   parent's inherited stdio buffers (a plain [exit] would run at_exit
+   and print them twice). A raising [f] ends the stream early; the
+   parent charges exactly that task. *)
 let spawn f indices =
   (* Anything buffered before the fork would otherwise be inherited,
      and duplicated if the child's libc flushes it. *)
@@ -59,30 +84,36 @@ let spawn f indices =
   match Unix.fork () with
   | 0 ->
       Unix.close r;
+      let current = ref (-1) in
+      beat_state := Some (w, current);
       (try
          List.iter
            (fun i ->
+             current := i;
+             write_exact w (Marshal.to_bytes (Beat i : unit msg) []);
              let v = f i in
-             write_exact w (Marshal.to_bytes (i, v) []))
+             write_exact w (Marshal.to_bytes (Done (i, v)) []))
            indices
        with _ -> ());
       (try Unix.close w with Unix.Unix_error _ -> ());
       Unix._exit 0
   | pid ->
       Unix.close w;
-      { pid; fd = r; pending = indices }
+      { pid; fd = r; pending = indices; last_beat = Unix.gettimeofday () }
 
 let reap w =
   (try Unix.close w.fd with Unix.Unix_error _ -> ());
   try ignore (restart_on_eintr (fun () -> Unix.waitpid [] w.pid))
   with Unix.Unix_error _ -> ()
 
-let map ?on_result ?on_pool_event ~jobs ~f n =
+let map ?on_result ?on_pool_event ?watchdog ~jobs ~f n =
   let notify i r = match on_result with Some g -> g i r | None -> () in
   let pool_notify e = match on_pool_event with Some g -> g e | None -> () in
   if n < 0 then invalid_arg "Parallel.map: negative task count";
   let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
-  if jobs <= 1 then
+  if jobs <= 1 && watchdog = None then
+    (* In-process reference semantics. A wedged task wedges the caller:
+       anyone injecting hangs must pass [watchdog] to force forking. *)
     Array.init n (fun i ->
         let r = Value (f i) in
         notify i r;
@@ -109,42 +140,97 @@ let map ?on_result ?on_pool_event ~jobs ~f n =
         !workers;
       workers := []
     in
+    let deliver w i v =
+      results.(i) <- Value v;
+      w.pending <- List.filter (fun j -> j <> i) w.pending;
+      notify i (Value v)
+    in
+    let handle_message w = function
+      | Beat _ -> w.last_beat <- Unix.gettimeofday ()
+      | Done (i, v) ->
+          w.last_beat <- Unix.gettimeofday ();
+          deliver w i v
+    in
+    (* EOF: clean completion when nothing is pending; otherwise the
+       worker died executing the earliest unreported task of its
+       stripe. *)
+    let handle_eof w =
+      reap w;
+      workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+      match w.pending with
+      | [] -> pool_notify (Worker_done { pid = w.pid })
+      | lost :: rest ->
+          pool_notify
+            (Worker_died
+               { pid = w.pid; lost_task = Some lost; respawned = rest <> [] });
+          results.(lost) <- Lost;
+          notify lost Lost;
+          if rest <> [] then workers := spawn_noted f rest :: !workers
+    in
+    (* A silent worker is SIGKILLed — but results it finished before
+       wedging may still sit unread in the pipe, so drain to EOF first
+       and deliver them. Only the task it was actually stuck on (the
+       earliest still-unreported index) is censored as [Hung]; the rest
+       of the stripe respawns, exactly like death recovery. *)
+    let kill_hung w =
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (restart_on_eintr (fun () -> Unix.waitpid [] w.pid))
+       with Unix.Unix_error _ -> ());
+      let rec drain () =
+        match read_message w.fd with
+        | Some (Beat _) -> drain ()
+        | Some (Done (i, v)) ->
+            deliver w i v;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+      match w.pending with
+      | [] ->
+          pool_notify
+            (Worker_hung { pid = w.pid; lost_task = None; respawned = false })
+      | lost :: rest ->
+          pool_notify
+            (Worker_hung
+               { pid = w.pid; lost_task = Some lost; respawned = rest <> [] });
+          results.(lost) <- Hung;
+          notify lost Hung;
+          if rest <> [] then workers := spawn_noted f rest :: !workers
+    in
     try
       while !workers <> [] do
-      let fds = List.map (fun w -> w.fd) !workers in
-      let ready, _, _ =
-        restart_on_eintr (fun () -> Unix.select fds [] [] (-1.0))
-      in
-      List.iter
-        (fun fd ->
-          match List.find_opt (fun w -> w.fd = fd) !workers with
-          | None -> () (* already reaped in this round *)
-          | Some w -> (
-              match read_message fd with
-              | Some (i, v) ->
-                  results.(i) <- Value v;
-                  w.pending <- List.filter (fun j -> j <> i) w.pending;
-                  notify i (Value v)
-              | None ->
-                  (* EOF: clean completion when nothing is pending;
-                     otherwise the worker died executing the earliest
-                     unreported task of its stripe. *)
-                  reap w;
-                  workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
-                  (match w.pending with
-                  | [] -> pool_notify (Worker_done { pid = w.pid })
-                  | lost :: rest ->
-                      pool_notify
-                        (Worker_died
-                           {
-                             pid = w.pid;
-                             lost_task = Some lost;
-                             respawned = rest <> [];
-                           });
-                      results.(lost) <- Lost;
-                      notify lost Lost;
-                      if rest <> [] then workers := spawn_noted f rest :: !workers)))
-        ready
+        let fds = List.map (fun w -> w.fd) !workers in
+        (* Finite timeout always: the loop must regain control to run
+           the watchdog even when every worker has gone silent. EINTR
+           is just an empty round. *)
+        let ready, _, _ =
+          try Unix.select fds [] [] tick
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun w -> w.fd = fd) !workers with
+            | None -> () (* already reaped in this round *)
+            | Some w -> (
+                match read_message fd with
+                | Some m -> handle_message w m
+                | None -> handle_eof w))
+          ready;
+        (match watchdog with
+        | None -> ()
+        | Some grace ->
+            let t = Unix.gettimeofday () in
+            let snapshot = !workers in
+            List.iter
+              (fun w ->
+                if
+                  List.memq w !workers
+                  && w.pending <> []
+                  && t -. w.last_beat > grace
+                then kill_hung w)
+              snapshot)
       done;
       results
     with e ->

@@ -16,33 +16,60 @@
     of the stripe. A task whose [f] raises likewise costs exactly that
     task. The pool itself never raises on worker failure.
 
-    With [jobs <= 1] (or [n <= 1]) everything runs in-process, no forks,
-    which is the reference semantics the parallel path must reproduce
-    bit-for-bit. *)
+    Worker {e silence} is recoverable too, when a [watchdog] grace is
+    given: each worker heartbeats at every task start (and [f] can beat
+    more finely via {!beat}); a worker with unreported tasks that has
+    been silent longer than the grace is SIGKILLed, any results it
+    finished but had not yet been read are salvaged from its pipe, the
+    task it was stuck on is recorded as {!Hung}, and the rest of its
+    stripe respawns. The pool's event loop always uses a finite select
+    timeout, so it can never itself block forever on a wedged worker.
 
-(** One task's fate: the computed value, or lost with the worker that
-    was executing it. *)
-type 'a result = Value of 'a | Lost
+    With [jobs <= 1] and no [watchdog], everything runs in-process, no
+    forks — the reference semantics the parallel path must reproduce
+    bit-for-bit. Passing a [watchdog] forces forking even at
+    [jobs = 1], because hang detection requires a killable process
+    boundary around the task. *)
+
+(** One task's fate: the computed value; lost with the worker that died
+    executing it; or censored by the watchdog after its worker hung. *)
+type 'a result = Value of 'a | Lost | Hung
 
 (** Physical pool lifecycle, observed from the parent. These facts are
     wall-clock nondeterministic (which pid, when, whether a respawn
     happened) — telemetry records them on the segregated harness
     stream, never in the deterministic trace. Not emitted on the
-    in-process ([jobs <= 1]) path, which forks nothing. *)
+    in-process ([jobs <= 1], no watchdog) path, which forks nothing. *)
 type pool_event =
   | Worker_spawned of { pid : int; tasks : int }
   | Worker_done of { pid : int }  (** clean exit, stripe fully reported *)
   | Worker_died of { pid : int; lost_task : int option; respawned : bool }
+  | Worker_hung of { pid : int; lost_task : int option; respawned : bool }
+      (** watchdog SIGKILLed a silent worker; [lost_task = None] means
+          every result was salvaged from the pipe and nothing was
+          censored *)
 
-(** [map ?on_result ?on_pool_event ~jobs ~f n] — see the module
-    description. [on_result] observes each task's result in *arrival*
-    order (callers needing task order buffer and reorder themselves);
-    it runs in the parent, so it may touch shared state.
+(** Heartbeat hook for task bodies: records "this worker is alive and
+    making progress" against the watchdog clock. No-op outside a forked
+    worker (parent process, in-process path), so callers may invoke it
+    unconditionally — e.g. the supervisor beats at every retry attempt
+    so a long multi-attempt task is not mistaken for a hang. *)
+val beat : unit -> unit
+
+(** [map ?on_result ?on_pool_event ?watchdog ~jobs ~f n] — see the
+    module description. [on_result] observes each task's result in
+    *arrival* order (callers needing task order buffer and reorder
+    themselves); it runs in the parent, so it may touch shared state.
     [on_pool_event] likewise runs in the parent and observes worker
-    spawn/exit/death. [jobs] is clamped to [1..n]. *)
+    spawn/exit/death/hang. [watchdog] is the hang grace in seconds: a
+    worker silent for longer while tasks are outstanding is killed and
+    its in-flight task censored as {!Hung}; omitted means hangs are
+    never declared (and [jobs <= 1] stays in-process). [jobs] is
+    clamped to [1..n]. *)
 val map :
   ?on_result:(int -> 'a result -> unit) ->
   ?on_pool_event:(pool_event -> unit) ->
+  ?watchdog:float ->
   jobs:int ->
   f:(int -> 'a) ->
   int ->

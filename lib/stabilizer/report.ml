@@ -38,9 +38,13 @@ let campaign_line (s : Supervisor.summary) =
     s.Supervisor.total_retries s.Supervisor.quarantined
     (if s.Supervisor.quarantined = 1 then "" else "s")
     s.Supervisor.budget_exceeded s.Supervisor.invalid
-    (if s.Supervisor.worker_lost > 0 then
-       Printf.sprintf ", %d worker-lost" s.Supervisor.worker_lost
-     else "")
+    ((if s.Supervisor.worker_lost > 0 then
+        Printf.sprintf ", %d worker-lost" s.Supervisor.worker_lost
+      else "")
+    ^
+    if s.Supervisor.worker_hung > 0 then
+      Printf.sprintf ", %d worker-hung" s.Supervisor.worker_hung
+    else "")
     faults_part
 
 let csv_of_campaign (c : Supervisor.campaign) =
@@ -75,7 +79,9 @@ let csv_of_campaign (c : Supervisor.campaign) =
                r.Supervisor.seed r.Supervisor.retries tag pp.Runtime.p_cycles
                (counter_cols pp.Runtime.p_counters pp.Runtime.p_epochs
                   pp.Runtime.p_relocations))
-      | Supervisor.Trapped (_, None) | Supervisor.Worker_lost ->
+      | Supervisor.Trapped (_, None)
+      | Supervisor.Worker_lost
+      | Supervisor.Worker_hung ->
           Buffer.add_string buf
             (Printf.sprintf "%d,%Ld,%d,%s,,,,,,,,,,,,\n" r.Supervisor.run
                r.Supervisor.seed r.Supervisor.retries tag))

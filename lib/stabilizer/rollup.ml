@@ -22,6 +22,7 @@ let of_campaign (c : Supervisor.campaign) =
   Metrics.set m "campaign.budget_exceeded" s.Supervisor.budget_exceeded;
   Metrics.set m "campaign.invalid_result" s.Supervisor.invalid;
   Metrics.set m "campaign.worker_lost" s.Supervisor.worker_lost;
+  Metrics.set m "campaign.worker_hung" s.Supervisor.worker_hung;
   List.iter
     (fun (cls, n) ->
       Metrics.set m ("fault." ^ Fault.class_to_string cls) n)
@@ -39,7 +40,9 @@ let of_campaign (c : Supervisor.campaign) =
       | Supervisor.Trapped (_, Some pp)
       | Supervisor.Budget_exceeded pp
       | Supervisor.Invalid_result pp -> add_partial m pp
-      | Supervisor.Trapped (_, None) | Supervisor.Worker_lost -> ())
+      | Supervisor.Trapped (_, None)
+      | Supervisor.Worker_lost
+      | Supervisor.Worker_hung -> ())
     c.Supervisor.records;
   m
 
@@ -65,7 +68,8 @@ let of_sample (s : Sample.t) =
           Metrics.add m ("fault." ^ Fault.class_to_string cls) 1
       | Sample.Budget_exceeded -> Metrics.add m "fault.budget_exceeded" 1
       | Sample.Invalid_result -> Metrics.add m "fault.invalid_result" 1
-      | Sample.Worker_lost -> Metrics.add m "fault.worker_lost" 1);
+      | Sample.Worker_lost -> Metrics.add m "fault.worker_lost" 1
+      | Sample.Worker_hung -> Metrics.add m "fault.worker_hung" 1);
       match f.Sample.at_censoring with
       | Some pp -> add_partial m pp
       | None -> ())

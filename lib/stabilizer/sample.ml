@@ -6,6 +6,7 @@ type failure_kind =
   | Budget_exceeded
   | Invalid_result
   | Worker_lost
+  | Worker_hung
 
 type failure = {
   run : int;
@@ -27,6 +28,7 @@ let failure_kind_to_string = function
   | Budget_exceeded -> "budget-exceeded"
   | Invalid_result -> "invalid-result"
   | Worker_lost -> "worker-lost"
+  | Worker_hung -> "worker-hung"
 
 let seeds ~base_seed ~runs =
   let g = Stz_prng.Splitmix.create base_seed in
@@ -58,7 +60,8 @@ let collect_outcomes ?(jobs = 1) ?limits ?profile ?events ?profiled ~config
       ( seeds.(i),
         match o with
         | Parallel.Value outcome -> outcome
-        | Parallel.Lost -> Outcome.Worker_lost ))
+        | Parallel.Lost -> Outcome.Worker_lost
+        | Parallel.Hung -> Outcome.Worker_hung ))
     outcomes
 
 let of_outcomes outcomes =
@@ -78,7 +81,8 @@ let of_outcomes outcomes =
           censor i seed Budget_exceeded (Some (Runtime.partial_of_result r))
       | Outcome.Invalid_result r ->
           censor i seed Invalid_result (Some (Runtime.partial_of_result r))
-      | Outcome.Worker_lost -> censor i seed Worker_lost None)
+      | Outcome.Worker_lost -> censor i seed Worker_lost None
+      | Outcome.Worker_hung -> censor i seed Worker_hung None)
     outcomes;
   let results = Array.of_list (List.rev !completed) in
   {

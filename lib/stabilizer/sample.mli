@@ -23,6 +23,9 @@ type failure_kind =
   | Budget_exceeded  (** over the supervisor's cycle budget *)
   | Invalid_result  (** return value differs from the reference *)
   | Worker_lost  (** the parallel worker died mid-run *)
+  | Worker_hung
+      (** the parallel worker wedged mid-run and was killed by the pool
+          watchdog *)
 
 type failure = {
   run : int;  (** run index within the sample *)
@@ -34,9 +37,9 @@ type failure = {
           always for {!Budget_exceeded} and {!Invalid_result} (the run
           finished, only the gate rejected it), and for every
           {!Faulted} run whose trap was raised inside the runtime.
-          [None] only for {!Worker_lost} (the counters died with the
-          worker process) and for traps raised before or outside the
-          runtime. Earlier versions dropped these counters silently;
+          [None] only for {!Worker_lost} and {!Worker_hung} (the
+          counters died with the worker process) and for traps raised
+          before or outside the runtime. Earlier versions dropped these counters silently;
           rollups count them under the [censored.*] metric keys,
           separate from the [counters.*] sums over completed runs. *)
 }

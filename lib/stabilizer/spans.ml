@@ -42,7 +42,7 @@ let of_outcome ~name ?(args = []) outcome =
             values = H.counters_fields pp.Runtime.p_counters;
           };
       ]
-  | Outcome.Trapped (_, None) | Outcome.Worker_lost ->
+  | Outcome.Trapped (_, None) | Outcome.Worker_lost | Outcome.Worker_hung ->
       [ Event.Instant { name; cat = "run"; lane = 0; ts = 0; args } ]
 
 (* Concatenate run-local streams end-to-end: each stream is shifted past

@@ -5,16 +5,26 @@ module Splitmix = Stz_prng.Splitmix
 module Hierarchy = Stz_machine.Hierarchy
 module Event = Stz_telemetry.Event
 module Trace = Stz_telemetry.Trace
+module Artifact = Stz_store.Artifact
 
 type policy = {
   max_retries : int;
   calibration_runs : int;
   budget_margin : float;
   checkpoint_every : int;
+  hang_margin : float;
+  hang_grace : float option;
 }
 
 let default_policy =
-  { max_retries = 3; calibration_runs = 5; budget_margin = 8.0; checkpoint_every = 1 }
+  {
+    max_retries = 3;
+    calibration_runs = 5;
+    budget_margin = 8.0;
+    checkpoint_every = 1;
+    hang_margin = 25.0;
+    hang_grace = None;
+  }
 
 type completed = {
   cycles : int;
@@ -35,6 +45,7 @@ type stored_outcome =
   | Budget_exceeded of Runtime.partial
   | Invalid_result of Runtime.partial
   | Worker_lost
+  | Worker_hung
 
 type record = {
   run : int;
@@ -65,6 +76,7 @@ type summary = {
   budget_exceeded : int;
   invalid : int;
   worker_lost : int;
+  worker_hung : int;
   by_class : (Fault.fault_class * int) list;
   retry_histogram : int array;
 }
@@ -83,6 +95,7 @@ let stored_tag = function
   | Budget_exceeded _ -> "budget-exceeded"
   | Invalid_result _ -> "invalid-result"
   | Worker_lost -> "worker-lost"
+  | Worker_hung -> "worker-hung"
 
 let counters_to_json c =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Hierarchy.counters_fields c))
@@ -151,7 +164,7 @@ let record_to_json r =
           ])
   | Trapped (_, Some pp) | Budget_exceeded pp | Invalid_result pp ->
       Json.Obj (base @ [ ("at", partial_to_json pp) ])
-  | Trapped (_, None) | Worker_lost -> Json.Obj base
+  | Trapped (_, None) | Worker_lost | Worker_hung -> Json.Obj base
 
 let record_of_json j =
   let ( let* ) = Option.bind in
@@ -212,6 +225,7 @@ let record_of_json j =
     | "budget-exceeded" -> require_at (fun pp -> Budget_exceeded pp)
     | "invalid-result" -> require_at (fun pp -> Invalid_result pp)
     | "worker-lost" -> Some Worker_lost
+    | "worker-hung" -> Some Worker_hung
     | s -> Option.map (fun c -> Trapped (c, at)) (Fault.class_of_string s)
   in
   Some { run; seed; retries; outcome }
@@ -288,28 +302,6 @@ let of_json j =
       reference;
     }
 
-let save path c =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (Json.to_string (to_json c));
-  output_char oc '\n';
-  close_out oc;
-  Sys.rename tmp path
-
-let load path =
-  match
-    let ic = open_in path in
-    let text = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    text
-  with
-  | exception Sys_error e -> Error e
-  | text -> Result.bind (Json.of_string text) of_json
-
-(* ------------------------------------------------------------------ *)
-(* Campaign execution                                                  *)
-(* ------------------------------------------------------------------ *)
-
 (* Retry seeds are derived from the run's primary seed, not drawn from
    the campaign stream, so a retry never shifts the seeds of later runs
    — the property that makes checkpoint/resume exact. *)
@@ -323,6 +315,238 @@ let attempt_seed primary k =
     done;
     !s
   end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint IO: v3 checksummed container                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Version 3 checkpoints are {!Stz_store.Artifact} containers: a meta
+   record first (identity + the reference decision, both fixed at
+   campaign start), one record per finished run in run order, and the
+   evolving supervisor state (quarantine, budgets) last. Every record
+   is length-prefixed and CRC32-checksummed, and the file is written
+   durably (fsync of file and directory before the rename), so a crash
+   or torn write costs at most a suffix — which {!recover} salvages.
+   Versions 1/2 were bare JSON; {!load}/{!recover} still accept them. *)
+let checkpoint_kind = "szc-checkpoint"
+
+let meta_to_json c =
+  Json.Obj
+    [
+      ("version", Json.Int 3);
+      ("base_seed", Json.of_int64 c.base_seed);
+      ("runs", Json.Int c.runs);
+      ("profile", Json.String c.profile_fp);
+      ("config", Json.String c.config_desc);
+      ("reference", opt_int c.reference);
+    ]
+
+let state_to_json (c : campaign) =
+  Json.Obj
+    [
+      ("quarantined", Json.List (List.map Json.of_int64 c.quarantined));
+      ("budget_cycles", opt_int c.budget_cycles);
+      ("budget_fuel", opt_int c.budget_fuel);
+    ]
+
+let get_opt_int j name =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "checkpoint: bad %S" name)
+
+let meta_of_json j =
+  let get name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "checkpoint meta: bad or missing %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* version = get "version" Json.to_int in
+  if version <> 3 then
+    Error (Printf.sprintf "checkpoint: unsupported container version %d" version)
+  else
+    let* base_seed = get "base_seed" Json.to_int64 in
+    let* runs = get "runs" Json.to_int in
+    let* profile_fp = get "profile" Json.to_str in
+    let* config_desc = get "config" Json.to_str in
+    let* reference = get_opt_int j "reference" in
+    Ok
+      {
+        base_seed;
+        runs;
+        profile_fp;
+        config_desc;
+        records = [];
+        quarantined = [];
+        budget_cycles = None;
+        budget_fuel = None;
+        reference;
+      }
+
+let state_of_json j =
+  let ( let* ) = Result.bind in
+  let* quarantined_js =
+    match Option.bind (Json.member "quarantined" j) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "checkpoint: bad state record"
+  in
+  let* quarantined =
+    List.fold_left
+      (fun acc x ->
+        Result.bind acc (fun l ->
+            match Json.to_int64 x with
+            | Some s -> Ok (s :: l)
+            | None -> Error "checkpoint: bad quarantined seed"))
+      (Ok []) quarantined_js
+    |> Result.map List.rev
+  in
+  let* budget_cycles = get_opt_int j "budget_cycles" in
+  let* budget_fuel = get_opt_int j "budget_fuel" in
+  Ok (quarantined, budget_cycles, budget_fuel)
+
+(* Re-derive the quarantine list when the checkpoint's state record was
+   lost to corruption. Every failed attempt seed, in run order then
+   attempt order, first occurrence only — exactly the order
+   [run_campaign] quarantined them in: a record with [retries = k] had
+   attempts [0..k-1] fail, plus attempt [k] itself unless it [Done].
+   Runs censored by the pool ([Worker_lost]/[Worker_hung]) quarantine
+   nothing: their synthetic record never ran the retry loop, and any
+   attempt seeds that failed before the worker died or wedged were
+   lost with it — in the live campaign too, so deriving them here
+   would *diverge* from the uninterrupted bytes. *)
+let derive_quarantine ~base_seed ~runs records =
+  let primary = Sample.seeds ~base_seed ~runs in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      out := s :: !out
+    end
+  in
+  List.iter
+    (fun r ->
+      if r.run >= 0 && r.run < runs then begin
+        let last_failed =
+          match r.outcome with
+          | Done _ -> r.retries - 1
+          | Worker_lost | Worker_hung -> -1
+          | _ -> r.retries
+        in
+        for k = 0 to last_failed do
+          add (attempt_seed primary.(r.run) k)
+        done
+      end)
+    records;
+  List.rev !out
+
+(* Rebuild a campaign from container records. [lenient] treats a
+   malformed record as the start of the lost suffix (keeps the valid
+   prefix) instead of failing, and tolerates a missing state record by
+   re-deriving quarantine from the run records and leaving the budgets
+   uncalibrated — resume then recalibrates them bit-exactly from the
+   completed prefix. Returns the campaign plus whether state had to be
+   reconstructed. *)
+let campaign_of_records ~lenient pairs =
+  let ( let* ) = Result.bind in
+  match pairs with
+  | ("meta", m) :: rest ->
+      let* mj = Json.of_string m in
+      let* base = meta_of_json mj in
+      let rec go acc state = function
+        | [] -> Ok (List.rev acc, state)
+        | ("run", s) :: rest -> (
+            let parsed =
+              Result.bind (Json.of_string s) (fun j ->
+                  match record_of_json j with
+                  | Some r -> Ok r
+                  | None -> Error "checkpoint: bad record")
+            in
+            match parsed with
+            | Ok r -> go (r :: acc) state rest
+            | Error e -> if lenient then Ok (List.rev acc, state) else Error e)
+        | ("state", s) :: rest -> (
+            match Result.bind (Json.of_string s) state_of_json with
+            | Ok st -> go acc (Some st) rest
+            | Error e -> if lenient then Ok (List.rev acc, state) else Error e)
+        | (tag, _) :: rest ->
+            if lenient then go acc state rest
+            else Error (Printf.sprintf "checkpoint: unknown record tag %S" tag)
+      in
+      let* records, state = go [] None rest in
+      let records = List.sort (fun a b -> compare a.run b.run) records in
+      (match state with
+      | Some (quarantined, budget_cycles, budget_fuel) ->
+          Ok ({ base with records; quarantined; budget_cycles; budget_fuel }, false)
+      | None ->
+          if not lenient then Error "checkpoint: missing state record"
+          else
+            let quarantined =
+              derive_quarantine ~base_seed:base.base_seed ~runs:base.runs records
+            in
+            Ok ({ base with records; quarantined }, true))
+  | _ -> Error "checkpoint: missing meta record"
+
+let save path c =
+  Artifact.write_records path ~kind:checkpoint_kind
+    (("meta", Json.to_string (meta_to_json c))
+     :: List.map (fun r -> ("run", Json.to_string (record_to_json r))) c.records
+    @ [ ("state", Json.to_string (state_to_json c)) ])
+
+let load path =
+  match Artifact.read_file path with
+  | Error e -> Error e
+  | Ok text ->
+      if Artifact.is_container text then
+        let s = Artifact.salvage_string text in
+        match s.Artifact.error with
+        | Some e -> Error e
+        | None ->
+            if s.Artifact.kind <> Some checkpoint_kind then
+              Error "checkpoint: unexpected artifact kind"
+            else
+              Result.map fst
+                (campaign_of_records ~lenient:false s.Artifact.records)
+      else Result.bind (Json.of_string text) of_json
+
+let recover path =
+  match Artifact.read_file path with
+  | Error e -> Error e
+  | Ok text ->
+      if not (Artifact.is_container text) then
+        (* Legacy v1/v2 JSON: no checksums to salvage with, so this is
+           all-or-nothing — same as strict load. *)
+        Result.map (fun c -> (c, None)) (Result.bind (Json.of_string text) of_json)
+      else
+        let s = Artifact.salvage_string text in
+        if s.Artifact.kind <> Some checkpoint_kind then
+          Error
+            (match s.Artifact.error with
+            | Some e -> e
+            | None -> "checkpoint: unexpected artifact kind")
+        else
+          Result.map
+            (fun (c, reconstructed) ->
+              let note =
+                if s.Artifact.error = None && not reconstructed then None
+                else
+                  Some
+                    (Printf.sprintf "salvaged %d of %d bytes%s%s"
+                       s.Artifact.valid_bytes s.Artifact.total_bytes
+                       (match s.Artifact.error with
+                       | Some e -> ": " ^ e
+                       | None -> "")
+                       (if reconstructed then
+                          "; supervisor state re-derived from run records"
+                        else ""))
+              in
+              (c, note))
+            (campaign_of_records ~lenient:true s.Artifact.records)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign execution                                                  *)
+(* ------------------------------------------------------------------ *)
 
 (* The synthetic stream standing in for a checkpointed run on resume:
    the lane advances by the run's recorded cycles, so the post-resume
@@ -355,7 +579,7 @@ let restored_stream (r : record) =
   | Done c -> span_and_hw c.cycles c.counters
   | Trapped (_, Some pp) | Budget_exceeded pp | Invalid_result pp ->
       span_and_hw pp.Runtime.p_cycles pp.Runtime.p_counters
-  | Trapped (_, None) | Worker_lost ->
+  | Trapped (_, None) | Worker_lost | Worker_hung ->
       [ Event.Instant { name = "restored"; cat = "run"; lane = 0; ts = 0; args } ]
 
 let pool_event_args = function
@@ -370,12 +594,30 @@ let pool_event_args = function
             match lost_task with Some i -> Json.Int i | None -> Json.Null );
           ("respawned", Json.Bool respawned);
         ] )
+  | Parallel.Worker_hung { pid; lost_task; respawned } ->
+      ( "worker-hung",
+        [
+          ("pid", Json.Int pid);
+          ( "lost_task",
+            match lost_task with Some i -> Json.Int i | None -> Json.Null );
+          ("respawned", Json.Bool respawned);
+        ] )
 
 let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     ?(limits = Interp.default_limits) ?(jobs = 1) ?checkpoint ?(resume = false)
     ?on_record ?telemetry ~config ~base_seed ~runs ~args p =
   if runs < 1 then raise (Mismatch "run_campaign: runs must be >= 1");
   let jobs = Stdlib.max 1 jobs in
+  (* A wedged run never finishes and never traps; the only recovery is
+     the pool watchdog SIGKILLing the worker around it, which needs a
+     fork boundary. Refuse configurations where a wedge would hang the
+     campaign forever. (The reference probe is injection-free, so it
+     cannot wedge even under a wedge-armed profile.) *)
+  if profile.Fault.wedge > 0.0 && jobs < 2 then
+    raise
+      (Mismatch
+         "run_campaign: wedge-armed profiles need jobs >= 2 (hang recovery \
+          requires a worker pool)");
   (* Captured before any fork: workers must agree with the parent on
      whether to produce events, whatever process executes the run. *)
   let tracing = telemetry <> None in
@@ -390,9 +632,12 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
   let loaded =
     match (checkpoint, resume) with
     | Some path, true when Sys.file_exists path -> (
-        match load path with
+        (* Lenient load: a checkpoint corrupted by a crash or torn
+           write resumes from its longest valid prefix instead of
+           aborting the campaign. *)
+        match recover path with
         | Error e -> raise (Mismatch ("checkpoint " ^ path ^ ": " ^ e))
-        | Ok c ->
+        | Ok (c, note) ->
             if c.base_seed <> base_seed then
               raise (Mismatch "checkpoint belongs to a different base seed");
             if c.runs <> runs then
@@ -401,6 +646,10 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
               raise (Mismatch "checkpoint belongs to a different fault profile");
             if c.config_desc <> config_desc then
               raise (Mismatch "checkpoint belongs to a different configuration");
+            (match note with
+            | Some n ->
+                control "checkpoint-salvaged" [ ("detail", Json.String n) ]
+            | None -> ());
             Some c)
     | _ -> None
   in
@@ -443,6 +692,24 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
   | None -> ());
   let budget_cycles = ref (Option.bind loaded (fun c -> c.budget_cycles)) in
   let budget_fuel = ref (Option.bind loaded (fun c -> c.budget_fuel)) in
+  (* Watchdog grace calibration: the longest wall-clock attempt seen in
+     this process (reference probe, serial head) scaled by the policy
+     margin. Per-run fuel is budget-capped, so no honest attempt can
+     exceed the calibration maximum by anything like the margin; only a
+     genuinely wedged worker goes silent that long. *)
+  let max_wall = ref 0.0 in
+  let observe_wall dt = if dt > !max_wall then max_wall := dt in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> observe_wall (Unix.gettimeofday () -. t0)) f
+  in
+  let hang_grace () =
+    match policy.hang_grace with
+    | Some g -> g
+    | None ->
+        if !max_wall > 0.0 then Stdlib.max 1.0 (policy.hang_margin *. !max_wall)
+        else 60.0 (* resumed with nothing measured; conservative fallback *)
+  in
   (* The reference value comes from one clean (injection-free) run; a
      campaign resumed from a checkpoint reuses the recorded decision so
      the continuation matches the uninterrupted campaign exactly. *)
@@ -454,8 +721,9 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
           if k > policy.max_retries then None
           else
             match
-              Runtime.run ~limits ~config ~seed:(attempt_seed primary.(0) k) p
-                ~args
+              timed (fun () ->
+                  Runtime.run ~limits ~config ~seed:(attempt_seed primary.(0) k)
+                    p ~args)
             with
             | r -> Some r.Runtime.return_value
             | exception ((Stack_overflow | Assert_failure _) as fatal) ->
@@ -559,6 +827,7 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     | Outcome.Budget_exceeded r -> Budget_exceeded (Runtime.partial_of_result r)
     | Outcome.Invalid_result r -> Invalid_result (Runtime.partial_of_result r)
     | Outcome.Worker_lost -> Worker_lost
+    | Outcome.Worker_hung -> Worker_hung
   in
   (* One supervised run: the bounded retry loop. Quarantine lookups see
      the global table as of the call (in a worker: as of the fork) plus
@@ -582,6 +851,10 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
           :: !streams
     in
     let rec attempt k =
+      (* Heartbeat: a multi-attempt task keeps resetting the watchdog
+         clock, so only a single silent *attempt* — not a long retry
+         loop — can trip it. No-op outside a forked worker. *)
+      Parallel.beat ();
       let seed = attempt_seed primary.(i) k in
       let outcome =
         if Hashtbl.mem quarantine seed || List.mem seed !failed_seeds then
@@ -632,15 +905,53 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
   for i = runs - 1 downto 0 do
     if records.(i) = None then pending := i :: !pending
   done;
+  let on_pool_event =
+    Option.map
+      (fun tr e ->
+        let name, args = pool_event_args e in
+        Trace.harness_instant tr ~args name)
+      telemetry
+  in
+  (* A censored run's synthetic payload: no seeds to quarantine, an
+     instant in the trace. Used for tasks whose worker died or hung. *)
+  let censored_payload i stored outcome =
+    ( { run = i; seed = primary.(i); retries = 0; outcome = stored },
+      [],
+      if tracing then
+        Spans.of_outcome ~name:"run"
+          ~args:[ ("run", Json.Int i); Spans.seed_arg primary.(i) ]
+          outcome
+      else [] )
+  in
   if jobs <= 1 then List.iter (fun i -> deliver i (attempt_run i)) !pending
   else begin
     (* Budget calibration is order-dependent — budgets freeze after the
        first [calibration_runs] completed runs and tighten the limits
        of every later run — so runs execute serially until the budgets
-       are frozen; only the remainder fans out. *)
+       are frozen; only the remainder fans out. Each serial run still
+       crosses a fork boundary (a single-task pool under the watchdog),
+       so a wedge during calibration is as survivable as one in the
+       fan-out. *)
+    let forked_attempt i =
+      let out = ref Parallel.Lost in
+      ignore
+        (Parallel.map ?on_pool_event ~watchdog:(hang_grace ()) ~jobs:1
+           ~on_result:(fun _ r -> out := r)
+           ~f:(fun _ -> attempt_run i)
+           1);
+      match !out with
+      | Parallel.Value payload -> payload
+      | Parallel.Lost -> censored_payload i Worker_lost Outcome.Worker_lost
+      | Parallel.Hung -> censored_payload i Worker_hung Outcome.Worker_hung
+    in
     let rec serial_head = function
       | i :: rest when !budget_cycles = None ->
-          deliver i (attempt_run i);
+          let t0 = Unix.gettimeofday () in
+          let payload = forked_attempt i in
+          (match payload with
+          | { outcome = Worker_hung; _ }, _, _ -> ()
+          | _ -> observe_wall (Unix.gettimeofday () -. t0));
+          deliver i payload;
           serial_head rest
       | rest -> rest
     in
@@ -671,27 +982,14 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
         let payload =
           match res with
           | Parallel.Value record_seeds_events -> record_seeds_events
-          | Parallel.Lost ->
-              ( { run = i; seed = primary.(i); retries = 0; outcome = Worker_lost },
-                [],
-                if tracing then
-                  Spans.of_outcome ~name:"run"
-                    ~args:[ ("run", Json.Int i); Spans.seed_arg primary.(i) ]
-                    Outcome.Worker_lost
-                else [] )
+          | Parallel.Lost -> censored_payload i Worker_lost Outcome.Worker_lost
+          | Parallel.Hung -> censored_payload i Worker_hung Outcome.Worker_hung
         in
         buffered.(i) <- Some payload;
         advance ()
       in
-      let on_pool_event =
-        Option.map
-          (fun tr e ->
-            let name, args = pool_event_args e in
-            Trace.harness_instant tr ~args name)
-          telemetry
-      in
       ignore
-        (Parallel.map ~on_result ?on_pool_event ~jobs
+        (Parallel.map ~on_result ?on_pool_event ~watchdog:(hang_grace ()) ~jobs
            ~f:(fun pos -> attempt_run tasks.(pos))
            (Array.length tasks))
     end
@@ -729,6 +1027,7 @@ let summarize c =
   let budget_exceeded = ref 0 in
   let invalid = ref 0 in
   let worker_lost = ref 0 in
+  let worker_hung = ref 0 in
   let class_counts = Hashtbl.create 8 in
   let max_retries =
     List.fold_left (fun acc r -> Stdlib.max acc r.retries) 0 c.records
@@ -750,6 +1049,9 @@ let summarize c =
       | Worker_lost ->
           incr censored;
           incr worker_lost
+      | Worker_hung ->
+          incr censored;
+          incr worker_hung
       | Trapped (cls, _) ->
           incr censored;
           Hashtbl.replace class_counts cls
@@ -765,6 +1067,7 @@ let summarize c =
     budget_exceeded = !budget_exceeded;
     invalid = !invalid;
     worker_lost = !worker_lost;
+    worker_hung = !worker_hung;
     by_class =
       List.map
         (fun cls ->

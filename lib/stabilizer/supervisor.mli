@@ -4,9 +4,14 @@
     loop, failed runs are retried a bounded number of times with fresh
     derived seeds, seeds that produced failures are quarantined, cycle
     and fuel budgets are calibrated from the first successful runs, and
-    the whole campaign state checkpoints to JSON so an interrupted sweep
-    resumes exactly where it stopped — with a final sample bit-identical
-    to an uninterrupted campaign's (same seeds, same cycle counts).
+    the whole campaign state checkpoints to a durable checksummed
+    {!Stz_store.Artifact} container so an interrupted sweep resumes
+    exactly where it stopped — with a final sample bit-identical to an
+    uninterrupted campaign's (same seeds, same cycle counts). A
+    checkpoint corrupted by a crash or torn write resumes from its
+    longest valid record prefix ({!recover}); even the supervisor state
+    record (quarantine list, calibrated budgets) is reconstructed
+    bit-exactly from the surviving run records when it is lost.
 
     Never raises on run failures: under any fault profile the campaign
     completes and reports what happened. *)
@@ -18,6 +23,13 @@ type policy = {
   budget_margin : float;
       (** budgets = margin × the calibration maximum (cycles / fuel) *)
   checkpoint_every : int;  (** checkpoint after every [k] finished runs *)
+  hang_margin : float;
+      (** watchdog grace = margin × the longest wall-clock attempt seen
+          during calibration (reference probe + serial head); a worker
+          silent longer than that is declared hung *)
+  hang_grace : float option;
+      (** fixed watchdog grace in seconds, overriding the calibrated
+          one; [None] (the default) calibrates *)
 }
 
 val default_policy : policy
@@ -48,6 +60,9 @@ type stored_outcome =
   | Worker_lost
       (** the parallel worker executing the run died before reporting —
           see {!Outcome.run_outcome} *)
+  | Worker_hung
+      (** the parallel worker executing the run went silent past the
+          watchdog grace and was SIGKILLed — see {!Outcome.run_outcome} *)
 
 (** Compact outcome tag, same vocabulary as {!Outcome.tag}. *)
 val stored_tag : stored_outcome -> string
@@ -81,16 +96,20 @@ type summary = {
   budget_exceeded : int;
   invalid : int;
   worker_lost : int;  (** runs censored because their worker died *)
+  worker_hung : int;  (** runs censored because their worker hung *)
   by_class : (Stz_faults.Fault.fault_class * int) list;
       (** final-outcome trap tallies, every class listed *)
   retry_histogram : int array;
       (** [histogram.(k)] = finished runs that took [k] retries *)
 }
 
-(** Raised only for unusable campaign setups: [runs < 1], or a
+(** Raised only for unusable campaign setups: [runs < 1]; a
     [~checkpoint] file that exists but belongs to a different campaign
-    (other seed, run count, fault profile or configuration) while
-    [~resume:true]. Run failures never raise. *)
+    (other seed, run count, fault profile or configuration) or is
+    unrecoverably corrupt while [~resume:true]; or a wedge-armed fault
+    profile with [jobs < 2] (a wedge can only be survived by the pool
+    watchdog, which needs a fork boundary). Run failures never
+    raise. *)
 exception Mismatch of string
 
 (** [run_campaign ~config ~base_seed ~runs ~args p] executes the
@@ -110,7 +129,15 @@ exception Mismatch of string
     strictly in run order, so samples, checkpoints and outcome CSVs are
     bit-identical to a serial campaign's for any worker count. A worker
     that dies censors exactly the run it was executing as
-    {!Worker_lost}; the rest of its task stripe is re-spawned.
+    {!Worker_lost}; the rest of its task stripe is re-spawned. A worker
+    that goes silent past the watchdog grace (calibrated per
+    [policy.hang_margin], overridable via [policy.hang_grace]) is
+    SIGKILLed and its run censored as {!Worker_hung} — results it
+    finished before wedging are salvaged from its pipe first, so hang
+    recovery costs exactly the wedged run and the campaign stays
+    bit-identical across worker counts. With [jobs > 1] even the serial
+    calibration head runs across a fork boundary, so a wedge during
+    calibration is equally survivable.
 
     [telemetry] streams the campaign into a {!Stz_telemetry.Trace}:
     every run contributes its attempt spans (produced worker-side and
@@ -147,12 +174,29 @@ val summarize : campaign -> summary
 val verdict :
   ?alpha:float -> min_n:int -> campaign -> campaign -> Experiment.gated
 
-(** JSON round-trip (the checkpoint file format). *)
+(** JSON round-trip (the legacy v1/v2 checkpoint file format; current
+    checkpoints are {!Stz_store.Artifact} containers — see {!save}). *)
 val to_json : campaign -> Json.t
 
 val of_json : Json.t -> (campaign, string) result
 
-(** Checkpoint IO. [save] writes atomically (temp file + rename). *)
+(** Checkpoint IO. [save] writes a version-3 checksummed
+    {!Stz_store.Artifact} container, durably: temp file, fsync of file
+    and parent directory, then rename — a crash at any point leaves
+    either the old checkpoint or the new one, never a torn file. *)
 val save : string -> campaign -> unit
 
+(** Strict load: a container must parse completely (header, every
+    record checksum, meta and state present); a file that does not
+    start with the artifact magic is parsed as a legacy v1/v2 JSON
+    checkpoint. Any corruption is an [Error]. *)
 val load : string -> (campaign, string) result
+
+(** Lenient load: salvages the longest valid record prefix of a
+    corrupted container. A missing state record (quarantine, budgets)
+    is reconstructed from the surviving run records — bit-exactly, so a
+    resume from the salvaged prefix matches an uninterrupted campaign.
+    Returns the campaign plus [Some note] describing what was salvaged,
+    or [None] when the file was intact. [Error] only when not even the
+    meta record survives (or the file is missing/unreadable). *)
+val recover : string -> (campaign * string option, string) result

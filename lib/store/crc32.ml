@@ -1,0 +1,43 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let digest s = update 0l s
+
+let to_hex c = Printf.sprintf "%08lx" c
+
+let of_hex s =
+  if String.length s = 0 || String.length s > 8 then None
+  else
+    let ok =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+        s
+    in
+    if not ok then None
+    else
+      (* Through int64 to survive values with the top bit set. *)
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some v -> Some (Int64.to_int32 v)
+      | None -> None

@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320), table
+    driven. Artifact records carry this checksum so torn writes and bit
+    rot are detected before a corrupted payload reaches a parser. *)
+
+(** [update crc s] folds [s] into a running checksum; [update 0l] of a
+    whole string equals {!digest}, and
+    [update (update 0l a) b = digest (a ^ b)]. *)
+val update : int32 -> string -> int32
+
+(** [digest s = update 0l s]. [digest "123456789" = 0xCBF43926l]. *)
+val digest : string -> int32
+
+(** Fixed-width lowercase hex, 8 digits. *)
+val to_hex : int32 -> string
+
+(** Parse {!to_hex} output (or any hex up to 8 digits); [None] on
+    malformed input. *)
+val of_hex : string -> int32 option

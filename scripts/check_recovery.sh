@@ -1,0 +1,79 @@
+#!/bin/sh
+# Crash-recovery acceptance check, used by CI and runnable locally:
+#
+#   1. run a fixed-seed campaign uninterrupted, serially and under
+#      --jobs 4, and demand byte-identical CSV and checkpoint;
+#   2. run the same campaign with heavy storage-fault injection
+#      (checkpoint writes torn / bit-flipped / shortened / renames
+#      dropped) and SIGKILL it mid-flight;
+#   3. diagnose and repair whatever the crash left with `szc fsck`;
+#   4. resume with storage faults off and demand the final CSV and
+#      checkpoint are byte-identical to the uninterrupted run's;
+#   5. verify artifact integrity (`szc fsck`, `szc check-trace`).
+#
+# Usage: scripts/check_recovery.sh [OUTDIR]  (default: ./recovery-artifacts)
+# Exits nonzero on any divergence.
+set -eu
+
+outdir=${1:-recovery-artifacts}
+mkdir -p "$outdir"
+
+dune build bin/szc.exe
+SZC=_build/default/bin/szc.exe
+
+common="campaign bzip2 --runs 30 --seed 11 --scale 0.05 --faults light --quiet"
+
+echo "== reference campaign, --jobs 1"
+$SZC $common --csv "$outdir/ref1.csv" --checkpoint "$outdir/ref1.ck"
+echo "== reference campaign, --jobs 4"
+$SZC $common --jobs 4 --csv "$outdir/ref4.csv" --checkpoint "$outdir/ref4.ck"
+
+echo "== uninterrupted byte identity across worker counts"
+cmp "$outdir/ref1.csv" "$outdir/ref4.csv"
+echo "csv: byte-identical across worker counts"
+cmp "$outdir/ref1.ck" "$outdir/ref4.ck"
+echo "checkpoint: byte-identical across worker counts"
+
+echo "== storage-faulted campaign, SIGKILLed mid-flight"
+ck="$outdir/crash.ck"
+rm -f "$ck" "$ck.tmp" "$ck.corrupt" "$outdir/crash.csv"
+$SZC $common --checkpoint "$ck" --storage-faults heavy --storage-seed 5 &
+pid=$!
+# Wait for the first checkpoint write (the file, or a temp file left
+# by an injected dropped rename), then pull the plug.
+i=0
+while [ ! -e "$ck" ] && [ ! -e "$ck.tmp" ] && [ "$i" -lt 200 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+sleep 0.3
+if kill -9 "$pid" 2>/dev/null; then
+  echo "SIGKILLed pid $pid mid-campaign"
+else
+  echo "WARNING: campaign finished before the kill landed (still checking recovery)"
+fi
+wait "$pid" 2>/dev/null || true
+
+echo "== fsck the crash site"
+code=0
+$SZC fsck --repair "$ck" || code=$?
+if [ "$code" -ne 0 ] && [ "$code" -ne 2 ]; then
+  echo "fsck: checkpoint unrecoverable (exit $code)"
+  exit 1
+fi
+
+echo "== resume, storage faults off"
+$SZC $common --checkpoint "$ck" --resume --csv "$outdir/crash.csv" \
+  --trace "$outdir/crash-trace.json"
+
+echo "== recovered artifacts byte-identical to uninterrupted"
+cmp "$outdir/ref1.csv" "$outdir/crash.csv"
+echo "csv: recovered run matches the uninterrupted one"
+cmp "$outdir/ref1.ck" "$ck"
+echo "checkpoint: recovered run matches the uninterrupted one"
+
+echo "== artifact integrity"
+$SZC fsck "$outdir/crash.csv" "$ck"
+$SZC check-trace "$outdir/crash-trace.json"
+
+echo "crash-recovery check: OK"

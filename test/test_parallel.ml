@@ -19,6 +19,7 @@ let check_string = Alcotest.(check string)
 let value = function
   | S.Parallel.Value v -> v
   | S.Parallel.Lost -> Alcotest.fail "unexpected Lost"
+  | S.Parallel.Hung -> Alcotest.fail "unexpected Hung"
 
 let map_matches_serial () =
   for n = 0 to 12 do
@@ -80,6 +81,61 @@ let dead_worker_censors_only_its_task () =
         check_bool "task 5 lost" true (r = S.Parallel.Lost)
       else check_int (Printf.sprintf "task %d survives" i) (i * 10) (value r))
     got
+
+let wedge () =
+  (* An honest wedge: alive, scheduled, making no progress and sending
+     no beats — exactly what a livelocked run looks like. *)
+  while true do
+    ignore (Unix.select [] [] [] 0.05)
+  done;
+  assert false
+
+let watchdog_kills_wedged_worker () =
+  (* Task 3 wedges its worker; the watchdog must declare it Hung within
+     the grace and every other task must still deliver. *)
+  let hung = ref [] in
+  let got =
+    S.Parallel.map
+      ~on_pool_event:(function
+        | S.Parallel.Worker_hung { lost_task; _ } -> hung := lost_task :: !hung
+        | _ -> ())
+      ~watchdog:0.5 ~jobs:3
+      ~f:(fun i -> if i = 3 then wedge () else i * 10)
+      9
+  in
+  Array.iteri
+    (fun i r ->
+      if i = 3 then check_bool "task 3 hung" true (r = S.Parallel.Hung)
+      else check_int (Printf.sprintf "task %d survives" i) (i * 10) (value r))
+    got;
+  check_bool "pool reported the hang" true (!hung = [ Some 3 ])
+
+let watchdog_spares_beating_workers () =
+  (* A task slower than the grace but beating through it must NOT be
+     declared hung. *)
+  let got =
+    S.Parallel.map ~watchdog:0.3 ~jobs:2
+      ~f:(fun i ->
+        if i = 1 then
+          for _ = 1 to 8 do
+            Unix.sleepf 0.1;
+            S.Parallel.beat ()
+          done;
+        i)
+      4
+  in
+  Array.iteri (fun i r -> check_int "all delivered" i (value r)) got
+
+let watchdog_forces_fork_at_jobs1 () =
+  (* Hang recovery needs a process boundary: with a watchdog even
+     jobs:1 forks, so a wedge costs one task, not the whole process. *)
+  let got =
+    S.Parallel.map ~watchdog:0.5 ~jobs:1
+      ~f:(fun i -> if i = 1 then wedge () else i)
+      3
+  in
+  check_bool "wedged task censored" true (got.(1) = S.Parallel.Hung);
+  check_int "tasks after the wedge still run" 2 (value got.(2))
 
 exception Boom
 
@@ -212,6 +268,90 @@ let heavy_faults_jobs_identical () =
     (c1.S.Supervisor.quarantined = c3.S.Supervisor.quarantined);
   check_string "CSV" (S.Report.csv_of_campaign c1) (S.Report.csv_of_campaign c3)
 
+(* ------------------------------------------------------------------ *)
+(* Wedged runs: the watchdog inside a campaign                         *)
+(* ------------------------------------------------------------------ *)
+
+let wedgy = { F.none with F.wedge = 0.4 }
+
+let fast_hang_policy =
+  {
+    policy with
+    S.Supervisor.hang_grace = Some 0.5;
+    S.Supervisor.max_retries = 1;
+  }
+
+let wedge_campaign ~jobs ~seed =
+  S.Supervisor.run_campaign ~policy:fast_hang_policy ~profile:wedgy ~jobs
+    ~config ~base_seed:(Int64.of_int seed) ~runs:10 ~args (Lazy.force program)
+
+let wedged_campaign_is_censored_not_stalled () =
+  (* A campaign whose profile wedges runs must complete (no stall),
+     censor the wedged runs as worker-hung, and keep its books
+     balanced. *)
+  let c = wedge_campaign ~jobs:2 ~seed:17 in
+  let s = S.Supervisor.summarize c in
+  check_int "every run accounted for" 10 (List.length c.S.Supervisor.records);
+  check_bool "some runs actually wedged" true (s.S.Supervisor.worker_hung > 0);
+  check_int "completed + censored = runs" 10
+    (s.S.Supervisor.completed + s.S.Supervisor.censored)
+
+let wedged_campaign_jobs_identical () =
+  (* Hang recovery may not cost determinism: the same wedgy campaign
+     under 2 and 3 workers leaves identical records and CSV. *)
+  let c2 = wedge_campaign ~jobs:2 ~seed:17 in
+  let c3 = wedge_campaign ~jobs:3 ~seed:17 in
+  check_bool "records" true
+    (c2.S.Supervisor.records = c3.S.Supervisor.records);
+  check_bool "quarantine" true
+    (c2.S.Supervisor.quarantined = c3.S.Supervisor.quarantined);
+  check_string "CSV" (S.Report.csv_of_campaign c2) (S.Report.csv_of_campaign c3)
+
+let wedged_checkpoint_derived_state_identity () =
+  (* Worker-hung records quarantine nothing; tearing the state record
+     off a wedgy campaign's checkpoint and re-deriving it must agree —
+     an extra derived seed would diverge from the uninterrupted
+     bytes. *)
+  let with_temp f =
+    let path = Filename.temp_file "stz-wedge" ".ck" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () -> f path)
+  in
+  with_temp (fun path ->
+      let c =
+        S.Supervisor.run_campaign ~policy:fast_hang_policy ~profile:wedgy
+          ~jobs:2 ~checkpoint:path ~config ~base_seed:17L ~runs:10 ~args
+          (Lazy.force program)
+      in
+      check_bool "campaign has hung records" true
+        ((S.Supervisor.summarize c).S.Supervisor.worker_hung > 0);
+      let salvage = Stz_store.Artifact.salvage_file path in
+      match salvage with
+      | Error e -> Alcotest.failf "salvage: %s" e
+      | Ok s ->
+          Stz_store.Artifact.write_records path ~kind:"szc-checkpoint"
+            (List.filter
+               (fun (tag, _) -> tag <> "state")
+               s.Stz_store.Artifact.records);
+          (match S.Supervisor.recover path with
+          | Error e -> Alcotest.failf "recover: %s" e
+          | Ok (got, note) ->
+              check_bool "salvage noted" true (note <> None);
+              check_bool "derived quarantine identical" true
+                (got.S.Supervisor.quarantined = c.S.Supervisor.quarantined);
+              check_bool "records identical" true
+                (got.S.Supervisor.records = c.S.Supervisor.records)))
+
+let serial_wedge_is_rejected () =
+  (* A wedge without a worker pool would hang the harness itself; the
+     supervisor must refuse up front. *)
+  Alcotest.check_raises "jobs 1 + wedge raises Mismatch"
+    (S.Supervisor.Mismatch
+       "run_campaign: wedge-armed profiles need jobs >= 2 (hang recovery \
+        requires a worker pool)")
+    (fun () -> ignore (wedge_campaign ~jobs:1 ~seed:17))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -228,6 +368,15 @@ let () =
           Alcotest.test_case "raising on_result reaps workers" `Quick
             raising_on_result_reaps_workers;
         ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "kills a wedged worker" `Quick
+            watchdog_kills_wedged_worker;
+          Alcotest.test_case "spares a beating worker" `Quick
+            watchdog_spares_beating_workers;
+          Alcotest.test_case "forces a fork at jobs 1" `Quick
+            watchdog_forces_fork_at_jobs1;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "jobs 4 byte-identical to serial" `Quick
@@ -236,5 +385,13 @@ let () =
             kill_and_resume_under_jobs4_is_byte_identical;
           Alcotest.test_case "heavy faults identical under jobs" `Quick
             heavy_faults_jobs_identical;
+          Alcotest.test_case "wedged runs censored, campaign completes" `Quick
+            wedged_campaign_is_censored_not_stalled;
+          Alcotest.test_case "wedgy campaign identical under jobs" `Quick
+            wedged_campaign_jobs_identical;
+          Alcotest.test_case "wedgy checkpoint derived-state identity" `Quick
+            wedged_checkpoint_derived_state_identity;
+          Alcotest.test_case "serial wedge rejected up front" `Quick
+            serial_wedge_is_rejected;
         ] );
     ]

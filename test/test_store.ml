@@ -1,0 +1,428 @@
+(* The durable-artifact layer: CRC-32, record containers, salvage of
+   torn/flipped files, .sum sidecars, seeded storage-fault injection —
+   and the supervisor checkpoint built on top of it. The fuzz suites
+   are the contract: no byte-level damage to a checkpoint may ever
+   raise out of the lenient parser, and whatever survives must be a
+   valid record prefix. *)
+
+module A = Stz_store.Artifact
+module Crc = Stz_store.Crc32
+module Storage = Stz_faults.Storage
+module S = Stabilizer
+module F = Stz_faults.Fault
+module P = Stz_workloads.Profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let with_temp f =
+  let path = Filename.temp_file "stz-store" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; A.sum_path path; path ^ ".tmp"; path ^ ".corrupt" ])
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_vectors () =
+  (* The standard check value, plus a couple of published vectors. *)
+  check_string "empty" "00000000" (Crc.to_hex (Crc.digest ""));
+  check_bool "123456789" true (Crc.digest "123456789" = 0xCBF43926l);
+  check_bool "quick brown fox" true
+    (Crc.digest "The quick brown fox jumps over the lazy dog" = 0x414FA339l);
+  (* Incremental update equals one-shot digest. *)
+  let s = "a longer payload, fed in two pieces" in
+  let k = String.length s / 2 in
+  let inc =
+    Crc.update
+      (Crc.update 0l (String.sub s 0 k))
+      (String.sub s k (String.length s - k))
+  in
+  check_bool "incremental = one-shot" true (inc = Crc.digest s);
+  (* Hex round-trip. *)
+  check_bool "hex round-trip" true
+    (Crc.of_hex (Crc.to_hex 0xDEADBEEFl) = Some 0xDEADBEEFl)
+
+let crc_detects_any_single_bit_flip =
+  QCheck.Test.make ~name:"crc32 detects every single-bit flip" ~count:50
+    QCheck.(string_of_size Gen.(int_range 1 64))
+    (fun s ->
+      let clean = Crc.digest s in
+      let ok = ref true in
+      for bit = 0 to (8 * String.length s) - 1 do
+        let b = Bytes.of_string s in
+        let i = bit / 8 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+        if Crc.digest (Bytes.to_string b) = clean then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Record containers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let records =
+  [
+    ("meta", "{\"version\":3}");
+    ("run", "payload with\nembedded newline and @tag-like bytes");
+    ("run", "");
+    ("state", String.init 257 (fun i -> Char.chr (i mod 256)));
+  ]
+
+let container_round_trip () =
+  with_temp (fun path ->
+      A.write_records path ~kind:"test-kind" records;
+      match A.read_records path with
+      | Error e -> Alcotest.failf "read_records: %s" e
+      | Ok (kind, got) ->
+          check_string "kind" "test-kind" kind;
+          check_bool "records" true (got = records));
+  (* Deterministic serialization. *)
+  check_string "same records, same bytes"
+    (A.container ~kind:"k" records)
+    (A.container ~kind:"k" records)
+
+let is_prefix shorter longer =
+  List.length shorter <= List.length longer
+  && List.for_all2
+       (fun a b -> a = b)
+       shorter
+       (List.filteri (fun i _ -> i < List.length shorter) longer)
+
+let salvage_truncation_fuzz () =
+  (* Cutting the container at EVERY byte offset must parse without
+     raising, and what survives must be a record prefix with
+     [valid_bytes] consistent. *)
+  let full = A.container ~kind:"fuzz" records in
+  for len = 0 to String.length full do
+    let s = A.salvage_string (String.sub full 0 len) in
+    check_bool
+      (Printf.sprintf "truncate@%d: prefix" len)
+      true
+      (is_prefix s.A.records records);
+    check_int (Printf.sprintf "truncate@%d: total_bytes" len) len s.A.total_bytes;
+    check_bool
+      (Printf.sprintf "truncate@%d: clean parse covers everything" len)
+      true
+      (s.A.error <> None || s.A.valid_bytes = s.A.total_bytes);
+    (* A clean parse means the cut landed exactly on a record
+       boundary: re-serializing the salvage reproduces the bytes. *)
+    if s.A.error = None then
+      check_string
+        (Printf.sprintf "truncate@%d: clean parse is a record boundary" len)
+        (String.sub full 0 len)
+        (A.container ~kind:"fuzz" s.A.records);
+    if len = String.length full then (
+      check_bool "full file: everything survives" true (s.A.records = records);
+      check_bool "full file: kind" true (s.A.kind = Some "fuzz"))
+  done
+
+let salvage_bit_flip_fuzz () =
+  (* Flipping one bit at EVERY byte offset must never raise, and must
+     never silently keep a damaged record: the salvaged list is always
+     a prefix of the originals. *)
+  let full = A.container ~kind:"fuzz" records in
+  for i = 0 to String.length full - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string full in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      let s = A.salvage_string (Bytes.to_string b) in
+      check_bool
+        (Printf.sprintf "flip byte %d bit %d: prefix" i bit)
+        true
+        (is_prefix s.A.records records)
+    done
+  done
+
+let salvage_garbage_never_raises =
+  QCheck.Test.make ~name:"salvage_string never raises on arbitrary bytes"
+    ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 400))
+    (fun s ->
+      let r = A.salvage_string s in
+      r.A.total_bytes = String.length s && r.A.valid_bytes <= r.A.total_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Summed payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sidecar_verifies () =
+  with_temp (fun path ->
+      let payload = "run,seconds\n0,0.5\n" in
+      A.write_with_sum path payload;
+      check_string "payload verbatim" payload (read_file path);
+      check_bool "verifies" true (A.verify_sum path = Ok true);
+      (* Damage the payload behind the sidecar's back. *)
+      let oc = open_out_bin path in
+      output_string oc "run,seconds\n0,0.6\n";
+      close_out oc;
+      check_bool "mismatch detected" true
+        (match A.verify_sum path with Error _ -> true | Ok _ -> false);
+      (* No sidecar: nothing to verify. *)
+      Sys.remove (A.sum_path path);
+      check_bool "no sidecar" true (A.verify_sum path = Ok false))
+
+(* ------------------------------------------------------------------ *)
+(* Seeded storage faults                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_under profile seed path contents n =
+  Storage.arm ~seed profile;
+  Fun.protect ~finally:Storage.disarm @@ fun () ->
+  List.init n (fun i ->
+      A.write_file path (contents i);
+      if Sys.file_exists path then Some (read_file path) else None)
+
+let storage_faults_deterministic () =
+  with_temp (fun p1 ->
+      with_temp (fun p2 ->
+          let contents i = Printf.sprintf "artifact body %d %s" i (String.make 64 'x') in
+          let a = write_under Storage.chaos 42L p1 contents 20 in
+          let b = write_under Storage.chaos 42L p2 contents 20 in
+          check_bool "same seed, same damage" true (a = b);
+          let c = write_under Storage.chaos 43L p1 contents 20 in
+          check_bool "different seed, different damage" true (a <> c)))
+
+let storage_faults_actually_fire () =
+  with_temp (fun path ->
+      let contents i = Printf.sprintf "clean write %d %s" i (String.make 64 'y') in
+      let observed = write_under Storage.chaos 7L path contents 20 in
+      let damaged =
+        List.exists
+          (fun (i, got) -> got <> Some (contents i))
+          (List.mapi (fun i g -> (i, g)) observed)
+      in
+      check_bool "chaos profile corrupts some writes" true damaged;
+      check_bool "none profile is a no-op armed" true
+        (not (Storage.active Storage.none)))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor checkpoints on the artifact layer                        *)
+(* ------------------------------------------------------------------ *)
+
+let tiny =
+  {
+    P.default with
+    P.name = "store";
+    functions = 8;
+    hot_functions = 4;
+    iterations = 12;
+    inner_trips = 6;
+    seed = 0x57_0F_0AB5L;
+  }
+
+let program = lazy (Stz_workloads.Generate.program tiny)
+let config = S.Config.stabilizer
+let args = [ 1 ]
+
+let policy =
+  { S.Supervisor.default_policy with S.Supervisor.max_retries = 2 }
+
+let campaign ?(runs = 12) ?checkpoint ?(resume = false) ?on_record ~seed profile
+    =
+  S.Supervisor.run_campaign ~policy ~profile ?checkpoint ~resume ?on_record
+    ~config ~base_seed:(Int64.of_int seed) ~runs ~args (Lazy.force program)
+
+let checkpoint_is_container () =
+  with_temp (fun path ->
+      let c = campaign ~seed:5 ~checkpoint:path F.light in
+      let text = read_file path in
+      check_bool "magic" true (A.is_container text);
+      (match A.read_records path with
+      | Error e -> Alcotest.failf "strict read: %s" e
+      | Ok (kind, recs) ->
+          check_string "kind" "szc-checkpoint" kind;
+          check_int "meta + runs + state" (List.length c.S.Supervisor.records + 2)
+            (List.length recs));
+      match S.Supervisor.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok c' -> check_bool "round-trips" true (c = c'))
+
+let legacy_json_still_loads () =
+  with_temp (fun path ->
+      let c = campaign ~seed:5 F.light in
+      let oc = open_out_bin path in
+      output_string oc (S.Json.to_string (S.Supervisor.to_json c));
+      close_out oc;
+      match S.Supervisor.load path with
+      | Error e -> Alcotest.failf "legacy load: %s" e
+      | Ok c' -> check_bool "legacy JSON round-trips" true (c = c'))
+
+let record_prefix shorter longer =
+  is_prefix shorter.S.Supervisor.records longer.S.Supervisor.records
+
+let checkpoint_truncation_fuzz () =
+  (* Cut the checkpoint at EVERY byte offset: [recover] must never
+     raise, and any salvaged campaign must be a run-order prefix of the
+     full one. *)
+  with_temp (fun path ->
+      let c = campaign ~seed:9 ~checkpoint:path F.light in
+      let full = read_file path in
+      for len = 0 to String.length full do
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 len);
+        close_out oc;
+        match S.Supervisor.recover path with
+        | exception e ->
+            Alcotest.failf "truncate@%d raised %s" len (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, note) ->
+            check_bool (Printf.sprintf "truncate@%d: prefix" len) true
+              (record_prefix got c);
+            if len < String.length full then
+              check_bool
+                (Printf.sprintf "truncate@%d: salvage noted" len)
+                true (note <> None)
+      done)
+
+let checkpoint_bit_flip_fuzz () =
+  (* Flip one bit at EVERY byte offset: never raises, salvage is always
+     a prefix, and strict [load] never accepts the damaged file. *)
+  with_temp (fun path ->
+      let c = campaign ~seed:13 ~runs:8 ~checkpoint:path F.light in
+      let full = read_file path in
+      for i = 0 to String.length full - 1 do
+        let b = Bytes.of_string full in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+        let oc = open_out_bin path in
+        output_string oc (Bytes.to_string b);
+        close_out oc;
+        (match S.Supervisor.recover path with
+        | exception e ->
+            Alcotest.failf "flip@%d raised %s" i (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, _) ->
+            check_bool (Printf.sprintf "flip@%d: prefix" i) true
+              (record_prefix got c));
+        match S.Supervisor.load path with
+        | exception e ->
+            Alcotest.failf "strict flip@%d raised %s" i (Printexc.to_string e)
+        | Ok got ->
+            (* A flip inside a record body is caught by its CRC; flips
+               in cosmetic header whitespace can't change the parse. *)
+            check_bool (Printf.sprintf "strict flip@%d equals original" i) true
+              (got = c)
+        | Error _ -> ()
+      done)
+
+exception Killed
+
+let derived_state_resume_identity () =
+  (* Kill a campaign mid-flight, tear the supervisor-state record off
+     the checkpoint, and resume: quarantine and budgets are re-derived
+     from the surviving run records, bit-exactly. *)
+  with_temp (fun ref_path ->
+      with_temp (fun path ->
+          let reference = campaign ~seed:21 ~runs:16 ~checkpoint:ref_path F.heavy in
+          let seen = ref 0 in
+          (try
+             ignore
+               (campaign ~seed:21 ~runs:16 ~checkpoint:path
+                  ~on_record:(fun _ ->
+                    incr seen;
+                    if !seen = 9 then raise Killed)
+                  F.heavy)
+           with Killed -> ());
+          (* Drop the trailing state record, as a torn tail would. *)
+          let s = A.salvage_string (read_file path) in
+          check_bool "intact before surgery" true (s.A.error = None);
+          let without_state =
+            List.filter (fun (tag, _) -> tag <> "state") s.A.records
+          in
+          check_int "exactly one state record" 1
+            (List.length s.A.records - List.length without_state);
+          A.write_records path ~kind:"szc-checkpoint" without_state;
+          (match S.Supervisor.load path with
+          | Ok _ -> Alcotest.fail "strict load must reject a missing state record"
+          | Error _ -> ());
+          (match S.Supervisor.recover path with
+          | Error e -> Alcotest.failf "recover: %s" e
+          | Ok (mid, note) ->
+              check_bool "salvage noted" true (note <> None);
+              check_bool "prefix of the reference" true
+                (record_prefix mid reference));
+          let resumed =
+            campaign ~seed:21 ~runs:16 ~checkpoint:path ~resume:true F.heavy
+          in
+          check_bool "records identical after derived-state resume" true
+            (reference.S.Supervisor.records = resumed.S.Supervisor.records);
+          check_bool "quarantine identical" true
+            (reference.S.Supervisor.quarantined
+            = resumed.S.Supervisor.quarantined);
+          check_string "final checkpoints byte-identical" (read_file ref_path)
+            (read_file path)))
+
+let campaign_survives_storage_faults () =
+  (* A campaign whose every checkpoint write is sabotaged still
+     completes, and its final sample equals the clean campaign's: the
+     artifact layer absorbs the damage (old checkpoint survives a
+     dropped rename; the checkpoint is advisory until resume). *)
+  with_temp (fun path ->
+      let clean = campaign ~seed:31 F.light in
+      Storage.arm ~seed:77L Storage.heavy;
+      let faulted =
+        Fun.protect ~finally:Storage.disarm @@ fun () ->
+        campaign ~seed:31 ~checkpoint:path F.light
+      in
+      check_bool "samples identical under storage faults" true
+        (S.Supervisor.times clean = S.Supervisor.times faulted);
+      (* Whatever the last checkpoint write left behind, recovery never
+         raises and only ever yields a record prefix. *)
+      if Sys.file_exists path then
+        match S.Supervisor.recover path with
+        | exception e -> Alcotest.failf "recover raised %s" (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, _) ->
+            check_bool "salvaged prefix" true (record_prefix got clean))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick crc_vectors;
+          QCheck_alcotest.to_alcotest crc_detects_any_single_bit_flip;
+        ] );
+      ( "container",
+        [
+          Alcotest.test_case "round-trip" `Quick container_round_trip;
+          Alcotest.test_case "truncation fuzz (every offset)" `Quick
+            salvage_truncation_fuzz;
+          Alcotest.test_case "bit-flip fuzz (every offset)" `Quick
+            salvage_bit_flip_fuzz;
+          QCheck_alcotest.to_alcotest salvage_garbage_never_raises;
+        ] );
+      ( "sidecar",
+        [ Alcotest.test_case "write + verify" `Quick sidecar_verifies ] );
+      ( "storage faults",
+        [
+          Alcotest.test_case "seed-deterministic" `Quick
+            storage_faults_deterministic;
+          Alcotest.test_case "chaos corrupts writes" `Quick
+            storage_faults_actually_fire;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "container round-trip" `Quick checkpoint_is_container;
+          Alcotest.test_case "legacy JSON loads" `Quick legacy_json_still_loads;
+          Alcotest.test_case "truncation fuzz (every offset)" `Quick
+            checkpoint_truncation_fuzz;
+          Alcotest.test_case "bit-flip fuzz (every offset)" `Quick
+            checkpoint_bit_flip_fuzz;
+          Alcotest.test_case "derived-state resume identity" `Quick
+            derived_state_resume_identity;
+          Alcotest.test_case "campaign survives storage faults" `Quick
+            campaign_survives_storage_faults;
+        ] );
+    ]

@@ -312,7 +312,8 @@ let sigkill_resume_trace_is_prefix_consistent () =
             | S.Supervisor.Budget_exceeded pp
             | S.Supervisor.Invalid_result pp ->
                 Some pp.S.Runtime.p_cycles
-            | S.Supervisor.Trapped (_, None) | S.Supervisor.Worker_lost -> None)
+            | S.Supervisor.Trapped (_, None)
+            | S.Supervisor.Worker_lost | S.Supervisor.Worker_hung -> None)
           mid.S.Supervisor.records
       in
       check_bool "restored spans carry the checkpointed cycles" true
