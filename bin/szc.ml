@@ -761,6 +761,44 @@ let fsck_cmd =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       if Stz_store.Artifact.is_container contents then (
+        (* Containers carry their kind in the header; dispatch on it so
+           a ledger is checked as a ledger, not misdiagnosed as a broken
+           checkpoint. A header too damaged to parse strictly still
+           yields its kind via salvage. *)
+        let container_kind =
+          match Stz_store.Artifact.read_records path with
+          | Ok (k, _) -> Some k
+          | Error _ ->
+              (Stz_store.Artifact.salvage_string contents).Stz_store.Artifact.kind
+        in
+        if container_kind = Some Stz_store.Ledger.kind then (
+          match Stz_store.Ledger.load path with
+          | Ok entries ->
+              Printf.printf "%s: ok (ledger, %d entr%s)\n" path
+                (List.length entries)
+                (if List.length entries = 1 then "y" else "ies");
+              0
+          | Error _ -> (
+              match Stz_store.Ledger.recover path with
+              | Ok (entries, note) ->
+                  Printf.printf "%s: salvageable — %s\n" path
+                    (Option.value note ~default:"prefix intact");
+                  if repair then (
+                    Stz_store.Ledger.write path entries;
+                    Printf.printf
+                      "%s: repaired (rewritten from the salvaged prefix, %d \
+                       entr%s)\n"
+                      path (List.length entries)
+                      (if List.length entries = 1 then "y" else "ies"));
+                  2
+              | Error e ->
+                  Printf.printf "%s: unrecoverable — %s\n" path e;
+                  if repair then (
+                    let aside = path ^ ".corrupt" in
+                    Sys.rename path aside;
+                    Printf.printf "%s: moved aside to %s\n" path aside);
+                  3))
+        else
         match Stabilizer.Supervisor.load path with
         | Ok _ ->
             Printf.printf "%s: ok (checkpoint container)\n" path;
@@ -818,24 +856,27 @@ let fsck_cmd =
         (const run
         $ Arg.(value & flag & info [ "repair" ]
               ~doc:
-                "Rewrite a salvageable checkpoint from its longest valid \
-                 record prefix; move an unrecoverable file aside to \
-                 FILE.corrupt.")
+                "Rewrite a salvageable checkpoint or ledger from its \
+                 longest valid record prefix; move an unrecoverable file \
+                 aside to FILE.corrupt.")
         $ Arg.(
             non_empty
             & pos_all string []
             & info [] ~docv:"FILE"
-                ~doc:"Artifacts to check (checkpoints, CSVs, traces)." )))
+                ~doc:
+                  "Artifacts to check (checkpoints, ledgers, CSVs, \
+                   traces)." )))
   in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:
-         "Verify artifact integrity: checkpoint containers are fully \
-          parsed (header, per-record CRC-32, meta and state records); \
-          other artifacts are verified against their .sum sidecar. Exit \
-          0 all ok, 1 unknown artifact or IO error, 2 salvageable \
-          corruption (or checksum mismatch), 3 unrecoverable. The \
-          overall exit code is the worst per-file code.")
+         "Verify artifact integrity: record containers (checkpoints and \
+          history ledgers, told apart by their header kind) are fully \
+          parsed (header, per-record CRC-32, record structure); other \
+          artifacts are verified against their .sum sidecar. Exit 0 all \
+          ok, 1 unknown artifact or IO error, 2 salvageable corruption \
+          (or checksum mismatch), 3 unrecoverable. The overall exit code \
+          is the worst per-file code.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -844,18 +885,26 @@ let fsck_cmd =
 
 let campaign_cmd =
   let run bench runs seed scale opt csv config profile min_n retries checkpoint
-      resume quiet jobs trace metrics lanes storage_faults storage_seed =
+      resume quiet jobs trace metrics lanes storage_faults storage_seed
+      monitor_live ledger =
     let* prof = lookup_bench bench scale in
     let p = Stz_workloads.Generate.program prof in
     let telemetry =
       Option.map (fun _ -> Stz_telemetry.Trace.create ~lanes ()) trace
+    in
+    (* The monitor is armed by --monitor (live status) and by --ledger
+       (its final verdict goes into the history entry). *)
+    let monitor =
+      if monitor_live || ledger <> None then
+        Some (Stz_monitor.Monitor.create ())
+      else None
     in
     if Stz_faults.Storage.active storage_faults then
       Stz_faults.Storage.arm ~seed:(Int64.of_int storage_seed) storage_faults;
     Fun.protect ~finally:Stz_faults.Storage.disarm @@ fun () ->
     match
       Stabilizer.Driver.campaign ~policy:(policy_of retries) ~profile ~jobs
-        ?checkpoint ~resume ?telemetry
+        ?checkpoint ~resume ?telemetry ?monitor
         ~on_record:(fun r ->
           if not quiet then
             Printf.printf "run %3d: %s%s\n%!" r.Stabilizer.Supervisor.run
@@ -873,7 +922,14 @@ let campaign_cmd =
               | Stabilizer.Supervisor.Worker_hung -> "censored: worker-hung")
               (if r.Stabilizer.Supervisor.retries > 0 then
                  Printf.sprintf "  (retries=%d)" r.Stabilizer.Supervisor.retries
-               else ""))
+               else "");
+          (* Records are delivered in run order whatever --jobs is, and
+             the monitor was updated just before this callback, so the
+             status stream is byte-identical across worker counts. *)
+          match (monitor_live, monitor) with
+          | true, Some m ->
+              Printf.printf "%s\n%!" (Stz_monitor.Monitor.status_line m)
+          | _ -> ())
         ~config ~opt ~base_seed:(Int64.of_int seed) ~runs
         ~args:Stz_workloads.Generate.default_args p
     with
@@ -907,6 +963,37 @@ let campaign_cmd =
         let times = Stabilizer.Supervisor.times campaign in
         if Array.length times > 0 then
           Printf.printf "%s\n" (Stabilizer.Report.summary_line times);
+        (match monitor with
+        | Some m when monitor_live ->
+            Printf.printf "monitor verdict: %s\n"
+              (Stz_monitor.Monitor.verdict_to_string
+                 (Stz_monitor.Monitor.advise m))
+        | _ -> ());
+        let* () =
+          match ledger with
+          | None -> Ok ()
+          | Some path -> (
+              let fp =
+                Stabilizer.History.fingerprint ~bench ~opt ~scale campaign
+              in
+              let verdict =
+                match monitor with
+                | Some m ->
+                    Stz_monitor.Monitor.verdict_to_string
+                      (Stz_monitor.Monitor.advise m)
+                | None -> "-"
+              in
+              let entry =
+                Stabilizer.History.entry_of_campaign ~verdict ~label:bench
+                  ~fingerprint:fp campaign
+              in
+              match Stz_store.Ledger.append path entry with
+              | Ok seq ->
+                  Printf.printf "ledger: entry %d appended to %s\n" seq path;
+                  Ok ()
+              | Error e ->
+                  Error (`Msg (Printf.sprintf "ledger %s: %s" path e)))
+        in
         if summary.Stabilizer.Supervisor.completed = 0 then begin
           Printf.eprintf "szc: campaign aborted: every run was censored\n";
           Ok 3
@@ -941,16 +1028,216 @@ let campaign_cmd =
              corrupted checkpoint resumes from its longest valid prefix."
         $ flag [ "quiet" ] "Suppress per-run progress lines."
         $ jobs_term $ trace_term $ metrics_term $ lanes_term
-        $ storage_faults_term $ storage_seed_term))
+        $ storage_faults_term $ storage_seed_term
+        $ flag [ "monitor" ]
+            "Stream live statistics after every finished run (running \
+             moments, quartiles, normality, CI half-width, power, drift \
+             alarms) and print the final sequential-stopping verdict. \
+             Deterministic: byte-identical for any --jobs."
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "ledger" ] ~docv:"FILE"
+                ~doc:
+                  "Append this campaign's summary (moments, effect \
+                   sizes, monitor verdict) to the history ledger at \
+                   $(docv), creating it if missing — the baseline store \
+                   for szc regress.")))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run a supervised, resumable experiment campaign: per-run fault \
           classification, bounded retry with fresh seeds, seed quarantine, \
-          calibrated budgets, durable checksummed checkpoint/resume, and a \
-          hung-worker watchdog when --jobs >= 2. Exit codes: 0 enough \
-          uncensored runs, 2 fewer than --min-n, 3 aborted.")
+          calibrated budgets, durable checksummed checkpoint/resume, live \
+          statistical monitoring (--monitor), history recording \
+          (--ledger), and a hung-worker watchdog when --jobs >= 2. Exit \
+          codes: 0 enough uncensored runs, 2 fewer than --min-n, 3 \
+          aborted.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc history                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let entry_detail (e : Stz_store.Ledger.entry) =
+  Printf.sprintf
+    "label              %s\n\
+     fingerprint        %s\n\
+     base_seed          %Ld\n\
+     runs               %d\n\
+     completed          %d\n\
+     censored           %d\n\
+     mean               %.9f s\n\
+     sd                 %.9f s\n\
+     min                %.9f s\n\
+     max                %.9f s\n\
+     skewness           %.6f\n\
+     kurtosis           %.6f\n\
+     detectable effect  d=%.4f (0.8 power)\n\
+     verdict            %s\n"
+    e.Stz_store.Ledger.label e.Stz_store.Ledger.fingerprint
+    e.Stz_store.Ledger.base_seed e.Stz_store.Ledger.runs
+    e.Stz_store.Ledger.completed e.Stz_store.Ledger.censored
+    e.Stz_store.Ledger.mean e.Stz_store.Ledger.sd e.Stz_store.Ledger.min
+    e.Stz_store.Ledger.max e.Stz_store.Ledger.skewness
+    e.Stz_store.Ledger.kurtosis e.Stz_store.Ledger.detectable_effect
+    e.Stz_store.Ledger.verdict
+
+let history_cmd =
+  let run path show =
+    match Stz_store.Ledger.load path with
+    | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+    | Ok entries -> (
+        match show with
+        | Some n -> (
+            match List.nth_opt entries n with
+            | None ->
+                Error
+                  (`Msg
+                    (Printf.sprintf "%s: no entry %d (ledger has %d)" path n
+                       (List.length entries)))
+            | Some e ->
+                Printf.printf "# entry %d of %s\n%s" n path (entry_detail e);
+                Ok 0)
+        | None ->
+            Printf.printf "# %s: %d entr%s\n" path (List.length entries)
+              (if List.length entries = 1 then "y" else "ies");
+            if entries <> [] then
+              Printf.printf "# %4s  %-16s %5s %5s %5s  %-14s %-17s %s\n" "seq"
+                "label" "runs" "done" "cens" "mean" "verdict" "fingerprint";
+            List.iteri
+              (fun i (e : Stz_store.Ledger.entry) ->
+                Printf.printf "%6d  %-16s %5d %5d %5d  %.6e  %-17s %s\n" i
+                  e.Stz_store.Ledger.label e.Stz_store.Ledger.runs
+                  e.Stz_store.Ledger.completed e.Stz_store.Ledger.censored
+                  e.Stz_store.Ledger.mean e.Stz_store.Ledger.verdict
+                  e.Stz_store.Ledger.fingerprint)
+              entries;
+            Ok 0)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some file) None
+            & info [] ~docv:"LEDGER" ~doc:"History ledger written by szc \
+                                           campaign --ledger.")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "show" ] ~docv:"SEQ"
+                ~doc:"Show every recorded field of one entry instead of \
+                      the listing.")))
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "List the campaigns recorded in a history ledger (one line per \
+          entry, oldest first), or show one entry in full with --show. \
+          The ledger is strict-loaded: a corrupt file is refused — run \
+          szc fsck --repair first.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* szc regress                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let regress_cmd =
+  let run path label baseline confidence min_effect min_n =
+    match Stz_store.Ledger.load path with
+    | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+    | Ok entries -> (
+        let indexed = List.mapi (fun i e -> (i, e)) entries in
+        let wanted (e : Stz_store.Ledger.entry) =
+          match label with None -> true | Some l -> e.Stz_store.Ledger.label = l
+        in
+        match List.rev (List.filter (fun (_, e) -> wanted e) indexed) with
+        | [] ->
+            Printf.printf "no matching entries in %s (exit 3)\n" path;
+            Ok 3
+        | ((latest_seq, latest) as latest_pair) :: earlier_rev -> (
+            let base =
+              match baseline with
+              | Some seq ->
+                  List.find_opt (fun (i, _) -> i = seq && i <> latest_seq)
+                    indexed
+              | None ->
+                  (* Default baseline: the oldest earlier entry measuring
+                     the same benchmark — the first recorded state of the
+                     world, so a slow drift across many campaigns is
+                     still compared against the original. *)
+                  List.find_opt
+                    (fun (_, (e : Stz_store.Ledger.entry)) ->
+                      e.Stz_store.Ledger.label = latest.Stz_store.Ledger.label)
+                    (List.rev earlier_rev)
+            in
+            match base with
+            | None ->
+                Printf.printf
+                  "no baseline to compare entry %d against (exit 3)\n"
+                  latest_seq;
+                Ok 3
+            | Some base_pair -> (
+                let c =
+                  Stabilizer.History.compare_entries ~confidence ~min_effect
+                    ~min_n ~baseline:base_pair ~latest:latest_pair ()
+                in
+                Printf.printf "%s\n" (Stabilizer.History.describe c);
+                match c.Stabilizer.History.decision with
+                | Stabilizer.History.Regression -> Ok 2
+                | Stabilizer.History.No_regression
+                | Stabilizer.History.Improvement ->
+                    Ok 0
+                | Stabilizer.History.Not_comparable _ -> Ok 3)))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some file) None
+            & info [] ~docv:"LEDGER" ~doc:"History ledger written by szc \
+                                           campaign --ledger.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "label" ] ~docv:"BENCH"
+                ~doc:"Compare the latest entry with this label (default: \
+                      the latest entry in the ledger).")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "baseline" ] ~docv:"SEQ"
+                ~doc:"Compare against this ledger entry (default: the \
+                      oldest earlier entry with the same label).")
+        $ Arg.(
+            value & opt float 0.95
+            & info [ "confidence" ] ~docv:"C"
+                ~doc:"Confidence level of the effect-size interval.")
+        $ Arg.(
+            value & opt float 0.2
+            & info [ "min-effect" ] ~docv:"D"
+                ~doc:"Practical-significance floor on Cohen's d; smaller \
+                      confirmed effects do not fail the gate.")
+        $ Arg.(
+            value & opt int 3
+            & info [ "min-n" ] ~docv:"N"
+                ~doc:"Completed runs required on each side before any \
+                      conclusion is drawn.")))
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "Decide, from the history ledger alone, whether the latest \
+          recorded campaign regressed against its baseline: Cohen's d \
+          with a confidence interval recomputed from the stored moments \
+          (bit-exact — floats are stored as hex). Exit 0 no confirmed \
+          regression (or a confirmed improvement), 2 regression (CI \
+          excludes zero and d >= --min-effect), 3 insufficient data.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1114,7 +1401,7 @@ let () =
          [
            list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
            disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; fsck_cmd;
-           exec_cmd; power_cmd;
+           exec_cmd; power_cmd; history_cmd; regress_cmd;
          ])
   with
   | Ok (`Ok code) -> exit code

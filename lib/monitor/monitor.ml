@@ -1,0 +1,240 @@
+module Shapiro = Stz_stats.Shapiro
+module Power = Stz_stats.Power
+module Dist = Stz_stats.Dist
+
+type config = {
+  window : int;
+  baseline : int;
+  min_runs : int;
+  target_rel_ci : float;
+  target_effect : float;
+  target_power : float;
+  alpha : float;
+  cusum_k : float;
+  cusum_h : float;
+}
+
+let default_config =
+  {
+    window = 30;
+    baseline = 8;
+    min_runs = 5;
+    target_rel_ci = 0.02;
+    target_effect = 0.5;
+    target_power = 0.8;
+    alpha = 0.05;
+    cusum_k = 0.5;
+    cusum_h = 5.0;
+  }
+
+type verdict = Insufficient_data | Keep_going | Enough_runs | Drift_suspected
+
+let verdict_to_string = function
+  | Insufficient_data -> "insufficient-data"
+  | Keep_going -> "keep-going"
+  | Enough_runs -> "enough-runs"
+  | Drift_suspected -> "drift-suspected"
+
+let verdict_of_string = function
+  | "insufficient-data" -> Some Insufficient_data
+  | "keep-going" -> Some Keep_going
+  | "enough-runs" -> Some Enough_runs
+  | "drift-suspected" -> Some Drift_suspected
+  | _ -> None
+
+type snapshot = {
+  observed : int;
+  completed : int;
+  censored : int;
+  mean : float;
+  std_dev : float;
+  cv : float;
+  skewness : float;
+  kurtosis : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  ci_low : float;
+  ci_high : float;
+  rel_half_width : float;
+  window_n : int;
+  shapiro : (float * float) option;
+  achieved_power : float;
+  detectable_effect : float;
+  cycles_drift : bool;
+  censor_drift : bool;
+  verdict : verdict;
+}
+
+type t = {
+  cfg : config;
+  moments : Welford.t;  (* seconds of completed runs *)
+  q1 : P2.t;
+  median : P2.t;
+  q3 : P2.t;
+  recent : Window.t;  (* seconds, sliding normality window *)
+  cycles_cusum : Cusum.t;
+  censor_cusum : Cusum.t;
+  cycles_baseline : Welford.t;  (* first [baseline] completed runs *)
+  mutable observed : int;
+  mutable censored : int;
+  mutable censored_in_baseline : int;
+}
+
+let create ?(config = default_config) () =
+  if config.window < 3 then invalid_arg "Monitor.create: window must be >= 3";
+  if config.baseline < 2 then invalid_arg "Monitor.create: baseline must be >= 2";
+  {
+    cfg = config;
+    moments = Welford.create ();
+    q1 = P2.create ~p:0.25;
+    median = P2.create ~p:0.5;
+    q3 = P2.create ~p:0.75;
+    recent = Window.create ~size:config.window;
+    cycles_cusum = Cusum.create ~k:config.cusum_k ~h:config.cusum_h ();
+    censor_cusum = Cusum.create ~k:config.cusum_k ~h:config.cusum_h ();
+    cycles_baseline = Welford.create ();
+    observed = 0;
+    censored = 0;
+    censored_in_baseline = 0;
+  }
+
+let config t = t.cfg
+
+(* The censoring detector watches the 0/1 censoring indicator of every
+   run; its reference is the (Laplace-smoothed) censoring rate of the
+   first [baseline] runs, so a campaign that was clean during baseline
+   alarms quickly once faults start landing — and one that was faulty
+   all along does not alarm just for staying faulty. *)
+let freeze_censor_reference t =
+  let n = float_of_int t.cfg.baseline in
+  let p = (float_of_int t.censored_in_baseline +. 1.0) /. (n +. 2.0) in
+  Cusum.set_reference t.censor_cusum ~mean:p ~sd:(sqrt (p *. (1.0 -. p)))
+
+let observe_indicator t v =
+  t.observed <- t.observed + 1;
+  if t.observed <= t.cfg.baseline then begin
+    if v then t.censored_in_baseline <- t.censored_in_baseline + 1;
+    if t.observed = t.cfg.baseline then freeze_censor_reference t
+  end
+  else Cusum.observe t.censor_cusum (if v then 1.0 else 0.0)
+
+let observe_completed t ~cycles ~seconds =
+  observe_indicator t false;
+  Welford.add t.moments seconds;
+  P2.add t.q1 seconds;
+  P2.add t.median seconds;
+  P2.add t.q3 seconds;
+  Window.add t.recent seconds;
+  let c = float_of_int cycles in
+  if Welford.count t.cycles_baseline < t.cfg.baseline then begin
+    Welford.add t.cycles_baseline c;
+    if Welford.count t.cycles_baseline = t.cfg.baseline then begin
+      (* A sample sd from [baseline] (~8) runs underestimates the true
+         spread often enough to false-alarm on a steady stream; widen
+         the reference by an upper guard on the sampling error of the
+         sd (se(s)/s ~ 1/sqrt(2(n-1)), taken at two standard errors).
+         Real drifts are many reference-sds wide, so detection power is
+         barely affected. *)
+      let b = float_of_int t.cfg.baseline in
+      let inflate = 1.0 +. (2.0 /. sqrt (2.0 *. (b -. 1.0))) in
+      Cusum.set_reference t.cycles_cusum
+        ~mean:(Welford.mean t.cycles_baseline)
+        ~sd:(Welford.std_dev t.cycles_baseline *. inflate)
+    end
+  end
+  else Cusum.observe t.cycles_cusum c
+
+let observe_censored t =
+  observe_indicator t true;
+  t.censored <- t.censored + 1
+
+let window_shapiro t =
+  let xs = Window.contents t.recent in
+  let n = Array.length xs in
+  if n < 3 || n > 5000 then None
+  else
+    let lo = Array.fold_left Stdlib.min xs.(0) xs in
+    let hi = Array.fold_left Stdlib.max xs.(0) xs in
+    if hi <= lo then None
+    else
+      let r = Shapiro.test xs in
+      Some (r.Shapiro.w, r.Shapiro.p_value)
+
+let snapshot t =
+  let completed = Welford.count t.moments in
+  let mean = Welford.mean t.moments in
+  let sd = Welford.std_dev t.moments in
+  let ci_low, ci_high, rel_half =
+    if completed < 2 then (mean, mean, 0.0)
+    else begin
+      let df = float_of_int (completed - 1) in
+      let crit = Dist.Student_t.quantile ~df (1.0 -. (t.cfg.alpha /. 2.0)) in
+      let half = crit *. sd /. sqrt (float_of_int completed) in
+      ( mean -. half,
+        mean +. half,
+        if mean = 0.0 then 0.0 else half /. abs_float mean )
+    end
+  in
+  let achieved_power =
+    if completed < 2 then 0.0
+    else
+      Power.two_sample ~effect:t.cfg.target_effect ~n:completed
+        ~alpha:t.cfg.alpha ()
+  in
+  let detectable_effect =
+    if completed < 2 then 0.0
+    else
+      Power.detectable_effect ~n:completed ~power:t.cfg.target_power
+        ~alpha:t.cfg.alpha ()
+  in
+  let cycles_drift = Cusum.alarmed t.cycles_cusum in
+  let censor_drift = Cusum.alarmed t.censor_cusum in
+  let verdict =
+    if completed < t.cfg.min_runs then Insufficient_data
+    else if cycles_drift || censor_drift then Drift_suspected
+    else if
+      rel_half <= t.cfg.target_rel_ci && achieved_power >= t.cfg.target_power
+    then Enough_runs
+    else Keep_going
+  in
+  {
+    observed = t.observed;
+    completed;
+    censored = t.censored;
+    mean;
+    std_dev = sd;
+    cv = Welford.cv t.moments;
+    skewness = Welford.skewness t.moments;
+    kurtosis = Welford.kurtosis t.moments;
+    q1 = P2.quantile t.q1;
+    median = P2.quantile t.median;
+    q3 = P2.quantile t.q3;
+    ci_low;
+    ci_high;
+    rel_half_width = rel_half;
+    window_n = Array.length (Window.contents t.recent);
+    shapiro = window_shapiro t;
+    achieved_power;
+    detectable_effect;
+    cycles_drift;
+    censor_drift;
+    verdict;
+  }
+
+let advise t = (snapshot t).verdict
+
+let status_line t =
+  let s = snapshot t in
+  Printf.sprintf
+    "monitor: n=%d/%d (%d censored) mean=%.6fs cv=%.4f ci±%.2f%% %s \
+     power(d=%.2f)=%.2f detect d=%.2f%s verdict=%s"
+    s.completed s.observed s.censored s.mean s.cv
+    (100.0 *. s.rel_half_width)
+    (match s.shapiro with
+    | Some (_, p) -> Printf.sprintf "SW[%d] p=%.3f" s.window_n p
+    | None -> Printf.sprintf "SW[%d] -" s.window_n)
+    t.cfg.target_effect s.achieved_power s.detectable_effect
+    ((if s.cycles_drift then " CYCLES-DRIFT" else "")
+    ^ if s.censor_drift then " CENSOR-DRIFT" else "")
+    (verdict_to_string s.verdict)

@@ -1,0 +1,105 @@
+(** Live statistical health of a running campaign.
+
+    STABILIZER's argument is conditional: re-randomization makes run
+    times Gaussian *so that* parametric statistics are sound. The
+    monitor checks that condition while the campaign is still running,
+    instead of after the CSV is written: streaming moments
+    ({!Welford}), streaming quartiles ({!P2}), Shapiro–Wilk normality
+    over a sliding window of the most recent runs ({!Window}), and
+    CUSUM drift detectors ({!Cusum}) on the completed-run cycle counts
+    and on the censored-run rate.
+
+    On top of the estimators sits a sequential stopping advisor: after
+    every observed run the monitor can say whether the data already
+    collected supports the planned analysis ({!Enough_runs}), needs
+    more runs ({!Keep_going}), is too small to judge
+    ({!Insufficient_data}) — or whether the process being measured has
+    drifted mid-campaign ({!Drift_suspected}), in which case more runs
+    make the sample worse, not better.
+
+    Determinism: a monitor is a pure fold over the observation
+    sequence. Feed it runs in merged run order (what
+    [Supervisor.run_campaign] does) and its state, snapshots and status
+    lines are byte-identical for any worker count, and a killed+resumed
+    campaign reaches the same final verdict as an uninterrupted one. *)
+
+type config = {
+  window : int;  (** sliding normality window, runs (default 30) *)
+  baseline : int;
+      (** observations before the CUSUM references freeze (default 8) *)
+  min_runs : int;
+      (** completed runs below which the verdict is
+          {!Insufficient_data} (default 5) *)
+  target_rel_ci : float;
+      (** stopping target: CI half-width / mean (default 0.02) *)
+  target_effect : float;
+      (** standardized effect the analysis must be able to detect
+          (default 0.5, Cohen's "medium") *)
+  target_power : float;  (** required power at that effect (default 0.8) *)
+  alpha : float;  (** CI level = 1 - alpha; normality alpha (default 0.05) *)
+  cusum_k : float;  (** CUSUM slack, sd units (default 0.5) *)
+  cusum_h : float;  (** CUSUM threshold, sd units (default 5.0) *)
+}
+
+val default_config : config
+
+type verdict =
+  | Insufficient_data  (** too few completed runs to say anything *)
+  | Keep_going  (** precision or power target not yet met *)
+  | Enough_runs  (** CI half-width and power targets both met *)
+  | Drift_suspected
+      (** a CUSUM alarm: the mean cycles or the censoring rate shifted
+          mid-campaign — suspect layout drift or environment change *)
+
+val verdict_to_string : verdict -> string
+val verdict_of_string : string -> verdict option
+
+type snapshot = {
+  observed : int;  (** all runs seen, completed + censored *)
+  completed : int;
+  censored : int;
+  mean : float;  (** seconds, streaming *)
+  std_dev : float;
+  cv : float;
+  skewness : float;
+  kurtosis : float;
+  q1 : float;  (** P² streaming quartiles of seconds *)
+  median : float;
+  q3 : float;
+  ci_low : float;  (** t-based CI for the mean at 1 - alpha *)
+  ci_high : float;
+  rel_half_width : float;  (** CI half-width / mean; 0 when mean = 0 *)
+  window_n : int;  (** runs inside the normality window *)
+  shapiro : (float * float) option;
+      (** (W, p) over the window; [None] when the window is too small
+          or degenerate (all-equal) *)
+  achieved_power : float;
+      (** power of a two-sample t-test at [target_effect] with the
+          completed n per group *)
+  detectable_effect : float;
+      (** smallest d detectable at [target_power] with the completed n *)
+  cycles_drift : bool;  (** CUSUM alarm on completed-run cycles *)
+  censor_drift : bool;  (** CUSUM alarm on the censored-run rate *)
+  verdict : verdict;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+(** Feed one run, in merged run order. *)
+val observe_completed : t -> cycles:int -> seconds:float -> unit
+
+val observe_censored : t -> unit
+
+val snapshot : t -> snapshot
+
+(** The current stopping advice (same as [(snapshot t).verdict]). *)
+val advise : t -> verdict
+
+(** One fixed-format status line, e.g.
+    ["monitor: n=24/30 (1 censored) mean=0.031250s cv=0.0214 ci±1.12% \
+      SW[24] p=0.412 power(d=0.50)=0.39 detect d=0.83 verdict=keep-going"].
+    Deterministic: a pure function of the observation sequence. *)
+val status_line : t -> string

@@ -1,0 +1,98 @@
+type t = {
+  p : float;
+  heights : float array;  (* marker heights q0..q4 *)
+  pos : float array;  (* marker positions n0..n4, kept as floats *)
+  desired : float array;  (* desired positions n'0..n'4 *)
+  incr : float array;  (* desired-position increments dn'0..dn'4 *)
+  mutable n : int;
+}
+
+let create ~p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "P2.create: p must be in (0,1)";
+  {
+    p;
+    heights = Array.make 5 0.0;
+    pos = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+    desired = [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p); 3.0 +. (2.0 *. p); 5.0 |];
+    incr = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+    n = 0;
+  }
+
+let count t = t.n
+
+(* Piecewise-parabolic (P²) height adjustment of marker [i] in
+   direction [d] (+1 / -1). Falls back to linear when the parabolic
+   prediction would leave the neighbours' bracket. *)
+let adjust t i d =
+  let q = t.heights and n = t.pos in
+  let d_f = float_of_int d in
+  let parab =
+    q.(i)
+    +. d_f
+       /. (n.(i + 1) -. n.(i - 1))
+       *. (((n.(i) -. n.(i - 1) +. d_f) *. (q.(i + 1) -. q.(i)) /. (n.(i + 1) -. n.(i)))
+          +. ((n.(i + 1) -. n.(i) -. d_f) *. (q.(i) -. q.(i - 1)) /. (n.(i) -. n.(i - 1))))
+  in
+  (if q.(i - 1) < parab && parab < q.(i + 1) then q.(i) <- parab
+   else
+     (* Linear fallback toward the neighbour in direction d. *)
+     q.(i) <- q.(i) +. (d_f *. (q.(i + d) -. q.(i)) /. (n.(i + d) -. n.(i))));
+  n.(i) <- n.(i) +. d_f
+
+let add t x =
+  t.n <- t.n + 1;
+  if t.n <= 5 then begin
+    (* Initialization: collect the first five, kept sorted. *)
+    t.heights.(t.n - 1) <- x;
+    let i = ref (t.n - 1) in
+    while !i > 0 && t.heights.(!i - 1) > t.heights.(!i) do
+      let tmp = t.heights.(!i - 1) in
+      t.heights.(!i - 1) <- t.heights.(!i);
+      t.heights.(!i) <- tmp;
+      decr i
+    done
+  end
+  else begin
+    let q = t.heights and n = t.pos in
+    let k =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x < q.(1) then 0
+      else if x < q.(2) then 1
+      else if x < q.(3) then 2
+      else if x <= q.(4) then 3
+      else begin
+        q.(4) <- x;
+        3
+      end
+    in
+    for i = k + 1 to 4 do
+      n.(i) <- n.(i) +. 1.0
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.incr.(i)
+    done;
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. n.(i) in
+      if
+        (d >= 1.0 && n.(i + 1) -. n.(i) > 1.0)
+        || (d <= -1.0 && n.(i - 1) -. n.(i) < -1.0)
+      then adjust t i (if d >= 1.0 then 1 else -1)
+    done
+  end
+
+let quantile t =
+  if t.n = 0 then 0.0
+  else if t.n <= 5 then begin
+    (* Exact quantile of the sorted prefix (nearest-rank with the same
+       convention the markers converge to). *)
+    let sorted = Array.sub t.heights 0 t.n in
+    let idx =
+      let r = t.p *. float_of_int (t.n - 1) in
+      int_of_float (Float.round r)
+    in
+    sorted.(Stdlib.max 0 (Stdlib.min (t.n - 1) idx))
+  end
+  else t.heights.(2)

@@ -1,0 +1,20 @@
+(** The P² streaming quantile estimator (Jain & Chlamtac, CACM 1985):
+    one quantile tracked in O(1) memory with five markers whose heights
+    converge on the true order statistic via piecewise-parabolic
+    adjustment. Exact (a sorted-sample quantile) while fewer than five
+    observations have been seen.
+
+    Deterministic: same observations in the same order, same estimate
+    to the last bit. *)
+
+type t
+
+(** [create ~p] tracks the [p]-quantile, [p] in (0, 1). Raises
+    [Invalid_argument] otherwise. *)
+val create : p:float -> t
+
+val add : t -> float -> unit
+val count : t -> int
+
+(** Current estimate; 0 before the first observation. *)
+val quantile : t -> float

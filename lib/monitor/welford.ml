@@ -1,0 +1,60 @@
+(* Pébay's single-pass update of the first four central moments. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable m3 : float;
+  mutable m4 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; m3 = 0.0; m4 = 0.0; min = 0.0; max = 0.0 }
+
+let add t x =
+  let n1 = float_of_int t.n in
+  t.n <- t.n + 1;
+  let n = float_of_int t.n in
+  let delta = x -. t.mean in
+  let delta_n = delta /. n in
+  let delta_n2 = delta_n *. delta_n in
+  let term1 = delta *. delta_n *. n1 in
+  t.mean <- t.mean +. delta_n;
+  t.m4 <-
+    t.m4
+    +. (term1 *. delta_n2 *. ((n *. n) -. (3.0 *. n) +. 3.0))
+    +. (6.0 *. delta_n2 *. t.m2)
+    -. (4.0 *. delta_n *. t.m3);
+  t.m3 <- t.m3 +. (term1 *. delta_n *. (n -. 2.0)) -. (3.0 *. delta_n *. t.m2);
+  t.m2 <- t.m2 +. term1;
+  if t.n = 1 then begin
+    t.min <- x;
+    t.max <- x
+  end
+  else begin
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+  end
+
+let count t = t.n
+let mean t = t.mean
+
+let variance t =
+  if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let std_dev t = sqrt (variance t)
+
+let cv t = if t.mean = 0.0 then 0.0 else std_dev t /. abs_float t.mean
+
+let skewness t =
+  if t.n < 3 || t.m2 <= 0.0 then 0.0
+  else sqrt (float_of_int t.n) *. t.m3 /. (t.m2 ** 1.5)
+
+let kurtosis t =
+  if t.n < 4 || t.m2 <= 0.0 then 0.0
+  else (float_of_int t.n *. t.m4 /. (t.m2 *. t.m2)) -. 3.0
+
+let min t = t.min
+let max t = t.max

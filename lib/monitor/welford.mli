@@ -1,0 +1,38 @@
+(** Streaming central moments (Welford / Pébay single-pass update):
+    mean, unbiased variance, skewness and excess kurtosis of a sample
+    observed one value at a time, in O(1) memory. Every statistic is
+    total: undefined cases (too few samples, zero spread) return 0
+    rather than NaN, so a live monitor line never prints garbage.
+
+    The update is a fixed sequence of float operations per observation,
+    so two monitors fed the same values in the same order hold
+    bit-identical state — the property that makes monitor output
+    byte-identical across worker counts. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** 0 before the first observation. *)
+val mean : t -> float
+
+(** Unbiased (n-1) sample variance; 0 when n < 2. *)
+val variance : t -> float
+
+val std_dev : t -> float
+
+(** Coefficient of variation sd/|mean|; 0 when the mean is 0. *)
+val cv : t -> float
+
+(** Sample skewness (g1); 0 when n < 3 or the spread is 0. *)
+val skewness : t -> float
+
+(** Excess kurtosis (g2); 0 when n < 4 or the spread is 0. *)
+val kurtosis : t -> float
+
+(** Smallest / largest observation; 0 before the first. *)
+val min : t -> float
+
+val max : t -> float

@@ -1,0 +1,21 @@
+type t = {
+  buf : float array;
+  mutable count : int;  (* total ever added *)
+}
+
+let create ~size =
+  if size < 1 then invalid_arg "Window.create: size must be >= 1";
+  { buf = Array.make size 0.0; count = 0 }
+
+let size t = Array.length t.buf
+let count t = t.count
+
+let add t x =
+  t.buf.(t.count mod Array.length t.buf) <- x;
+  t.count <- t.count + 1
+
+let contents t =
+  let cap = Array.length t.buf in
+  let n = Stdlib.min t.count cap in
+  let start = if t.count <= cap then 0 else t.count mod cap in
+  Array.init n (fun i -> t.buf.((start + i) mod cap))

@@ -1,0 +1,20 @@
+(** Fixed-capacity sliding window over a stream: the most recent [size]
+    observations, in arrival order. Backs the monitor's windowed
+    Shapiro–Wilk normality tracking — normality of the *recent* runs,
+    not the whole history, so a campaign that drifts out of the
+    Gaussian regime is seen while it is still running. *)
+
+type t
+
+(** Raises [Invalid_argument] when [size < 1]. *)
+val create : size:int -> t
+
+val size : t -> int
+val add : t -> float -> unit
+
+(** Observations currently in the window, oldest first. Length
+    [min count size]. *)
+val contents : t -> float array
+
+(** Total observations ever added (not just the retained window). *)
+val count : t -> int

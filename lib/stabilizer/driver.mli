@@ -37,6 +37,7 @@ val campaign :
   ?resume:bool ->
   ?on_record:(Supervisor.record -> unit) ->
   ?telemetry:Stz_telemetry.Trace.t ->
+  ?monitor:Stz_monitor.Monitor.t ->
   config:Config.t ->
   opt:Stz_vm.Opt.level ->
   base_seed:int64 ->

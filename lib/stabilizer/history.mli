@@ -1,0 +1,66 @@
+(** Bridge between finished campaigns and the cross-campaign
+    regression history ({!Stz_store.Ledger}): builds one ledger entry
+    per campaign, and decides — from ledger entries alone — whether the
+    latest campaign regressed against its baseline, using effect-size
+    confidence intervals (Kalibera & Jones: report effect sizes with
+    CIs, not bare p-values).
+
+    Everything here is deterministic: the entry is a pure function of
+    the campaign records (so a SIGKILLed + resumed campaign appends a
+    ledger record bit-identical to an uninterrupted one), and the
+    regression decision is a pure function of two entries. *)
+
+(** [fingerprint ~bench ~opt ~scale c]: the full configuration identity
+    of a campaign — benchmark, optimization level, workload scale,
+    randomization config and fault profile. Two campaigns with equal
+    fingerprints measured the same thing; two with equal [bench] labels
+    measure comparable workloads (e.g. the same benchmark at O1 vs
+    O2). *)
+val fingerprint :
+  bench:string -> opt:Stz_vm.Opt.level -> scale:float -> Supervisor.campaign -> string
+
+(** Build the ledger entry for a finished campaign. Moments are
+    computed with streaming (Welford) estimators over completed-run
+    times in run order — the same numbers the live monitor converges
+    to. [verdict] records the monitor's final stopping verdict
+    (defaults to ["-"] for unmonitored campaigns). *)
+val entry_of_campaign :
+  ?verdict:string ->
+  label:string ->
+  fingerprint:string ->
+  Supervisor.campaign ->
+  Stz_store.Ledger.entry
+
+type decision =
+  | No_regression  (** CI does not confirm a slowdown *)
+  | Regression  (** latest is slower: CI excludes zero, d >= min_effect *)
+  | Improvement  (** latest is faster, same evidence bar *)
+  | Not_comparable of string  (** too little data to decide either way *)
+
+type comparison = {
+  baseline_seq : int;  (** ledger position of the baseline entry *)
+  latest_seq : int;
+  d : float;  (** Cohen's d, positive = latest slower *)
+  ci_low : float;
+  ci_high : float;
+  confidence : float;  (** level of the CI, e.g. 0.95 *)
+  ratio : float;  (** latest mean / baseline mean; 0 when baseline is 0 *)
+  same_fingerprint : bool;
+  decision : decision;
+}
+
+(** [compare_entries ~baseline ~latest] with their ledger sequence
+    numbers. [min_n] (default 3) is the per-side completed-run floor
+    below which the decision is {!Not_comparable}; [min_effect]
+    (default 0.2, Cohen's "small") is the practical-significance floor;
+    [confidence] (default 0.95) sizes the CI. *)
+val compare_entries :
+  ?confidence:float ->
+  ?min_effect:float ->
+  ?min_n:int ->
+  baseline:int * Stz_store.Ledger.entry ->
+  latest:int * Stz_store.Ledger.entry ->
+  unit ->
+  comparison
+
+val describe : comparison -> string

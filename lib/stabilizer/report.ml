@@ -1,4 +1,5 @@
 module Desc = Stz_stats.Desc
+module Power = Stz_stats.Power
 
 let csv_of_sample (s : Sample.t) =
   let buf = Buffer.create 256 in
@@ -19,6 +20,17 @@ let csv_of_series series =
     series;
   Buffer.contents buf
 
+(* Power of the collected sample at Cohen's conventional medium effect
+   (d = 0.5), and the smallest effect detectable at the conventional
+   0.8 power — §2.3's "how many runs do I need?" answered for the runs
+   actually kept. *)
+let power_part completed =
+  if completed < 1 then ""
+  else
+    Printf.sprintf ", power(d=0.50)=%.2f, detectable d=%.2f"
+      (Power.two_sample ~effect:0.5 ~n:completed ())
+      (Power.detectable_effect ~n:completed ())
+
 let campaign_line (s : Supervisor.summary) =
   let faults =
     List.filter_map
@@ -33,7 +45,7 @@ let campaign_line (s : Supervisor.summary) =
   in
   Printf.sprintf
     "runs %d/%d, %d retried (%d retries), %d quarantined seed%s, %d \
-     budget-exceeded, %d invalid%s%s"
+     budget-exceeded, %d invalid%s%s%s"
     s.Supervisor.completed s.Supervisor.runs s.Supervisor.retried_runs
     s.Supervisor.total_retries s.Supervisor.quarantined
     (if s.Supervisor.quarantined = 1 then "" else "s")
@@ -46,6 +58,7 @@ let campaign_line (s : Supervisor.summary) =
       Printf.sprintf ", %d worker-hung" s.Supervisor.worker_hung
     else "")
     faults_part
+    (power_part s.Supervisor.completed)
 
 let csv_of_campaign (c : Supervisor.campaign) =
   let module H = Stz_machine.Hierarchy in
@@ -86,6 +99,25 @@ let csv_of_campaign (c : Supervisor.campaign) =
             (Printf.sprintf "%d,%Ld,%d,%s,,,,,,,,,,,,\n" r.Supervisor.run
                r.Supervisor.seed r.Supervisor.retries tag))
     c.Supervisor.records;
+  (* Footer comments ('#'-prefixed, ignored by CSV readers configured
+     for them): power of the collected sample, so an exported campaign
+     carries its own "was N enough?" answer. Deterministic — a pure
+     function of the completed-run count. *)
+  let completed =
+    List.length
+      (List.filter
+         (fun (r : Supervisor.record) ->
+           match r.Supervisor.outcome with Supervisor.Done _ -> true | _ -> false)
+         c.Supervisor.records)
+  in
+  if completed >= 1 then begin
+    Buffer.add_string buf
+      (Printf.sprintf "# power(d=0.50) at n=%d per group: %.6f\n" completed
+         (Stz_stats.Power.two_sample ~effect:0.5 ~n:completed ()));
+    Buffer.add_string buf
+      (Printf.sprintf "# detectable effect at power 0.80: d=%.6f\n"
+         (Stz_stats.Power.detectable_effect ~n:completed ()))
+  end;
   Buffer.contents buf
 
 let summary_line xs =

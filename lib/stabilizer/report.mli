@@ -10,7 +10,10 @@ val csv_of_series : (string * float array) list -> string
 
 (** Campaign health on one line, e.g.
     ["runs 30/34, 3 retried (5 retries), 4 quarantined seeds, 1
-     budget-exceeded, 0 invalid, 2 fuel-starvation, 1 alloc-failure"]. *)
+     budget-exceeded, 0 invalid, 2 fuel-starvation, 1 alloc-failure,
+     power(d=0.50)=0.46, detectable d=0.74"]. The trailing power clause
+    ({!Stz_stats.Power} at the completed-run count) is omitted when no
+    run completed. *)
 val campaign_line : Supervisor.summary -> string
 
 (** Long-format CSV of every run outcome of a campaign, for external
@@ -20,7 +23,10 @@ val campaign_line : Supervisor.summary -> string
     hardware-counter and randomization columns appended after [value].
     Censored runs with counters-at-censoring fill [cycles] and the
     counter columns (leaving [seconds]/[value] empty); runs that
-    measured nothing leave every numeric field empty. *)
+    measured nothing leave every numeric field empty. When at least one
+    run completed, two ['#']-prefixed footer comment lines state the
+    achieved power at d = 0.5 and the detectable effect at 0.8 power
+    for the completed-run count. *)
 val csv_of_campaign : Supervisor.campaign -> string
 
 (** Five-number summary plus mean/sd on one line. *)

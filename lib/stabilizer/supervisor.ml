@@ -6,6 +6,7 @@ module Hierarchy = Stz_machine.Hierarchy
 module Event = Stz_telemetry.Event
 module Trace = Stz_telemetry.Trace
 module Artifact = Stz_store.Artifact
+module Monitor = Stz_monitor.Monitor
 
 type policy = {
   max_retries : int;
@@ -605,7 +606,7 @@ let pool_event_args = function
 
 let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     ?(limits = Interp.default_limits) ?(jobs = 1) ?checkpoint ?(resume = false)
-    ?on_record ?telemetry ~config ~base_seed ~runs ~args p =
+    ?on_record ?telemetry ?monitor ~config ~base_seed ~runs ~args p =
   if runs < 1 then raise (Mismatch "run_campaign: runs must be >= 1");
   let jobs = Stdlib.max 1 jobs in
   (* A wedged run never finishes and never traps; the only recovery is
@@ -625,6 +626,31 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     match telemetry with
     | Some tr -> Trace.control_instant tr ~args name
     | None -> ()
+  in
+  (* The monitor is a pure fold over records in run order; feeding it
+     here (replayed checkpoint records, then delivered runs — both in
+     run order) makes its state independent of worker count and of
+     whether the campaign was interrupted. Each observation lands one
+     "monitor" instant on the control lane. *)
+  let monitor_observe (r : record) =
+    match monitor with
+    | None -> ()
+    | Some m ->
+        (match r.outcome with
+        | Done c ->
+            Monitor.observe_completed m ~cycles:c.cycles ~seconds:c.seconds
+        | Trapped _ | Budget_exceeded _ | Invalid_result _ | Worker_lost
+        | Worker_hung ->
+            Monitor.observe_censored m);
+        let s = Monitor.snapshot m in
+        control "monitor"
+          [
+            ("run", Json.Int r.run);
+            ("completed", Json.Int s.Monitor.completed);
+            ("censored", Json.Int s.Monitor.censored);
+            ( "verdict",
+              Json.String (Monitor.verdict_to_string s.Monitor.verdict) );
+          ]
   in
   let profile_fp = Fault.fingerprint profile in
   let config_desc = Config.describe config in
@@ -669,16 +695,20 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
       ("resumed", Json.Bool (loaded <> None));
     ];
   (* Checkpointed runs re-enter the trace as synthetic spans, in run
-     order, so the resumed timeline is a consistent continuation. *)
-  (match telemetry with
-  | Some tr ->
-      Array.iteri
-        (fun i r ->
-          match r with
-          | Some r -> Trace.add_run tr ~run:i (restored_stream r)
-          | None -> ())
-        records
-  | None -> ());
+     order, so the resumed timeline is a consistent continuation. The
+     monitor replays the same records in the same order, which is what
+     makes its final verdict identical for an interrupted-then-resumed
+     campaign and an uninterrupted one. *)
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r ->
+          (match telemetry with
+          | Some tr -> Trace.add_run tr ~run:i (restored_stream r)
+          | None -> ());
+          monitor_observe r
+      | None -> ())
+    records;
   let quarantine : (int64, unit) Hashtbl.t = Hashtbl.create 64 in
   let quarantined = ref [] in
   let add_quarantine seed =
@@ -898,6 +928,9 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
        | None -> ());
     records.(i) <- Some r;
     incr finished;
+    (* Monitor before [on_record] so a live status callback sees the
+       estimator state that already includes this run. *)
+    monitor_observe r;
     (match on_record with Some f -> f r | None -> ());
     maybe_checkpoint ~force:false
   in
@@ -996,6 +1029,14 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
   end;
   let c = campaign_so_far () in
   (match checkpoint with Some path -> save path c | None -> ());
+  (match monitor with
+  | Some m ->
+      control "monitor-verdict"
+        [
+          ("verdict", Json.String (Monitor.verdict_to_string (Monitor.advise m)));
+          ("status", Json.String (Monitor.status_line m));
+        ]
+  | None -> ());
   (match telemetry with
   | Some tr ->
       let s = List.length (List.filter (fun r -> match r.outcome with Done _ -> true | _ -> false) c.records) in

@@ -146,7 +146,20 @@ exception Mismatch of string
     probe, budget freeze and checkpoint writes land on the control
     lane; physical pool lifecycle goes to the trace's wall-clocked
     harness stream. On resume, checkpointed runs re-enter the trace as
-    synthetic ["restored"] spans so the timeline stays consistent. *)
+    synthetic ["restored"] spans so the timeline stays consistent.
+
+    [monitor] receives every finished run as a streaming observation
+    ({!Stz_monitor.Monitor.observe_completed} /
+    [observe_censored]). Records are fed strictly in run order —
+    checkpointed runs first (on resume), then delivered runs — so the
+    monitor's estimator state, and therefore its stopping verdict, is a
+    pure function of the record sequence: byte-identical for any [jobs]
+    and for interrupted-then-resumed versus uninterrupted campaigns.
+    Each observation emits a ["monitor"] control-lane instant and the
+    campaign ends with a ["monitor-verdict"] instant when [telemetry]
+    is also armed. The monitor is updated before [on_record] fires, so
+    a progress callback can print {!Stz_monitor.Monitor.status_line}
+    reflecting the run it was called for. *)
 val run_campaign :
   ?policy:policy ->
   ?profile:Stz_faults.Fault.profile ->
@@ -156,6 +169,7 @@ val run_campaign :
   ?resume:bool ->
   ?on_record:(record -> unit) ->
   ?telemetry:Stz_telemetry.Trace.t ->
+  ?monitor:Stz_monitor.Monitor.t ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->

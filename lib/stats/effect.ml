@@ -15,6 +15,55 @@ let hedges_g a b =
   let n = float_of_int (Array.length a + Array.length b) in
   cohen_d a b *. (1.0 -. (3.0 /. ((4.0 *. n) -. 9.0)))
 
+(* --- Moments-only variants: everything the history ledger stores ---
+
+   A campaign persisted to the regression ledger keeps only its summary
+   moments (n, mean, sd), so the cross-campaign comparison must be
+   computable — and totally defined — from those alone. *)
+
+type moments = { n : int; mean : float; sd : float }
+
+let moments_of_sample xs =
+  {
+    n = Array.length xs;
+    mean = (if Array.length xs = 0 then 0.0 else Desc.mean xs);
+    sd = (if Array.length xs < 2 then 0.0 else Desc.std_dev xs);
+  }
+
+let cohen_d_moments a b =
+  let na = float_of_int a.n and nb = float_of_int b.n in
+  let pooled =
+    if a.n + b.n < 3 then 0.0
+    else
+      sqrt
+        ((((na -. 1.0) *. a.sd *. a.sd) +. ((nb -. 1.0) *. b.sd *. b.sd))
+        /. (na +. nb -. 2.0))
+  in
+  let diff = a.mean -. b.mean in
+  if pooled > 0.0 then diff /. pooled
+  else if diff = 0.0 then 0.0
+  else if diff > 0.0 then infinity
+  else neg_infinity
+
+let cohen_d_ci_moments ?(confidence = 0.95) a b =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Effect.cohen_d_ci_moments: confidence must be in (0,1)";
+  let d = cohen_d_moments a b in
+  if Float.is_nan d then invalid_arg "Effect.cohen_d_ci_moments: NaN moments";
+  if abs_float d = infinity then (d, d, d)
+  else if a.n < 2 || b.n < 2 then (d, neg_infinity, infinity)
+  else begin
+    (* Large-sample normal approximation to the sampling distribution
+       of d (Hedges & Olkin):
+       SE² = (na+nb)/(na·nb) + d²/(2(na+nb)). *)
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let se =
+      sqrt (((na +. nb) /. (na *. nb)) +. (d *. d /. (2.0 *. (na +. nb))))
+    in
+    let z = Dist.Normal.quantile (1.0 -. ((1.0 -. confidence) /. 2.0)) in
+    (d, d -. (z *. se), d +. (z *. se))
+  end
+
 (* Two-sided t critical value. *)
 let t_critical ~df p =
   Dist.Student_t.quantile ~df (1.0 -. ((1.0 -. p) /. 2.0))

@@ -10,6 +10,28 @@ val cohen_d : float array -> float array -> float
     factor (1 - 3 / (4 (n1 + n2) - 9)). *)
 val hedges_g : float array -> float array -> float
 
+(** Summary moments of one sample — all a regression-history ledger
+    entry keeps, and all the cross-campaign comparison needs. *)
+type moments = { n : int; mean : float; sd : float }
+
+(** Total: empty samples yield n = 0, mean = 0, sd = 0 (and n < 2 keeps
+    sd = 0). *)
+val moments_of_sample : float array -> moments
+
+(** Cohen's d computed from summary moments alone. Totally defined:
+    zero pooled spread yields 0 when the means agree and ±infinity when
+    they differ (a deterministic difference is infinitely many standard
+    deviations), never NaN. Positive when [a]'s mean is larger. *)
+val cohen_d_moments : moments -> moments -> float
+
+(** [(d, low, high)]: d plus its large-sample (Hedges–Olkin) confidence
+    interval, SE² = (na+nb)/(na·nb) + d²/(2(na+nb)) (default confidence
+    0.95). Degenerate cases stay defined: an infinite d has the
+    point interval (d, d); n < 2 on either side gives the vacuous
+    interval (-inf, inf) — no conclusion can exclude anything. *)
+val cohen_d_ci_moments :
+  ?confidence:float -> moments -> moments -> float * float * float
+
 (** [mean_ci ?confidence xs] is the t-based confidence interval
     (low, high) for the mean (default confidence 0.95). Needs >= 2
     samples. *)

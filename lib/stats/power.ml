@@ -1,38 +1,52 @@
 (* Normal approximation: for a two-sided level-alpha test with n per
    group and standardized effect d, the noncentrality parameter is
    delta = d * sqrt(n/2); power ~ Phi(delta - z_(1-alpha/2)) (the other
-   tail is negligible for the effects of interest). *)
+   tail is negligible for the effects of interest).
+
+   Every entry point is total over its documented domain: degenerate
+   inputs (n = 1, zero variability, infinite effects from all-equal
+   pilot samples) return the defined limit value instead of NaN or an
+   exception, so a live monitor or report line never crashes on a
+   degenerate campaign. *)
 
 let two_sample ~effect ~n ?(alpha = 0.05) () =
-  if n < 2 then invalid_arg "Power.two_sample: n must be >= 2";
+  if n < 1 then invalid_arg "Power.two_sample: n must be >= 1";
   if alpha <= 0.0 || alpha >= 1.0 then
     invalid_arg "Power.two_sample: alpha must be in (0,1)";
+  if Float.is_nan effect then invalid_arg "Power.two_sample: effect is NaN";
   let d = abs_float effect in
-  let delta = d *. sqrt (float_of_int n /. 2.0) in
-  let z_crit = Dist.Normal.quantile (1.0 -. (alpha /. 2.0)) in
-  let upper = Dist.Normal.cdf (delta -. z_crit) in
-  let lower = Dist.Normal.cdf (-.delta -. z_crit) in
-  Stdlib.min 1.0 (upper +. lower)
+  if d = infinity then 1.0
+  else begin
+    let delta = d *. sqrt (float_of_int n /. 2.0) in
+    let z_crit = Dist.Normal.quantile (1.0 -. (alpha /. 2.0)) in
+    let upper = Dist.Normal.cdf (delta -. z_crit) in
+    let lower = Dist.Normal.cdf (-.delta -. z_crit) in
+    Stdlib.min 1.0 (upper +. lower)
+  end
 
 let required_runs ~effect ?(power = 0.8) ?(alpha = 0.05) () =
+  if Float.is_nan effect then invalid_arg "Power.required_runs: effect is NaN";
   if abs_float effect <= 0.0 then
     invalid_arg "Power.required_runs: effect must be non-zero";
   if power <= 0.0 || power >= 1.0 then
     invalid_arg "Power.required_runs: power must be in (0,1)";
-  (* Closed-form seed, then walk to the exact threshold. *)
-  let z_a = Dist.Normal.quantile (1.0 -. (alpha /. 2.0)) in
-  let z_b = Dist.Normal.quantile power in
-  let seed =
-    int_of_float (ceil (2.0 *. ((z_a +. z_b) /. abs_float effect) ** 2.0))
-  in
-  let n = ref (Stdlib.max 2 (seed - 3)) in
-  while two_sample ~effect ~n:!n ~alpha () < power && !n < 100_000_000 do
-    incr n
-  done;
-  !n
+  if abs_float effect = infinity then 2
+  else begin
+    (* Closed-form seed, then walk to the exact threshold. *)
+    let z_a = Dist.Normal.quantile (1.0 -. (alpha /. 2.0)) in
+    let z_b = Dist.Normal.quantile power in
+    let seed =
+      int_of_float (ceil (2.0 *. ((z_a +. z_b) /. abs_float effect) ** 2.0))
+    in
+    let n = ref (Stdlib.max 2 (seed - 3)) in
+    while two_sample ~effect ~n:!n ~alpha () < power && !n < 100_000_000 do
+      incr n
+    done;
+    !n
+  end
 
 let detectable_effect ~n ?(power = 0.8) ?(alpha = 0.05) () =
-  if n < 2 then invalid_arg "Power.detectable_effect: n must be >= 2";
+  if n < 1 then invalid_arg "Power.detectable_effect: n must be >= 1";
   let lo = ref 0.0 and hi = ref 100.0 in
   for _ = 1 to 200 do
     let mid = (!lo +. !hi) /. 2.0 in
@@ -41,5 +55,10 @@ let detectable_effect ~n ?(power = 0.8) ?(alpha = 0.05) () =
   (!lo +. !hi) /. 2.0
 
 let effect_of_speedup ~speedup ~cv =
-  if cv <= 0.0 then invalid_arg "Power.effect_of_speedup: cv must be positive";
-  abs_float (speedup -. 1.0) /. cv
+  if Float.is_nan speedup || Float.is_nan cv then
+    invalid_arg "Power.effect_of_speedup: NaN input";
+  if cv <= 0.0 then
+    (* Zero variability: any real change is infinitely many standard
+       deviations; no change is no effect. *)
+    if speedup = 1.0 then 0.0 else infinity
+  else abs_float (speedup -. 1.0) /. cv

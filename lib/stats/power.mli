@@ -7,20 +7,27 @@
     accurate to a run or two for the n >= 10 regime used here. *)
 
 (** [two_sample ~effect ~n ~alpha] is the power of a two-sided
-    two-sample t-test with [n] samples *per group*, standardized effect
-    size [effect] (Cohen's d) and significance level [alpha]. *)
+    two-sample t-test with [n] samples *per group* (n >= 1),
+    standardized effect size [effect] (Cohen's d) and significance
+    level [alpha]. Total over degenerate inputs: an infinite effect
+    (all-equal samples with different means) has power 1; a NaN effect
+    raises [Invalid_argument] rather than propagating. *)
 val two_sample : effect:float -> n:int -> ?alpha:float -> unit -> float
 
 (** [required_runs ~effect ~power ~alpha] is the smallest per-group n
-    whose power reaches [power] (default 0.8). *)
+    whose power reaches [power] (default 0.8). An infinite effect needs
+    the minimum n = 2. *)
 val required_runs : effect:float -> ?power:float -> ?alpha:float -> unit -> int
 
 (** [detectable_effect ~n ~power ~alpha] is the smallest standardized
-    effect detectable with [n] runs per group at the given power. *)
+    effect detectable with [n] runs per group (n >= 1) at the given
+    power. *)
 val detectable_effect : n:int -> ?power:float -> ?alpha:float -> unit -> float
 
 (** [effect_of_speedup ~speedup ~cv] converts a relative speedup (e.g.
     1.01 for 1%) and a coefficient of variation of the timing samples
     into a standardized effect size: (speedup - 1) / cv. This is how a
-    pilot STABILIZER sample translates into power-analysis inputs. *)
+    pilot STABILIZER sample translates into power-analysis inputs.
+    [cv <= 0] (an all-equal pilot) yields [infinity] for any real
+    change and 0 for no change, instead of raising. *)
 val effect_of_speedup : speedup:float -> cv:float -> float

@@ -29,7 +29,11 @@ let correlation xs =
       st := !st +. (dt *. dt);
       so := !so +. (dob *. dob))
     t;
-  !num /. sqrt (!st *. !so)
+  (* An all-equal sample has zero spread on the observed axis: the
+     correlation is undefined, and the sample is certainly not a draw
+     from any normal with positive scale — report 0 (no normality
+     evidence) rather than NaN. *)
+  if !st *. !so <= 0.0 then 0.0 else !num /. sqrt (!st *. !so)
 
 let line xs =
   let q1 = Desc.quantile xs 0.25 and q3 = Desc.quantile xs 0.75 in

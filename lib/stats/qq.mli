@@ -12,7 +12,9 @@ type point = { theoretical : float; observed : float }
 val points : ?shift:float -> ?scale:float -> float array -> point array
 
 (** Correlation between theoretical and observed quantiles; values near
-    1 indicate normality (this is the basis of the Ryan-Joiner test). *)
+    1 indicate normality (this is the basis of the Ryan-Joiner test).
+    An all-equal sample (zero spread) yields 0 — no normality evidence
+    — instead of NaN. *)
 val correlation : float array -> float
 
 (** Slope and intercept of the line through the first and third

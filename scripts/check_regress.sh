@@ -1,0 +1,97 @@
+#!/bin/sh
+# Regression-gate acceptance check, used by CI and runnable locally:
+#
+#   1. run a fixed-seed monitored campaign serially and under --jobs 4,
+#      and demand byte-identical monitor output (status lines and
+#      final stopping verdict);
+#   2. record a baseline campaign (O2) into a fresh history ledger,
+#      then a planted slowdown (same benchmark at O0) — `szc regress`
+#      must flag it via the effect-size CI (exit 2);
+#   3. rerun the identical baseline configuration and demand
+#      `szc regress` stays silent (exit 0);
+#   4. SIGKILL a monitored campaign mid-flight, resume it, and demand
+#      the final verdict and the appended ledger record are
+#      byte-identical to the uninterrupted run's;
+#   5. verify ledger integrity (`szc fsck`, `szc history`).
+#
+# Usage: scripts/check_regress.sh [OUTDIR]  (default: ./regress-artifacts)
+# Exits nonzero on any divergence.
+set -eu
+
+outdir=${1:-regress-artifacts}
+mkdir -p "$outdir"
+
+dune build bin/szc.exe
+SZC=_build/default/bin/szc.exe
+
+common="campaign bzip2 --runs 20 --seed 11 --scale 0.05 --quiet"
+
+echo "== monitor determinism across worker counts"
+$SZC $common --monitor >"$outdir/mon1.txt"
+$SZC $common --monitor --jobs 4 >"$outdir/mon4.txt"
+cmp "$outdir/mon1.txt" "$outdir/mon4.txt"
+echo "monitor output: byte-identical --jobs 1 vs --jobs 4"
+grep -q "^monitor verdict: " "$outdir/mon1.txt"
+echo "monitor output: final verdict present"
+
+echo "== baseline (O2) into a fresh ledger"
+ledger="$outdir/history.ledger"
+rm -f "$ledger" "$ledger.tmp"
+$SZC $common --opt O2 --ledger "$ledger" >/dev/null
+
+echo "== planted slowdown (same benchmark, O0)"
+$SZC $common --opt O0 --ledger "$ledger" >/dev/null
+code=0
+$SZC regress "$ledger" || code=$?
+if [ "$code" -ne 2 ]; then
+  echo "regress: planted slowdown not flagged (exit $code, want 2)"
+  exit 1
+fi
+echo "regress: planted O2-vs-O0 slowdown flagged (exit 2)"
+
+echo "== identical-configuration rerun stays silent"
+rm -f "$ledger" "$ledger.tmp"
+$SZC $common --opt O2 --ledger "$ledger" >/dev/null
+$SZC $common --opt O2 --ledger "$ledger" >/dev/null
+$SZC regress "$ledger"
+echo "regress: identical rerun passes (exit 0)"
+
+echo "== SIGKILL + resume reaches the identical verdict and ledger record"
+ref_ledger="$outdir/ref.ledger"
+rm -f "$ref_ledger" "$ref_ledger.tmp"
+$SZC $common --monitor --ledger "$ref_ledger" >"$outdir/ref-mon.txt"
+
+crash_ledger="$outdir/crash.ledger"
+ck="$outdir/crash.ck"
+rm -f "$crash_ledger" "$crash_ledger.tmp" "$ck" "$ck.tmp"
+$SZC $common --monitor --checkpoint "$ck" >"$outdir/crash-mon-1.txt" &
+pid=$!
+i=0
+while [ ! -e "$ck" ] && [ ! -e "$ck.tmp" ] && [ "$i" -lt 200 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+if kill -9 "$pid" 2>/dev/null; then
+  echo "SIGKILLed pid $pid mid-campaign"
+else
+  echo "WARNING: campaign finished before the kill landed (still checking resume)"
+fi
+wait "$pid" 2>/dev/null || true
+
+$SZC $common --monitor --checkpoint "$ck" --resume --ledger "$crash_ledger" \
+  >"$outdir/crash-mon-2.txt"
+ref_verdict=$(grep "^monitor verdict: " "$outdir/ref-mon.txt")
+crash_verdict=$(grep "^monitor verdict: " "$outdir/crash-mon-2.txt")
+if [ "$ref_verdict" != "$crash_verdict" ]; then
+  echo "verdict diverged: '$ref_verdict' vs '$crash_verdict'"
+  exit 1
+fi
+echo "monitor verdict: identical after SIGKILL + resume"
+cmp "$ref_ledger" "$crash_ledger"
+echo "ledger record: byte-identical after SIGKILL + resume"
+
+echo "== ledger integrity"
+$SZC fsck "$ledger" "$ref_ledger" "$crash_ledger"
+$SZC history "$ref_ledger" >/dev/null
+
+echo "regression-gate check: OK"

@@ -1,0 +1,332 @@
+(* Streaming statistical monitor: single-pass estimators must agree
+   with their batch counterparts, drift detection must fire on real
+   shifts and stay quiet on stationary streams, and the whole monitor
+   must be a pure deterministic fold over its observation sequence —
+   that purity is what makes campaign verdicts independent of worker
+   count and of mid-flight interruption. *)
+
+module M = Stz_monitor
+module S = Stz_stats
+module Stab = Stabilizer
+module P = Stz_workloads.Profile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* Deterministic Box-Muller normal sampler. *)
+let normal_samples ~seed n =
+  let g = Stz_prng.Xorshift.create ~seed in
+  Array.init n (fun _ ->
+      let u1 = Stz_prng.Xorshift.next_float g +. 1e-12 in
+      let u2 = Stz_prng.Xorshift.next_float g in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(* ------------------------------------------------------------------ *)
+(* Welford                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let welford_matches_batch () =
+  let xs = Array.map (fun x -> 5.0 +. (2.0 *. x)) (normal_samples ~seed:7L 200) in
+  let w = M.Welford.create () in
+  Array.iter (M.Welford.add w) xs;
+  check_int "count" 200 (M.Welford.count w);
+  checkf "mean" ~eps:1e-9 (S.Desc.mean xs) (M.Welford.mean w);
+  checkf "variance" ~eps:1e-9 (S.Desc.variance xs) (M.Welford.variance w);
+  checkf "min" ~eps:0.0 (S.Desc.min xs) (M.Welford.min w);
+  checkf "max" ~eps:0.0 (S.Desc.max xs) (M.Welford.max w);
+  (* Batch central moments for the g1/g2 cross-check. *)
+  let n = float_of_int (Array.length xs) in
+  let m = S.Desc.mean xs in
+  let mk k = Array.fold_left (fun a x -> a +. ((x -. m) ** k)) 0.0 xs in
+  let m2 = mk 2.0 and m3 = mk 3.0 and m4 = mk 4.0 in
+  checkf "skewness" ~eps:1e-6
+    (sqrt n *. m3 /. (m2 ** 1.5))
+    (M.Welford.skewness w);
+  checkf "kurtosis" ~eps:1e-6
+    ((n *. m4 /. (m2 *. m2)) -. 3.0)
+    (M.Welford.kurtosis w)
+
+let welford_degenerate () =
+  let w = M.Welford.create () in
+  checkf "empty mean" ~eps:0.0 0.0 (M.Welford.mean w);
+  checkf "empty variance" ~eps:0.0 0.0 (M.Welford.variance w);
+  M.Welford.add w 3.0;
+  checkf "single variance" ~eps:0.0 0.0 (M.Welford.variance w);
+  for _ = 1 to 9 do
+    M.Welford.add w 3.0
+  done;
+  (* A constant stream: every derived statistic defined, none NaN. *)
+  checkf "constant variance" ~eps:0.0 0.0 (M.Welford.variance w);
+  checkf "constant cv" ~eps:0.0 0.0 (M.Welford.cv w);
+  checkf "constant skewness" ~eps:0.0 0.0 (M.Welford.skewness w);
+  checkf "constant kurtosis" ~eps:0.0 0.0 (M.Welford.kurtosis w)
+
+(* ------------------------------------------------------------------ *)
+(* P² quantiles                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let p2_small_samples_exact () =
+  let q = M.P2.create ~p:0.5 in
+  List.iter (M.P2.add q) [ 5.0; 1.0; 3.0 ];
+  (* n <= 5: the estimate is the exact order statistic. *)
+  checkf "median of 3" ~eps:0.0 3.0 (M.P2.quantile q)
+
+let p2_tracks_batch_quantiles () =
+  let xs = Array.map (fun x -> 10.0 +. x) (normal_samples ~seed:11L 500) in
+  List.iter
+    (fun p ->
+      let q = M.P2.create ~p in
+      Array.iter (M.P2.add q) xs;
+      let exact = S.Desc.quantile xs p in
+      check_bool
+        (Printf.sprintf "p=%.2f estimate %.4f near exact %.4f" p
+           (M.P2.quantile q) exact)
+        true
+        (abs_float (M.P2.quantile q -. exact) < 0.15))
+    [ 0.25; 0.5; 0.75 ]
+
+(* ------------------------------------------------------------------ *)
+(* Sliding window                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let window_slides () =
+  let w = M.Window.create ~size:3 in
+  check_int "empty" 0 (Array.length (M.Window.contents w));
+  List.iter (M.Window.add w) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count is total ever added" 5 (M.Window.count w);
+  check_int "size is the capacity" 3 (M.Window.size w);
+  Alcotest.(check (array (float 0.0)))
+    "holds the newest, oldest first" [| 3.0; 4.0; 5.0 |]
+    (M.Window.contents w)
+
+(* ------------------------------------------------------------------ *)
+(* CUSUM                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cusum_detects_shift () =
+  let c = M.Cusum.create () in
+  M.Cusum.set_reference c ~mean:100.0 ~sd:5.0;
+  (* Stationary stretch: no alarm. *)
+  Array.iter
+    (fun x -> M.Cusum.observe c (100.0 +. (5.0 *. x)))
+    (normal_samples ~seed:21L 50);
+  check_bool "stationary stream stays quiet" false (M.Cusum.alarmed c);
+  (* A 3-sigma level shift must alarm within a handful of observations. *)
+  for _ = 1 to 10 do
+    M.Cusum.observe c 115.0
+  done;
+  check_bool "3-sigma shift alarms" true (M.Cusum.alarmed c);
+  (* The alarm is sticky. *)
+  M.Cusum.observe c 100.0;
+  check_bool "alarm is sticky" true (M.Cusum.alarmed c)
+
+let cusum_zero_sd_reference () =
+  let c = M.Cusum.create () in
+  M.Cusum.set_reference c ~mean:50.0 ~sd:0.0;
+  M.Cusum.observe c 50.0;
+  check_bool "exact value stays quiet" false (M.Cusum.alarmed c);
+  M.Cusum.observe c 51.0;
+  check_bool "any deviation from a constant baseline alarms" true
+    (M.Cusum.alarmed c)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_strings_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (option string))
+        "roundtrip" (Some (M.Monitor.verdict_to_string v))
+        (Option.map M.Monitor.verdict_to_string
+           (M.Monitor.verdict_of_string (M.Monitor.verdict_to_string v))))
+    [
+      M.Monitor.Insufficient_data;
+      M.Monitor.Keep_going;
+      M.Monitor.Enough_runs;
+      M.Monitor.Drift_suspected;
+    ];
+  check_bool "unknown rejected" true
+    (M.Monitor.verdict_of_string "bogus" = None)
+
+(* Low-jitter runs around 1ms: cycles ~ seconds * 1e6. *)
+let feed_steady m ~seed n =
+  Array.iter
+    (fun x ->
+      let seconds = 1e-3 *. (1.0 +. (0.002 *. x)) in
+      M.Monitor.observe_completed m
+        ~cycles:(int_of_float (seconds *. 1e6))
+        ~seconds)
+    (normal_samples ~seed n)
+
+let monitor_verdict_progression () =
+  let m = M.Monitor.create () in
+  check_bool "empty is insufficient" true
+    (M.Monitor.advise m = M.Monitor.Insufficient_data);
+  feed_steady m ~seed:31L 3;
+  check_bool "below min_runs is insufficient" true
+    (M.Monitor.advise m = M.Monitor.Insufficient_data);
+  feed_steady m ~seed:32L 10;
+  (* 13 quiet runs: past min_runs but the power target (n ~ 64 for
+     d = 0.5) is far away. *)
+  check_bool "mid-campaign keeps going" true
+    (M.Monitor.advise m = M.Monitor.Keep_going);
+  feed_steady m ~seed:33L 60;
+  (* 73 low-jitter runs: CI half-width way under 2% of the mean and
+     achieved power above 0.8. *)
+  let s = M.Monitor.snapshot m in
+  check_bool
+    (Printf.sprintf "rel CI %.5f tight" s.M.Monitor.rel_half_width)
+    true
+    (s.M.Monitor.rel_half_width <= 0.02);
+  check_bool
+    (Printf.sprintf "power %.3f reached" s.M.Monitor.achieved_power)
+    true
+    (s.M.Monitor.achieved_power >= 0.8);
+  check_bool "steady campaign reaches enough-runs" true
+    (s.M.Monitor.verdict = M.Monitor.Enough_runs)
+
+let monitor_flags_cycles_drift () =
+  let m = M.Monitor.create () in
+  feed_steady m ~seed:41L 20;
+  check_bool "no drift while steady" false
+    (M.Monitor.snapshot m).M.Monitor.cycles_drift;
+  (* The workload suddenly takes ~3x the cycles. *)
+  for _ = 1 to 8 do
+    M.Monitor.observe_completed m ~cycles:3000 ~seconds:3e-3
+  done;
+  let s = M.Monitor.snapshot m in
+  check_bool "cycles drift flagged" true s.M.Monitor.cycles_drift;
+  check_bool "verdict is drift-suspected" true
+    (s.M.Monitor.verdict = M.Monitor.Drift_suspected)
+
+let monitor_flags_censor_drift () =
+  let m = M.Monitor.create () in
+  (* Clean baseline, then a burst of censored runs. *)
+  feed_steady m ~seed:51L 20;
+  for _ = 1 to 10 do
+    M.Monitor.observe_censored m
+  done;
+  let s = M.Monitor.snapshot m in
+  check_int "censored counted" 10 s.M.Monitor.censored;
+  check_int "observed counts both kinds" 30 s.M.Monitor.observed;
+  check_bool "censoring-rate drift flagged" true s.M.Monitor.censor_drift;
+  check_bool "verdict is drift-suspected" true
+    (s.M.Monitor.verdict = M.Monitor.Drift_suspected)
+
+let monitor_is_deterministic () =
+  (* The same observation sequence must produce byte-identical status
+     lines — the property the supervisor leans on for --jobs and
+     resume invariance. *)
+  let feed m =
+    feed_steady m ~seed:61L 12;
+    M.Monitor.observe_censored m;
+    feed_steady m ~seed:62L 12
+  in
+  let a = M.Monitor.create () and b = M.Monitor.create () in
+  feed a;
+  feed b;
+  Alcotest.(check string)
+    "status lines identical"
+    (M.Monitor.status_line a) (M.Monitor.status_line b);
+  check_bool "verdicts identical" true
+    (M.Monitor.advise a = M.Monitor.advise b)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor integration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tiny =
+  {
+    P.default with
+    P.name = "monitored";
+    functions = 8;
+    hot_functions = 4;
+    iterations = 12;
+    inner_trips = 6;
+    seed = 0x0B5EL;
+  }
+
+let program = lazy (Stz_workloads.Generate.program tiny)
+
+let run_campaign ?(jobs = 1) ?checkpoint ?(resume = false) ~monitor () =
+  Stab.Supervisor.run_campaign ~jobs ?checkpoint ~resume ~monitor
+    ~config:Stab.Config.stabilizer ~base_seed:77L ~runs:8 ~args:[ 1 ]
+    (Lazy.force program)
+
+let supervisor_feeds_monitor_identically () =
+  (* Serial and parallel campaigns must leave the monitor in an
+     identical state: records are delivered in run order either way. *)
+  let m1 = M.Monitor.create () in
+  let c1 = run_campaign ~jobs:1 ~monitor:m1 () in
+  let m2 = M.Monitor.create () in
+  let c2 = run_campaign ~jobs:3 ~monitor:m2 () in
+  check_bool "campaign records identical" true
+    (c1.Stab.Supervisor.records = c2.Stab.Supervisor.records);
+  Alcotest.(check string)
+    "monitor state identical across worker counts"
+    (M.Monitor.status_line m1) (M.Monitor.status_line m2);
+  let s = M.Monitor.snapshot m1 in
+  check_int "every run observed" 8 s.M.Monitor.observed
+
+let resume_replays_into_monitor () =
+  (* A resumed campaign must replay checkpointed records into the
+     monitor, ending in the same state as an uninterrupted one. *)
+  let m_ref = M.Monitor.create () in
+  ignore (run_campaign ~monitor:m_ref ());
+  let path = Filename.temp_file "szc-test-monitor" ".ck" in
+  let m_full = M.Monitor.create () in
+  ignore (run_campaign ~checkpoint:path ~monitor:m_full ());
+  (* Resume over the finished checkpoint: every record is replayed,
+     none re-executed. *)
+  let m_resumed = M.Monitor.create () in
+  ignore (run_campaign ~checkpoint:path ~resume:true ~monitor:m_resumed ());
+  Sys.remove path;
+  Alcotest.(check string)
+    "resumed monitor matches uninterrupted"
+    (M.Monitor.status_line m_ref)
+    (M.Monitor.status_line m_resumed);
+  check_bool "verdicts agree" true
+    (M.Monitor.advise m_ref = M.Monitor.advise m_resumed)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "welford",
+        [
+          Alcotest.test_case "matches batch moments" `Quick welford_matches_batch;
+          Alcotest.test_case "degenerate streams" `Quick welford_degenerate;
+        ] );
+      ( "p2",
+        [
+          Alcotest.test_case "small samples exact" `Quick p2_small_samples_exact;
+          Alcotest.test_case "tracks batch quantiles" `Quick
+            p2_tracks_batch_quantiles;
+        ] );
+      ( "window",
+        [ Alcotest.test_case "slides oldest-first" `Quick window_slides ] );
+      ( "cusum",
+        [
+          Alcotest.test_case "detects level shift" `Quick cusum_detects_shift;
+          Alcotest.test_case "zero-sd reference" `Quick cusum_zero_sd_reference;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "verdict strings" `Quick verdict_strings_roundtrip;
+          Alcotest.test_case "verdict progression" `Quick
+            monitor_verdict_progression;
+          Alcotest.test_case "cycles drift" `Quick monitor_flags_cycles_drift;
+          Alcotest.test_case "censor drift" `Quick monitor_flags_censor_drift;
+          Alcotest.test_case "deterministic fold" `Quick monitor_is_deterministic;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "jobs-invariant feeding" `Quick
+            supervisor_feeds_monitor_identically;
+          Alcotest.test_case "resume replay identity" `Quick
+            resume_replays_into_monitor;
+        ] );
+    ]

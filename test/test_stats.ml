@@ -570,6 +570,67 @@ let power_effect_of_speedup () =
   checkf "symmetric for slowdowns" ~eps:1e-9 2.0
     (S.Power.effect_of_speedup ~speedup:0.99 ~cv:0.005)
 
+let power_edge_cases () =
+  (* Tiny n must yield defined probabilities, not raise or NaN. *)
+  List.iter
+    (fun n ->
+      let p = S.Power.two_sample ~effect:0.5 ~n () in
+      check_bool (Printf.sprintf "n=%d power in [0,1]" n) true
+        (p >= 0.0 && p <= 1.0);
+      let d = S.Power.detectable_effect ~n () in
+      check_bool (Printf.sprintf "n=%d detectable effect not NaN" n) true
+        (not (Float.is_nan d)))
+    [ 1; 2; 3 ];
+  checkf "infinite effect has power 1" ~eps:0.0 1.0
+    (S.Power.two_sample ~effect:infinity ~n:5 ());
+  Alcotest.(check int) "infinite effect needs minimal n" 2
+    (S.Power.required_runs ~effect:infinity ());
+  check_bool "NaN effect raises (power)" true
+    (match S.Power.two_sample ~effect:Float.nan ~n:5 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "NaN effect raises (required_runs)" true
+    (match S.Power.required_runs ~effect:Float.nan () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* An all-equal pilot (cv = 0) is total, not a division by zero. *)
+  checkf "cv=0, no change" ~eps:0.0 0.0
+    (S.Power.effect_of_speedup ~speedup:1.0 ~cv:0.0);
+  check_bool "cv=0, any change is infinitely detectable" true
+    (S.Power.effect_of_speedup ~speedup:1.01 ~cv:0.0 = infinity)
+
+let qq_degenerate_samples () =
+  (* An all-equal sample has zero ordered-statistic spread; the
+     correlation must be a defined 0, not NaN. *)
+  checkf "all-equal correlation" ~eps:0.0 0.0
+    (S.Qq.correlation [| 5.0; 5.0; 5.0; 5.0 |]);
+  check_bool "no NaN on constant data" true
+    (not (Float.is_nan (S.Qq.correlation (Array.make 8 1.0))))
+
+let effect_moments_roundtrip () =
+  let a = normal_samples ~seed:50L 40 in
+  let b = Array.map (fun x -> x +. 0.7) (normal_samples ~seed:51L 40) in
+  let ma = S.Effect.moments_of_sample a and mb = S.Effect.moments_of_sample b in
+  checkf "moments d = sample d" ~eps:1e-9 (S.Effect.cohen_d a b)
+    (S.Effect.cohen_d_moments ma mb);
+  let d, lo, hi = S.Effect.cohen_d_ci_moments ma mb in
+  check_bool "CI brackets d" true (lo < d && d < hi)
+
+let effect_moments_degenerate () =
+  let m ?(n = 5) mean sd = { S.Effect.n; mean; sd } in
+  checkf "equal zero-sd sides give d = 0" ~eps:0.0 0.0
+    (S.Effect.cohen_d_moments (m 1.0 0.0) (m 1.0 0.0));
+  check_bool "distinct zero-sd means give infinite d" true
+    (S.Effect.cohen_d_moments (m 2.0 0.0) (m 1.0 0.0) = infinity);
+  (let d, lo, hi = S.Effect.cohen_d_ci_moments (m 2.0 0.0) (m 1.0 0.0) in
+   check_bool "infinite d collapses its CI" true
+     (d = infinity && lo = infinity && hi = infinity));
+  let d, lo, hi =
+    S.Effect.cohen_d_ci_moments (m ~n:1 2.0 0.0) (m 1.0 1.0)
+  in
+  check_bool "n < 2 on a side gives an unbounded CI" true
+    ((not (Float.is_nan d)) && lo = neg_infinity && hi = infinity)
+
 let () =
   Alcotest.run "stats"
     [
@@ -649,6 +710,7 @@ let () =
           Alcotest.test_case "roundtrips" `Quick power_roundtrips;
           Alcotest.test_case "calibrated" `Slow power_calibration;
           Alcotest.test_case "speedup conversion" `Quick power_effect_of_speedup;
+          Alcotest.test_case "edge cases total" `Quick power_edge_cases;
         ] );
       ( "effect",
         [
@@ -658,6 +720,8 @@ let () =
           Alcotest.test_case "mean CI coverage" `Slow mean_ci_coverage;
           Alcotest.test_case "bootstrap CI" `Quick bootstrap_ci_sane;
           Alcotest.test_case "speedup CI" `Quick speedup_ci_contains_ratio;
+          Alcotest.test_case "moments roundtrip" `Quick effect_moments_roundtrip;
+          Alcotest.test_case "moments degenerate" `Quick effect_moments_degenerate;
         ] );
       ( "qq",
         [
@@ -666,5 +730,6 @@ let () =
           Alcotest.test_case "line slope" `Quick qq_line_slope_is_scale;
           Alcotest.test_case "normalized points" `Quick qq_points_normalized;
           Alcotest.test_case "ascii smoke" `Quick qq_ascii_smoke;
+          Alcotest.test_case "degenerate samples" `Quick qq_degenerate_samples;
         ] );
     ]

@@ -386,6 +386,130 @@ let campaign_survives_storage_faults () =
         | Ok (got, _) ->
             check_bool "salvaged prefix" true (record_prefix got clean))
 
+(* ------------------------------------------------------------------ *)
+(* History ledger on the artifact layer                                *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = Stz_store.Ledger
+
+let sample_entry i =
+  {
+    Ledger.label = Printf.sprintf "bench-%d" i;
+    fingerprint = Printf.sprintf "bench-%d|O2|0x1p+0|code.heap.stack|none" i;
+    base_seed = Int64.of_int (1000 + i);
+    runs = 30;
+    completed = 28 + (i mod 2);
+    censored = 2 - (i mod 2);
+    mean = 0.00123 +. (0.0001 *. float_of_int i);
+    sd = 1.7e-5;
+    min = 0.0011;
+    max = 0.0014;
+    skewness = -0.12;
+    kurtosis = 0.34;
+    detectable_effect = 0.71;
+    verdict = "enough-runs";
+  }
+
+let ledger_round_trip () =
+  with_temp (fun path ->
+      let entries = List.init 3 sample_entry in
+      (* append builds the file one entry at a time, returning 0-based
+         sequence numbers. *)
+      List.iteri
+        (fun i e ->
+          match Ledger.append path e with
+          | Ok seq -> check_int "sequence number" i seq
+          | Error err -> Alcotest.failf "append: %s" err)
+        entries;
+      (match Ledger.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok got -> check_bool "entries round-trip bit-exactly" true (got = entries));
+      (* Payload round-trip is exact even for awkward floats. *)
+      let e =
+        { (sample_entry 0) with Ledger.mean = 0.1; sd = Float.min_float }
+      in
+      match Ledger.entry_of_payload (Ledger.entry_to_payload e) with
+      | Error err -> Alcotest.failf "payload: %s" err
+      | Ok e' -> check_bool "hex floats are bit-exact" true (e = e'))
+
+let ledger_refuses_corrupt_append () =
+  with_temp (fun path ->
+      (match Ledger.append path (sample_entry 0) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "append: %s" e);
+      let full = read_file path in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full - 3));
+      close_out oc;
+      (* A damaged ledger must be repaired explicitly, never silently
+         truncated by the next append. *)
+      check_bool "append refuses a corrupt ledger" true
+        (Result.is_error (Ledger.append path (sample_entry 1))))
+
+let ledger_truncation_fuzz () =
+  (* Cut the ledger at EVERY byte offset: [recover] must never raise
+     and must only ever salvage an entry prefix. *)
+  with_temp (fun path ->
+      let entries = List.init 4 sample_entry in
+      Ledger.write path entries;
+      let full = read_file path in
+      for len = 0 to String.length full do
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 len);
+        close_out oc;
+        match Ledger.recover path with
+        | exception e ->
+            Alcotest.failf "truncate@%d raised %s" len (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, note) ->
+            check_bool (Printf.sprintf "truncate@%d: prefix" len) true
+              (is_prefix got entries);
+            (* A silent (un-noted) salvage is only acceptable when the
+               cut landed exactly on a record boundary — i.e. the
+               surviving bytes re-serialize to exactly the truncated
+               file, which is indistinguishable from a shorter ledger. *)
+            if len < String.length full && note = None then
+              check_string
+                (Printf.sprintf "truncate@%d: clean salvage is a boundary" len)
+                (String.sub full 0 len)
+                (A.container ~kind:Ledger.kind
+                   (List.map
+                      (fun e -> ("campaign", Ledger.entry_to_payload e))
+                      got))
+      done)
+
+let ledger_bit_flip_fuzz () =
+  (* Flip one bit at EVERY byte offset: [recover] never raises and
+     salvages only prefixes; strict [load] never accepts a changed
+     parse. *)
+  with_temp (fun path ->
+      let entries = List.init 3 sample_entry in
+      Ledger.write path entries;
+      let full = read_file path in
+      for i = 0 to String.length full - 1 do
+        let b = Bytes.of_string full in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+        let oc = open_out_bin path in
+        output_string oc (Bytes.to_string b);
+        close_out oc;
+        (match Ledger.recover path with
+        | exception e ->
+            Alcotest.failf "flip@%d raised %s" i (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, _) ->
+            check_bool (Printf.sprintf "flip@%d: prefix" i) true
+              (is_prefix got entries));
+        match Ledger.load path with
+        | exception e ->
+            Alcotest.failf "strict flip@%d raised %s" i (Printexc.to_string e)
+        | Ok got ->
+            (* Flips in cosmetic header whitespace cannot change the
+               parse; anywhere else the CRC catches them. *)
+            check_bool (Printf.sprintf "strict flip@%d equals original" i) true
+              (got = entries)
+        | Error _ -> ()
+      done)
+
 let () =
   Alcotest.run "store"
     [
@@ -424,5 +548,15 @@ let () =
             derived_state_resume_identity;
           Alcotest.test_case "campaign survives storage faults" `Quick
             campaign_survives_storage_faults;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "round-trip + sequence" `Quick ledger_round_trip;
+          Alcotest.test_case "append refuses corruption" `Quick
+            ledger_refuses_corrupt_append;
+          Alcotest.test_case "truncation fuzz (every offset)" `Quick
+            ledger_truncation_fuzz;
+          Alcotest.test_case "bit-flip fuzz (every offset)" `Quick
+            ledger_bit_flip_fuzz;
         ] );
     ]

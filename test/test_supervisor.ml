@@ -325,15 +325,56 @@ let report_campaign_line_and_csv () =
     (String.length line > 0
     && s.S.Supervisor.runs = List.length c.S.Supervisor.records);
   let csv = S.Report.csv_of_campaign c in
-  let rows = String.split_on_char '\n' (String.trim csv) in
+  let all_rows = String.split_on_char '\n' (String.trim csv) in
+  (* Data rows exclude the '#'-prefixed power footer comments. *)
+  let rows =
+    List.filter
+      (fun r -> String.length r = 0 || r.[0] <> '#')
+      all_rows
+  in
   check_int "one row per run + header" (s.S.Supervisor.runs + 1)
     (List.length rows);
+  (if s.S.Supervisor.completed >= 1 then
+     check_bool "power footer present" true
+       (List.exists
+          (fun r -> String.length r > 0 && r.[0] = '#')
+          all_rows));
   check_bool "header names outcome" true
     (match rows with
     | header :: _ ->
         String.length header >= 7
         && List.mem "outcome" (String.split_on_char ',' header)
     | [] -> false)
+
+let report_csv_header_golden () =
+  (* Pin the exact header and its arity against the rows: external
+     analysis pipelines parse these columns by name and by position, so
+     any drift must be a deliberate, test-visible change. *)
+  let expected_header =
+    "run,seed,retries,outcome,cycles,seconds,value,l1i_misses,l1d_misses,\
+     l2_misses,l3_misses,itlb_misses,dtlb_misses,branch_mispredictions,\
+     epochs,relocations"
+  in
+  let c = campaign ~runs:6 ~seed:43 F.none in
+  let csv = S.Report.csv_of_campaign c in
+  let rows =
+    List.filter
+      (fun r -> String.length r > 0 && r.[0] <> '#')
+      (String.split_on_char '\n' (String.trim csv))
+  in
+  match rows with
+  | [] -> Alcotest.fail "empty csv"
+  | header :: data ->
+      Alcotest.(check string) "header is pinned" expected_header header;
+      let arity s = List.length (String.split_on_char ',' s) in
+      check_int "header arity" 16 (arity header);
+      (* 7 identity/measurement columns + 7 counter + epochs + relocations
+         = 9 columns after value. *)
+      check_int "counter columns after value" 9 (arity header - 7);
+      List.iter
+        (fun row ->
+          check_int "row arity matches header" (arity header) (arity row))
+        data
 
 (* ------------------------------------------------------------------ *)
 (* Profiles and JSON plumbing                                          *)
@@ -434,6 +475,8 @@ let () =
         [
           Alcotest.test_case "campaign line + csv" `Quick
             report_campaign_line_and_csv;
+          Alcotest.test_case "csv header golden" `Quick
+            report_csv_header_golden;
         ] );
       ( "plumbing",
         [
