@@ -1386,7 +1386,302 @@ let selftest_cmd =
           Exit 0 on pass, 3 on failure.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* szc remote: client for the szcd campaign daemon                     *)
+(* ------------------------------------------------------------------ *)
+
+let remote_socket_term =
+  Arg.(
+    value
+    & opt string (Filename.concat (Filename.get_temp_dir_name ()) "szcd.sock")
+    & info [ "socket" ] ~docv:"PATH" ~doc:"szcd Unix-domain socket.")
+
+let deadline_term =
+  Arg.(
+    value & opt float 600.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Overall deadline: connection retries, reconnects and waits all \
+           stop once this many seconds have elapsed.")
+
+let retry_seed_term =
+  Arg.(
+    value & opt int 1
+    & info [ "retry-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the reconnect-backoff jitter stream — deterministic per \
+           seed, decorrelated across clients.")
+
+let tenant_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TENANT" ~doc:"Tenant name.")
+
+let id_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"ID" ~doc:"Campaign id.")
+
+let remote_deadline deadline = Unix.gettimeofday () +. deadline
+
+let remote_rpc ~socket ~deadline ~seed req =
+  let deadline = remote_deadline deadline in
+  let seed = Int64.of_int seed in
+  match Stz_daemon.Client.connect ~socket ~deadline ~seed () with
+  | Error e -> Error e
+  | Ok t ->
+      let r = Stz_daemon.Client.rpc t ~deadline req in
+      Stz_daemon.Client.close t;
+      r
+
+let print_response = function
+  | Stz_daemon.Protocol.Pong -> Printf.printf "pong\n"
+  | Stz_daemon.Protocol.Accepted { id; state } ->
+      Printf.printf "accepted %s (%s)\n" id state
+  | Stz_daemon.Protocol.Rejected { reason } -> Printf.printf "rejected: %s\n" reason
+  | Stz_daemon.Protocol.Status_is { state; completed; runs; exit_code } ->
+      Printf.printf "state %s, runs %d/%d%s\n" state completed runs
+        (match exit_code with
+        | Some c -> Printf.sprintf ", exit %d" c
+        | None -> "")
+  | Stz_daemon.Protocol.Draining { in_flight } ->
+      Printf.printf "draining (%d in flight)\n" in_flight
+  | Stz_daemon.Protocol.Cancelled -> Printf.printf "cancelled\n"
+  | Stz_daemon.Protocol.Summary { exit_code; line } ->
+      Printf.printf "%s (exit %d)\n" line exit_code
+  | Stz_daemon.Protocol.Progress { run; line } ->
+      Printf.printf "run %d: %s\n" run line
+  | Stz_daemon.Protocol.Error_frame msg -> Printf.printf "protocol error: %s\n" msg
+
+let remote_submit_cmd =
+  let run socket deadline retry_seed tenant id bench runs seed scale opt_s
+      faults storage_faults storage_seed retries min_n ledger trace wait quiet =
+    let spec =
+      {
+        Stz_daemon.Spool.bench;
+        runs;
+        seed;
+        scale;
+        opt = opt_s;
+        faults;
+        storage_faults;
+        storage_seed;
+        retries;
+        min_n;
+        ledger;
+        trace;
+      }
+    in
+    match Stz_daemon.Spool.validate spec with
+    | Error e ->
+        Printf.eprintf "szc remote submit: %s\n" e;
+        1
+    | Ok () ->
+        if not wait then (
+          match
+            remote_rpc ~socket ~deadline ~seed:retry_seed
+              (Stz_daemon.Protocol.Submit { tenant; id; spec })
+          with
+          | Ok resp ->
+              print_response resp;
+              (match resp with
+              | Stz_daemon.Protocol.Accepted _ -> 0
+              | Stz_daemon.Protocol.Rejected _ -> 2
+              | _ -> 1)
+          | Error e ->
+              Printf.eprintf "szc remote submit: %s\n" e;
+              1)
+        else (
+          match
+            Stz_daemon.Client.submit_and_wait ~socket
+              ~deadline:(remote_deadline deadline)
+              ~seed:(Int64.of_int retry_seed) ~tenant ~id ~spec
+              ~progress:(fun _ line ->
+                if not quiet then Printf.printf "%s\n%!" line)
+          with
+          | Ok (exit_code, line) ->
+              Printf.printf "%s\n" line;
+              exit_code
+          | Error e ->
+              Printf.eprintf "szc remote submit: %s\n" e;
+              1)
+  in
+  let term =
+    Term.(
+      const run $ remote_socket_term $ deadline_term $ retry_seed_term
+      $ tenant_arg $ id_arg
+      $ Arg.(
+          required & pos 2 (some string) None
+          & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
+      $ runs_term $ seed_term $ scale_term
+      $ Arg.(
+          value & opt string "O2"
+          & info [ "O"; "opt" ] ~docv:"LEVEL" ~doc:"Optimization level (O0..O3).")
+      $ Arg.(
+          value & opt string "none"
+          & info [ "faults" ] ~docv:"PROFILE" ~doc:"Run fault profile.")
+      $ Arg.(
+          value & opt string "none"
+          & info [ "storage-faults" ] ~docv:"PROFILE"
+              ~doc:"Storage fault profile for the runner's artifact writes.")
+      $ storage_seed_term $ retries_term $ min_n_term
+      $ flag [ "ledger" ]
+          "Append a history ledger entry in the campaign's spool directory \
+           (arms the monitor, as `szc campaign --ledger' does)."
+      $ flag [ "trace" ] "Export a Chrome trace into the spool directory."
+      $ flag [ "wait" ]
+          "Follow the campaign to completion and exit with its campaign \
+           exit code; reconnects (idempotent resubmit + re-attach) across \
+           daemon restarts."
+      $ flag [ "quiet" ] "With --wait, suppress per-run progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to szcd. Resubmitting the same TENANT ID with \
+          the same spec is idempotent; a different spec is rejected.")
+    term
+
+let remote_attach_cmd =
+  let run socket deadline retry_seed tenant id from_run quiet =
+    let deadline = remote_deadline deadline in
+    let seed = Int64.of_int retry_seed in
+    let next_run = ref from_run in
+    let rec session attempt =
+      if Unix.gettimeofday () > deadline then Error "deadline exceeded"
+      else
+        match Stz_daemon.Client.connect ~socket ~deadline ~seed () with
+        | Error e -> Error e
+        | Ok t -> (
+            let retry _reason =
+              Stz_daemon.Client.close t;
+              Unix.sleepf 0.2;
+              session (attempt + 1)
+            in
+            match
+              Stz_daemon.Client.send t
+                (Stz_daemon.Protocol.Stream { tenant; id; from_run = !next_run })
+            with
+            | Error e -> retry e
+            | Ok () ->
+                let rec follow () =
+                  match Stz_daemon.Client.read_response t ~deadline with
+                  | Error e -> retry e
+                  | Ok (Stz_daemon.Protocol.Progress { run; line }) ->
+                      if run >= !next_run then begin
+                        if not quiet then Printf.printf "%s\n%!" line;
+                        next_run := run + 1
+                      end;
+                      follow ()
+                  | Ok (Stz_daemon.Protocol.Summary { exit_code; line }) ->
+                      Stz_daemon.Client.close t;
+                      Printf.printf "%s\n" line;
+                      Ok exit_code
+                  | Ok Stz_daemon.Protocol.Cancelled ->
+                      Stz_daemon.Client.close t;
+                      Printf.printf "campaign cancelled\n";
+                      Ok 1
+                  | Ok (Stz_daemon.Protocol.Rejected { reason }) ->
+                      Stz_daemon.Client.close t;
+                      Error reason
+                  | Ok (Stz_daemon.Protocol.Error_frame msg) ->
+                      Stz_daemon.Client.close t;
+                      Error ("protocol error: " ^ msg)
+                  | Ok _ -> follow ()
+                in
+                follow ())
+    in
+    match session 0 with
+    | Ok code -> code
+    | Error e ->
+        Printf.eprintf "szc remote attach: %s\n" e;
+        1
+  in
+  let term =
+    Term.(
+      const run $ remote_socket_term $ deadline_term $ retry_seed_term
+      $ tenant_arg $ id_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "from-run" ] ~docv:"N"
+              ~doc:"Replay finished runs from $(docv) before following live.")
+      $ flag [ "quiet" ] "Suppress per-run progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "attach"
+       ~doc:
+         "Attach to a running (or finished) campaign's progress stream, \
+          reconnecting across daemon restarts; exits with the campaign's \
+          exit code.")
+    term
+
+let remote_simple name doc req ok_of =
+  let run socket deadline retry_seed tenant id =
+    match remote_rpc ~socket ~deadline ~seed:retry_seed (req ~tenant ~id) with
+    | Ok resp ->
+        print_response resp;
+        ok_of resp
+    | Error e ->
+        Printf.eprintf "szc remote %s: %s\n" name e;
+        1
+  in
+  let term =
+    Term.(
+      const run $ remote_socket_term $ deadline_term $ retry_seed_term
+      $ tenant_arg $ id_arg)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let remote_status_cmd =
+  remote_simple "status" "Query a campaign's state."
+    (fun ~tenant ~id -> Stz_daemon.Protocol.Status { tenant; id })
+    (function Stz_daemon.Protocol.Status_is _ -> 0 | _ -> 1)
+
+let remote_cancel_cmd =
+  remote_simple "cancel"
+    "Cancel a running campaign (it checkpoints and stops at the next batch \
+     boundary)."
+    (fun ~tenant ~id -> Stz_daemon.Protocol.Cancel { tenant; id })
+    (function Stz_daemon.Protocol.Cancelled -> 0 | _ -> 1)
+
+let remote_noarg name doc req ok_of =
+  let run socket deadline retry_seed =
+    match remote_rpc ~socket ~deadline ~seed:retry_seed req with
+    | Ok resp ->
+        print_response resp;
+        ok_of resp
+    | Error e ->
+        Printf.eprintf "szc remote %s: %s\n" name e;
+        1
+  in
+  let term =
+    Term.(const run $ remote_socket_term $ deadline_term $ retry_seed_term)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let remote_ping_cmd =
+  remote_noarg "ping" "Check the daemon is alive." Stz_daemon.Protocol.Ping
+    (function Stz_daemon.Protocol.Pong -> 0 | _ -> 1)
+
+let remote_drain_cmd =
+  remote_noarg "drain"
+    "Ask the daemon to drain: stop admitting, checkpoint every in-flight \
+     campaign, exit 0."
+    Stz_daemon.Protocol.Drain
+    (function Stz_daemon.Protocol.Draining _ -> 0 | _ -> 1)
+
+let remote_cmd =
+  Cmd.group
+    (Cmd.info "remote"
+       ~doc:
+         "Talk to a szcd campaign daemon: submit/status/attach/cancel/\
+          drain/ping with deadline, exponential backoff and deterministic \
+          jitter.")
+    [
+      remote_submit_cmd; remote_status_cmd; remote_attach_cmd;
+      remote_cancel_cmd; remote_drain_cmd; remote_ping_cmd;
+    ]
+
 let () =
+  (* A peer (daemon socket, pipe, pager) dying mid-write must surface
+     as EPIPE and a censoring event, never kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let info =
     Cmd.info "szc" ~version:"1.0.0"
       ~doc:"STABILIZER driver: run simulated benchmarks under layout randomization."
@@ -1401,7 +1696,7 @@ let () =
          [
            list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
            disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; fsck_cmd;
-           exec_cmd; power_cmd; history_cmd; regress_cmd;
+           exec_cmd; power_cmd; history_cmd; regress_cmd; remote_cmd;
          ])
   with
   | Ok (`Ok code) -> exit code

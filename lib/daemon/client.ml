@@ -1,0 +1,168 @@
+type t = { fd : Unix.file_descr; dec : Wire.decoder }
+
+let ( let* ) = Result.bind
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Deterministic jitter: attempt [k] of the stream seeded [seed] always
+   sleeps the same amount — reproducible in tests, decorrelated across
+   clients with different seeds. *)
+let backoff_delay ~seed ~attempt =
+  let base = Stdlib.min 1.0 (0.05 *. (2.0 ** float_of_int attempt)) in
+  let g = Stz_prng.Splitmix.create (Int64.add seed (Int64.of_int attempt)) in
+  let bits = Int64.to_int (Int64.logand (Stz_prng.Splitmix.next g) 0xFFFFL) in
+  let jitter = float_of_int bits /. 65536.0 *. 0.25 *. base in
+  base +. jitter
+
+let transient = function
+  | Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.ECONNRESET
+  | Unix.EINTR ->
+      true
+  | _ -> false
+
+let connect ~socket ~deadline ~seed () =
+  let rec attempt k =
+    if Unix.gettimeofday () > deadline then
+      Error (Printf.sprintf "deadline exceeded connecting to %s" socket)
+    else
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match restart_on_eintr (fun () -> Unix.connect fd (Unix.ADDR_UNIX socket)) with
+      | () -> (
+          match
+            let greeting = Wire.greeting in
+            let rec write_all off =
+              if off < String.length greeting then
+                write_all
+                  (off
+                  + restart_on_eintr (fun () ->
+                        Unix.write_substring fd greeting off
+                          (String.length greeting - off)))
+            in
+            write_all 0
+          with
+          | () -> Ok { fd; dec = Wire.create ~expect_greeting:true }
+          | exception Unix.Unix_error (e, _, _) when transient e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Unix.sleepf (backoff_delay ~seed ~attempt:k);
+              attempt (k + 1))
+      | exception Unix.Unix_error (e, _, _) when transient e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf (backoff_delay ~seed ~attempt:k);
+          attempt (k + 1)
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message e))
+  in
+  attempt 0
+
+let send t req =
+  let bytes = Protocol.request_to_frame req in
+  let len = String.length bytes in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match
+        restart_on_eintr (fun () -> Unix.write_substring t.fd bytes off (len - off))
+      with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error ("send failed: " ^ Unix.error_message e)
+  in
+  go 0
+
+let read_response t ~deadline =
+  let buf = Bytes.create 65536 in
+  let rec step () =
+    match Wire.next t.dec with
+    | Some (Wire.Frame { verb; payload }) ->
+        Protocol.response_of_frame ~verb ~payload
+    | Some (Wire.Corrupt msg) -> Error ("corrupt frame from daemon: " ^ msg)
+    | None -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then Error "deadline exceeded waiting for daemon"
+        else
+          match
+            restart_on_eintr (fun () -> Unix.select [ t.fd ] [] [] remaining)
+          with
+          | [], _, _ -> Error "deadline exceeded waiting for daemon"
+          | _ -> (
+              match
+                restart_on_eintr (fun () -> Unix.read t.fd buf 0 (Bytes.length buf))
+              with
+              | 0 -> Error "daemon closed the connection"
+              | n ->
+                  Wire.feed t.dec (Bytes.sub_string buf 0 n);
+                  step ()
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error ("read failed: " ^ Unix.error_message e)))
+  in
+  step ()
+
+let rpc t ~deadline req =
+  let* () = send t req in
+  read_response t ~deadline
+
+let submit_and_wait ~socket ~deadline ~seed ~tenant ~id ~spec ~progress =
+  (* [next_run] makes the feed exactly-once across reconnects: every
+     re-attach streams from the first run we have not yet seen. *)
+  let next_run = ref 0 in
+  let rec session k =
+    if Unix.gettimeofday () > deadline then Error "deadline exceeded"
+    else
+      let retry reason =
+        Unix.sleepf (backoff_delay ~seed ~attempt:k);
+        ignore reason;
+        session (k + 1)
+      in
+      match connect ~socket ~deadline ~seed:(Int64.add seed 0x5e55L) () with
+      | Error e -> Error e
+      | Ok t -> (
+          let finish r =
+            close t;
+            r
+          in
+          match rpc t ~deadline (Protocol.Submit { tenant; id; spec }) with
+          | Error e -> finish () |> fun () -> retry e
+          | Ok (Protocol.Rejected { reason })
+            when reason = "daemon is draining" ->
+              (* The daemon is going down; a successor will pick the
+                 spool up. Keep trying until the deadline. *)
+              finish () |> fun () -> retry reason
+          | Ok (Protocol.Rejected { reason }) ->
+              finish (Error ("rejected: " ^ reason))
+          | Ok (Protocol.Accepted _) -> (
+              match
+                send t (Protocol.Stream { tenant; id; from_run = !next_run })
+              with
+              | Error e -> finish () |> fun () -> retry e
+              | Ok () ->
+                  let rec follow () =
+                    match read_response t ~deadline with
+                    | Error e -> finish () |> fun () -> retry e
+                    | Ok (Protocol.Progress { run; line }) ->
+                        if run >= !next_run then begin
+                          progress run line;
+                          next_run := run + 1
+                        end;
+                        follow ()
+                    | Ok (Protocol.Summary { exit_code; line }) ->
+                        finish (Ok (exit_code, line))
+                    | Ok Protocol.Cancelled ->
+                        finish (Error "campaign was cancelled")
+                    | Ok (Protocol.Rejected { reason }) ->
+                        finish (Error ("rejected: " ^ reason))
+                    | Ok (Protocol.Error_frame msg) ->
+                        finish (Error ("protocol error: " ^ msg))
+                    | Ok _ -> follow ()
+                  in
+                  follow ())
+          | Ok (Protocol.Error_frame msg) ->
+              finish (Error ("protocol error: " ^ msg))
+          | Ok _ -> finish () |> fun () -> retry "unexpected reply")
+  in
+  session 0

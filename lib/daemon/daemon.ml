@@ -1,0 +1,616 @@
+type config = {
+  socket : string;
+  spool : string;
+  limits : Quota.limits;
+  slots : int;
+  quantum : int;
+  verbose : bool;
+}
+
+let default_config ~socket ~spool =
+  {
+    socket;
+    spool;
+    limits = Quota.default_limits;
+    slots = 4;
+    quantum = 2;
+    verbose = false;
+  }
+
+let max_restarts = 3
+
+type client = {
+  c_fd : Unix.file_descr;
+  mutable dec : Wire.decoder;
+  mutable watching : string option;  (** runner key *)
+  mutable alive : bool;
+}
+
+type runner_state = {
+  key : string;
+  tenant : string;
+  id : string;
+  r_dir : string;
+  r_spec : Spool.spec;
+  pid : int;
+  grant_w : Unix.file_descr;
+  event_r : Unix.file_descr;
+  mutable completed : int;
+  mutable log : (int * string) list;  (** newest first *)
+  mutable finished : (int * string) option;  (** Finished event payload *)
+  mutable cancelling : bool;
+  mutable restarts : int;
+}
+
+(* A finished campaign this daemon still remembers: lets status/stream
+   answer without a runner. Spool results survive restarts; this cache
+   additionally keeps the summary line and the progress log. *)
+type done_state = { d_exit : int; d_line : string; d_log : (int * string) list }
+
+type state = {
+  cfg : config;
+  quota : Quota.t;
+  sched : Sched.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable clients : client list;
+  mutable runners : runner_state list;
+  done_cache : (string, done_state) Hashtbl.t;
+  mutable draining : bool;
+}
+
+let log_line st fmt =
+  Printf.ksprintf
+    (fun s -> if st.cfg.verbose then Printf.eprintf "szcd: %s\n%!" s)
+    fmt
+
+let key_of ~tenant ~id = tenant ^ "/" ^ id
+
+let rec mkdir_p path =
+  if path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Client IO                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let detach st c =
+  if c.alive then begin
+    c.alive <- false;
+    (match c.watching with
+    | Some key -> log_line st "client detached from %s (campaign keeps running)" key
+    | None -> ());
+    c.watching <- None;
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+  end
+
+(* A dead or wedged client never takes the daemon down: EPIPE /
+   ECONNRESET / EAGAIN-on-a-full-buffer all just detach the client. *)
+let client_write st c bytes =
+  if c.alive then
+    try
+      let len = String.length bytes in
+      let rec go off =
+        if off < len then
+          let n =
+            restart_on_eintr (fun () ->
+                Unix.write_substring c.c_fd bytes off (len - off))
+          in
+          go (off + n)
+      in
+      go 0
+    with Unix.Unix_error _ -> detach st c
+
+let respond st c resp = client_write st c (Protocol.response_to_frame resp)
+
+(* ---------------------------------------------------------------- *)
+(* Runners                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let watchers st key =
+  List.filter (fun c -> c.alive && c.watching = Some key) st.clients
+
+let spawn_runner st ~tenant ~id ~dir ~spec ~resume ~disarm_storage ~restarts =
+  let grant_r, grant_w = Unix.pipe () in
+  let event_r, event_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* Child: drop every daemon fd so a dead daemon leaves no open
+         client sockets behind, then become the runner. *)
+      (try Unix.close grant_w with Unix.Unix_error _ -> ());
+      (try Unix.close event_r with Unix.Unix_error _ -> ());
+      (match st.listen_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      List.iter
+        (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+        st.clients;
+      List.iter
+        (fun r ->
+          (try Unix.close r.grant_w with Unix.Unix_error _ -> ());
+          try Unix.close r.event_r with Unix.Unix_error _ -> ())
+        st.runners;
+      Runner.exec ~grant_r ~event_w ~dir ~spec ~resume ~disarm_storage
+  | pid ->
+      Unix.close grant_r;
+      Unix.close event_w;
+      Spool.write_pid ~dir pid;
+      let key = key_of ~tenant ~id in
+      Sched.register st.sched ~key;
+      let r =
+        {
+          key;
+          tenant;
+          id;
+          r_dir = dir;
+          r_spec = spec;
+          pid;
+          grant_w;
+          event_r;
+          completed = 0;
+          log = [];
+          finished = None;
+          cancelling = false;
+          restarts;
+        }
+      in
+      st.runners <- st.runners @ [ r ];
+      log_line st "spawned runner pid %d for %s (resume=%b)" pid key resume;
+      r
+
+let find_runner st key = List.find_opt (fun r -> r.key = key) st.runners
+
+let release_runner st r =
+  Sched.unregister st.sched ~key:r.key;
+  Quota.release st.quota ~tenant:r.tenant ~runs:r.r_spec.Spool.runs;
+  (try Unix.close r.grant_w with Unix.Unix_error _ -> ());
+  (try Unix.close r.event_r with Unix.Unix_error _ -> ());
+  Spool.clear_pid ~dir:r.r_dir;
+  st.runners <- List.filter (fun x -> x.key <> r.key) st.runners
+
+(* EOF on the event pipe: the runner exited. Decide what that means. *)
+let reap_runner st r =
+  let status =
+    match restart_on_eintr (fun () -> Unix.waitpid [] r.pid) with
+    | _, s -> Some s
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+  in
+  release_runner st r;
+  let finished_payload =
+    match r.finished with
+    | Some (code, line) -> Some (code, line)
+    | None -> (
+        (* The Finished event can be lost to a crash after the result
+           record was already durable; trust the spool. *)
+        match Spool.read_result ~dir:r.r_dir with
+        | Ok (Spool.Finished code) -> Some (code, "campaign finished")
+        | Ok Spool.Cancelled -> Some (1, "campaign cancelled")
+        | Error _ -> None)
+  in
+  match finished_payload with
+  | Some (code, line) ->
+      Hashtbl.replace st.done_cache r.key
+        { d_exit = code; d_line = line; d_log = r.log };
+      log_line st "%s finished (exit %d)" r.key code
+  | None when r.cancelling ->
+      Spool.write_result ~dir:r.r_dir Spool.Cancelled;
+      Hashtbl.replace st.done_cache r.key
+        { d_exit = 1; d_line = "campaign cancelled"; d_log = r.log };
+      List.iter (fun c -> respond st c Protocol.Cancelled) (watchers st r.key);
+      log_line st "%s cancelled" r.key
+  | None when st.draining ->
+      (* Drained: checkpointed and resumable; the next daemon picks it
+         up from the spool. *)
+      log_line st "%s drained (checkpointed, resumable)" r.key
+  | None ->
+      (* Unexpected death (crash, OOM-kill, chaos). Restart from the
+         checkpoint, faults disarmed — bounded, then fail the
+         campaign. *)
+      let stat_str =
+        match status with
+        | Some (Unix.WEXITED n) -> Printf.sprintf "exit %d" n
+        | Some (Unix.WSIGNALED n) -> Printf.sprintf "signal %d" n
+        | Some (Unix.WSTOPPED n) -> Printf.sprintf "stopped %d" n
+        | None -> "unknown status"
+      in
+      if r.restarts < max_restarts then begin
+        log_line st "%s runner died (%s); restarting (%d/%d)" r.key stat_str
+          (r.restarts + 1) max_restarts;
+        (match Quota.admit st.quota ~tenant:r.tenant ~runs:r.r_spec.Spool.runs with
+        | Ok () | Error _ -> ());
+        ignore (Spool.repair ~dir:r.r_dir);
+        let nr =
+          spawn_runner st ~tenant:r.tenant ~id:r.id ~dir:r.r_dir
+            ~spec:r.r_spec ~resume:true ~disarm_storage:true
+            ~restarts:(r.restarts + 1)
+        in
+        nr.completed <- r.completed;
+        nr.log <- r.log
+      end
+      else begin
+        log_line st "%s runner died (%s); restart budget exhausted" r.key
+          stat_str;
+        Spool.write_result ~dir:r.r_dir (Spool.Finished 3);
+        let line = "campaign aborted: runner kept dying" in
+        Hashtbl.replace st.done_cache r.key
+          { d_exit = 3; d_line = line; d_log = r.log };
+        List.iter
+          (fun c -> respond st c (Protocol.Summary { exit_code = 3; line }))
+          (watchers st r.key)
+      end
+
+let handle_runner_event st r =
+  match Runner.read_event r.event_r with
+  | None -> reap_runner st r
+  | Some (Runner.Want n) -> Sched.want st.sched ~key:r.key n
+  | Some (Runner.Freed n) -> Sched.free st.sched ~key:r.key n
+  | Some (Runner.Progress { run; line }) ->
+      r.completed <- r.completed + 1;
+      r.log <- (run, line) :: r.log;
+      List.iter
+        (fun c -> respond st c (Protocol.Progress { run; line }))
+        (watchers st r.key)
+  | Some (Runner.Finished { exit_code; line }) ->
+      r.finished <- Some (exit_code, line);
+      List.iter
+        (fun c -> respond st c (Protocol.Summary { exit_code; line }))
+        (watchers st r.key)
+
+let scheduler_pass st =
+  if st.draining then
+    (* Drain: every request is answered with Stop; runners exit at
+       their next batch boundary, checkpointed. *)
+    List.iter
+      (fun r -> ignore (Runner.send_grant r.grant_w Runner.Stop))
+      st.runners
+  else
+    List.iter
+      (fun (key, n) ->
+        match find_runner st key with
+        | Some r ->
+            if not (Runner.send_grant r.grant_w (Runner.Grant n)) then
+              (* Runner gone; give the slots back now, the EOF follows. *)
+              Sched.free st.sched ~key n
+        | None -> Sched.free st.sched ~key n)
+      (Sched.grants st.sched)
+
+(* ---------------------------------------------------------------- *)
+(* Requests                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let campaign_status st ~tenant ~id =
+  let key = key_of ~tenant ~id in
+  match find_runner st key with
+  | Some r ->
+      Protocol.Status_is
+        {
+          state = "running";
+          completed = r.completed;
+          runs = r.r_spec.Spool.runs;
+          exit_code = None;
+        }
+  | None -> (
+      let dir = Spool.dir ~spool:st.cfg.spool ~tenant ~id in
+      match Spool.read_result ~dir with
+      | Ok outcome ->
+          let exit_code =
+            match outcome with Spool.Finished c -> Some c | Spool.Cancelled -> None
+          in
+          let runs, completed =
+            match Spool.read_manifest ~dir with
+            | Ok spec -> (spec.Spool.runs, spec.Spool.runs)
+            | Error _ -> (0, 0)
+          in
+          Protocol.Status_is
+            { state = Spool.outcome_state outcome; completed; runs; exit_code }
+      | Error _ ->
+          if Sys.file_exists (Spool.manifest_path dir) then
+            let runs =
+              match Spool.read_manifest ~dir with
+              | Ok spec -> spec.Spool.runs
+              | Error _ -> 0
+            in
+            Protocol.Status_is
+              { state = "interrupted"; completed = 0; runs; exit_code = None }
+          else
+            Protocol.Status_is
+              { state = "unknown"; completed = 0; runs = 0; exit_code = None })
+
+let resume_interrupted st ~tenant ~id ~dir ~spec =
+  match Quota.admit st.quota ~tenant ~runs:spec.Spool.runs with
+  | Error reason -> Protocol.Rejected { reason }
+  | Ok () ->
+      List.iter (fun n -> log_line st "repair: %s" n) (Spool.repair ~dir);
+      ignore
+        (spawn_runner st ~tenant ~id ~dir ~spec ~resume:true
+           ~disarm_storage:true ~restarts:0);
+      Protocol.Accepted { id; state = "resumed" }
+
+let handle_submit st ~tenant ~id ~spec =
+  if st.draining then Protocol.Rejected { reason = "daemon is draining" }
+  else
+    let key = key_of ~tenant ~id in
+    let dir = Spool.dir ~spool:st.cfg.spool ~tenant ~id in
+    if Sys.file_exists (Spool.manifest_path dir) then
+      match Spool.read_manifest ~dir with
+      | Error e ->
+          Protocol.Rejected { reason = "spooled manifest unreadable: " ^ e }
+      | Ok existing ->
+          if existing <> spec then
+            Protocol.Rejected
+              { reason = "campaign id already exists with a different spec" }
+          else if find_runner st key <> None then
+            (* Idempotent resubmit of a running campaign. *)
+            Protocol.Accepted { id; state = "running" }
+          else (
+            match Spool.read_result ~dir with
+            | Ok outcome ->
+                Protocol.Accepted { id; state = Spool.outcome_state outcome }
+            | Error _ -> resume_interrupted st ~tenant ~id ~dir ~spec)
+    else
+      match Spool.validate spec with
+      | Error reason -> Protocol.Rejected { reason }
+      | Ok () -> (
+          match Quota.admit st.quota ~tenant ~runs:spec.Spool.runs with
+          | Error reason -> Protocol.Rejected { reason }
+          | Ok () ->
+              Spool.write_manifest ~dir spec;
+              ignore
+                (spawn_runner st ~tenant ~id ~dir ~spec ~resume:false
+                   ~disarm_storage:false ~restarts:0);
+              Protocol.Accepted { id; state = "running" })
+
+let handle_stream st c ~tenant ~id ~from_run =
+  let key = key_of ~tenant ~id in
+  match find_runner st key with
+  | Some r ->
+      c.watching <- Some key;
+      List.iter
+        (fun (run, line) ->
+          if run >= from_run then respond st c (Protocol.Progress { run; line }))
+        (List.rev r.log);
+      (match r.finished with
+      | Some (exit_code, line) ->
+          respond st c (Protocol.Summary { exit_code; line })
+      | None -> ())
+  | None -> (
+      match Hashtbl.find_opt st.done_cache key with
+      | Some d ->
+          List.iter
+            (fun (run, line) ->
+              if run >= from_run then
+                respond st c (Protocol.Progress { run; line }))
+            (List.rev d.d_log);
+          respond st c (Protocol.Summary { exit_code = d.d_exit; line = d.d_line })
+      | None -> (
+          let dir = Spool.dir ~spool:st.cfg.spool ~tenant ~id in
+          match Spool.read_result ~dir with
+          | Ok (Spool.Finished code) ->
+              respond st c
+                (Protocol.Summary { exit_code = code; line = "campaign finished" })
+          | Ok Spool.Cancelled -> respond st c Protocol.Cancelled
+          | Error _ ->
+              respond st c
+                (Protocol.Rejected { reason = "no such campaign: " ^ key })))
+
+let handle_cancel st ~tenant ~id =
+  let key = key_of ~tenant ~id in
+  match find_runner st key with
+  | Some r ->
+      r.cancelling <- true;
+      ignore (Runner.send_grant r.grant_w Runner.Stop);
+      Protocol.Cancelled
+  | None -> (
+      let dir = Spool.dir ~spool:st.cfg.spool ~tenant ~id in
+      match Spool.read_result ~dir with
+      | Ok Spool.Cancelled -> Protocol.Cancelled
+      | Ok (Spool.Finished _) ->
+          Protocol.Rejected { reason = "campaign already finished" }
+      | Error _ -> Protocol.Rejected { reason = "no such campaign: " ^ key })
+
+let start_drain st reason =
+  if not st.draining then begin
+    st.draining <- true;
+    log_line st "draining (%s): %d campaign(s) in flight" reason
+      (List.length st.runners);
+    List.iter
+      (fun r -> ignore (Runner.send_grant r.grant_w Runner.Stop))
+      st.runners
+  end
+
+let handle_request st c = function
+  | Protocol.Ping -> respond st c Protocol.Pong
+  | Protocol.Submit { tenant; id; spec } ->
+      respond st c (handle_submit st ~tenant ~id ~spec)
+  | Protocol.Status { tenant; id } -> respond st c (campaign_status st ~tenant ~id)
+  | Protocol.Stream { tenant; id; from_run } ->
+      handle_stream st c ~tenant ~id ~from_run
+  | Protocol.Cancel { tenant; id } -> respond st c (handle_cancel st ~tenant ~id)
+  | Protocol.Drain ->
+      respond st c (Protocol.Draining { in_flight = List.length st.runners });
+      start_drain st "drain request"
+
+let handle_client_bytes st c =
+  let buf = Bytes.create 65536 in
+  match restart_on_eintr (fun () -> Unix.read c.c_fd buf 0 (Bytes.length buf)) with
+  | exception Unix.Unix_error _ -> detach st c
+  | 0 -> detach st c
+  | n ->
+      Wire.feed c.dec (Bytes.sub_string buf 0 n);
+      let rec drain_events () =
+        if c.alive then
+          match Wire.next c.dec with
+          | None -> ()
+          | Some (Wire.Corrupt msg) ->
+              (* Fault isolation: a corrupt peer gets one error frame
+                 and a close; the daemon keeps serving everyone else. *)
+              respond st c (Protocol.Error_frame msg);
+              detach st c
+          | Some (Wire.Frame { verb; payload }) -> (
+              match Protocol.request_of_frame ~verb ~payload with
+              | Error msg ->
+                  respond st c (Protocol.Error_frame msg);
+                  detach st c
+              | Ok req ->
+                  handle_request st c req;
+                  drain_events ())
+      in
+      drain_events ()
+
+(* ---------------------------------------------------------------- *)
+(* Startup recovery                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let kill_stale_runner st dir =
+  match Spool.read_pid ~dir with
+  | None -> ()
+  | Some pid ->
+      (try
+         Unix.kill pid Sys.sigkill;
+         log_line st "killed stale runner pid %d (%s)" pid dir
+       with Unix.Unix_error _ -> ());
+      Spool.clear_pid ~dir
+
+let recover_spool st =
+  let entries, broken = Spool.scan ~spool:st.cfg.spool in
+  List.iter
+    (fun (dir, why) -> Printf.eprintf "szcd: spool: skipping %s: %s\n%!" dir why)
+    broken;
+  List.iter
+    (fun (e : Spool.entry) ->
+      match e.Spool.result with
+      | Some _ -> ()
+      | None ->
+          kill_stale_runner st e.Spool.entry_dir;
+          List.iter
+            (fun n -> log_line st "repair: %s" n)
+            (Spool.repair ~dir:e.Spool.entry_dir);
+          (match
+             Quota.admit st.quota ~tenant:e.Spool.tenant
+               ~runs:e.Spool.spec.Spool.runs
+           with
+          | Ok () | Error _ ->
+              (* The admission promise was made before the crash; a
+                 restart never drops it. *)
+              ());
+          ignore
+            (spawn_runner st ~tenant:e.Spool.tenant ~id:e.Spool.id
+               ~dir:e.Spool.entry_dir ~spec:e.Spool.spec ~resume:true
+               ~disarm_storage:true ~restarts:0))
+    entries
+
+(* ---------------------------------------------------------------- *)
+(* Main loop                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let drain_requested = ref false
+
+let select_with_flags read_fds timeout =
+  try Unix.select read_fds [] [] timeout
+  with Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* A signal landed (SIGTERM → drain flag); surface to the loop. *)
+    ([], [], [])
+
+let run cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  drain_requested := false;
+  let on_term = Sys.Signal_handle (fun _ -> drain_requested := true) in
+  Sys.set_signal Sys.sigterm on_term;
+  Sys.set_signal Sys.sigint on_term;
+  let st =
+    {
+      cfg;
+      quota = Quota.create cfg.limits;
+      sched = Sched.create ~quantum:cfg.quantum ~slots:cfg.slots;
+      listen_fd = None;
+      clients = [];
+      runners = [];
+      done_cache = Hashtbl.create 64;
+      draining = false;
+    }
+  in
+  match
+    mkdir_p cfg.spool;
+    Sys.is_directory cfg.spool
+  with
+  | false | (exception Sys_error _) | (exception Unix.Unix_error _) ->
+      Printf.eprintf "szcd: spool %s is unusable\n%!" cfg.spool;
+      3
+  | true -> (
+      recover_spool st;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+        Unix.bind fd (Unix.ADDR_UNIX cfg.socket);
+        Unix.listen fd 64
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "szcd: cannot listen on %s: %s\n%!" cfg.socket
+            (Unix.error_message e);
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          3
+      | () ->
+          st.listen_fd <- Some fd;
+          log_line st "listening on %s (spool %s, %d slots, quantum %d)"
+            cfg.socket cfg.spool cfg.slots cfg.quantum;
+          let running = ref true in
+          while !running do
+            if !drain_requested then start_drain st "signal";
+            if st.draining && st.runners = [] then running := false
+            else begin
+              scheduler_pass st;
+              st.clients <- List.filter (fun c -> c.alive) st.clients;
+              let fds =
+                (match st.listen_fd with
+                | Some l when not st.draining -> [ l ]
+                | _ -> [])
+                @ List.map (fun c -> c.c_fd) st.clients
+                @ List.map (fun r -> r.event_r) st.runners
+              in
+              let ready, _, _ = select_with_flags fds 0.25 in
+              List.iter
+                (fun fd_ready ->
+                  if Some fd_ready = st.listen_fd then (
+                    match restart_on_eintr (fun () -> Unix.accept fd_ready) with
+                    | exception Unix.Unix_error _ -> ()
+                    | cfd, _ ->
+                        let c =
+                          {
+                            c_fd = cfd;
+                            dec = Wire.create ~expect_greeting:true;
+                            watching = None;
+                            alive = true;
+                          }
+                        in
+                        st.clients <- st.clients @ [ c ];
+                        client_write st c Wire.greeting)
+                  else
+                    match
+                      List.find_opt (fun c -> c.c_fd = fd_ready) st.clients
+                    with
+                    | Some c -> handle_client_bytes st c
+                    | None -> (
+                        match
+                          List.find_opt
+                            (fun r -> r.event_r = fd_ready)
+                            st.runners
+                        with
+                        | Some r -> handle_runner_event st r
+                        | None -> ()))
+                ready
+            end
+          done;
+          (match st.listen_fd with
+          | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
+          | None -> ());
+          (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+          List.iter (fun c -> detach st c) st.clients;
+          log_line st "drained cleanly";
+          0)

@@ -1,0 +1,168 @@
+module Json = Stz_telemetry.Json
+
+type request =
+  | Ping
+  | Submit of { tenant : string; id : string; spec : Spool.spec }
+  | Status of { tenant : string; id : string }
+  | Stream of { tenant : string; id : string; from_run : int }
+  | Cancel of { tenant : string; id : string }
+  | Drain
+
+type response =
+  | Pong
+  | Accepted of { id : string; state : string }
+  | Rejected of { reason : string }
+  | Status_is of {
+      state : string;
+      completed : int;
+      runs : int;
+      exit_code : int option;
+    }
+  | Progress of { run : int; line : string }
+  | Summary of { exit_code : int; line : string }
+  | Draining of { in_flight : int }
+  | Cancelled
+  | Error_frame of string
+
+let ( let* ) = Result.bind
+
+let obj_frame verb fields = Wire.frame ~verb (Json.to_string (Json.Obj fields))
+
+let request_to_frame = function
+  | Ping -> obj_frame "ping" []
+  | Submit { tenant; id; spec } ->
+      obj_frame "submit"
+        [
+          ("tenant", Json.String tenant);
+          ("id", Json.String id);
+          ("spec", Spool.spec_to_json spec);
+        ]
+  | Status { tenant; id } ->
+      obj_frame "status" [ ("tenant", Json.String tenant); ("id", Json.String id) ]
+  | Stream { tenant; id; from_run } ->
+      obj_frame "stream"
+        [
+          ("tenant", Json.String tenant);
+          ("id", Json.String id);
+          ("from_run", Json.Int from_run);
+        ]
+  | Cancel { tenant; id } ->
+      obj_frame "cancel" [ ("tenant", Json.String tenant); ("id", Json.String id) ]
+  | Drain -> obj_frame "drain" []
+
+let response_to_frame = function
+  | Pong -> obj_frame "pong" []
+  | Accepted { id; state } ->
+      obj_frame "accepted" [ ("id", Json.String id); ("state", Json.String state) ]
+  | Rejected { reason } -> obj_frame "rejected" [ ("reason", Json.String reason) ]
+  | Status_is { state; completed; runs; exit_code } ->
+      obj_frame "status-is"
+        [
+          ("state", Json.String state);
+          ("completed", Json.Int completed);
+          ("runs", Json.Int runs);
+          ( "exit_code",
+            match exit_code with Some c -> Json.Int c | None -> Json.Null );
+        ]
+  | Progress { run; line } ->
+      obj_frame "progress" [ ("run", Json.Int run); ("line", Json.String line) ]
+  | Summary { exit_code; line } ->
+      obj_frame "summary"
+        [ ("exit_code", Json.Int exit_code); ("line", Json.String line) ]
+  | Draining { in_flight } ->
+      obj_frame "draining" [ ("in_flight", Json.Int in_flight) ]
+  | Cancelled -> obj_frame "cancelled" []
+  | Error_frame msg -> obj_frame "error" [ ("message", Json.String msg) ]
+
+let parse payload =
+  match Json.of_string payload with
+  | Ok j -> Ok j
+  | Error e -> Error ("malformed frame payload: " ^ e)
+
+let str name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or malformed %S" name)
+
+let int_field name j =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or malformed %S" name)
+
+let tenant_and_id j =
+  let* tenant = str "tenant" j in
+  let* id = str "id" j in
+  let* () =
+    if Spool.token_ok tenant && Spool.token_ok id then Ok ()
+    else Error "tenant and id must be filesystem tokens ([A-Za-z0-9._-], <= 64)"
+  in
+  Ok (tenant, id)
+
+let request_of_frame ~verb ~payload =
+  match verb with
+  | "ping" -> Ok Ping
+  | "drain" -> Ok Drain
+  | "submit" ->
+      let* j = parse payload in
+      let* tenant, id = tenant_and_id j in
+      let* spec_json =
+        match Json.member "spec" j with
+        | Some s -> Ok s
+        | None -> Error "missing \"spec\""
+      in
+      let* spec = Spool.spec_of_json spec_json in
+      Ok (Submit { tenant; id; spec })
+  | "status" ->
+      let* j = parse payload in
+      let* tenant, id = tenant_and_id j in
+      Ok (Status { tenant; id })
+  | "stream" ->
+      let* j = parse payload in
+      let* tenant, id = tenant_and_id j in
+      let* from_run = int_field "from_run" j in
+      Ok (Stream { tenant; id; from_run })
+  | "cancel" ->
+      let* j = parse payload in
+      let* tenant, id = tenant_and_id j in
+      Ok (Cancel { tenant; id })
+  | v -> Error (Printf.sprintf "unknown request verb %S" v)
+
+let response_of_frame ~verb ~payload =
+  match verb with
+  | "pong" -> Ok Pong
+  | "cancelled" -> Ok Cancelled
+  | "accepted" ->
+      let* j = parse payload in
+      let* id = str "id" j in
+      let* state = str "state" j in
+      Ok (Accepted { id; state })
+  | "rejected" ->
+      let* j = parse payload in
+      let* reason = str "reason" j in
+      Ok (Rejected { reason })
+  | "status-is" ->
+      let* j = parse payload in
+      let* state = str "state" j in
+      let* completed = int_field "completed" j in
+      let* runs = int_field "runs" j in
+      let exit_code = Option.bind (Json.member "exit_code" j) Json.to_int in
+      Ok (Status_is { state; completed; runs; exit_code })
+  | "progress" ->
+      let* j = parse payload in
+      let* run = int_field "run" j in
+      let* line = str "line" j in
+      Ok (Progress { run; line })
+  | "summary" ->
+      let* j = parse payload in
+      let* exit_code = int_field "exit_code" j in
+      let* line = str "line" j in
+      Ok (Summary { exit_code; line })
+  | "draining" ->
+      let* j = parse payload in
+      let* in_flight = int_field "in_flight" j in
+      Ok (Draining { in_flight })
+  | "error" ->
+      let* j = parse payload in
+      let* message = str "message" j in
+      Ok (Error_frame message)
+  | v -> Error (Printf.sprintf "unknown response verb %S" v)

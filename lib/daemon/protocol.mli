@@ -1,0 +1,45 @@
+(** Typed requests and responses over {!Wire} frames. Each message is
+    one frame: the verb names the constructor, the payload is a JSON
+    object. Decoding never raises — a frame that does not parse is a
+    protocol error, answered with an [error] frame and a close. *)
+
+type request =
+  | Ping
+  | Submit of { tenant : string; id : string; spec : Spool.spec }
+  | Status of { tenant : string; id : string }
+  | Stream of { tenant : string; id : string; from_run : int }
+      (** attach to a campaign's progress; finished runs from
+          [from_run] on are replayed first, so a reconnecting client
+          resumes its feed without gaps *)
+  | Cancel of { tenant : string; id : string }
+  | Drain
+
+type response =
+  | Pong
+  | Accepted of { id : string; state : string }
+      (** admission succeeded — or the submit was an idempotent
+          duplicate, in which case [state] reports the existing
+          campaign's state *)
+  | Rejected of { reason : string }
+  | Status_is of {
+      state : string;
+      completed : int;
+      runs : int;
+      exit_code : int option;
+    }
+  | Progress of { run : int; line : string }
+  | Summary of { exit_code : int; line : string }
+      (** terminal stream message: the campaign's [szc campaign] exit
+          code and its one-line report *)
+  | Draining of { in_flight : int }
+  | Cancelled
+  | Error_frame of string
+      (** protocol fault (corrupt frame, unknown verb, bad payload);
+          the sender closes the connection after this frame *)
+
+val request_to_frame : request -> string
+val request_of_frame : verb:string -> payload:string -> (request, string) result
+val response_to_frame : response -> string
+
+val response_of_frame :
+  verb:string -> payload:string -> (response, string) result

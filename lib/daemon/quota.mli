@@ -1,0 +1,31 @@
+(** Admission control: per-tenant quotas plus a global run budget.
+    Overload is answered with a typed rejection at submit time, never
+    with queue collapse — a campaign that is admitted will run.
+
+    Accounting is reservation-based: {!admit} atomically reserves the
+    campaign slot and its planned runs, {!release} returns them when
+    the campaign reaches any terminal state (finished, cancelled,
+    drained). Resumed campaigns re-reserve their full run count — the
+    budget bounds work the daemon has {e promised}, not work left. *)
+
+type limits = {
+  max_campaigns_per_tenant : int;  (** concurrent in-flight campaigns *)
+  max_runs_per_tenant : int;  (** total runs across a tenant's in-flight campaigns *)
+  global_run_budget : int;  (** total runs in flight across all tenants *)
+}
+
+val default_limits : limits
+
+type t
+
+val create : limits -> t
+
+(** Reserve one campaign of [runs] runs for [tenant]; [Error reason]
+    (suitable for a [Rejected] reply) when any quota would be
+    exceeded. *)
+val admit : t -> tenant:string -> runs:int -> (unit, string) result
+
+val release : t -> tenant:string -> runs:int -> unit
+
+(** In-flight campaign count, all tenants. *)
+val in_flight : t -> int

@@ -1,0 +1,122 @@
+module Crc32 = Stz_store.Crc32
+
+let greeting = "%szc-wire 1\n"
+let max_payload = 16 * 1024 * 1024
+let max_verb = 32
+
+(* "@" + verb + " " + decimal len + " " + 8 hex digits + "\n" *)
+let max_header = 2 + max_verb + 1 + 20 + 1 + 8 + 2
+let frame_crc verb payload = Crc32.update (Crc32.update 0l verb) payload
+
+let verb_ok v =
+  let n = String.length v in
+  n >= 1 && n <= max_verb
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false)
+       v
+
+let frame ~verb payload =
+  if not (verb_ok verb) then invalid_arg ("Wire.frame: bad verb " ^ verb);
+  if String.length payload > max_payload then
+    invalid_arg "Wire.frame: payload too large";
+  Printf.sprintf "@%s %d %s\n%s\n" verb (String.length payload)
+    (Crc32.to_hex (frame_crc verb payload))
+    payload
+
+type event = Frame of { verb : string; payload : string } | Corrupt of string
+type state = Greeting | Frames | Dead of string
+
+type decoder = {
+  mutable buf : string;  (** unconsumed bytes, [pos..] *)
+  mutable pos : int;
+  mutable state : state;
+}
+
+let create ~expect_greeting =
+  { buf = ""; pos = 0; state = (if expect_greeting then Greeting else Frames) }
+
+let available d = String.length d.buf - d.pos
+
+let feed d s =
+  if s <> "" then
+    if d.buf = "" then (
+      d.buf <- s;
+      d.pos <- 0)
+    else (
+      (* Compact before appending so the buffer never grows past the
+         unconsumed bytes plus one read. *)
+      d.buf <- String.sub d.buf d.pos (available d) ^ s;
+      d.pos <- 0)
+
+let consume d n = d.pos <- d.pos + n
+
+let die d msg =
+  d.state <- Dead msg;
+  Some (Corrupt msg)
+
+(* The greeting must match byte-for-byte as it arrives: a wrong prefix
+   is rejected without waiting for more input. *)
+(* [true] when the greeting was fully consumed and frame parsing can
+   proceed on the remaining buffered bytes. *)
+let check_greeting d =
+  let n = Stdlib.min (available d) (String.length greeting) in
+  let prefix_ok = String.sub d.buf d.pos n = String.sub greeting 0 n in
+  if not prefix_ok then (
+    d.state <- Dead "bad greeting (not an szc-wire peer)";
+    false)
+  else if n < String.length greeting then false
+  else (
+    consume d (String.length greeting);
+    d.state <- Frames;
+    true)
+
+let parse_header line =
+  if String.length line < 2 || line.[0] <> '@' then
+    Error "frame header does not start with '@'"
+  else
+    match
+      String.split_on_char ' ' (String.sub line 1 (String.length line - 1))
+    with
+    | [ verb; len; crc ] -> (
+        if not (verb_ok verb) then Error "malformed frame verb"
+        else
+          match (int_of_string_opt len, Crc32.of_hex crc) with
+          | Some len, Some crc when len >= 0 && len <= max_payload ->
+              Ok (verb, len, crc)
+          | Some len, _ when len < 0 || len > max_payload ->
+              Error "frame length out of range"
+          | _ -> Error "malformed frame header")
+    | _ -> Error "malformed frame header"
+
+let decode_frame d nl =
+  let header = String.sub d.buf d.pos (nl - d.pos) in
+  match parse_header header with
+  | Error msg -> die d msg
+  | Ok (verb, len, crc) ->
+      let body_start = nl + 1 in
+      if String.length d.buf - body_start < len + 1 then None
+      else if d.buf.[body_start + len] <> '\n' then
+        die d "missing frame terminator"
+      else
+        let payload = String.sub d.buf body_start len in
+        if frame_crc verb payload <> crc then die d "frame CRC mismatch"
+        else (
+          consume d (body_start + len + 1 - d.pos);
+          Some (Frame { verb; payload }))
+
+let rec next d =
+  match d.state with
+  | Dead msg -> Some (Corrupt msg)
+  | Greeting ->
+      if available d = 0 then None
+      else if check_greeting d then next d
+      else ( match d.state with Dead msg -> Some (Corrupt msg) | _ -> None)
+  | Frames -> (
+      if available d = 0 then None
+      else
+        let limit = Stdlib.min (available d) max_header in
+        match String.index_from_opt d.buf d.pos '\n' with
+        | Some nl when nl - d.pos < limit -> decode_frame d nl
+        | Some _ | None ->
+            if available d >= max_header then die d "frame header too long"
+            else None)

@@ -1,0 +1,52 @@
+(** Binary framing for the daemon socket, reusing the {!Stz_store}
+    container discipline: a magic greeting line, then tagged,
+    length-prefixed, CRC-32-checksummed frames —
+
+    {v
+    %szc-wire 1\n                          (greeting, once per side)
+    @<verb> <len> <crc32hex>\n<payload>\n  (each frame)
+    v}
+
+    The CRC covers the verb and the payload (exactly
+    [Artifact.record_crc]), so a single-bit flip anywhere in a frame is
+    detected before the payload reaches a parser. The decoder is
+    incremental and {e never raises}: arbitrary bytes produce either
+    complete frames or a {!Corrupt} verdict, after which the stream is
+    dead — the peer is fault-isolated by closing the connection, never
+    by crashing the process. *)
+
+(** The greeting line every peer sends first: ["%szc-wire 1\n"]. The
+    version byte is part of the magic; a future incompatible protocol
+    bumps it and old peers reject the stream cleanly. *)
+val greeting : string
+
+(** Upper bound on a frame payload (16 MiB): a corrupt or hostile
+    length field can never make the decoder allocate unbounded
+    memory. *)
+val max_payload : int
+
+(** [frame ~verb payload] — encode one frame. Raises [Invalid_argument]
+    on a malformed verb (empty, longer than 32 bytes, or characters
+    outside [a-z0-9-]) or an oversized payload: both are programmer
+    errors, not wire conditions. *)
+val frame : verb:string -> string -> string
+
+(** One decoding step: a complete frame, or the reason the stream is
+    unusable. *)
+type event = Frame of { verb : string; payload : string } | Corrupt of string
+
+type decoder
+
+(** [create ~expect_greeting] — a fresh decoder. With [expect_greeting]
+    (the normal case) the first bytes must be exactly {!greeting};
+    anything else is {!Corrupt}. *)
+val create : expect_greeting:bool -> decoder
+
+(** Append received bytes. Never raises; buffering is bounded by the
+    frame size limits, oversize input surfaces as {!Corrupt} from
+    {!next}. *)
+val feed : decoder -> string -> unit
+
+(** Pull the next event, [None] when more bytes are needed. After a
+    {!Corrupt} event every later call returns the same verdict. *)
+val next : decoder -> event option

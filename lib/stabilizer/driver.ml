@@ -21,9 +21,9 @@ let compare_opt_levels ?alpha ?jobs ?limits ~config ~base_seed ~runs ~args la lb
   Experiment.compare_samples ?alpha a.Sample.times b.Sample.times
 
 let campaign ?policy ?profile ?limits ?jobs ?checkpoint ?resume ?on_record
-    ?telemetry ?monitor ~config ~opt ~base_seed ~runs ~args p =
+    ?telemetry ?monitor ?dispatch ~config ~opt ~base_seed ~runs ~args p =
   Supervisor.run_campaign ?policy ?profile ?limits ?jobs ?checkpoint ?resume
-    ?on_record ?telemetry ?monitor ~config ~base_seed ~runs ~args
+    ?on_record ?telemetry ?monitor ?dispatch ~config ~base_seed ~runs ~args
     (compile ~opt p)
 
 let compare_campaigns ?alpha ?policy ?profile ?limits ?jobs ?telemetry_a

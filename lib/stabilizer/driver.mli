@@ -38,6 +38,7 @@ val campaign :
   ?on_record:(Supervisor.record -> unit) ->
   ?telemetry:Stz_telemetry.Trace.t ->
   ?monitor:Stz_monitor.Monitor.t ->
+  ?dispatch:Parallel.dispatcher ->
   config:Config.t ->
   opt:Stz_vm.Opt.level ->
   base_seed:int64 ->

@@ -5,6 +5,7 @@ type pool_event =
   | Worker_done of { pid : int }
   | Worker_died of { pid : int; lost_task : int option; respawned : bool }
   | Worker_hung of { pid : int; lost_task : int option; respawned : bool }
+  | Worker_spawn_failed of { tasks : int }
 
 (* Wire protocol, child -> parent. [Beat] carries the index of the task
    the worker is currently executing. Its payload never contains a value
@@ -25,6 +26,20 @@ let tick = 0.25
 
 let rec restart_on_eintr f =
   try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+(* select(2) with EINTR restart that preserves the original deadline: a
+   signal landing mid-wait must neither surface as [Unix_error] (which
+   would abort the pool and censor healthy stripes) nor stretch the
+   wait beyond [timeout] (which would starve the watchdog). *)
+let select_intr read_fds timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go remaining =
+    try Unix.select read_fds [] [] remaining
+    with Unix.Unix_error (Unix.EINTR, _, _) ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then ([], [], []) else go left
+  in
+  go timeout
 
 (* Returns false on EOF before [len] bytes arrived. *)
 let read_exact fd buf pos len =
@@ -70,36 +85,69 @@ let beat () =
   | Some (fd, task) ->
       write_exact fd (Marshal.to_bytes (Beat !task : unit msg) [])
 
+(* Test hook: make the next [n] forks fail with EAGAIN, to exercise
+   the spawn retry/censoring path without exhausting real pids. *)
+let forced_fork_failures = ref 0
+
+let fork_for_spawn () =
+  if !forced_fork_failures > 0 then begin
+    decr forced_fork_failures;
+    raise (Unix.Unix_error (Unix.EAGAIN, "fork", "injected for testing"))
+  end
+  else Unix.fork ()
+
+(* Transient spawn failures (EAGAIN/ENOMEM: pid or memory pressure that
+   may clear) are retried with bounded exponential backoff before the
+   stripe is given up on. *)
+let spawn_backoff = [ 0.05; 0.1; 0.2; 0.4; 0.8 ]
+
 (* The child never returns: it streams a [Beat] at each task start and
    a [Done] per finished task, then _exits without flushing the
    parent's inherited stdio buffers (a plain [exit] would run at_exit
-   and print them twice). A raising [f] ends the stream early; the
-   parent charges exactly that task. *)
+   and print them twice). A raising [f] ends the stream early (EPIPE
+   from a dead parent included — a worker whose reader vanished stops
+   quietly instead of computing into the void); the parent charges
+   exactly that task.
+
+   Returns [None] when the fork keeps failing transiently after the
+   whole backoff schedule: the caller censors the stripe instead of
+   aborting the campaign. *)
 let spawn f indices =
   (* Anything buffered before the fork would otherwise be inherited,
      and duplicated if the child's libc flushes it. *)
   flush stdout;
   flush stderr;
-  let r, w = Unix.pipe () in
-  match Unix.fork () with
-  | 0 ->
-      Unix.close r;
-      let current = ref (-1) in
-      beat_state := Some (w, current);
-      (try
-         List.iter
-           (fun i ->
-             current := i;
-             write_exact w (Marshal.to_bytes (Beat i : unit msg) []);
-             let v = f i in
-             write_exact w (Marshal.to_bytes (Done (i, v)) []))
-           indices
-       with _ -> ());
-      (try Unix.close w with Unix.Unix_error _ -> ());
-      Unix._exit 0
-  | pid ->
-      Unix.close w;
-      { pid; fd = r; pending = indices; last_beat = Unix.gettimeofday () }
+  let rec attempt backoff =
+    let r, w = Unix.pipe () in
+    match fork_for_spawn () with
+    | 0 ->
+        Unix.close r;
+        let current = ref (-1) in
+        beat_state := Some (w, current);
+        (try
+           List.iter
+             (fun i ->
+               current := i;
+               write_exact w (Marshal.to_bytes (Beat i : unit msg) []);
+               let v = f i in
+               write_exact w (Marshal.to_bytes (Done (i, v)) []))
+             indices
+         with _ -> ());
+        (try Unix.close w with Unix.Unix_error _ -> ());
+        Unix._exit 0
+    | pid ->
+        Unix.close w;
+        Some { pid; fd = r; pending = indices; last_beat = Unix.gettimeofday () }
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.ENOMEM), _, _) -> (
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        (try Unix.close w with Unix.Unix_error _ -> ());
+        match backoff with
+        | [] -> None
+        | delay :: rest ->
+            Unix.sleepf delay;
+            attempt rest)
+  in
+  attempt spawn_backoff
 
 let reap w =
   (try Unix.close w.fd with Unix.Unix_error _ -> ());
@@ -123,12 +171,28 @@ let map ?on_result ?on_pool_event ?watchdog ~jobs ~f n =
     let stripe j =
       List.filter (fun i -> i mod jobs = j) (List.init n Fun.id)
     in
+    (* A stripe whose worker cannot be forked even after the backoff
+       schedule is censored whole — every task [Lost] — and the pool
+       keeps going: spawn failure degrades the sample, never the
+       campaign. *)
     let spawn_noted f indices =
-      let w = spawn f indices in
-      pool_notify (Worker_spawned { pid = w.pid; tasks = List.length indices });
-      w
+      match spawn f indices with
+      | Some w ->
+          pool_notify
+            (Worker_spawned { pid = w.pid; tasks = List.length indices });
+          Some w
+      | None ->
+          pool_notify (Worker_spawn_failed { tasks = List.length indices });
+          List.iter
+            (fun i ->
+              results.(i) <- Lost;
+              notify i Lost)
+            indices;
+          None
     in
-    let workers = ref (List.init jobs (fun j -> spawn_noted f (stripe j))) in
+    let workers =
+      ref (List.filter_map (fun j -> spawn_noted f (stripe j)) (List.init jobs Fun.id))
+    in
     (* If the caller's [on_result] raises (checkpoint write failure, a
        test killing the campaign mid-flight), don't leave children
        blocked on a pipe nobody reads. *)
@@ -159,13 +223,16 @@ let map ?on_result ?on_pool_event ?watchdog ~jobs ~f n =
       workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
       match w.pending with
       | [] -> pool_notify (Worker_done { pid = w.pid })
-      | lost :: rest ->
+      | lost :: rest -> (
           pool_notify
             (Worker_died
                { pid = w.pid; lost_task = Some lost; respawned = rest <> [] });
           results.(lost) <- Lost;
           notify lost Lost;
-          if rest <> [] then workers := spawn_noted f rest :: !workers
+          if rest <> [] then
+            match spawn_noted f rest with
+            | Some w' -> workers := w' :: !workers
+            | None -> ())
     in
     (* A silent worker is SIGKILLed — but results it finished before
        wedging may still sit unread in the pipe, so drain to EOF first
@@ -191,24 +258,25 @@ let map ?on_result ?on_pool_event ?watchdog ~jobs ~f n =
       | [] ->
           pool_notify
             (Worker_hung { pid = w.pid; lost_task = None; respawned = false })
-      | lost :: rest ->
+      | lost :: rest -> (
           pool_notify
             (Worker_hung
                { pid = w.pid; lost_task = Some lost; respawned = rest <> [] });
           results.(lost) <- Hung;
           notify lost Hung;
-          if rest <> [] then workers := spawn_noted f rest :: !workers
+          if rest <> [] then
+            match spawn_noted f rest with
+            | Some w' -> workers := w' :: !workers
+            | None -> ())
     in
     try
       while !workers <> [] do
         let fds = List.map (fun w -> w.fd) !workers in
         (* Finite timeout always: the loop must regain control to run
-           the watchdog even when every worker has gone silent. EINTR
-           is just an empty round. *)
-        let ready, _, _ =
-          try Unix.select fds [] [] tick
-          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-        in
+           the watchdog even when every worker has gone silent. A
+           signal mid-select restarts the wait with the remaining
+           timeout instead of surfacing (or resetting the clock). *)
+        let ready, _, _ = select_intr fds tick in
         List.iter
           (fun fd ->
             match List.find_opt (fun w -> w.fd = fd) !workers with
@@ -237,3 +305,60 @@ let map ?on_result ?on_pool_event ?watchdog ~jobs ~f n =
       kill_all ();
       raise e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatchers: pluggable task execution for external schedulers       *)
+(* ------------------------------------------------------------------ *)
+
+type dispatcher = {
+  dispatch :
+    'a.
+    ?on_result:(int -> 'a result -> unit) ->
+    ?on_pool_event:(pool_event -> unit) ->
+    ?watchdog:float ->
+    jobs:int ->
+    f:(int -> 'a) ->
+    int ->
+    unit;
+}
+
+let pool_dispatcher =
+  {
+    dispatch =
+      (fun ?on_result ?on_pool_event ?watchdog ~jobs ~f n ->
+        ignore (map ?on_result ?on_pool_event ?watchdog ~jobs ~f n));
+  }
+
+(* A dispatcher that executes tasks in index order, in batches whose
+   sizes an external scheduler decides: [acquire wanted] blocks until
+   the scheduler grants [1..wanted] task slots (raising to abort — the
+   exception propagates to the caller with every already-granted batch
+   fully delivered), each batch runs on its own fork pool sized to the
+   grant, and [release n] returns the slots. Because results are merged
+   by task index downstream, the batch partition is unobservable in the
+   output — which is what lets a daemon multiplex many campaigns onto
+   one run budget without disturbing any campaign's bytes. *)
+let batched ~acquire ~release =
+  {
+    dispatch =
+      (fun ?on_result ?on_pool_event ?watchdog ~jobs:_ ~f n ->
+        let next = ref 0 in
+        while !next < n do
+          let granted = acquire (n - !next) in
+          let granted = Stdlib.max 1 (Stdlib.min granted (n - !next)) in
+          let base = !next in
+          Fun.protect
+            ~finally:(fun () -> release granted)
+            (fun () ->
+              ignore
+                (map
+                   ?on_result:
+                     (Option.map
+                        (fun g j r -> g (base + j) r)
+                        on_result)
+                   ?on_pool_event ?watchdog ~jobs:granted
+                   ~f:(fun j -> f (base + j))
+                   granted));
+          next := base + granted
+        done);
+  }

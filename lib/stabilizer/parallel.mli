@@ -48,6 +48,11 @@ type pool_event =
       (** watchdog SIGKILLed a silent worker; [lost_task = None] means
           every result was salvaged from the pipe and nothing was
           censored *)
+  | Worker_spawn_failed of { tasks : int }
+      (** [Unix.fork] kept failing with [EAGAIN]/[ENOMEM] through the
+          whole bounded-backoff retry budget; the stripe's [tasks]
+          remaining tasks were censored as {!Lost} and the pool carried
+          on without the worker *)
 
 (** Heartbeat hook for task bodies: records "this worker is alive and
     making progress" against the watchdog clock. No-op outside a forked
@@ -74,3 +79,43 @@ val map :
   f:(int -> 'a) ->
   int ->
   'a result array
+
+(** {1 Dispatchers}
+
+    A dispatcher abstracts {e how} a task array gets executed so an
+    external scheduler (the campaign daemon) can interpose on worker
+    allocation without the supervisor knowing. The contract: every task
+    index in [0..n-1] is eventually reported through [on_result]
+    exactly once (as [Value], [Lost], or [Hung]), in any order. *)
+
+type dispatcher = {
+  dispatch :
+    'a.
+    ?on_result:(int -> 'a result -> unit) ->
+    ?on_pool_event:(pool_event -> unit) ->
+    ?watchdog:float ->
+    jobs:int ->
+    f:(int -> 'a) ->
+    int ->
+    unit;
+}
+
+(** The default dispatcher: one {!map} call over the whole array. *)
+val pool_dispatcher : dispatcher
+
+(** [batched ~acquire ~release] — a dispatcher driven by an external
+    slot scheduler. Tasks run in index order in batches: each batch
+    first calls [acquire wanted] (blocking until the scheduler grants
+    [1..wanted] slots; an exception aborts the dispatch with all prior
+    batches fully delivered), runs that many consecutive tasks on a
+    fork pool sized to the grant, then calls [release granted]. Because
+    callers merge results by task index, the batch partition is
+    unobservable in the output — a daemon can multiplex many campaigns
+    onto one run budget without disturbing any campaign's bytes. The
+    [jobs] argument to [dispatch] is ignored (the grant decides). *)
+val batched : acquire:(int -> int) -> release:(int -> unit) -> dispatcher
+
+(** Test hook: force the next [n] [Unix.fork] calls in {!map} to fail
+    with [EAGAIN], exercising the spawn retry/backoff/censor path.
+    Decremented per injected failure; normally [0]. *)
+val forced_fork_failures : int ref

@@ -603,10 +603,13 @@ let pool_event_args = function
             match lost_task with Some i -> Json.Int i | None -> Json.Null );
           ("respawned", Json.Bool respawned);
         ] )
+  | Parallel.Worker_spawn_failed { tasks } ->
+      ("worker-spawn-failed", [ ("tasks", Json.Int tasks) ])
 
 let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
     ?(limits = Interp.default_limits) ?(jobs = 1) ?checkpoint ?(resume = false)
-    ?on_record ?telemetry ?monitor ~config ~base_seed ~runs ~args p =
+    ?on_record ?telemetry ?monitor ?(dispatch = Parallel.pool_dispatcher)
+    ~config ~base_seed ~runs ~args p =
   if runs < 1 then raise (Mismatch "run_campaign: runs must be >= 1");
   let jobs = Stdlib.max 1 jobs in
   (* A wedged run never finishes and never traps; the only recovery is
@@ -967,11 +970,11 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
        fan-out. *)
     let forked_attempt i =
       let out = ref Parallel.Lost in
-      ignore
-        (Parallel.map ?on_pool_event ~watchdog:(hang_grace ()) ~jobs:1
-           ~on_result:(fun _ r -> out := r)
-           ~f:(fun _ -> attempt_run i)
-           1);
+      dispatch.Parallel.dispatch ?on_pool_event ~watchdog:(hang_grace ())
+        ~jobs:1
+        ~on_result:(fun _ r -> out := r)
+        ~f:(fun _ -> attempt_run i)
+        1;
       match !out with
       | Parallel.Value payload -> payload
       | Parallel.Lost -> censored_payload i Worker_lost Outcome.Worker_lost
@@ -1021,10 +1024,10 @@ let run_campaign ?(policy = default_policy) ?(profile = Fault.none)
         buffered.(i) <- Some payload;
         advance ()
       in
-      ignore
-        (Parallel.map ~on_result ?on_pool_event ~watchdog:(hang_grace ()) ~jobs
-           ~f:(fun pos -> attempt_run tasks.(pos))
-           (Array.length tasks))
+      dispatch.Parallel.dispatch ~on_result ?on_pool_event
+        ~watchdog:(hang_grace ()) ~jobs
+        ~f:(fun pos -> attempt_run tasks.(pos))
+        (Array.length tasks)
     end
   end;
   let c = campaign_so_far () in

@@ -159,7 +159,14 @@ exception Mismatch of string
     campaign ends with a ["monitor-verdict"] instant when [telemetry]
     is also armed. The monitor is updated before [on_record] fires, so
     a progress callback can print {!Stz_monitor.Monitor.status_line}
-    reflecting the run it was called for. *)
+    reflecting the run it was called for.
+
+    [dispatch] (default {!Parallel.pool_dispatcher}) decides how task
+    batches reach the fork pool on the [jobs > 1] path — the campaign
+    daemon passes {!Parallel.batched} so an external fair-share
+    scheduler can meter run slots. Run-order delivery, checkpointing
+    and monitoring are all downstream of the merge, so any conforming
+    dispatcher yields byte-identical artifacts. *)
 val run_campaign :
   ?policy:policy ->
   ?profile:Stz_faults.Fault.profile ->
@@ -170,6 +177,7 @@ val run_campaign :
   ?on_record:(record -> unit) ->
   ?telemetry:Stz_telemetry.Trace.t ->
   ?monitor:Stz_monitor.Monitor.t ->
+  ?dispatch:Parallel.dispatcher ->
   config:Config.t ->
   base_seed:int64 ->
   runs:int ->

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Chaos gauntlet for the campaign daemon, used by CI and runnable
+# locally:
+#
+#   1. run one solo `szc campaign` per tenant as the byte-identity
+#      reference (fixed seeds, run faults on);
+#   2. start szcd, submit the same three campaigns from three tenants
+#      concurrently — run faults AND heavy storage faults armed, so
+#      checkpoint writes are being torn/bit-flipped while the pool is
+#      shared;
+#   3. SIGKILL the daemon mid-flight; the clients keep retrying with
+#      backoff;
+#   4. restart szcd on the same spool: it fsck-repairs whatever the
+#      crash left, resumes every interrupted campaign from its
+#      checkpoint (storage faults disarmed, as `--resume` after a
+#      crash does), and the waiting clients re-attach and follow each
+#      campaign to exit 0;
+#   5. every tenant's CSV, checkpoint and ledger must be byte-identical
+#      (`cmp`) to its solo reference;
+#   6. SIGTERM the daemon and demand a clean drain (exit 0).
+#
+# Usage: scripts/check_daemon.sh [OUTDIR]  (default: ./daemon-artifacts)
+# Exits nonzero on any divergence.
+set -eu
+
+outdir=${1:-daemon-artifacts}
+mkdir -p "$outdir"
+
+dune build bin/szc.exe bin/szcd.exe
+SZC=_build/default/bin/szc.exe
+SZCD=_build/default/bin/szcd.exe
+
+sock="$outdir/szcd.sock"
+spool="$outdir/spool"
+rm -rf "$spool" "$sock"
+
+runs=40
+common="bzip2 --runs $runs --scale 0.05 --faults light --quiet"
+
+echo "== solo reference campaigns, one per tenant"
+for s in 1 2 3; do
+  seed=$((100 + s))
+  $SZC campaign $common --seed "$seed" \
+    --csv "$outdir/solo-t$s.csv" \
+    --checkpoint "$outdir/solo-t$s.ck" \
+    --ledger "$outdir/solo-t$s.ledger"
+done
+
+# Sets $dpid. Runs in the current shell (no command substitution), so
+# the daemon stays a direct child and `wait $dpid` can collect its
+# drain status.
+start_daemon() {
+  $SZCD --socket "$sock" --spool "$spool" --slots 4 --quantum 2 --verbose \
+    >>"$outdir/szcd.log" 2>&1 &
+  dpid=$!
+}
+
+echo "== szcd up, three tenants submit concurrently (storage faults armed)"
+start_daemon
+
+cpids=""
+for s in 1 2 3; do
+  seed=$((100 + s))
+  $SZC remote submit "t$s" "c$s" $common --seed "$seed" --ledger \
+    --storage-faults heavy --storage-seed "$s" \
+    --socket "$sock" --deadline 300 --retry-seed "$s" --wait \
+    >"$outdir/client-t$s.log" 2>&1 &
+  cpids="$cpids $!"
+done
+
+echo "== waiting for the first checkpoint write, then SIGKILLing szcd"
+i=0
+while [ -z "$(find "$spool" -name 'checkpoint.ck*' 2>/dev/null | head -1)" ] \
+  && [ "$i" -lt 300 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+sleep 0.2
+if kill -9 "$dpid" 2>/dev/null; then
+  echo "SIGKILLed szcd pid $dpid mid-campaign"
+else
+  echo "WARNING: szcd exited before the kill landed (still checking recovery)"
+fi
+wait "$dpid" 2>/dev/null || true
+# Runners orphaned by the daemon's death exit at their next batch
+# boundary; the restarted daemon also SIGKILLs any that linger.
+
+echo "== restarting szcd on the crashed spool; clients retry and re-attach"
+start_daemon
+
+fail=0
+for cpid in $cpids; do
+  code=0
+  wait "$cpid" || code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "client pid $cpid exited $code (wanted 0)"
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "--- client logs ---"
+  cat "$outdir"/client-t*.log
+  exit 1
+fi
+echo "all three clients converged to exit 0 across the daemon crash"
+
+echo "== per-tenant artifacts byte-identical to the solo references"
+for s in 1 2 3; do
+  dir="$spool/t$s/c$s"
+  cmp "$outdir/solo-t$s.csv" "$dir/out.csv"
+  echo "t$s csv: byte-identical to solo"
+  cmp "$outdir/solo-t$s.ck" "$dir/checkpoint.ck"
+  echo "t$s checkpoint: byte-identical to solo"
+  cmp "$outdir/solo-t$s.ledger" "$dir/ledger"
+  echo "t$s ledger: byte-identical to solo"
+done
+
+echo "== SIGTERM drains the daemon to exit 0"
+kill -TERM "$dpid"
+code=0
+wait "$dpid" || code=$?
+if [ "$code" -ne 0 ]; then
+  echo "szcd drain exited $code (wanted 0)"
+  exit 1
+fi
+
+echo "daemon chaos gauntlet: OK"

@@ -1,0 +1,509 @@
+(* szcd end to end: wire fuzzing, admission control, multi-tenant
+   fair-share byte identity, detach/reattach. The daemon under test is
+   the real ../bin/szcd.exe; clients speak the real protocol through
+   Stz_daemon.Client, and solo reference campaigns run through the
+   real ../bin/szc.exe. *)
+
+module D = Stz_daemon
+module Wire = D.Wire
+module Protocol = D.Protocol
+module Spool = D.Spool
+module Client = D.Client
+module Quota = D.Quota
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let szc_exe = "../bin/szc.exe"
+let szcd_exe = "../bin/szcd.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let deadline_in s = Unix.gettimeofday () +. s
+
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type daemon = { pid : int; socket : string; spool : string; root : string }
+
+let start_daemon ?(extra = []) name =
+  (* Relative paths keep the socket well under sun_path's 108 bytes. *)
+  let root = Printf.sprintf "szcd-test-%s-%d" name (Unix.getpid ()) in
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  let socket = Filename.concat root "d.sock" in
+  let spool = Filename.concat root "spool" in
+  let argv =
+    Array.of_list
+      ([
+         szcd_exe; "--socket"; socket; "--spool"; spool; "--slots"; "4";
+         "--quantum"; "2";
+       ]
+      @ extra)
+  in
+  let pid =
+    Unix.create_process szcd_exe argv Unix.stdin Unix.stdout Unix.stderr
+  in
+  { pid; socket; spool; root }
+
+let wait_ready d =
+  let deadline = deadline_in 20.0 in
+  match Client.connect ~socket:d.socket ~deadline ~seed:1L () with
+  | Error e -> Alcotest.failf "daemon never came up: %s" e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> Client.close t)
+        (fun () ->
+          match Client.rpc t ~deadline Protocol.Ping with
+          | Ok Protocol.Pong -> ()
+          | Ok _ -> Alcotest.fail "expected pong"
+          | Error e -> Alcotest.failf "ping failed: %s" e)
+
+(* SIGTERM must drain: finish or checkpoint what is running, then exit
+   0. Polls because the drain takes as long as the shortest remaining
+   batch. *)
+let stop_daemon d =
+  (try Unix.kill d.pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec wait tries =
+    match Unix.waitpid [ Unix.WNOHANG ] d.pid with
+    | 0, _ when tries > 0 ->
+        Unix.sleepf 0.1;
+        wait (tries - 1)
+    | 0, _ ->
+        (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] d.pid);
+        Alcotest.fail "daemon did not drain within 30 s"
+    | _, st -> st
+  in
+  wait 300
+
+let check_clean_drain stop =
+  match stop () with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "drain exited %d, wanted 0" n
+  | Unix.WSIGNALED n -> Alcotest.failf "daemon killed by signal %d" n
+  | Unix.WSTOPPED n -> Alcotest.failf "daemon stopped by signal %d" n
+
+let with_daemon ?extra name f =
+  let d = start_daemon ?extra name in
+  let stopped = ref false in
+  let stop () =
+    let st = stop_daemon d in
+    stopped := true;
+    st
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !stopped then begin
+        (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ()
+      end)
+    (fun () ->
+      wait_ready d;
+      f d stop)
+
+let connect_ok d ~deadline ~seed =
+  match Client.connect ~socket:d.socket ~deadline ~seed () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "connect: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Wire decoder fuzz                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_frames = [ ("ping", "{}"); ("status", {|{"tenant":"t1","id":"c1"}|}) ]
+
+let fuzz_stream () =
+  Wire.greeting
+  ^ String.concat ""
+      (List.map (fun (v, p) -> Wire.frame ~verb:v p) fuzz_frames)
+
+let wire_roundtrip_bytewise () =
+  (* Worst-case framing: the stream arrives one byte at a time. *)
+  let dec = Wire.create ~expect_greeting:true in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Wire.feed dec (String.make 1 ch);
+      let rec drain () =
+        match Wire.next dec with
+        | Some (Wire.Frame { verb; payload }) ->
+            got := (verb, payload) :: !got;
+            drain ()
+        | Some (Wire.Corrupt msg) -> Alcotest.failf "corrupt: %s" msg
+        | None -> ()
+      in
+      drain ())
+    (fuzz_stream ());
+  check_bool "all frames decoded, in order" true (List.rev !got = fuzz_frames)
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let every_bitflip_is_contained () =
+  (* Flip every bit of every byte of a valid stream: the decoder must
+     never raise, never deliver an altered frame (the CRC and the
+     framing catch everything), and a dead stream must stay dead. *)
+  let stream = fuzz_stream () in
+  for i = 0 to String.length stream - 1 do
+    for bit = 0 to 7 do
+      let mutated = Bytes.of_string stream in
+      Bytes.set mutated i (Char.chr (Char.code stream.[i] lxor (1 lsl bit)));
+      let dec = Wire.create ~expect_greeting:true in
+      Wire.feed dec (Bytes.to_string mutated);
+      let rec pull acc =
+        match Wire.next dec with
+        | Some (Wire.Frame { verb; payload }) -> pull ((verb, payload) :: acc)
+        | Some (Wire.Corrupt _) -> (List.rev acc, true)
+        | None -> (List.rev acc, false)
+      in
+      let decoded, died = pull [] in
+      (* A flip may truncate the stream, or be semantically neutral
+         (e.g. changing a CRC hex digit's case) — but a delivered
+         frame is never an altered one. *)
+      check_bool
+        (Printf.sprintf "byte %d bit %d: delivered frames are a prefix" i bit)
+        true
+        (is_prefix decoded fuzz_frames);
+      if died then
+        match Wire.next dec with
+        | Some (Wire.Corrupt _) -> ()
+        | _ -> Alcotest.fail "dead decoder must stay dead"
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon fuzz                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+(* Reads until the peer closes; [None] when the deadline passes with
+   the connection still open. *)
+let read_to_eof fd ~deadline =
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 256 in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then None
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> None
+      | _ -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> Some (Buffer.contents out)
+          | n ->
+              Buffer.add_subbytes out buf 0 n;
+              go ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              Some (Buffer.contents out))
+  in
+  go ()
+
+let daemon_survives_every_bitflip () =
+  with_daemon "fuzz" (fun d stop ->
+      let req =
+        Wire.greeting
+        ^ Protocol.request_to_frame
+            (Protocol.Status { tenant = "t1"; id = "c1" })
+      in
+      for i = 0 to String.length req - 1 do
+        let mutated = Bytes.of_string req in
+        Bytes.set mutated i
+          (Char.chr (Char.code req.[i] lxor (1 lsl (i mod 8))));
+        let fd = raw_connect d.socket in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            (try
+               ignore (Unix.write fd mutated 0 (Bytes.length mutated));
+               Unix.shutdown fd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            (* The daemon must isolate the fault: answer with an error
+               frame and close, or just close — never wedge, never
+               die. *)
+            match read_to_eof fd ~deadline:(deadline_in 10.0) with
+            | Some _ -> ()
+            | None ->
+                Alcotest.failf "byte %d: daemon kept the connection open" i)
+      done;
+      (* Still alive, still serving. *)
+      let deadline = deadline_in 10.0 in
+      let t = connect_ok d ~deadline ~seed:2L in
+      Fun.protect
+        ~finally:(fun () -> Client.close t)
+        (fun () ->
+          match Client.rpc t ~deadline Protocol.Ping with
+          | Ok Protocol.Pong -> ()
+          | Ok _ -> Alcotest.fail "expected pong after fuzzing"
+          | Error e -> Alcotest.failf "ping after fuzzing: %s" e);
+      check_clean_drain stop)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let quota_reservation_accounting () =
+  let q =
+    Quota.create
+      {
+        Quota.max_campaigns_per_tenant = 2;
+        max_runs_per_tenant = 100;
+        global_run_budget = 150;
+      }
+  in
+  check_bool "first admit" true (Quota.admit q ~tenant:"a" ~runs:60 = Ok ());
+  check_bool "over per-tenant runs" true
+    (Result.is_error (Quota.admit q ~tenant:"a" ~runs:50));
+  check_bool "second admit fits" true
+    (Quota.admit q ~tenant:"a" ~runs:40 = Ok ());
+  check_bool "over per-tenant campaigns" true
+    (Result.is_error (Quota.admit q ~tenant:"a" ~runs:1));
+  check_bool "other tenant unaffected" true
+    (Quota.admit q ~tenant:"b" ~runs:50 = Ok ());
+  check_bool "over global budget" true
+    (Result.is_error (Quota.admit q ~tenant:"c" ~runs:10));
+  Quota.release q ~tenant:"a" ~runs:60;
+  check_bool "release frees the budget" true
+    (Quota.admit q ~tenant:"c" ~runs:10 = Ok ());
+  check_int "in flight" 3 (Quota.in_flight q)
+
+let spec_for ~seed ~runs =
+  {
+    Spool.default_spec with
+    Spool.runs;
+    seed;
+    scale = 0.05;
+    faults = "light";
+    ledger = true;
+  }
+
+let daemon_rejects_over_quota () =
+  with_daemon ~extra:[ "--max-runs"; "40" ] "quota" (fun d stop ->
+      let deadline = deadline_in 30.0 in
+      let t = connect_ok d ~deadline ~seed:3L in
+      Fun.protect
+        ~finally:(fun () -> Client.close t)
+        (fun () ->
+          (match
+             Client.rpc t ~deadline
+               (Protocol.Submit
+                  { tenant = "t1"; id = "big"; spec = spec_for ~seed:5 ~runs:41 })
+           with
+          | Ok (Protocol.Rejected { reason }) ->
+              check_bool "rejection carries a reason" true (reason <> "")
+          | Ok _ -> Alcotest.fail "over-quota submit must be rejected"
+          | Error e -> Alcotest.failf "rpc: %s" e);
+          (* A rejected submit reserves nothing: a compliant spec from
+             the same tenant still gets in. *)
+          match
+            Client.rpc t ~deadline
+              (Protocol.Submit
+                 { tenant = "t1"; id = "ok"; spec = spec_for ~seed:5 ~runs:4 })
+          with
+          | Ok (Protocol.Accepted _) -> ()
+          | Ok (Protocol.Rejected { reason }) ->
+              Alcotest.failf "compliant submit rejected: %s" reason
+          | Ok _ -> Alcotest.fail "unexpected reply"
+          | Error e -> Alcotest.failf "rpc: %s" e);
+      check_clean_drain stop)
+
+(* ------------------------------------------------------------------ *)
+(* Fair share: concurrent tenants, byte-identical artifacts            *)
+(* ------------------------------------------------------------------ *)
+
+let run_solo ~dir ~seed ~runs =
+  Unix.mkdir dir 0o755;
+  let csv = Filename.concat dir "out.csv" in
+  let ck = Filename.concat dir "checkpoint.ck" in
+  let ledger = Filename.concat dir "ledger" in
+  let cmd =
+    Printf.sprintf
+      "%s campaign bzip2 --runs %d --seed %d --scale 0.05 --faults light \
+       --quiet --csv %s --checkpoint %s --ledger %s >/dev/null 2>&1"
+      (Filename.quote szc_exe) runs seed (Filename.quote csv)
+      (Filename.quote ck) (Filename.quote ledger)
+  in
+  check_int "solo szc campaign exits 0" 0 (Sys.command cmd);
+  (csv, ck, ledger)
+
+let three_tenants_match_solo () =
+  with_daemon "fair" (fun d stop ->
+      let deadline = deadline_in 120.0 in
+      let runs = 10 in
+      let tenants = [ ("t1", 101); ("t2", 102); ("t3", 103) ] in
+      (* Kick all three off before following any, so they really do
+         contend for the shared pool. *)
+      List.iter
+        (fun (tenant, seed) ->
+          let t = connect_ok d ~deadline ~seed:(Int64.of_int seed) in
+          Fun.protect
+            ~finally:(fun () -> Client.close t)
+            (fun () ->
+              match
+                Client.rpc t ~deadline
+                  (Protocol.Submit
+                     { tenant; id = "c"; spec = spec_for ~seed ~runs })
+              with
+              | Ok (Protocol.Accepted _) -> ()
+              | Ok (Protocol.Rejected { reason }) ->
+                  Alcotest.failf "%s rejected: %s" tenant reason
+              | Ok _ -> Alcotest.fail "unexpected reply"
+              | Error e -> Alcotest.failf "%s submit: %s" tenant e))
+        tenants;
+      (* Follow each to completion: resubmit is idempotent, the stream
+         replays from run 0. *)
+      List.iter
+        (fun (tenant, seed) ->
+          match
+            Client.submit_and_wait ~socket:d.socket ~deadline
+              ~seed:(Int64.of_int seed) ~tenant ~id:"c"
+              ~spec:(spec_for ~seed ~runs)
+              ~progress:(fun _ _ -> ())
+          with
+          | Ok (0, _) -> ()
+          | Ok (code, line) ->
+              Alcotest.failf "%s: exit %d (%s)" tenant code line
+          | Error e -> Alcotest.failf "%s: %s" tenant e)
+        tenants;
+      (* The interleaving must be unobservable: every tenant's CSV,
+         checkpoint and ledger byte-identical to a solo run. *)
+      List.iter
+        (fun (tenant, seed) ->
+          let solo = Filename.concat d.root ("solo-" ^ tenant) in
+          let csv, ck, ledger = run_solo ~dir:solo ~seed ~runs in
+          let spool_dir = Spool.dir ~spool:d.spool ~tenant ~id:"c" in
+          check_string (tenant ^ ": csv byte-identical") (read_file csv)
+            (read_file (Filename.concat spool_dir "out.csv"));
+          check_string
+            (tenant ^ ": checkpoint byte-identical")
+            (read_file ck)
+            (read_file (Filename.concat spool_dir "checkpoint.ck"));
+          check_string
+            (tenant ^ ": ledger byte-identical")
+            (read_file ledger)
+            (read_file (Filename.concat spool_dir "ledger")))
+        tenants;
+      check_clean_drain stop)
+
+(* ------------------------------------------------------------------ *)
+(* Detach / reattach                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let detach_then_reattach () =
+  with_daemon "detach" (fun d stop ->
+      let deadline = deadline_in 60.0 in
+      let runs = 30 in
+      let spec = spec_for ~seed:7 ~runs in
+      let seen = Array.make runs 0 in
+      (* Session one: submit, stream, watch a few runs, vanish without
+         so much as a goodbye. *)
+      let t = connect_ok d ~deadline ~seed:7L in
+      (match
+         Client.rpc t ~deadline
+           (Protocol.Submit { tenant = "t1"; id = "c"; spec })
+       with
+      | Ok (Protocol.Accepted _) -> ()
+      | Ok _ -> Alcotest.fail "submit not accepted"
+      | Error e -> Alcotest.failf "submit: %s" e);
+      (match
+         Client.send t (Protocol.Stream { tenant = "t1"; id = "c"; from_run = 0 })
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "stream: %s" e);
+      let watched = ref 0 in
+      while !watched < 3 do
+        match Client.read_response t ~deadline with
+        | Ok (Protocol.Progress { run; _ }) ->
+            seen.(run) <- seen.(run) + 1;
+            incr watched
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "watch: %s" e
+      done;
+      Client.close t;
+      (* The campaign must survive the disconnect. Session two picks
+         the feed up at the first unseen run — no gaps, no repeats. *)
+      let from_run =
+        let rec first i = if i >= runs || seen.(i) = 0 then i else first (i + 1) in
+        first 0
+      in
+      let t2 = connect_ok d ~deadline ~seed:8L in
+      let exit_code =
+        Fun.protect
+          ~finally:(fun () -> Client.close t2)
+          (fun () ->
+            (match
+               Client.send t2
+                 (Protocol.Stream { tenant = "t1"; id = "c"; from_run })
+             with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "re-stream: %s" e);
+            let rec follow () =
+              match Client.read_response t2 ~deadline with
+              | Ok (Protocol.Progress { run; _ }) ->
+                  seen.(run) <- seen.(run) + 1;
+                  follow ()
+              | Ok (Protocol.Summary { exit_code; _ }) -> exit_code
+              | Ok Protocol.Cancelled -> Alcotest.fail "spuriously cancelled"
+              | Ok (Protocol.Rejected { reason }) ->
+                  Alcotest.failf "reattach rejected: %s" reason
+              | Ok _ -> follow ()
+              | Error e -> Alcotest.failf "follow: %s" e
+            in
+            follow ())
+      in
+      check_int "campaign exit code" 0 exit_code;
+      Array.iteri
+        (fun i c ->
+          check_int (Printf.sprintf "run %d delivered exactly once" i) 1 c)
+        seen;
+      check_clean_drain stop)
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "byte-at-a-time roundtrip" `Quick
+            wire_roundtrip_bytewise;
+          Alcotest.test_case "every bit-flip contained" `Quick
+            every_bitflip_is_contained;
+        ] );
+      ( "quota",
+        [
+          Alcotest.test_case "reservation accounting" `Quick
+            quota_reservation_accounting;
+          Alcotest.test_case "daemon rejects over-quota submit" `Quick
+            daemon_rejects_over_quota;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "daemon survives every bit-flip" `Quick
+            daemon_survives_every_bitflip;
+          Alcotest.test_case "3 tenants byte-identical to solo" `Quick
+            three_tenants_match_solo;
+          Alcotest.test_case "detach then reattach, no gaps" `Quick
+            detach_then_reattach;
+        ] );
+    ]

@@ -352,6 +352,106 @@ let serial_wedge_is_rejected () =
         requires a worker pool)")
     (fun () -> ignore (wedge_campaign ~jobs:1 ~seed:17))
 
+(* ------------------------------------------------------------------ *)
+(* Spawn failure and EINTR robustness                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_forced_failures n f =
+  S.Parallel.forced_fork_failures := n;
+  Fun.protect ~finally:(fun () -> S.Parallel.forced_fork_failures := 0) f
+
+let spawn_failed_events events =
+  List.filter_map
+    (function S.Parallel.Worker_spawn_failed { tasks } -> Some tasks | _ -> None)
+    events
+
+let transient_fork_failures_are_retried () =
+  (* Three EAGAINs in a row are absorbed by the backoff schedule: every
+     value still arrives and no stripe is censored. *)
+  with_forced_failures 3 (fun () ->
+      let events = ref [] in
+      let got =
+        S.Parallel.map
+          ~on_pool_event:(fun e -> events := e :: !events)
+          ~jobs:2
+          ~f:(fun i -> i * 3)
+          8
+      in
+      Array.iteri
+        (fun i r -> check_int "value survives fork retries" (i * 3) (value r))
+        got;
+      check_int "no stripe censored" 0 (List.length (spawn_failed_events !events));
+      check_int "all injected failures consumed" 0 !S.Parallel.forced_fork_failures)
+
+let spawn_failure_degrades_not_aborts () =
+  (* Six failures exhaust exactly the first stripe's retry budget
+     (initial attempt + 5 backoff retries): its tasks are censored
+     Lost, the other stripe forks normally and delivers. *)
+  with_forced_failures 6 (fun () ->
+      let events = ref [] in
+      let got =
+        S.Parallel.map
+          ~on_pool_event:(fun e -> events := e :: !events)
+          ~jobs:2 ~f:(fun i -> i * 10) 4
+      in
+      check_bool "stripe-0 task 0 censored" true (got.(0) = S.Parallel.Lost);
+      check_bool "stripe-0 task 2 censored" true (got.(2) = S.Parallel.Lost);
+      check_int "stripe-1 task 1 delivered" 10 (value got.(1));
+      check_int "stripe-1 task 3 delivered" 30 (value got.(3));
+      check_bool "one spawn failure, stripe width 2" true
+        (spawn_failed_events !events = [ 2 ]))
+
+let exhausted_fork_budget_censors_stripes () =
+  (* Fork never recovers: both stripes burn their whole budget, every
+     task is reported Lost exactly once, and map still returns. *)
+  with_forced_failures 12 (fun () ->
+      let lost = ref 0 and events = ref [] in
+      let got =
+        S.Parallel.map
+          ~on_result:(fun _ r -> if r = S.Parallel.Lost then incr lost)
+          ~on_pool_event:(fun e -> events := e :: !events)
+          ~jobs:2 ~f:Fun.id 4
+      in
+      Array.iteri
+        (fun i r ->
+          check_bool (Printf.sprintf "task %d censored" i) true
+            (r = S.Parallel.Lost))
+        got;
+      check_int "every task reported Lost via on_result" 4 !lost;
+      check_bool "both stripes reported spawn failure" true
+        (spawn_failed_events !events = [ 2; 2 ]))
+
+let eintr_storm_does_not_disturb_map () =
+  (* A 10 ms SIGALRM interval hammers the parent's select loop (and the
+     workers' pipe writes) with EINTR for the whole map; the retry
+     paths must make that invisible. *)
+  let f i =
+    let acc = ref 0 in
+    for k = 0 to 2_000_000 do
+      acc := !acc + ((i + k) mod 7)
+    done;
+    !acc
+  in
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let stop_timer () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.0; it_value = 0.0 })
+  in
+  let got =
+    Fun.protect
+      ~finally:(fun () ->
+        stop_timer ();
+        Sys.set_signal Sys.sigalrm old)
+      (fun () ->
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_interval = 0.01; it_value = 0.01 });
+        S.Parallel.map ~jobs:2 ~f 6)
+  in
+  let want = Array.init 6 (fun i -> S.Parallel.Value (f i)) in
+  check_bool "EINTR-riddled map matches serial" true (got = want)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -376,6 +476,17 @@ let () =
             watchdog_spares_beating_workers;
           Alcotest.test_case "forces a fork at jobs 1" `Quick
             watchdog_forces_fork_at_jobs1;
+        ] );
+      ( "spawn",
+        [
+          Alcotest.test_case "transient fork failures retried" `Quick
+            transient_fork_failures_are_retried;
+          Alcotest.test_case "spawn failure censors one stripe, pool continues"
+            `Slow spawn_failure_degrades_not_aborts;
+          Alcotest.test_case "exhausted fork budget censors all stripes" `Slow
+            exhausted_fork_budget_censors_stripes;
+          Alcotest.test_case "EINTR storm does not disturb map" `Quick
+            eintr_storm_does_not_disturb_map;
         ] );
       ( "campaign",
         [
