@@ -19,11 +19,26 @@ let default_config ~socket ~spool =
 
 let max_restarts = 3
 
+(* Transient fork failures (pid/memory pressure) are retried this many
+   times with doubling backoff before the spawn is reported failed. *)
+let max_fork_retries = 3
+
+(* A client that stops reading gets this much buffered output before it
+   is declared wedged and detached; its campaign keeps running. *)
+let max_client_outbuf = 1 lsl 20
+
+(* Retention bounds for a long-lived daemon: progress lines kept per
+   campaign for late [stream] replay, and finished campaigns remembered
+   in memory (older ones still answer from the spool). *)
+let max_log_lines = 512
+let max_done_cache = 256
+
 type client = {
   c_fd : Unix.file_descr;
   mutable dec : Wire.decoder;
   mutable watching : string option;  (** runner key *)
   mutable alive : bool;
+  outbuf : Buffer.t;  (** unsent frames; flushed on select writability *)
 }
 
 type runner_state = {
@@ -36,9 +51,11 @@ type runner_state = {
   grant_w : Unix.file_descr;
   event_r : Unix.file_descr;
   mutable completed : int;
-  mutable log : (int * string) list;  (** newest first *)
+  mutable log : (int * string) list;  (** newest first, capped *)
+  mutable log_len : int;
   mutable finished : (int * string) option;  (** Finished event payload *)
   mutable cancelling : bool;
+  mutable stop_sent : bool;  (** a Stop grant is already queued *)
   mutable restarts : int;
 }
 
@@ -55,6 +72,7 @@ type state = {
   mutable clients : client list;
   mutable runners : runner_state list;
   done_cache : (string, done_state) Hashtbl.t;
+  done_order : string Queue.t;  (** insertion order, for eviction *)
   mutable draining : bool;
 }
 
@@ -89,22 +107,41 @@ let detach st c =
     (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
   end
 
-(* A dead or wedged client never takes the daemon down: EPIPE /
-   ECONNRESET / EAGAIN-on-a-full-buffer all just detach the client. *)
+(* A dead or wedged client never takes the daemon down. Client sockets
+   are non-blocking: what the kernel will not take now stays in
+   [c.outbuf] and is flushed when select reports writability; a client
+   that stops reading overflows the bound and is detached (its campaign
+   keeps running). EPIPE / ECONNRESET likewise just detach. *)
+let flush_client st c =
+  (if c.alive && Buffer.length c.outbuf > 0 then
+     let data = Buffer.contents c.outbuf in
+     let len = String.length data in
+     let rec go off =
+       if off >= len then Buffer.clear c.outbuf
+       else
+         match Unix.write_substring c.c_fd data off (len - off) with
+         | n -> go (off + n)
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+           ->
+             (* Socket buffer full: keep the unsent tail for later. *)
+             let rest = String.sub data off (len - off) in
+             Buffer.clear c.outbuf;
+             Buffer.add_string c.outbuf rest
+         | exception Unix.Unix_error _ -> detach st c
+     in
+     go 0);
+  if c.alive && Buffer.length c.outbuf > max_client_outbuf then begin
+    log_line st "client not reading (%d bytes queued); detaching"
+      (Buffer.length c.outbuf);
+    detach st c
+  end
+
 let client_write st c bytes =
-  if c.alive then
-    try
-      let len = String.length bytes in
-      let rec go off =
-        if off < len then
-          let n =
-            restart_on_eintr (fun () ->
-                Unix.write_substring c.c_fd bytes off (len - off))
-          in
-          go (off + n)
-      in
-      go 0
-    with Unix.Unix_error _ -> detach st c
+  if c.alive then begin
+    Buffer.add_string c.outbuf bytes;
+    flush_client st c
+  end
 
 let respond st c resp = client_write st c (Protocol.response_to_frame resp)
 
@@ -115,13 +152,37 @@ let respond st c resp = client_write st c (Protocol.response_to_frame resp)
 let watchers st key =
   List.filter (fun c -> c.alive && c.watching = Some key) st.clients
 
+(* Fork under pid/memory pressure (EAGAIN/ENOMEM) is transient more
+   often than not; retry briefly like [Parallel.spawn] does, then
+   report failure so the caller can reject or fail one campaign instead
+   of crashing the daemon. *)
+let fork_with_retry () =
+  let rec go attempt =
+    match Unix.fork () with
+    | pid -> Ok pid
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.ENOMEM) as e, _, _) ->
+        if attempt >= max_fork_retries then
+          Error (Printf.sprintf "fork: %s" (Unix.error_message e))
+        else begin
+          (try ignore (Unix.select [] [] [] (0.05 *. float_of_int (1 lsl attempt)))
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go (attempt + 1)
+        end
+  in
+  go 0
+
 let spawn_runner st ~tenant ~id ~dir ~spec ~resume ~disarm_storage ~restarts =
   let grant_r, grant_w = Unix.pipe () in
   let event_r, event_w = Unix.pipe () in
   flush stdout;
   flush stderr;
-  match Unix.fork () with
-  | 0 ->
+  match fork_with_retry () with
+  | Error e ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ grant_r; grant_w; event_r; event_w ];
+      Error e
+  | Ok 0 ->
       (* Child: drop every daemon fd so a dead daemon leaves no open
          client sockets behind, then become the runner. *)
       (try Unix.close grant_w with Unix.Unix_error _ -> ());
@@ -138,7 +199,7 @@ let spawn_runner st ~tenant ~id ~dir ~spec ~resume ~disarm_storage ~restarts =
           try Unix.close r.event_r with Unix.Unix_error _ -> ())
         st.runners;
       Runner.exec ~grant_r ~event_w ~dir ~spec ~resume ~disarm_storage
-  | pid ->
+  | Ok pid ->
       Unix.close grant_r;
       Unix.close event_w;
       Spool.write_pid ~dir pid;
@@ -156,16 +217,40 @@ let spawn_runner st ~tenant ~id ~dir ~spec ~resume ~disarm_storage ~restarts =
           event_r;
           completed = 0;
           log = [];
+          log_len = 0;
           finished = None;
           cancelling = false;
+          stop_sent = false;
           restarts;
         }
       in
       st.runners <- st.runners @ [ r ];
       log_line st "spawned runner pid %d for %s (resume=%b)" pid key resume;
-      r
+      Ok r
 
 let find_runner st key = List.find_opt (fun r -> r.key = key) st.runners
+
+(* Bounded memory of finished campaigns: evict oldest-first once over
+   the cap; evicted campaigns still answer status/stream from their
+   spool result, just without the in-memory progress replay. *)
+let remember_done st key d =
+  if not (Hashtbl.mem st.done_cache key) then Queue.push key st.done_order;
+  Hashtbl.replace st.done_cache key d;
+  while
+    Hashtbl.length st.done_cache > max_done_cache
+    && not (Queue.is_empty st.done_order)
+  do
+    Hashtbl.remove st.done_cache (Queue.pop st.done_order)
+  done
+
+(* Newest-first prepend with amortized-O(1) truncation to the cap. *)
+let log_progress r entry =
+  r.log <- entry :: r.log;
+  r.log_len <- r.log_len + 1;
+  if r.log_len > 2 * max_log_lines then begin
+    r.log <- List.filteri (fun i _ -> i < max_log_lines) r.log;
+    r.log_len <- max_log_lines
+  end
 
 let release_runner st r =
   Sched.unregister st.sched ~key:r.key;
@@ -174,6 +259,13 @@ let release_runner st r =
   (try Unix.close r.event_r with Unix.Unix_error _ -> ());
   Spool.clear_pid ~dir:r.r_dir;
   st.runners <- List.filter (fun x -> x.key <> r.key) st.runners
+
+let abort_campaign st r line =
+  Spool.write_result ~dir:r.r_dir (Spool.Finished 3);
+  remember_done st r.key { d_exit = 3; d_line = line; d_log = r.log };
+  List.iter
+    (fun c -> respond st c (Protocol.Summary { exit_code = 3; line }))
+    (watchers st r.key)
 
 (* EOF on the event pipe: the runner exited. Decide what that means. *)
 let reap_runner st r =
@@ -196,12 +288,11 @@ let reap_runner st r =
   in
   match finished_payload with
   | Some (code, line) ->
-      Hashtbl.replace st.done_cache r.key
-        { d_exit = code; d_line = line; d_log = r.log };
+      remember_done st r.key { d_exit = code; d_line = line; d_log = r.log };
       log_line st "%s finished (exit %d)" r.key code
   | None when r.cancelling ->
       Spool.write_result ~dir:r.r_dir Spool.Cancelled;
-      Hashtbl.replace st.done_cache r.key
+      remember_done st r.key
         { d_exit = 1; d_line = "campaign cancelled"; d_log = r.log };
       List.iter (fun c -> respond st c Protocol.Cancelled) (watchers st r.key);
       log_line st "%s cancelled" r.key
@@ -223,27 +314,29 @@ let reap_runner st r =
       if r.restarts < max_restarts then begin
         log_line st "%s runner died (%s); restarting (%d/%d)" r.key stat_str
           (r.restarts + 1) max_restarts;
-        (match Quota.admit st.quota ~tenant:r.tenant ~runs:r.r_spec.Spool.runs with
-        | Ok () | Error _ -> ());
+        (* The admission promise was made at submit time; a restart
+           never drops it. Force the reservation so the release above
+           stays balanced and the budget reflects real in-flight work. *)
+        Quota.readmit st.quota ~tenant:r.tenant ~runs:r.r_spec.Spool.runs;
         ignore (Spool.repair ~dir:r.r_dir);
-        let nr =
+        match
           spawn_runner st ~tenant:r.tenant ~id:r.id ~dir:r.r_dir
             ~spec:r.r_spec ~resume:true ~disarm_storage:true
             ~restarts:(r.restarts + 1)
-        in
-        nr.completed <- r.completed;
-        nr.log <- r.log
+        with
+        | Ok nr ->
+            nr.completed <- r.completed;
+            nr.log <- r.log;
+            nr.log_len <- r.log_len
+        | Error e ->
+            Quota.release st.quota ~tenant:r.tenant ~runs:r.r_spec.Spool.runs;
+            log_line st "%s restart failed (%s)" r.key e;
+            abort_campaign st r ("campaign aborted: cannot respawn runner: " ^ e)
       end
       else begin
         log_line st "%s runner died (%s); restart budget exhausted" r.key
           stat_str;
-        Spool.write_result ~dir:r.r_dir (Spool.Finished 3);
-        let line = "campaign aborted: runner kept dying" in
-        Hashtbl.replace st.done_cache r.key
-          { d_exit = 3; d_line = line; d_log = r.log };
-        List.iter
-          (fun c -> respond st c (Protocol.Summary { exit_code = 3; line }))
-          (watchers st r.key)
+        abort_campaign st r "campaign aborted: runner kept dying"
       end
 
 let handle_runner_event st r =
@@ -253,7 +346,7 @@ let handle_runner_event st r =
   | Some (Runner.Freed n) -> Sched.free st.sched ~key:r.key n
   | Some (Runner.Progress { run; line }) ->
       r.completed <- r.completed + 1;
-      r.log <- (run, line) :: r.log;
+      log_progress r (run, line);
       List.iter
         (fun c -> respond st c (Protocol.Progress { run; line }))
         (watchers st r.key)
@@ -263,13 +356,20 @@ let handle_runner_event st r =
         (fun c -> respond st c (Protocol.Summary { exit_code; line }))
         (watchers st r.key)
 
+(* A runner reads exactly one grant per batch boundary, so Stop must be
+   written once, not once per loop pass — repeated writes into the
+   blocking grant pipe would fill it mid-batch and wedge the daemon. *)
+let send_stop r =
+  if not r.stop_sent then begin
+    r.stop_sent <- true;
+    ignore (Runner.send_grant r.grant_w Runner.Stop)
+  end
+
 let scheduler_pass st =
   if st.draining then
-    (* Drain: every request is answered with Stop; runners exit at
-       their next batch boundary, checkpointed. *)
-    List.iter
-      (fun r -> ignore (Runner.send_grant r.grant_w Runner.Stop))
-      st.runners
+    (* Drain: runners exit at their next batch boundary, checkpointed.
+       [send_stop] is a no-op for those already told. *)
+    List.iter send_stop st.runners
   else
     List.iter
       (fun (key, n) ->
@@ -303,10 +403,19 @@ let campaign_status st ~tenant ~id =
           let exit_code =
             match outcome with Spool.Finished c -> Some c | Spool.Cancelled -> None
           in
-          let runs, completed =
+          let runs =
             match Spool.read_manifest ~dir with
-            | Ok spec -> (spec.Spool.runs, spec.Spool.runs)
-            | Error _ -> (0, 0)
+            | Ok spec -> spec.Spool.runs
+            | Error _ -> 0
+          in
+          (* The checkpoint records what actually ran — an aborted or
+             cancelled campaign must not report its plan as progress.
+             Only a clean finish whose checkpoint is unreadable falls
+             back to the plan. *)
+          let completed =
+            match Spool.completed_runs ~dir with
+            | 0 when exit_code = Some 0 -> runs
+            | n -> n
           in
           Protocol.Status_is
             { state = Spool.outcome_state outcome; completed; runs; exit_code }
@@ -318,7 +427,12 @@ let campaign_status st ~tenant ~id =
               | Error _ -> 0
             in
             Protocol.Status_is
-              { state = "interrupted"; completed = 0; runs; exit_code = None }
+              {
+                state = "interrupted";
+                completed = Spool.completed_runs ~dir;
+                runs;
+                exit_code = None;
+              }
           else
             Protocol.Status_is
               { state = "unknown"; completed = 0; runs = 0; exit_code = None })
@@ -326,12 +440,16 @@ let campaign_status st ~tenant ~id =
 let resume_interrupted st ~tenant ~id ~dir ~spec =
   match Quota.admit st.quota ~tenant ~runs:spec.Spool.runs with
   | Error reason -> Protocol.Rejected { reason }
-  | Ok () ->
+  | Ok () -> (
       List.iter (fun n -> log_line st "repair: %s" n) (Spool.repair ~dir);
-      ignore
-        (spawn_runner st ~tenant ~id ~dir ~spec ~resume:true
-           ~disarm_storage:true ~restarts:0);
-      Protocol.Accepted { id; state = "resumed" }
+      match
+        spawn_runner st ~tenant ~id ~dir ~spec ~resume:true
+          ~disarm_storage:true ~restarts:0
+      with
+      | Ok _ -> Protocol.Accepted { id; state = "resumed" }
+      | Error e ->
+          Quota.release st.quota ~tenant ~runs:spec.Spool.runs;
+          Protocol.Rejected { reason = "cannot spawn runner: " ^ e })
 
 let handle_submit st ~tenant ~id ~spec =
   if st.draining then Protocol.Rejected { reason = "daemon is draining" }
@@ -360,12 +478,16 @@ let handle_submit st ~tenant ~id ~spec =
       | Ok () -> (
           match Quota.admit st.quota ~tenant ~runs:spec.Spool.runs with
           | Error reason -> Protocol.Rejected { reason }
-          | Ok () ->
+          | Ok () -> (
               Spool.write_manifest ~dir spec;
-              ignore
-                (spawn_runner st ~tenant ~id ~dir ~spec ~resume:false
-                   ~disarm_storage:false ~restarts:0);
-              Protocol.Accepted { id; state = "running" })
+              match
+                spawn_runner st ~tenant ~id ~dir ~spec ~resume:false
+                  ~disarm_storage:false ~restarts:0
+              with
+              | Ok _ -> Protocol.Accepted { id; state = "running" }
+              | Error e ->
+                  Quota.release st.quota ~tenant ~runs:spec.Spool.runs;
+                  Protocol.Rejected { reason = "cannot spawn runner: " ^ e }))
 
 let handle_stream st c ~tenant ~id ~from_run =
   let key = key_of ~tenant ~id in
@@ -405,7 +527,7 @@ let handle_cancel st ~tenant ~id =
   match find_runner st key with
   | Some r ->
       r.cancelling <- true;
-      ignore (Runner.send_grant r.grant_w Runner.Stop);
+      send_stop r;
       Protocol.Cancelled
   | None -> (
       let dir = Spool.dir ~spool:st.cfg.spool ~tenant ~id in
@@ -420,9 +542,7 @@ let start_drain st reason =
     st.draining <- true;
     log_line st "draining (%s): %d campaign(s) in flight" reason
       (List.length st.runners);
-    List.iter
-      (fun r -> ignore (Runner.send_grant r.grant_w Runner.Stop))
-      st.runners
+    List.iter send_stop st.runners
   end
 
 let handle_request st c = function
@@ -440,6 +560,9 @@ let handle_request st c = function
 let handle_client_bytes st c =
   let buf = Bytes.create 65536 in
   match restart_on_eintr (fun () -> Unix.read c.c_fd buf 0 (Bytes.length buf)) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* Spurious wakeup on the non-blocking socket; nothing to do. *)
+      ()
   | exception Unix.Unix_error _ -> detach st c
   | 0 -> detach st c
   | n ->
@@ -492,18 +615,24 @@ let recover_spool st =
           List.iter
             (fun n -> log_line st "repair: %s" n)
             (Spool.repair ~dir:e.Spool.entry_dir);
-          (match
-             Quota.admit st.quota ~tenant:e.Spool.tenant
-               ~runs:e.Spool.spec.Spool.runs
-           with
-          | Ok () | Error _ ->
-              (* The admission promise was made before the crash; a
-                 restart never drops it. *)
-              ());
-          ignore
-            (spawn_runner st ~tenant:e.Spool.tenant ~id:e.Spool.id
-               ~dir:e.Spool.entry_dir ~spec:e.Spool.spec ~resume:true
-               ~disarm_storage:true ~restarts:0))
+          (* The admission promise was made before the crash; a restart
+             never drops it — force the reservation so the eventual
+             release stays balanced. *)
+          Quota.readmit st.quota ~tenant:e.Spool.tenant
+            ~runs:e.Spool.spec.Spool.runs;
+          match
+            spawn_runner st ~tenant:e.Spool.tenant ~id:e.Spool.id
+              ~dir:e.Spool.entry_dir ~spec:e.Spool.spec ~resume:true
+              ~disarm_storage:true ~restarts:0
+          with
+          | Ok _ -> ()
+          | Error err ->
+              (* Leave the campaign interrupted in the spool: the next
+                 daemon start (or an idempotent resubmit) retries it. *)
+              Quota.release st.quota ~tenant:e.Spool.tenant
+                ~runs:e.Spool.spec.Spool.runs;
+              Printf.eprintf "szcd: spool: cannot resume %s: %s\n%!"
+                e.Spool.entry_dir err)
     entries
 
 (* ---------------------------------------------------------------- *)
@@ -512,8 +641,8 @@ let recover_spool st =
 
 let drain_requested = ref false
 
-let select_with_flags read_fds timeout =
-  try Unix.select read_fds [] [] timeout
+let select_with_flags read_fds write_fds timeout =
+  try Unix.select read_fds write_fds [] timeout
   with Unix.Unix_error (Unix.EINTR, _, _) ->
     (* A signal landed (SIGTERM → drain flag); surface to the loop. *)
     ([], [], [])
@@ -533,6 +662,7 @@ let run cfg =
       clients = [];
       runners = [];
       done_cache = Hashtbl.create 64;
+      done_order = Queue.create ();
       draining = false;
     }
   in
@@ -574,26 +704,49 @@ let run cfg =
                 @ List.map (fun c -> c.c_fd) st.clients
                 @ List.map (fun r -> r.event_r) st.runners
               in
-              let ready, _, _ = select_with_flags fds 0.25 in
+              let wfds =
+                List.filter_map
+                  (fun c ->
+                    if c.alive && Buffer.length c.outbuf > 0 then Some c.c_fd
+                    else None)
+                  st.clients
+              in
+              let ready, wready, _ = select_with_flags fds wfds 0.25 in
+              List.iter
+                (fun fd_ready ->
+                  match
+                    List.find_opt
+                      (fun c -> c.alive && c.c_fd = fd_ready)
+                      st.clients
+                  with
+                  | Some c -> flush_client st c
+                  | None -> ())
+                wready;
               List.iter
                 (fun fd_ready ->
                   if Some fd_ready = st.listen_fd then (
                     match restart_on_eintr (fun () -> Unix.accept fd_ready) with
                     | exception Unix.Unix_error _ -> ()
                     | cfd, _ ->
+                        (* Non-blocking: a wedged client can never
+                           stall the event loop on a write. *)
+                        Unix.set_nonblock cfd;
                         let c =
                           {
                             c_fd = cfd;
                             dec = Wire.create ~expect_greeting:true;
                             watching = None;
                             alive = true;
+                            outbuf = Buffer.create 256;
                           }
                         in
                         st.clients <- st.clients @ [ c ];
                         client_write st c Wire.greeting)
                   else
                     match
-                      List.find_opt (fun c -> c.c_fd = fd_ready) st.clients
+                      List.find_opt
+                        (fun c -> c.alive && c.c_fd = fd_ready)
+                        st.clients
                     with
                     | Some c -> handle_client_bytes st c
                     | None -> (

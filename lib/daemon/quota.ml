@@ -49,6 +49,13 @@ let admit t ~tenant ~runs =
     Ok ()
   end
 
+let readmit t ~tenant ~runs =
+  let s = tenant_state t tenant in
+  s.campaigns <- s.campaigns + 1;
+  s.runs <- s.runs + runs;
+  t.global_runs <- t.global_runs + runs;
+  t.total_campaigns <- t.total_campaigns + 1
+
 let release t ~tenant ~runs =
   (match Hashtbl.find_opt t.tenants tenant with
   | Some s ->

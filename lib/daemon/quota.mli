@@ -25,6 +25,13 @@ val create : limits -> t
     exceeded. *)
 val admit : t -> tenant:string -> runs:int -> (unit, string) result
 
+(** Unconditionally re-reserve (crash-recovery and runner-restart
+    paths): the admission promise predates the crash and is never
+    dropped, even if the quota has since filled — the counters really
+    are incremented, so the matching {!release} stays balanced and
+    later admissions see the true in-flight load. *)
+val readmit : t -> tenant:string -> runs:int -> unit
+
 val release : t -> tenant:string -> runs:int -> unit
 
 (** In-flight campaign count, all tenants. *)

@@ -216,6 +216,11 @@ let read_result ~dir =
       | None -> Error "result: malformed exit_code")
   | _ -> Error "result: malformed state"
 
+let completed_runs ~dir =
+  match Stabilizer.Supervisor.load (checkpoint_path dir) with
+  | Ok c -> List.length c.Stabilizer.Supervisor.records
+  | Error _ -> 0
+
 (* The pid file is advisory scratch state, not an artifact: a plain
    write is fine because the worst a torn pid file can cause is a
    missed (or wrong-pid, hence failed) kill of an already-dead

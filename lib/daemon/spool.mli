@@ -69,6 +69,12 @@ val outcome_state : outcome -> string
 val write_result : dir:string -> outcome -> unit
 val read_result : dir:string -> (outcome, string) result
 
+(** Runs recorded in the campaign's checkpoint (completed and censored
+    alike); 0 when the checkpoint is missing or unreadable. The honest
+    progress count for a campaign with no live runner — an aborted
+    campaign reports what it actually ran, not its plan. *)
+val completed_runs : dir:string -> int
+
 (** The runner's pid file — advisory, for stale-runner cleanup on
     daemon restart; never trusted further than a [kill]. *)
 val write_pid : dir:string -> int -> unit

@@ -289,6 +289,33 @@ let quota_reservation_accounting () =
     (Quota.admit q ~tenant:"c" ~runs:10 = Ok ());
   check_int "in flight" 3 (Quota.in_flight q)
 
+(* The recovery/restart paths re-reserve with [readmit], which must
+   really increment the counters (even past a full quota) so the
+   eventual release is balanced and never frees a phantom
+   reservation. *)
+let quota_readmit_balance () =
+  let q =
+    Quota.create
+      {
+        Quota.max_campaigns_per_tenant = 1;
+        max_runs_per_tenant = 50;
+        global_run_budget = 50;
+      }
+  in
+  check_bool "admit" true (Quota.admit q ~tenant:"a" ~runs:50 = Ok ());
+  (* A daemon restart re-reserves the same campaign unconditionally. *)
+  Quota.readmit q ~tenant:"a" ~runs:50;
+  check_int "both reservations counted" 2 (Quota.in_flight q);
+  check_bool "budget reflects readmitted load" true
+    (Result.is_error (Quota.admit q ~tenant:"b" ~runs:1));
+  Quota.release q ~tenant:"a" ~runs:50;
+  check_bool "one release frees only one reservation" true
+    (Result.is_error (Quota.admit q ~tenant:"b" ~runs:1));
+  Quota.release q ~tenant:"a" ~runs:50;
+  check_bool "balanced releases free the budget" true
+    (Quota.admit q ~tenant:"b" ~runs:50 = Ok ());
+  check_int "in flight" 1 (Quota.in_flight q)
+
 let spec_for ~seed ~runs =
   {
     Spool.default_spec with
@@ -494,6 +521,8 @@ let () =
         [
           Alcotest.test_case "reservation accounting" `Quick
             quota_reservation_accounting;
+          Alcotest.test_case "readmit keeps releases balanced" `Quick
+            quota_readmit_balance;
           Alcotest.test_case "daemon rejects over-quota submit" `Quick
             daemon_rejects_over_quota;
         ] );
