@@ -1264,6 +1264,16 @@ let selftest_cmd =
       }
     in
     let p = Stz_workloads.Generate.program tiny in
+    (* VM shift semantics: the interpreter (and through it the
+       optimizer's constant folder) must clamp shift amounts into
+       [0, 62] without dropping odd amounts — a regression here skews
+       every workload that shifts by an odd count. *)
+    let shl = Stz_vm.Interp.eval_binop Stz_vm.Ir.Shl in
+    let shr = Stz_vm.Interp.eval_binop Stz_vm.Ir.Shr in
+    check "shift semantics: shl 1 doubles" (shl 21 1 = 42);
+    check "shift semantics: shr 3 odd amount" (shr 80 3 = 10);
+    check "shift semantics: 63 clamps to 62" (shl 1 63 = 1 lsl 62);
+    check "shift semantics: asr keeps sign" (shr (-16) 2 = -4);
     let config = S.Config.stabilizer in
     let base_seed = Int64.of_int seed in
     let policy = { S.Supervisor.default_policy with S.Supervisor.max_retries = 2 } in

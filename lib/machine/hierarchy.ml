@@ -22,7 +22,14 @@ type t = {
   predictor : Branch.t;
   mutable cycles : int;
   mutable instructions : int;
-  mutable last_fetch_line : int;
+  fetch_shift : int;  (** L1I line_bits — the fetch-line granularity *)
+  last_fetch_line : int ref;
+  data_shift : int;  (** L1D line_bits — the data-line granularity *)
+  last_data_line : int ref;
+  data_memo_ok : bool;
+      (** the data-side last-line memo is only transparent when a
+          repeated L1D hit charges nothing (l1_hit = 0) and a data line
+          never straddles a DTLB page *)
 }
 
 (* The default machine is the evaluation machine (Core i3-550) scaled
@@ -60,7 +67,11 @@ let create ?(cost = Cost.default) ?(l1i = default_l1i) ?(l1d = default_l1d)
     predictor = Branch.create ~entries:predictor_entries ~kind:predictor_kind ();
     cycles = 0;
     instructions = 0;
-    last_fetch_line = -1;
+    fetch_shift = l1i.Cache.line_bits;
+    last_fetch_line = ref (-1);
+    data_shift = l1d.Cache.line_bits;
+    last_data_line = ref (-1);
+    data_memo_ok = cost.Cost.l1_hit = 0 && l1d.Cache.line_bits <= dtlb.Tlb.page_bits;
   }
 
 (* Penalty for a miss in an L1 (I or D): walk down L2, L3, memory. *)
@@ -69,27 +80,39 @@ let lower_levels t addr =
   else if Cache.access t.l3 addr then t.cost.Cost.l3_hit
   else t.cost.Cost.memory
 
+(* The I-side walk on a fetch-line change: memo update, ITLB, L1I and
+   lower levels, penalty cycles charged. Base cycles and the retired
+   instruction are NOT counted here — [fetch] adds them per call, the
+   interpreter's fast path batches them per basic block. The fetch line
+   is [pc lsr fetch_shift] with the shift taken from the configured
+   L1I geometry (a hardcoded [lsr 6] used to mischarge non-default
+   instruction caches). *)
+let fetch_cross t pc =
+  t.last_fetch_line := pc lsr t.fetch_shift;
+  let tlb_penalty = if Tlb.access t.itlb pc then 0 else t.cost.Cost.tlb_miss in
+  let cache_penalty =
+    if Cache.access t.l1i pc then t.cost.Cost.l1_hit else lower_levels t pc
+  in
+  t.cycles <- t.cycles + tlb_penalty + cache_penalty
+
 let fetch t pc =
   t.instructions <- t.instructions + 1;
-  let line = pc lsr 6 in
-  let penalty =
-    if line = t.last_fetch_line then 0
-    else begin
-      t.last_fetch_line <- line;
-      let tlb_penalty =
-        if Tlb.access t.itlb pc then 0 else t.cost.Cost.tlb_miss
-      in
-      let cache_penalty =
-        if Cache.access t.l1i pc then t.cost.Cost.l1_hit else lower_levels t pc
-      in
-      tlb_penalty + cache_penalty
-    end
-  in
-  let total = t.cost.Cost.base_cycles + penalty in
-  t.cycles <- t.cycles + total;
+  let before = t.cycles in
+  if pc lsr t.fetch_shift <> !(t.last_fetch_line) then fetch_cross t pc;
+  let total = t.cost.Cost.base_cycles + (t.cycles - before) in
+  t.cycles <- t.cycles + t.cost.Cost.base_cycles;
   total
 
-let data t addr =
+let fetch_shift t = t.fetch_shift
+let fetch_line_memo t = t.last_fetch_line
+
+let charge_batch t ~instructions ~cycles =
+  t.instructions <- t.instructions + instructions;
+  t.cycles <- t.cycles + cycles
+
+(* The full D-side walk; [line] is the address's L1D line. *)
+let data_cross t addr line =
+  t.last_data_line := line;
   let tlb_penalty = if Tlb.access t.dtlb addr then 0 else t.cost.Cost.tlb_miss in
   let cache_penalty =
     if Cache.access t.l1d addr then t.cost.Cost.l1_hit else lower_levels t addr
@@ -97,6 +120,18 @@ let data t addr =
   let total = tlb_penalty + cache_penalty in
   t.cycles <- t.cycles + total;
   total
+
+let data t addr =
+  let line = addr lsr t.data_shift in
+  (* Back-to-back accesses in one data line are guaranteed L1D + DTLB
+     hits (nothing else touched either structure in between, and a line
+     never spans a page), so when a hit costs 0 cycles the walk can be
+     skipped entirely. Collapsing consecutive duplicates preserves the
+     relative LRU order of every line in every set, so all future
+     hit/miss decisions — and therefore every exported counter — are
+     bit-identical to the unmemoized machine. *)
+  if t.data_memo_ok && line = !(t.last_data_line) then 0
+  else data_cross t addr line
 
 let branch t ~pc ~taken =
   if Branch.predict_and_update t.predictor ~pc ~taken then 0
@@ -194,7 +229,8 @@ let flush t =
   Cache.flush t.l3;
   Tlb.flush t.itlb;
   Tlb.flush t.dtlb;
-  t.last_fetch_line <- -1
+  t.last_fetch_line := -1;
+  t.last_data_line := -1
 
 let reset t =
   Cache.reset t.l1i;
@@ -206,4 +242,5 @@ let reset t =
   Branch.reset t.predictor;
   t.cycles <- 0;
   t.instructions <- 0;
-  t.last_fetch_line <- -1
+  t.last_fetch_line := -1;
+  t.last_data_line := -1

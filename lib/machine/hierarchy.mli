@@ -40,7 +40,30 @@ val create :
     straight-line code costs one L1I access per line, as on hardware. *)
 val fetch : t -> int -> int
 
-(** [data t addr] charges a load/store at [addr]; returns cycles. *)
+(** Hot-path decomposition of {!fetch}, used by the interpreter to
+    batch base-cycle charging per basic block while keeping every
+    counter bit-identical to per-instruction {!fetch} calls: the caller
+    compares [pc lsr fetch_shift] against [!(fetch_line_memo t)] inline
+    and only calls {!fetch_cross} on a line change (I-TLB + L1I + lower
+    levels, penalty cycles charged, memo updated); base cycles and
+    retired-instruction counts are then added in bulk with
+    {!charge_batch}. *)
+val fetch_shift : t -> int
+
+val fetch_line_memo : t -> int ref
+val fetch_cross : t -> int -> unit
+
+(** [charge_batch t ~instructions ~cycles] retires [instructions] and
+    charges [cycles] in one mutation — the bulk half of the decomposed
+    fetch path. *)
+val charge_batch : t -> instructions:int -> cycles:int -> unit
+
+(** [data t addr] charges a load/store at [addr]; returns cycles.
+    Back-to-back accesses within one L1D line take a memoized fast
+    path (mirroring the fetch-line memo) whenever that is invisible to
+    the model: a repeated hit must cost 0 cycles ([l1_hit = 0]) and a
+    line must fit in a page. All counters are bit-identical either
+    way. *)
 val data : t -> int -> int
 
 (** [branch t ~pc ~taken] consults and trains the predictor; returns

@@ -6,8 +6,11 @@
 
     Semantics notes: memory is a word-granular store private to each
     [run] (loads of untouched words read 0), integer division by zero
-    yields 0, and shift amounts are truncated to [0, 62], keeping
-    generated programs total. *)
+    yields 0, and shift amounts are clamped into [0, 62] — wrapped
+    through [land 63] like a hardware shifter, then capped at 62 —
+    keeping generated programs total. The clamp preserves odd amounts:
+    an earlier [land 62] mask silently simulated [x lsl 1] as
+    [x lsl 0]. *)
 
 (** Per-invocation view of a function's code placement, captured at
     function entry. If the runtime re-randomizes while the invocation

@@ -253,6 +253,93 @@ let hierarchy_charge_and_reset () =
   M.Hierarchy.reset h;
   check_int "reset" 0 (M.Hierarchy.cycles h)
 
+(* The fetch-line memo must follow the configured L1I geometry. A
+   hardcoded [lsr 6] used to make any non-default line size mischarge:
+   with 32-byte lines, 0x...00 and 0x...20 are different lines and the
+   second fetch must walk the I-side again. *)
+let hierarchy_fetch_line_follows_config () =
+  let l1i = { M.Cache.name = "L1I"; sets = 64; ways = 2; line_bits = 5 } in
+  let h = M.Hierarchy.create ~l1i () in
+  ignore (M.Hierarchy.fetch h 0x400000);
+  ignore (M.Hierarchy.fetch h 0x400020);
+  let c = M.Hierarchy.counters h in
+  check_int "two 32-byte lines, two L1I misses" 2 c.M.Hierarchy.l1i_misses;
+  (* And the converse direction: with 256-byte lines the second fetch
+     is the same line, so no new I-side access happens at all. *)
+  let l1i = { M.Cache.name = "L1I"; sets = 16; ways = 2; line_bits = 8 } in
+  let h = M.Hierarchy.create ~l1i () in
+  ignore (M.Hierarchy.fetch h 0x400000);
+  ignore (M.Hierarchy.fetch h 0x4000C0);
+  let c = M.Hierarchy.counters h in
+  check_int "one 256-byte line, one L1I miss" 1 c.M.Hierarchy.l1i_misses;
+  check_int "itlb touched once" 1 c.M.Hierarchy.itlb_misses
+
+(* The decomposed hot path (inline line check + fetch_cross +
+   charge_batch) must account exactly like per-instruction fetch. *)
+let hierarchy_batched_fetch_identity () =
+  let pcs = Array.init 200 (fun i -> 0x400000 + (4 * i * (1 + (i mod 7)))) in
+  let h1 = M.Hierarchy.create () in
+  Array.iter (fun pc -> ignore (M.Hierarchy.fetch h1 pc)) pcs;
+  let h2 = M.Hierarchy.create () in
+  let shift = M.Hierarchy.fetch_shift h2 in
+  let memo = M.Hierarchy.fetch_line_memo h2 in
+  let base = M.Cost.default.M.Cost.base_cycles in
+  let pending = ref 0 in
+  Array.iter
+    (fun pc ->
+      if pc lsr shift <> !memo then M.Hierarchy.fetch_cross h2 pc;
+      incr pending)
+    pcs;
+  M.Hierarchy.charge_batch h2 ~instructions:!pending ~cycles:(!pending * base);
+  let c1 = M.Hierarchy.counters h1 and c2 = M.Hierarchy.counters h2 in
+  List.iter2
+    (fun (k, v1) (_, v2) -> check_int k v1 v2)
+    (M.Hierarchy.counters_fields c1)
+    (M.Hierarchy.counters_fields c2)
+
+(* Consecutive same-line data accesses take the memoized fast path;
+   every exported counter must stay identical to the full walk, and a
+   line change or flush must end the memo's validity. *)
+let hierarchy_data_memo_transparent () =
+  let addrs =
+    Array.init 300 (fun i ->
+        0x20000000 + (8 * (i mod 3)) + (64 * (i mod 11)) + (4096 * (i mod 5)))
+  in
+  let h = M.Hierarchy.create () in
+  Array.iter (fun a -> ignore (M.Hierarchy.data h a)) addrs;
+  let c = M.Hierarchy.counters h in
+  (* Reference machine: identical geometry but a nonzero L1D hit cost,
+     which disables the memo (a repeated hit would owe cycles). Every
+     duplicate access then really walks and hits — the miss counters
+     must come out identical, proving the memo only skips guaranteed
+     hits and never perturbs any replacement decision. *)
+  let cost = { M.Cost.default with M.Cost.l1_hit = 1 } in
+  let h' = M.Hierarchy.create ~cost () in
+  Array.iter (fun a -> ignore (M.Hierarchy.data h' a)) addrs;
+  let c' = M.Hierarchy.counters h' in
+  check_int "l1d misses identical without memo" c'.M.Hierarchy.l1d_misses
+    c.M.Hierarchy.l1d_misses;
+  check_int "l2 misses identical without memo" c'.M.Hierarchy.l2_misses
+    c.M.Hierarchy.l2_misses;
+  check_int "l3 misses identical without memo" c'.M.Hierarchy.l3_misses
+    c.M.Hierarchy.l3_misses;
+  check_int "dtlb misses identical without memo" c'.M.Hierarchy.dtlb_misses
+    c.M.Hierarchy.dtlb_misses;
+  (* Same-line repeats cost zero and add no misses. *)
+  let h2 = M.Hierarchy.create () in
+  let first = M.Hierarchy.data h2 0x30000000 in
+  let repeat = M.Hierarchy.data h2 0x30000008 in
+  check_bool "first access walks" true (first > 0);
+  check_int "same-line repeat is free" 0 repeat;
+  let before = M.Hierarchy.counters h2 in
+  ignore (M.Hierarchy.data h2 0x30000010);
+  let after = M.Hierarchy.counters h2 in
+  check_int "no new l1d miss on memoized line" before.M.Hierarchy.l1d_misses
+    after.M.Hierarchy.l1d_misses;
+  M.Hierarchy.flush h2;
+  check_bool "flush clears the data memo" true
+    (M.Hierarchy.data h2 0x30000008 > 0)
+
 let () =
   Alcotest.run "machine"
     [
@@ -289,5 +376,11 @@ let () =
           Alcotest.test_case "counters" `Quick hierarchy_counters_consistent;
           Alcotest.test_case "flush forces misses" `Quick hierarchy_flush_forces_misses;
           Alcotest.test_case "charge/reset" `Quick hierarchy_charge_and_reset;
+          Alcotest.test_case "fetch line follows config" `Quick
+            hierarchy_fetch_line_follows_config;
+          Alcotest.test_case "batched fetch identity" `Quick
+            hierarchy_batched_fetch_identity;
+          Alcotest.test_case "data memo transparent" `Quick
+            hierarchy_data_memo_transparent;
         ] );
     ]

@@ -233,6 +233,94 @@ let interp_division_semantics () =
   check_int "cmp true" 1 (I.eval_cmp Ir.Lt 1 2);
   check_int "cmp false" 0 (I.eval_cmp Ir.Gt 1 2)
 
+let interp_shift_semantics () =
+  (* The clamp must keep odd amounts: an earlier [land 62] mask
+     silently zeroed the low bit, simulating [x lsl 1] as [x lsl 0]. *)
+  check_int "shl 0" 5 (I.eval_binop Ir.Shl 5 0);
+  check_int "shl 1 doubles" 10 (I.eval_binop Ir.Shl 5 1);
+  check_int "shl 3 odd amount" 40 (I.eval_binop Ir.Shl 5 3);
+  check_int "shr 1 halves" 5 (I.eval_binop Ir.Shr 10 1);
+  check_int "shl 62" (1 lsl 62) (I.eval_binop Ir.Shl 1 62);
+  check_int "shl 63 clamps to 62" (1 lsl 62) (I.eval_binop Ir.Shl 1 63);
+  check_int "shr 62" (min_int asr 62) (I.eval_binop Ir.Shr min_int 62);
+  check_int "shr 63 clamps to 62" (min_int asr 62)
+    (I.eval_binop Ir.Shr min_int 63);
+  (* [Shr] is arithmetic: negative operands keep their sign. *)
+  check_int "asr negative" (-4) (I.eval_binop Ir.Shr (-16) 2);
+  check_int "asr negative saturates to -1" (-1) (I.eval_binop Ir.Shr (-1) 40);
+  check_int "asr negative by 62" (-1) (I.eval_binop Ir.Shr (-1000) 62);
+  (* Negative amounts wrap through [land 63] like a hardware shifter,
+     then clamp: -1 land 63 = 63 -> 62. *)
+  check_int "negative amount wraps" (1 lsl 62) (I.eval_binop Ir.Shl 1 (-1));
+  check_int "amount 65 wraps to 1" 10 (I.eval_binop Ir.Shl 5 65);
+  (* End to end through the interpreter (register and immediate
+     operand shapes take different pre-decoded paths). *)
+  let b = B.func ~fid:0 ~name:"main" ~n_args:1 () in
+  let r = B.fresh_reg b in
+  let s = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Shl, r, Ir.Reg 0, Ir.Imm 1));
+  B.emit b (Ir.Mov (s, Ir.Imm 3));
+  B.emit b (Ir.Bin (Ir.Shl, r, Ir.Reg r, Ir.Reg s));
+  B.emit b (Ir.Bin (Ir.Shr, r, Ir.Reg r, Ir.Imm 2));
+  B.emit b (Ir.Ret (Ir.Reg r));
+  let p = B.program ~funcs:[ B.finish b ] ~globals:[] ~entry:0 in
+  check_int "x lsl 1 lsl 3 asr 2 = 4x" 84 (run p [ 21 ])
+
+(* Pin the exact counters of small fixed programs on the default
+   machine. Any interpreter or hierarchy change that drifts the
+   simulated machine model — rather than just making it faster —
+   fails here loudly. Values recorded after the shift-semantics fix;
+   they are a contract, not a derivation. *)
+let golden_counters program args expected =
+  let p = program () in
+  let m = Stz_machine.Hierarchy.create () in
+  let env =
+    I.plain_env ~machine:m
+      ~code_addrs:(Array.map (fun _ -> 0x400000) p.Ir.funcs)
+      ~global_addrs:[||] ~stack_base:0x7FFF0000
+      ~malloc:(fun _ -> 0x10000000)
+      ~free:(fun _ -> ())
+      p
+  in
+  ignore (I.run env p ~args);
+  List.iter2
+    (fun (k, v) (k', v') ->
+      check_int ("field order: " ^ k) 0 (compare k k');
+      check_int k v' v)
+    (Stz_machine.Hierarchy.counters_fields
+       (Stz_machine.Hierarchy.counters m))
+    expected
+
+let interp_golden_counters_sum () =
+  golden_counters sum_program [ 100 ]
+    [
+      ("cycles", 980);
+      ("instructions", 506);
+      ("l1i_misses", 1);
+      ("l1d_misses", 1);
+      ("l2_misses", 2);
+      ("l3_misses", 2);
+      ("itlb_misses", 1);
+      ("dtlb_misses", 1);
+      ("branches", 101);
+      ("branch_mispredictions", 1);
+    ]
+
+let interp_golden_counters_fact () =
+  golden_counters fact_program [ 10 ]
+    [
+      ("cycles", 2381);
+      ("instructions", 57);
+      ("l1i_misses", 1);
+      ("l1d_misses", 10);
+      ("l2_misses", 11);
+      ("l3_misses", 11);
+      ("itlb_misses", 1);
+      ("dtlb_misses", 1);
+      ("branches", 10);
+      ("branch_mispredictions", 2);
+    ]
+
 let interp_fuel_exhaustion () =
   (* Infinite loop must hit the fuel limit. *)
   let b = B.func ~fid:0 ~name:"main" ~n_args:0 () in
@@ -447,6 +535,9 @@ let () =
           Alcotest.test_case "malloc/free" `Quick interp_malloc_free;
           Alcotest.test_case "call args" `Quick interp_call_args;
           Alcotest.test_case "division/shift" `Quick interp_division_semantics;
+          Alcotest.test_case "shift semantics" `Quick interp_shift_semantics;
+          Alcotest.test_case "golden counters (sum)" `Quick interp_golden_counters_sum;
+          Alcotest.test_case "golden counters (fact)" `Quick interp_golden_counters_fact;
           Alcotest.test_case "fuel" `Quick interp_fuel_exhaustion;
           Alcotest.test_case "call depth" `Quick interp_call_depth;
           Alcotest.test_case "deterministic" `Quick interp_deterministic_cycles;
