@@ -798,6 +798,33 @@ let fsck_cmd =
                     Sys.rename path aside;
                     Printf.printf "%s: moved aside to %s\n" path aside);
                   3))
+        else if container_kind = Some Stz_telemetry.Oplog.kind then (
+          match Stz_telemetry.Oplog.load path with
+          | Ok records ->
+              Printf.printf "%s: ok (oplog, %d record%s)\n" path
+                (List.length records)
+                (if List.length records = 1 then "" else "s");
+              0
+          | Error _ -> (
+              match Stz_telemetry.Oplog.recover path with
+              | Ok (records, note) ->
+                  Printf.printf "%s: salvageable — %s\n" path
+                    (Option.value note ~default:"prefix intact");
+                  if repair then (
+                    Stz_telemetry.Oplog.rewrite path records;
+                    Printf.printf
+                      "%s: repaired (rewritten from the salvaged prefix, %d \
+                       record%s)\n"
+                      path (List.length records)
+                      (if List.length records = 1 then "" else "s"));
+                  2
+              | Error e ->
+                  Printf.printf "%s: unrecoverable — %s\n" path e;
+                  if repair then (
+                    let aside = path ^ ".corrupt" in
+                    Sys.rename path aside;
+                    Printf.printf "%s: moved aside to %s\n" path aside);
+                  3))
         else
         match Stabilizer.Supervisor.load path with
         | Ok _ ->
@@ -870,13 +897,14 @@ let fsck_cmd =
   Cmd.v
     (Cmd.info "fsck"
        ~doc:
-         "Verify artifact integrity: record containers (checkpoints and \
-          history ledgers, told apart by their header kind) are fully \
-          parsed (header, per-record CRC-32, record structure); other \
-          artifacts are verified against their .sum sidecar. Exit 0 all \
-          ok, 1 unknown artifact or IO error, 2 salvageable corruption \
-          (or checksum mismatch), 3 unrecoverable. The overall exit code \
-          is the worst per-file code.")
+         "Verify artifact integrity: record containers (checkpoints, \
+          history ledgers and daemon oplogs, told apart by their header \
+          kind) are fully parsed (header, per-record CRC-32, record \
+          structure); other artifacts are verified against their .sum \
+          sidecar. Exit 0 all ok, 1 unknown artifact or IO error, 2 \
+          salvageable corruption (or checksum mismatch), 3 \
+          unrecoverable. The overall exit code is the worst per-file \
+          code.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1440,16 +1468,60 @@ let remote_rpc ~socket ~deadline ~seed req =
       Stz_daemon.Client.close t;
       r
 
+(* The daemon rides identity facts along on status replies; render
+   them as one supplementary line (absent when talking to an old
+   daemon, so the output stays a superset of the old format). *)
+let print_status_info info =
+  if info <> [] then begin
+    let field k = List.assoc_opt k info in
+    let uptime =
+      match field "uptime_ms" with
+      | Some ms -> (
+          match int_of_string_opt ms with
+          | Some ms -> Printf.sprintf ", up %.1fs" (float_of_int ms /. 1000.)
+          | None -> "")
+      | None -> ""
+    in
+    let drained =
+      match field "last_drain" with
+      | Some t -> Printf.sprintf ", last drain %s" t
+      | None -> ""
+    in
+    match field "version" with
+    | Some v -> Printf.printf "daemon %s%s%s\n" v uptime drained
+    | None -> ()
+  end
+
+let print_stats (s : Stz_daemon.Protocol.stats) =
+  let open Stz_daemon.Protocol in
+  Printf.printf "%s up %.1fs, slots %d/%d%s\n" s.s_version
+    (float_of_int s.s_uptime_ms /. 1000.)
+    s.s_slots_busy s.s_slots_total
+    (if s.s_draining then ", draining" else "");
+  List.iter
+    (fun (k, (h : Stz_telemetry.Ops.hist_summary)) ->
+      Printf.printf "hist %s count %d min %d p50 %d p90 %d p99 %d max %d\n" k
+        h.h_count h.h_min h.h_p50 h.h_p90 h.h_p99 h.h_max)
+    s.s_hists;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "tenant %s active %d queued %d held %d completed %d runs %d deficit %d\n"
+        r.tr_tenant r.tr_active r.tr_queued r.tr_held r.tr_completed r.tr_runs
+        r.tr_deficit)
+    s.s_tenants
+
 let print_response = function
   | Stz_daemon.Protocol.Pong -> Printf.printf "pong\n"
   | Stz_daemon.Protocol.Accepted { id; state } ->
       Printf.printf "accepted %s (%s)\n" id state
   | Stz_daemon.Protocol.Rejected { reason } -> Printf.printf "rejected: %s\n" reason
-  | Stz_daemon.Protocol.Status_is { state; completed; runs; exit_code } ->
+  | Stz_daemon.Protocol.Status_is { state; completed; runs; exit_code; info } ->
       Printf.printf "state %s, runs %d/%d%s\n" state completed runs
         (match exit_code with
         | Some c -> Printf.sprintf ", exit %d" c
-        | None -> "")
+        | None -> "");
+      print_status_info info
   | Stz_daemon.Protocol.Draining { in_flight } ->
       Printf.printf "draining (%d in flight)\n" in_flight
   | Stz_daemon.Protocol.Cancelled -> Printf.printf "cancelled\n"
@@ -1457,6 +1529,7 @@ let print_response = function
       Printf.printf "%s (exit %d)\n" line exit_code
   | Stz_daemon.Protocol.Progress { run; line } ->
       Printf.printf "run %d: %s\n" run line
+  | Stz_daemon.Protocol.Stats_is s -> print_stats s
   | Stz_daemon.Protocol.Error_frame msg -> Printf.printf "protocol error: %s\n" msg
 
 let remote_submit_cmd =
@@ -1676,16 +1749,158 @@ let remote_drain_cmd =
     Stz_daemon.Protocol.Drain
     (function Stz_daemon.Protocol.Draining _ -> 0 | _ -> 1)
 
+let remote_top_cmd =
+  let fmt_us v =
+    if v >= 10_000 then Printf.sprintf "%.1fms" (float_of_int v /. 1000.)
+    else Printf.sprintf "%dus" v
+  in
+  let render ~raw (s : Stz_daemon.Protocol.stats) =
+    let open Stz_daemon.Protocol in
+    if raw then begin
+      (* Machine-readable dump (one snapshot per blank-line-separated
+         block): what the CI gauntlet parses. *)
+      print_stats s;
+      List.iter (fun (k, v) -> Printf.printf "counter %s %d\n" k v) s.s_counters;
+      List.iter (fun (k, v) -> Printf.printf "gauge %s %d\n" k v) s.s_gauges;
+      print_newline ();
+      flush stdout
+    end
+    else begin
+      if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+      Printf.printf "szcd %s  up %.1fs  slots %d/%d%s\n" s.s_version
+        (float_of_int s.s_uptime_ms /. 1000.)
+        s.s_slots_busy s.s_slots_total
+        (if s.s_draining then "  DRAINING" else "");
+      (match List.assoc_opt "loop.tick_us" s.s_hists with
+      | Some (h : Stz_telemetry.Ops.hist_summary) ->
+          Printf.printf "tick   p50 %s  p90 %s  p99 %s  max %s  (%d ticks)\n"
+            (fmt_us h.h_p50) (fmt_us h.h_p90) (fmt_us h.h_p99) (fmt_us h.h_max)
+            h.h_count
+      | None -> ());
+      (match List.assoc_opt "sched.batch" s.s_hists with
+      | Some (h : Stz_telemetry.Ops.hist_summary) ->
+          Printf.printf "batch  p50 %d  p90 %d  p99 %d  max %d  (%d grants)\n"
+            h.h_p50 h.h_p90 h.h_p99 h.h_max h.h_count
+      | None -> ());
+      Printf.printf "%-16s %6s %6s %6s %9s %9s %8s\n" "TENANT" "ACTIVE"
+        "QUEUED" "HELD" "DONE" "RUNS" "DEFICIT";
+      let rows =
+        List.sort
+          (fun a b ->
+            match compare (b.tr_held, b.tr_active) (a.tr_held, a.tr_active) with
+            | 0 -> String.compare a.tr_tenant b.tr_tenant
+            | c -> c)
+          s.s_tenants
+      in
+      List.iter
+        (fun r ->
+          Printf.printf "%-16s %6d %6d %6d %9d %9d %8d\n" r.tr_tenant
+            r.tr_active r.tr_queued r.tr_held r.tr_completed r.tr_runs
+            r.tr_deficit)
+        rows;
+      if rows = [] then print_string "(no in-flight campaigns)\n";
+      flush stdout
+    end
+  in
+  let run socket deadline retry_seed interval count once raw =
+    let count = if once then 1 else count in
+    let interval_ms =
+      Stdlib.max 100 (Stdlib.min 60_000 (int_of_float (interval *. 1000.)))
+    in
+    if count = 1 then (
+      match
+        remote_rpc ~socket ~deadline ~seed:retry_seed Stz_daemon.Protocol.Stats
+      with
+      | Ok (Stz_daemon.Protocol.Stats_is s) ->
+          render ~raw s;
+          0
+      | Ok resp ->
+          print_response resp;
+          1
+      | Error e ->
+          Printf.eprintf "szc remote top: %s\n" e;
+          1)
+    else
+      let abs_deadline = remote_deadline deadline in
+      let seed = Int64.of_int retry_seed in
+      match Stz_daemon.Client.connect ~socket ~deadline:abs_deadline ~seed () with
+      | Error e ->
+          Printf.eprintf "szc remote top: %s\n" e;
+          1
+      | Ok t -> (
+          match
+            Stz_daemon.Client.send t (Stz_daemon.Protocol.Watch { interval_ms })
+          with
+          | Error e ->
+              Stz_daemon.Client.close t;
+              Printf.eprintf "szc remote top: %s\n" e;
+              1
+          | Ok () ->
+              let rec loop seen =
+                if count > 0 && seen >= count then (
+                  Stz_daemon.Client.close t;
+                  0)
+                else
+                  match
+                    Stz_daemon.Client.read_response t ~deadline:abs_deadline
+                  with
+                  | Ok (Stz_daemon.Protocol.Stats_is s) ->
+                      render ~raw s;
+                      loop (seen + 1)
+                  | Ok (Stz_daemon.Protocol.Error_frame msg) ->
+                      Stz_daemon.Client.close t;
+                      Printf.eprintf "szc remote top: protocol error: %s\n" msg;
+                      1
+                  | Ok _ -> loop seen
+                  | Error e ->
+                      (* Daemon drained or deadline hit: fine after at
+                         least one frame, an error before any. *)
+                      Stz_daemon.Client.close t;
+                      if seen > 0 then 0
+                      else (
+                        Printf.eprintf "szc remote top: %s\n" e;
+                        1)
+              in
+              loop 0)
+  in
+  let term =
+    Term.(
+      const run $ remote_socket_term $ deadline_term $ retry_seed_term
+      $ Arg.(
+          value & opt float 2.0
+          & info [ "interval" ] ~docv:"SECONDS"
+              ~doc:"Refresh period for the live view.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "count" ] ~docv:"N"
+              ~doc:
+                "Exit after $(docv) snapshots (0 = keep refreshing until \
+                 the deadline or the daemon drains).")
+      $ flag [ "once" ] "Print a single snapshot and exit (same as --count 1)."
+      $ flag [ "raw" ]
+          "Machine-readable output: one line per tenant row, histogram, \
+           counter and gauge — no screen clearing (for scripts and CI).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-tenant view of a szcd daemon: active/queued campaigns, \
+          held run slots, completed runs and DRR deficit per tenant, plus \
+          event-loop tick-latency and grant-batch percentiles from the \
+          daemon's ops histograms. Sorted by held slots (the busiest \
+          tenant first).")
+    term
+
 let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
        ~doc:
          "Talk to a szcd campaign daemon: submit/status/attach/cancel/\
-          drain/ping with deadline, exponential backoff and deterministic \
-          jitter.")
+          drain/ping/top with deadline, exponential backoff and \
+          deterministic jitter.")
     [
       remote_submit_cmd; remote_status_cmd; remote_attach_cmd;
-      remote_cancel_cmd; remote_drain_cmd; remote_ping_cmd;
+      remote_cancel_cmd; remote_drain_cmd; remote_ping_cmd; remote_top_cmd;
     ]
 
 let () =

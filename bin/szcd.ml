@@ -55,8 +55,30 @@ let run_budget_term =
 let verbose_term =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log lifecycle events to stderr.")
 
+let oplog_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "oplog" ] ~docv:"PATH"
+        ~doc:
+          "Append lifecycle events (spawns, restarts, admissions, drains) \
+           to a rotating CRC-framed JSONL oplog at $(docv); `szc fsck' \
+           verifies and salvages it. Purely operational: enabling it \
+           changes no campaign artifact byte.")
+
+let ops_export_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ops-export" ] ~docv:"PATH"
+        ~doc:
+          "Write the ops registry to $(docv) in Prometheus textfile \
+           format, atomically, about once a second. Purely operational: \
+           enabling it changes no campaign artifact byte.")
+
 let () =
-  let run socket spool slots quantum max_campaigns max_runs run_budget verbose =
+  let run socket spool slots quantum max_campaigns max_runs run_budget verbose
+      oplog ops_export =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let cfg =
       {
@@ -64,6 +86,8 @@ let () =
         Stz_daemon.Daemon.slots;
         quantum;
         verbose;
+        oplog;
+        ops_export;
         limits =
           {
             Stz_daemon.Quota.max_campaigns_per_tenant = max_campaigns;
@@ -77,7 +101,8 @@ let () =
   let term =
     Term.(
       const run $ socket_term $ spool_term $ slots_term $ quantum_term
-      $ max_campaigns_term $ max_runs_term $ run_budget_term $ verbose_term)
+      $ max_campaigns_term $ max_runs_term $ run_budget_term $ verbose_term
+      $ oplog_term $ ops_export_term)
   in
   let info =
     Cmd.info "szcd" ~version:"1.0.0"

@@ -1,3 +1,7 @@
+module Ops = Stz_telemetry.Ops
+module Oplog = Stz_telemetry.Oplog
+module Json = Stz_telemetry.Json
+
 type config = {
   socket : string;
   spool : string;
@@ -5,6 +9,8 @@ type config = {
   slots : int;
   quantum : int;
   verbose : bool;
+  oplog : string option;  (** rotating ops JSONL; [None] = off *)
+  ops_export : string option;  (** Prometheus textfile; [None] = off *)
 }
 
 let default_config ~socket ~spool =
@@ -15,7 +21,11 @@ let default_config ~socket ~spool =
     slots = 4;
     quantum = 2;
     verbose = false;
+    oplog = None;
+    ops_export = None;
   }
+
+let version = "szcd/0.8"
 
 let max_restarts = 3
 
@@ -39,6 +49,8 @@ type client = {
   mutable watching : string option;  (** runner key *)
   mutable alive : bool;
   outbuf : Buffer.t;  (** unsent frames; flushed on select writability *)
+  mutable watch_ms : int;  (** stats subscription period; 0 = none *)
+  mutable watch_due : float;  (** wall clock of the next stats frame *)
 }
 
 type runner_state = {
@@ -74,7 +86,79 @@ type state = {
   done_cache : (string, done_state) Hashtbl.t;
   done_order : string Queue.t;  (** insertion order, for eviction *)
   mutable draining : bool;
+  (* The operational plane. Everything below is wall-clock-fed and
+     write-only from the campaign plane's point of view: no campaign
+     decision ever reads it, so enabling it cannot change a single
+     artifact byte. *)
+  ops : Ops.t;
+  mutable oplog : Oplog.t option;
+  started_at : float;
+  mutable last_drain : string option;  (** ISO-8601, from the stamp file *)
+  mutable export_due : float;
 }
+
+(* ---------------------------------------------------------------- *)
+(* Ops plane                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let now_ms () = int_of_float (Unix.gettimeofday () *. 1000.)
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let ops_event st ev fields =
+  match st.oplog with
+  | None -> ()
+  | Some l -> Oplog.event l ~ts_ms:(now_ms ()) ~ev fields
+
+let last_drain_path st = Filename.concat st.cfg.spool "last-drain"
+
+let read_last_drain st =
+  match open_in (last_drain_path st) with
+  | exception Sys_error _ -> None
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      close_in_noerr ic;
+      if line = "" then None else Some line
+
+let write_last_drain st =
+  let stamp = iso8601 (Unix.gettimeofday ()) in
+  st.last_drain <- Some stamp;
+  try Stz_store.Artifact.write_file (last_drain_path st) (stamp ^ "\n")
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* Gauges that mirror live structures; refreshed before every snapshot
+   or export rather than on every mutation. *)
+let refresh_gauges st =
+  let lim = Quota.limits st.quota in
+  Ops.set_gauge st.ops "sched.slots.busy" (Sched.busy st.sched);
+  Ops.set_gauge st.ops "sched.slots.total" (Sched.slots st.sched);
+  Ops.set_gauge st.ops "sched.flows" (List.length (Sched.flows st.sched));
+  Ops.set_gauge st.ops "sched.deficit.total"
+    (List.fold_left
+       (fun acc f -> acc + f.Sched.f_deficit)
+       0 (Sched.flows st.sched));
+  Ops.set_gauge st.ops "quota.campaigns.inflight" (Quota.in_flight st.quota);
+  Ops.set_gauge st.ops "quota.runs.inflight" (Quota.global_runs st.quota);
+  Ops.set_gauge st.ops "quota.runs.budget" lim.Quota.global_run_budget;
+  Ops.set_gauge st.ops "quota.tenants" (List.length (Quota.usage st.quota));
+  Ops.set_gauge st.ops "clients.connected"
+    (List.length (List.filter (fun c -> c.alive) st.clients));
+  Ops.set_gauge st.ops "runners.live" (List.length st.runners);
+  Ops.set_gauge st.ops "daemon.draining" (if st.draining then 1 else 0);
+  Ops.set_gauge st.ops "daemon.uptime_ms"
+    (int_of_float ((Unix.gettimeofday () -. st.started_at) *. 1000.))
+
+let export_ops st =
+  match st.cfg.ops_export with
+  | None -> ()
+  | Some path -> (
+      refresh_gauges st;
+      try Stz_store.Artifact.write_file path (Ops.to_prometheus st.ops)
+      with Sys_error _ | Unix.Unix_error _ -> ())
 
 let log_line st fmt =
   Printf.ksprintf
@@ -100,6 +184,7 @@ let rec restart_on_eintr f =
 let detach st c =
   if c.alive then begin
     c.alive <- false;
+    Ops.incr st.ops "client.detach";
     (match c.watching with
     | Some key -> log_line st "client detached from %s (campaign keeps running)" key
     | None -> ());
@@ -131,9 +216,13 @@ let flush_client st c =
          | exception Unix.Unix_error _ -> detach st c
      in
      go 0);
-  if c.alive && Buffer.length c.outbuf > max_client_outbuf then begin
-    log_line st "client not reading (%d bytes queued); detaching"
-      (Buffer.length c.outbuf);
+  let queued = if c.alive then Buffer.length c.outbuf else 0 in
+  if queued > Ops.gauge st.ops "client.outbuf.hwm" then
+    Ops.set_gauge st.ops "client.outbuf.hwm" queued;
+  if c.alive && queued > max_client_outbuf then begin
+    log_line st "client not reading (%d bytes queued); detaching" queued;
+    Ops.incr st.ops "client.wedged";
+    ops_event st "client.wedged" [ ("queued", Json.Int queued) ];
     detach st c
   end
 
@@ -190,6 +279,9 @@ let spawn_runner st ~tenant ~id ~dir ~spec ~resume ~disarm_storage ~restarts =
       (match st.listen_fd with
       | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
       | None -> ());
+      (* The oplog fd too: the runner must not pin a rotated-away log
+         file open, and only the daemon process may write records. *)
+      (match st.oplog with Some l -> Oplog.close l | None -> ());
       List.iter
         (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
         st.clients;
@@ -225,6 +317,15 @@ let spawn_runner st ~tenant ~id ~dir ~spec ~resume ~disarm_storage ~restarts =
         }
       in
       st.runners <- st.runners @ [ r ];
+      Ops.incr st.ops "runner.spawn";
+      if resume then Ops.incr st.ops "runner.spawn.resume";
+      ops_event st "runner.spawn"
+        [
+          ("key", Json.String key);
+          ("pid", Json.Int pid);
+          ("resume", Json.Bool resume);
+          ("restarts", Json.Int restarts);
+        ];
       log_line st "spawned runner pid %d for %s (resume=%b)" pid key resume;
       Ok r
 
@@ -263,6 +364,9 @@ let release_runner st r =
 let abort_campaign st r line =
   Spool.write_result ~dir:r.r_dir (Spool.Finished 3);
   remember_done st r.key { d_exit = 3; d_line = line; d_log = r.log };
+  Ops.incr st.ops "runner.abort";
+  ops_event st "runner.abort"
+    [ ("key", Json.String r.key); ("line", Json.String line) ];
   List.iter
     (fun c -> respond st c (Protocol.Summary { exit_code = 3; line }))
     (watchers st r.key)
@@ -289,16 +393,24 @@ let reap_runner st r =
   match finished_payload with
   | Some (code, line) ->
       remember_done st r.key { d_exit = code; d_line = line; d_log = r.log };
+      Ops.incr st.ops
+        (if code = 0 then "campaign.finished.ok" else "campaign.finished.fail");
+      ops_event st "campaign.finished"
+        [ ("key", Json.String r.key); ("exit_code", Json.Int code) ];
       log_line st "%s finished (exit %d)" r.key code
   | None when r.cancelling ->
       Spool.write_result ~dir:r.r_dir Spool.Cancelled;
       remember_done st r.key
         { d_exit = 1; d_line = "campaign cancelled"; d_log = r.log };
+      Ops.incr st.ops "campaign.cancelled";
+      ops_event st "campaign.cancelled" [ ("key", Json.String r.key) ];
       List.iter (fun c -> respond st c Protocol.Cancelled) (watchers st r.key);
       log_line st "%s cancelled" r.key
   | None when st.draining ->
       (* Drained: checkpointed and resumable; the next daemon picks it
          up from the spool. *)
+      Ops.incr st.ops "runner.drained";
+      ops_event st "runner.drained" [ ("key", Json.String r.key) ];
       log_line st "%s drained (checkpointed, resumable)" r.key
   | None ->
       (* Unexpected death (crash, OOM-kill, chaos). Restart from the
@@ -312,13 +424,21 @@ let reap_runner st r =
         | None -> "unknown status"
       in
       if r.restarts < max_restarts then begin
+        Ops.incr st.ops "runner.restart";
+        ops_event st "runner.restart"
+          [
+            ("key", Json.String r.key);
+            ("status", Json.String stat_str);
+            ("attempt", Json.Int (r.restarts + 1));
+          ];
         log_line st "%s runner died (%s); restarting (%d/%d)" r.key stat_str
           (r.restarts + 1) max_restarts;
         (* The admission promise was made at submit time; a restart
            never drops it. Force the reservation so the release above
            stays balanced and the budget reflects real in-flight work. *)
         Quota.readmit st.quota ~tenant:r.tenant ~runs:r.r_spec.Spool.runs;
-        ignore (Spool.repair ~dir:r.r_dir);
+        let repairs = Spool.repair ~dir:r.r_dir in
+        Ops.incr st.ops ~by:(List.length repairs) "spool.repair";
         match
           spawn_runner st ~tenant:r.tenant ~id:r.id ~dir:r.r_dir
             ~spec:r.r_spec ~resume:true ~disarm_storage:true
@@ -373,6 +493,8 @@ let scheduler_pass st =
   else
     List.iter
       (fun (key, n) ->
+        Ops.incr st.ops ~by:n "sched.granted";
+        Ops.observe st.ops "sched.batch" n;
         match find_runner st key with
         | Some r ->
             if not (Runner.send_grant r.grant_w (Runner.Grant n)) then
@@ -382,11 +504,83 @@ let scheduler_pass st =
       (Sched.grants st.sched)
 
 (* ---------------------------------------------------------------- *)
+(* Ops snapshots                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let daemon_info st =
+  let uptime =
+    int_of_float ((Unix.gettimeofday () -. st.started_at) *. 1000.)
+  in
+  [ ("version", version); ("uptime_ms", string_of_int uptime) ]
+  @ match st.last_drain with Some t -> [ ("last_drain", t) ] | None -> []
+
+let build_stats st =
+  refresh_gauges st;
+  let flows = Sched.flows st.sched in
+  let flow_for key = List.find_opt (fun f -> f.Sched.f_key = key) flows in
+  let tenants = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let held, deficit =
+        match flow_for r.key with
+        | Some f -> (f.Sched.f_held, f.Sched.f_deficit)
+        | None -> (0, 0)
+      in
+      let row =
+        match Hashtbl.find_opt tenants r.tenant with
+        | Some row -> row
+        | None ->
+            let row =
+              ref
+                {
+                  Protocol.tr_tenant = r.tenant;
+                  tr_active = 0;
+                  tr_queued = 0;
+                  tr_completed = 0;
+                  tr_runs = 0;
+                  tr_held = 0;
+                  tr_deficit = 0;
+                }
+            in
+            Hashtbl.add tenants r.tenant row;
+            row
+      in
+      let v = !row in
+      row :=
+        {
+          v with
+          Protocol.tr_active = (v.Protocol.tr_active + if held > 0 then 1 else 0);
+          tr_queued = (v.Protocol.tr_queued + if held = 0 then 1 else 0);
+          tr_completed = v.Protocol.tr_completed + r.completed;
+          tr_runs = v.Protocol.tr_runs + r.r_spec.Spool.runs;
+          tr_held = v.Protocol.tr_held + held;
+          tr_deficit = v.Protocol.tr_deficit + deficit;
+        })
+    st.runners;
+  let rows =
+    Hashtbl.fold (fun _ row acc -> !row :: acc) tenants []
+    |> List.sort (fun a b ->
+           String.compare a.Protocol.tr_tenant b.Protocol.tr_tenant)
+  in
+  {
+    Protocol.s_version = version;
+    s_uptime_ms = int_of_float ((Unix.gettimeofday () -. st.started_at) *. 1000.);
+    s_draining = st.draining;
+    s_slots_busy = Sched.busy st.sched;
+    s_slots_total = Sched.slots st.sched;
+    s_tenants = rows;
+    s_counters = Ops.counters st.ops;
+    s_gauges = Ops.gauges st.ops;
+    s_hists = Ops.histograms st.ops;
+  }
+
+(* ---------------------------------------------------------------- *)
 (* Requests                                                          *)
 (* ---------------------------------------------------------------- *)
 
 let campaign_status st ~tenant ~id =
   let key = key_of ~tenant ~id in
+  let info = daemon_info st in
   match find_runner st key with
   | Some r ->
       Protocol.Status_is
@@ -395,6 +589,7 @@ let campaign_status st ~tenant ~id =
           completed = r.completed;
           runs = r.r_spec.Spool.runs;
           exit_code = None;
+          info;
         }
   | None -> (
       let dir = Spool.dir ~spool:st.cfg.spool ~tenant ~id in
@@ -418,7 +613,13 @@ let campaign_status st ~tenant ~id =
             | n -> n
           in
           Protocol.Status_is
-            { state = Spool.outcome_state outcome; completed; runs; exit_code }
+            {
+              state = Spool.outcome_state outcome;
+              completed;
+              runs;
+              exit_code;
+              info;
+            }
       | Error _ ->
           if Sys.file_exists (Spool.manifest_path dir) then
             let runs =
@@ -432,16 +633,29 @@ let campaign_status st ~tenant ~id =
                 completed = Spool.completed_runs ~dir;
                 runs;
                 exit_code = None;
+                info;
               }
           else
             Protocol.Status_is
-              { state = "unknown"; completed = 0; runs = 0; exit_code = None })
+              { state = "unknown"; completed = 0; runs = 0; exit_code = None; info })
+
+let reject_admission st ~tenant why reason =
+  Ops.incr st.ops ("admit.reject." ^ Quota.reject_key why);
+  ops_event st "admit.reject"
+    [
+      ("tenant", Json.String tenant);
+      ("why", Json.String (Quota.reject_key why));
+    ];
+  Protocol.Rejected { reason }
 
 let resume_interrupted st ~tenant ~id ~dir ~spec =
   match Quota.admit st.quota ~tenant ~runs:spec.Spool.runs with
-  | Error reason -> Protocol.Rejected { reason }
+  | Error (why, reason) -> reject_admission st ~tenant why reason
   | Ok () -> (
-      List.iter (fun n -> log_line st "repair: %s" n) (Spool.repair ~dir);
+      Ops.incr st.ops "admit.ok";
+      let repairs = Spool.repair ~dir in
+      Ops.incr st.ops ~by:(List.length repairs) "spool.repair";
+      List.iter (fun n -> log_line st "repair: %s" n) repairs;
       match
         spawn_runner st ~tenant ~id ~dir ~spec ~resume:true
           ~disarm_storage:true ~restarts:0
@@ -477,8 +691,15 @@ let handle_submit st ~tenant ~id ~spec =
       | Error reason -> Protocol.Rejected { reason }
       | Ok () -> (
           match Quota.admit st.quota ~tenant ~runs:spec.Spool.runs with
-          | Error reason -> Protocol.Rejected { reason }
+          | Error (why, reason) -> reject_admission st ~tenant why reason
           | Ok () -> (
+              Ops.incr st.ops "admit.ok";
+              ops_event st "admit.ok"
+                [
+                  ("tenant", Json.String tenant);
+                  ("id", Json.String id);
+                  ("runs", Json.Int spec.Spool.runs);
+                ];
               Spool.write_manifest ~dir spec;
               match
                 spawn_runner st ~tenant ~id ~dir ~spec ~resume:false
@@ -540,12 +761,30 @@ let handle_cancel st ~tenant ~id =
 let start_drain st reason =
   if not st.draining then begin
     st.draining <- true;
+    Ops.incr st.ops "drain.start";
+    ops_event st "drain.start"
+      [
+        ("reason", Json.String reason);
+        ("in_flight", Json.Int (List.length st.runners));
+      ];
     log_line st "draining (%s): %d campaign(s) in flight" reason
       (List.length st.runners);
     List.iter send_stop st.runners
   end
 
-let handle_request st c = function
+let request_verb = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Submit _ -> "submit"
+  | Protocol.Status _ -> "status"
+  | Protocol.Stream _ -> "stream"
+  | Protocol.Cancel _ -> "cancel"
+  | Protocol.Drain -> "drain"
+  | Protocol.Stats -> "stats"
+  | Protocol.Watch _ -> "watch"
+
+let handle_request st c req =
+  Ops.incr st.ops ("wire.rx." ^ request_verb req);
+  match req with
   | Protocol.Ping -> respond st c Protocol.Pong
   | Protocol.Submit { tenant; id; spec } ->
       respond st c (handle_submit st ~tenant ~id ~spec)
@@ -556,6 +795,31 @@ let handle_request st c = function
   | Protocol.Drain ->
       respond st c (Protocol.Draining { in_flight = List.length st.runners });
       start_drain st "drain request"
+  | Protocol.Stats -> respond st c (Protocol.Stats_is (build_stats st))
+  | Protocol.Watch { interval_ms } ->
+      c.watch_ms <- interval_ms;
+      c.watch_due <- Unix.gettimeofday ();
+      Ops.incr st.ops "watch.subscribe"
+
+(* Deliver due stats frames to watch subscribers; one snapshot is
+   built per pass and shared by every due subscriber. *)
+let watch_pass st =
+  let due =
+    List.filter
+      (fun c ->
+        c.alive && c.watch_ms > 0 && Unix.gettimeofday () >= c.watch_due)
+      st.clients
+  in
+  if due <> [] then begin
+    let snap = Protocol.Stats_is (build_stats st) in
+    List.iter
+      (fun c ->
+        c.watch_due <-
+          Unix.gettimeofday () +. (float_of_int c.watch_ms /. 1000.);
+        respond st c snap;
+        Ops.incr st.ops "watch.frames")
+      due
+  end
 
 let handle_client_bytes st c =
   let buf = Bytes.create 65536 in
@@ -574,11 +838,13 @@ let handle_client_bytes st c =
           | Some (Wire.Corrupt msg) ->
               (* Fault isolation: a corrupt peer gets one error frame
                  and a close; the daemon keeps serving everyone else. *)
+              Ops.incr st.ops "wire.error.corrupt";
               respond st c (Protocol.Error_frame msg);
               detach st c
           | Some (Wire.Frame { verb; payload }) -> (
               match Protocol.request_of_frame ~verb ~payload with
               | Error msg ->
+                  Ops.incr st.ops "wire.error.decode";
                   respond st c (Protocol.Error_frame msg);
                   detach st c
               | Ok req ->
@@ -597,6 +863,8 @@ let kill_stale_runner st dir =
   | Some pid ->
       (try
          Unix.kill pid Sys.sigkill;
+         Ops.incr st.ops "runner.stale_kill";
+         ops_event st "runner.stale_kill" [ ("pid", Json.Int pid) ];
          log_line st "killed stale runner pid %d (%s)" pid dir
        with Unix.Unix_error _ -> ());
       Spool.clear_pid ~dir
@@ -612,9 +880,10 @@ let recover_spool st =
       | Some _ -> ()
       | None ->
           kill_stale_runner st e.Spool.entry_dir;
-          List.iter
-            (fun n -> log_line st "repair: %s" n)
-            (Spool.repair ~dir:e.Spool.entry_dir);
+          Ops.incr st.ops "spool.recovered";
+          let repairs = Spool.repair ~dir:e.Spool.entry_dir in
+          Ops.incr st.ops ~by:(List.length repairs) "spool.repair";
+          List.iter (fun n -> log_line st "repair: %s" n) repairs;
           (* The admission promise was made before the crash; a restart
              never drops it — force the reservation so the eventual
              release stays balanced. *)
@@ -664,6 +933,11 @@ let run cfg =
       done_cache = Hashtbl.create 64;
       done_order = Queue.create ();
       draining = false;
+      ops = Ops.create ();
+      oplog = None;
+      started_at = Unix.gettimeofday ();
+      last_drain = None;
+      export_due = 0.;
     }
   in
   match
@@ -674,6 +948,23 @@ let run cfg =
       Printf.eprintf "szcd: spool %s is unusable\n%!" cfg.spool;
       3
   | true -> (
+      st.last_drain <- read_last_drain st;
+      (match cfg.oplog with
+      | None -> ()
+      | Some path -> (
+          match Oplog.create ~path () with
+          | Ok l ->
+              st.oplog <- Some l;
+              ops_event st "daemon.start"
+                [
+                  ("version", Json.String version);
+                  ("socket", Json.String cfg.socket);
+                  ("slots", Json.Int cfg.slots);
+                ]
+          | Error e ->
+              (* The ops plane is best-effort by contract: never refuse
+                 to serve campaigns because telemetry is sick. *)
+              Printf.eprintf "szcd: oplog %s disabled: %s\n%!" path e));
       recover_spool st;
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       match
@@ -712,6 +1003,25 @@ let run cfg =
                   st.clients
               in
               let ready, wready, _ = select_with_flags fds wfds 0.25 in
+              (* Tick timing and wake attribution happen after select
+                 returns: the clock read is operational-plane only and
+                 never reaches a campaign decision. *)
+              let tick_start = Unix.gettimeofday () in
+              if ready = [] && wready = [] then
+                Ops.incr st.ops "loop.wake.timeout"
+              else begin
+                if wready <> [] then Ops.incr st.ops "loop.wake.writable";
+                List.iter
+                  (fun fd ->
+                    if Some fd = st.listen_fd then
+                      Ops.incr st.ops "loop.wake.listen"
+                    else if
+                      List.exists (fun c -> c.alive && c.c_fd = fd) st.clients
+                    then Ops.incr st.ops "loop.wake.client"
+                    else if List.exists (fun r -> r.event_r = fd) st.runners
+                    then Ops.incr st.ops "loop.wake.runner")
+                  ready
+              end;
               List.iter
                 (fun fd_ready ->
                   match
@@ -738,9 +1048,12 @@ let run cfg =
                             watching = None;
                             alive = true;
                             outbuf = Buffer.create 256;
+                            watch_ms = 0;
+                            watch_due = 0.;
                           }
                         in
                         st.clients <- st.clients @ [ c ];
+                        Ops.incr st.ops "client.accept";
                         client_write st c Wire.greeting)
                   else
                     match
@@ -757,7 +1070,19 @@ let run cfg =
                         with
                         | Some r -> handle_runner_event st r
                         | None -> ()))
-                ready
+                ready;
+              watch_pass st;
+              (* Exporter throttle: a scrape file is refreshed at most
+                 about once a second, plus once at drain below. *)
+              (if cfg.ops_export <> None then
+                 let now = Unix.gettimeofday () in
+                 if now >= st.export_due then begin
+                   st.export_due <- now +. 1.0;
+                   export_ops st
+                 end);
+              Ops.observe st.ops "loop.tick_us"
+                (int_of_float
+                   ((Unix.gettimeofday () -. tick_start) *. 1_000_000.))
             end
           done;
           (match st.listen_fd with
@@ -765,5 +1090,9 @@ let run cfg =
           | None -> ());
           (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
           List.iter (fun c -> detach st c) st.clients;
+          write_last_drain st;
+          export_ops st;
+          ops_event st "daemon.drained" [ ("version", Json.String version) ];
+          (match st.oplog with Some l -> Oplog.close l | None -> ());
           log_line st "drained cleanly";
           0)

@@ -21,7 +21,17 @@
       [szc fsck --repair] + [--resume] recovery a solo campaign gets;
     - a runner that dies unexpectedly (crash, SIGKILL) is restarted
       from its checkpoint a bounded number of times, then its campaign
-      is failed with exit code 3. *)
+      is failed with exit code 3.
+
+    Observability contract: the daemon carries a second, {e operational}
+    plane — a wall-clock-fed {!Stz_telemetry.Ops} registry (event-loop
+    tick latency, wake reasons, per-verb frame counters, admission and
+    runner lifecycle counters), an optional rotating
+    {!Stz_telemetry.Oplog}, periodic [stats]/[watch] wire snapshots and
+    an optional Prometheus textfile exporter. The plane is strictly
+    write-only with respect to campaigns: no scheduling, admission or
+    artifact decision ever reads it, so enabling all of it changes zero
+    bytes of any campaign CSV, checkpoint, ledger or trace. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)
@@ -30,9 +40,18 @@ type config = {
   slots : int;  (** shared pool run slots (the global concurrency) *)
   quantum : int;  (** DRR quantum, runs of deficit per visit *)
   verbose : bool;
+  oplog : string option;
+      (** rotating CRC-framed JSONL oplog path; [None] disables *)
+  ops_export : string option;
+      (** Prometheus textfile path, rewritten atomically about once a
+          second; [None] disables *)
 }
 
 val default_config : socket:string -> spool:string -> config
+
+(** Daemon build/version string reported in [status] info and
+    [stats] snapshots. *)
+val version : string
 
 (** Run the daemon until drained. Returns the process exit code: 0 for
     a clean drain, 3 when the spool or socket is unusable. *)

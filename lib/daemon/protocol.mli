@@ -13,6 +13,37 @@ type request =
           resumes its feed without gaps *)
   | Cancel of { tenant : string; id : string }
   | Drain
+  | Stats  (** one ops-plane snapshot ({!Stats_is}) *)
+  | Watch of { interval_ms : int }
+      (** subscribe to periodic {!Stats_is} frames, one every
+          [interval_ms] (clamped to [[100, 60000]]); the subscription
+          lasts until the client disconnects *)
+
+(** One row of the per-tenant table behind [szc remote top]. *)
+type tenant_row = {
+  tr_tenant : string;
+  tr_active : int;  (** campaigns currently holding run slots *)
+  tr_queued : int;  (** admitted campaigns waiting for slots *)
+  tr_completed : int;  (** runs finished across in-flight campaigns *)
+  tr_runs : int;  (** runs planned across in-flight campaigns *)
+  tr_held : int;  (** run slots held right now *)
+  tr_deficit : int;  (** accumulated DRR deficit *)
+}
+
+(** Ops-plane snapshot: identity and load plus the raw registry
+    (counters, gauges, histogram summaries) so clients can render or
+    diff without a second round trip. *)
+type stats = {
+  s_version : string;
+  s_uptime_ms : int;
+  s_draining : bool;
+  s_slots_busy : int;
+  s_slots_total : int;
+  s_tenants : tenant_row list;
+  s_counters : (string * int) list;
+  s_gauges : (string * int) list;
+  s_hists : (string * Stz_telemetry.Ops.hist_summary) list;
+}
 
 type response =
   | Pong
@@ -26,6 +57,10 @@ type response =
       completed : int;
       runs : int;
       exit_code : int option;
+      info : (string * string) list;
+          (** daemon-side extras (uptime_ms, version, last_drain, …);
+              encoded only when nonempty and ignored by old decoders,
+              so both directions stay backward compatible *)
     }
   | Progress of { run : int; line : string }
   | Summary of { exit_code : int; line : string }
@@ -33,6 +68,7 @@ type response =
           code and its one-line report *)
   | Draining of { in_flight : int }
   | Cancelled
+  | Stats_is of stats
   | Error_frame of string
       (** protocol fault (corrupt frame, unknown verb, bad payload);
           the sender closes the connection after this frame *)

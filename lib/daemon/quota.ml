@@ -26,21 +26,32 @@ let tenant_state t tenant =
       Hashtbl.add t.tenants tenant s;
       s
 
+type reject = Campaign_quota | Run_quota | Global_budget
+
+let reject_key = function
+  | Campaign_quota -> "campaign-quota"
+  | Run_quota -> "run-quota"
+  | Global_budget -> "global-budget"
+
 let admit t ~tenant ~runs =
   let s = tenant_state t tenant in
   if s.campaigns >= t.limits.max_campaigns_per_tenant then
     Error
-      (Printf.sprintf "tenant %s at campaign quota (%d in flight)" tenant
-         s.campaigns)
+      ( Campaign_quota,
+        Printf.sprintf "tenant %s at campaign quota (%d in flight)" tenant
+          s.campaigns )
   else if s.runs + runs > t.limits.max_runs_per_tenant then
     Error
-      (Printf.sprintf
-         "tenant %s at run quota (%d in flight + %d requested > %d)" tenant
-         s.runs runs t.limits.max_runs_per_tenant)
+      ( Run_quota,
+        Printf.sprintf
+          "tenant %s at run quota (%d in flight + %d requested > %d)" tenant
+          s.runs runs t.limits.max_runs_per_tenant )
   else if t.global_runs + runs > t.limits.global_run_budget then
     Error
-      (Printf.sprintf "global run budget exhausted (%d in flight + %d requested > %d)"
-         t.global_runs runs t.limits.global_run_budget)
+      ( Global_budget,
+        Printf.sprintf
+          "global run budget exhausted (%d in flight + %d requested > %d)"
+          t.global_runs runs t.limits.global_run_budget )
   else begin
     s.campaigns <- s.campaigns + 1;
     s.runs <- s.runs + runs;
@@ -67,3 +78,14 @@ let release t ~tenant ~runs =
   t.total_campaigns <- Stdlib.max 0 (t.total_campaigns - 1)
 
 let in_flight t = t.total_campaigns
+let global_runs t = t.global_runs
+let limits t = t.limits
+
+type usage = { u_tenant : string; u_campaigns : int; u_runs : int }
+
+let usage t =
+  Hashtbl.fold
+    (fun tenant s acc ->
+      { u_tenant = tenant; u_campaigns = s.campaigns; u_runs = s.runs } :: acc)
+    t.tenants []
+  |> List.sort (fun a b -> String.compare a.u_tenant b.u_tenant)

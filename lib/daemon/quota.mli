@@ -20,10 +20,18 @@ type t
 
 val create : limits -> t
 
-(** Reserve one campaign of [runs] runs for [tenant]; [Error reason]
-    (suitable for a [Rejected] reply) when any quota would be
-    exceeded. *)
-val admit : t -> tenant:string -> runs:int -> (unit, string) result
+(** Why an admission was refused — typed so the ops plane can count
+    rejections by cause. *)
+type reject = Campaign_quota | Run_quota | Global_budget
+
+(** Stable metric-key form: ["campaign-quota"], ["run-quota"],
+    ["global-budget"]. *)
+val reject_key : reject -> string
+
+(** Reserve one campaign of [runs] runs for [tenant];
+    [Error (why, reason)] (the [reason] suitable for a [Rejected]
+    reply) when any quota would be exceeded. *)
+val admit : t -> tenant:string -> runs:int -> (unit, reject * string) result
 
 (** Unconditionally re-reserve (crash-recovery and runner-restart
     paths): the admission promise predates the crash and is never
@@ -36,3 +44,14 @@ val release : t -> tenant:string -> runs:int -> unit
 
 (** In-flight campaign count, all tenants. *)
 val in_flight : t -> int
+
+(** Runs currently reserved against the global budget. *)
+val global_runs : t -> int
+
+val limits : t -> limits
+
+(** Per-tenant reservation snapshot, sorted by tenant — the ops
+    plane's quota-occupancy view. *)
+type usage = { u_tenant : string; u_campaigns : int; u_runs : int }
+
+val usage : t -> usage list

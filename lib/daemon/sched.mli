@@ -34,3 +34,11 @@ val grants : t -> (string * int) list
 
 (** Slots currently granted and not yet freed. *)
 val busy : t -> int
+
+val slots : t -> int
+
+(** Per-flow DRR state in arrival order — the ops plane's scheduler
+    view (outstanding want, accumulated deficit, slots held). *)
+type flow_stat = { f_key : string; f_want : int; f_deficit : int; f_held : int }
+
+val flows : t -> flow_stat list

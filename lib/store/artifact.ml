@@ -101,17 +101,17 @@ let is_container text =
    flip anywhere in a record — header or body — is caught. *)
 let record_crc tag payload = Crc32.update (Crc32.update 0l tag) payload
 
+let header_line ~kind = Printf.sprintf "%s %s\n" magic kind
+
+let record_string (tag, payload) =
+  Printf.sprintf "@%s %d %s\n%s\n" tag (String.length payload)
+    (Crc32.to_hex (record_crc tag payload))
+    payload
+
 let container ~kind records =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Printf.sprintf "%s %s\n" magic kind);
-  List.iter
-    (fun (tag, payload) ->
-      Buffer.add_string buf
-        (Printf.sprintf "@%s %d %s\n" tag (String.length payload)
-           (Crc32.to_hex (record_crc tag payload)));
-      Buffer.add_string buf payload;
-      Buffer.add_char buf '\n')
-    records;
+  Buffer.add_string buf (header_line ~kind);
+  List.iter (fun r -> Buffer.add_string buf (record_string r)) records;
   Buffer.contents buf
 
 let write_records path ~kind records =

@@ -73,6 +73,17 @@ val is_container : string -> bool
     caught. Deterministic: same records, same bytes. *)
 val container : kind:string -> (string * string) list -> string
 
+(** The container header line for [kind] alone — what {!container}
+    emits before any records. *)
+val header_line : kind:string -> string
+
+(** One framed record, exactly as {!container} emits it. Incremental
+    writers (the daemon's oplog) append these to a file that started
+    with {!header_line}; the result is byte-compatible with
+    {!salvage_string}, so a torn tail recovers to the longest valid
+    record prefix. *)
+val record_string : string * string -> string
+
 (** {!container} composed with {!write_file}. *)
 val write_records : string -> kind:string -> (string * string) list -> unit
 

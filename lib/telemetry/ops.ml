@@ -1,0 +1,251 @@
+(* The operational (wall-clock) metrics plane. Strictly separate from
+   the deterministic Metrics/Runlog layer: nothing in here may ever be
+   observed by a campaign artifact. See ops.mli for the bucket-layout
+   contract. *)
+
+(* ------------------------------------------------------------------ *)
+(* Log-linear histogram                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Hist = struct
+  (* Values 0..15 get their own unit-width bucket; from 16 up, each
+     power-of-two octave is split into 16 sub-buckets, so the relative
+     quantization error is bounded by 1/16 = 6.25% everywhere. The
+     layout is a pure function of the value — no auto-ranging, no
+     rescaling — so two histograms recorded by different processes at
+     different times merge by element-wise addition and snapshots are
+     stable and diffable. *)
+
+  let sub_buckets = 16
+
+  (* msb 16 = 4, msb 31 = 4, msb 32 = 5 ... *)
+  let msb v =
+    let rec go v k = if v <= 1 then k else go (v lsr 1) (k + 1) in
+    go v 0
+
+  let bucket_of v =
+    let v = if v < 0 then 0 else v in
+    if v < sub_buckets then v
+    else
+      let e = msb v in
+      ((e - 3) lsl 4) lor ((v lsr (e - 4)) land 15)
+
+  let bucket_lower i =
+    if i < sub_buckets then i
+    else
+      let e = (i lsr 4) + 3 and sub = i land 15 in
+      (sub_buckets lor sub) lsl (e - 4)
+
+  (* max_int has msb 62, so the largest index is 16*(62-3)+15 = 959. *)
+  let n_buckets = 960
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable vmin : int;  (** exact; meaningless when [count = 0] *)
+    mutable vmax : int;
+  }
+
+  let create () =
+    { counts = Array.make n_buckets 0; count = 0; sum = 0; vmin = 0; vmax = 0 }
+
+  let observe h v =
+    let v = if v < 0 then 0 else v in
+    let i = bucket_of v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    if h.count = 0 then begin
+      h.vmin <- v;
+      h.vmax <- v
+    end
+    else begin
+      if v < h.vmin then h.vmin <- v;
+      if v > h.vmax then h.vmax <- v
+    end;
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v
+
+  let merge_into ~dst src =
+    Array.iteri
+      (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c)
+      src.counts;
+    if src.count > 0 then begin
+      if dst.count = 0 then begin
+        dst.vmin <- src.vmin;
+        dst.vmax <- src.vmax
+      end
+      else begin
+        if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+        if src.vmax > dst.vmax then dst.vmax <- src.vmax
+      end;
+      dst.count <- dst.count + src.count;
+      dst.sum <- dst.sum + src.sum
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+  let min_value h = if h.count = 0 then 0 else h.vmin
+  let max_value h = if h.count = 0 then 0 else h.vmax
+
+  (* The value reported for a percentile is the lower bound of the
+     bucket holding the rank — deterministic, merge-stable, and at most
+     6.25% below any value actually recorded into that bucket. *)
+  let percentile h p =
+    if h.count = 0 then 0
+    else
+      let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+      let rank =
+        let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.count)) in
+        if r < 1 then 1 else if r > h.count then h.count else r
+      in
+      let rec walk i cum =
+        if i >= n_buckets then max_value h
+        else
+          let cum = cum + h.counts.(i) in
+          if cum >= rank then bucket_lower i else walk (i + 1) cum
+      in
+      walk 0 0
+
+  let nonzero_buckets h =
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then out := (i, h.counts.(i)) :: !out
+    done;
+    !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 64; gauges = Hashtbl.create 32; hists = Hashtbl.create 16 }
+
+let valid_key k =
+  String.length k > 0
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '/' -> true
+         | _ -> false)
+       k
+
+let check_key k =
+  if not (valid_key k) then invalid_arg (Printf.sprintf "Ops: bad key %S" k)
+
+let cell tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some r -> r
+  | None ->
+      check_key k;
+      let r = ref 0 in
+      Hashtbl.add tbl k r;
+      r
+
+let incr t ?(by = 1) k = cell t.counters k := !(cell t.counters k) + by
+let counter t k = match Hashtbl.find_opt t.counters k with Some r -> !r | None -> 0
+let set_gauge t k v = cell t.gauges k := v
+let gauge t k = match Hashtbl.find_opt t.gauges k with Some r -> !r | None -> 0
+
+let hist t k =
+  match Hashtbl.find_opt t.hists k with
+  | Some h -> h
+  | None ->
+      check_key k;
+      let h = Hist.create () in
+      Hashtbl.add t.hists k h;
+      h
+
+let observe t k v = Hist.observe (hist t k) v
+
+let sorted_assoc tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_assoc t.counters ( ! )
+let gauges t = sorted_assoc t.gauges ( ! )
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+  h_max : int;
+}
+
+let summarize h =
+  {
+    h_count = Hist.count h;
+    h_sum = Hist.sum h;
+    h_min = Hist.min_value h;
+    h_p50 = Hist.percentile h 50.0;
+    h_p90 = Hist.percentile h 90.0;
+    h_p99 = Hist.percentile h 99.0;
+    h_max = Hist.max_value h;
+  }
+
+let histograms t = sorted_assoc t.hists summarize
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "counter %s %d\n" k v))
+    (counters t);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "gauge %s %d\n" k v))
+    (gauges t);
+  List.iter
+    (fun (k, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "hist %s count %d min %d p50 %d p90 %d p99 %d max %d sum %d\n" k
+           s.h_count s.h_min s.h_p50 s.h_p90 s.h_p99 s.h_max s.h_sum))
+    (histograms t);
+  Buffer.contents buf
+
+let prom_name prefix k =
+  let b = Bytes.of_string (prefix ^ "_" ^ k) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let to_prometheus ?(prefix = "szcd") t =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (k, v) ->
+      let n = prom_name prefix k in
+      line "# TYPE %s counter\n%s %d\n" n n v)
+    (counters t);
+  List.iter
+    (fun (k, v) ->
+      let n = prom_name prefix k in
+      line "# TYPE %s gauge\n%s %d\n" n n v)
+    (gauges t);
+  List.iter
+    (fun (k, s) ->
+      let n = prom_name prefix k in
+      line "# TYPE %s summary\n" n;
+      line "%s{quantile=\"0.5\"} %d\n" n s.h_p50;
+      line "%s{quantile=\"0.9\"} %d\n" n s.h_p90;
+      line "%s{quantile=\"0.99\"} %d\n" n s.h_p99;
+      line "%s_sum %d\n" n s.h_sum;
+      line "%s_count %d\n" n s.h_count;
+      line "# TYPE %s_max gauge\n%s_max %d\n" n n s.h_max)
+    (histograms t);
+  Buffer.contents buf

@@ -1,0 +1,101 @@
+(** The {e operational} metrics plane: counters, gauges and log-linear
+    bucketed histograms for wall-clock measurements of the harness
+    itself (daemon event-loop latency, scheduler batch sizes, client
+    buffer high-water marks, ...).
+
+    This plane is rigorously separate from the deterministic telemetry
+    ({!Metrics}, {!Runlog}): nothing recorded here may ever influence a
+    campaign artifact. The deterministic plane is clocked in simulated
+    cycles; this one is fed wall-clock durations by its callers — the
+    registry itself never reads a clock, so it stays trivially safe to
+    link anywhere.
+
+    {b Histogram bucket layout} (fixed, versioned by this interface):
+    values 0–15 get unit-width buckets; from 16 up, every power-of-two
+    octave [2{^e}, 2{^e+1}) is split into 16 equal sub-buckets. The
+    relative quantization error is therefore ≤ 1/16 = 6.25% everywhere.
+    Because the layout is a pure function of the value, histograms
+    recorded independently (across processes, restarts, shards) merge
+    by element-wise addition, and snapshots are stable and diffable. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  (** Record one non-negative value (negatives clamp to 0). *)
+  val observe : t -> int -> unit
+
+  (** Element-wise addition; exact count/sum/min/max combine too. *)
+  val merge_into : dst:t -> t -> unit
+
+  val count : t -> int
+  val sum : t -> int
+
+  (** Exact extrema of the observed values (0 when empty). *)
+  val min_value : t -> int
+
+  val max_value : t -> int
+
+  (** [percentile h p] for [p] in [0..100]: the lower bound of the
+      bucket containing the rank-⌈p/100·n⌉ value — deterministic and at
+      most 6.25% below any value recorded in that bucket. 0 when
+      empty. *)
+  val percentile : t -> float -> int
+
+  (** The fixed layout, exposed so tests can pin it: [bucket_of v] is
+      the bucket index recording [v]; [bucket_lower i] is the smallest
+      value mapping to bucket [i]. *)
+  val bucket_of : int -> int
+
+  val bucket_lower : int -> int
+
+  (** Non-empty [(bucket index, count)] pairs in index order. *)
+  val nonzero_buckets : t -> (int * int) list
+end
+
+type t
+
+val create : unit -> t
+
+(** Keys are dotted paths over [[A-Za-z0-9._/-]]; a malformed key
+    raises [Invalid_argument]. *)
+val incr : t -> ?by:int -> string -> unit
+
+val counter : t -> string -> int
+val set_gauge : t -> string -> int -> unit
+val gauge : t -> string -> int
+val observe : t -> string -> int -> unit
+
+(** The named histogram, created on first use. *)
+val hist : t -> string -> Hist.t
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+  h_max : int;
+}
+
+val summarize : Hist.t -> hist_summary
+
+(** Sorted by key. *)
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * int) list
+val histograms : t -> (string * hist_summary) list
+
+(** Stable text form, one line per metric, keys sorted within each
+    class: ["counter <k> <v>"], ["gauge <k> <v>"],
+    ["hist <k> count <n> min <m> p50 <v> p90 <v> p99 <v> max <M> sum
+    <s>"]. Two snapshots of identical registries are byte-identical. *)
+val snapshot : t -> string
+
+(** Prometheus text exposition format: counters and gauges verbatim,
+    histograms as summaries ([{quantile="0.5|0.9|0.99"}], [_sum],
+    [_count], plus a [_max] gauge). Metric names are
+    [<prefix>_<key>] with non-alphanumerics mapped to ['_']. *)
+val to_prometheus : ?prefix:string -> t -> string

@@ -19,6 +19,12 @@
 #      (`cmp`) to its solo reference;
 #   6. SIGTERM the daemon and demand a clean drain (exit 0).
 #
+# The ops plane rides along the whole way: the daemon runs with
+# --oplog and --ops-export, `szc remote top --once --raw` scrapes a
+# stats snapshot mid-gauntlet, the Prometheus textfile is checked to
+# parse, and after the SIGKILL the oplog must fsck clean or
+# salvageable (`szc fsck --repair` brings it back to exit 0).
+#
 # Usage: scripts/check_daemon.sh [OUTDIR]  (default: ./daemon-artifacts)
 # Exits nonzero on any divergence.
 set -eu
@@ -51,8 +57,22 @@ done
 # drain status.
 start_daemon() {
   $SZCD --socket "$sock" --spool "$spool" --slots 4 --quantum 2 --verbose \
+    --oplog "$outdir/ops.log" --ops-export "$outdir/ops.prom" \
     >>"$outdir/szcd.log" 2>&1 &
   dpid=$!
+}
+
+# Every non-comment line of a Prometheus textfile is
+# `name{labels} value` or `name value`; anything else is a parse
+# error. Checked with awk so CI needs no scrape client.
+check_prometheus() {
+  awk '
+    /^#/ || /^$/ { next }
+    !/^[A-Za-z_][A-Za-z0-9_]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ {
+      print "bad exposition line: " $0; bad = 1
+    }
+    END { exit bad }
+  ' "$1"
 }
 
 echo "== szcd up, three tenants submit concurrently (storage faults armed)"
@@ -75,6 +95,31 @@ while [ -z "$(find "$spool" -name 'checkpoint.ck*' 2>/dev/null | head -1)" ] \
   sleep 0.1
   i=$((i + 1))
 done
+
+echo "== mid-gauntlet ops scrape: szc remote top --once --raw"
+$SZC remote top --once --raw --socket "$sock" --deadline 30 \
+  >"$outdir/top.raw" 2>&1
+grep -q '^hist loop.tick_us count' "$outdir/top.raw"
+grep -q '^counter wire.rx.submit ' "$outdir/top.raw"
+grep -q '^counter admit.ok ' "$outdir/top.raw"
+grep -q '^tenant t1 ' "$outdir/top.raw"
+echo "stats snapshot carries tick histogram, wire/admit counters, tenant rows"
+
+# The exporter rewrites the file about once a second; the very first
+# write can predate the first tick sample, so wait for a snapshot
+# that already carries the histogram.
+i=0
+until grep -qs '^# TYPE szcd_loop_tick_us summary' "$outdir/ops.prom"; do
+  if [ "$i" -ge 100 ]; then
+    echo "exporter never published the tick histogram"
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+check_prometheus "$outdir/ops.prom"
+echo "exporter textfile parses as Prometheus exposition"
+
 sleep 0.2
 if kill -9 "$dpid" 2>/dev/null; then
   echo "SIGKILLed szcd pid $dpid mid-campaign"
@@ -84,6 +129,25 @@ fi
 wait "$dpid" 2>/dev/null || true
 # Runners orphaned by the daemon's death exit at their next batch
 # boundary; the restarted daemon also SIGKILLs any that linger.
+
+echo "== oplog survives the SIGKILL: fsck clean or salvageable"
+code=0
+$SZC fsck "$outdir/ops.log" || code=$?
+case "$code" in
+  0) echo "oplog intact across SIGKILL" ;;
+  2)
+    echo "oplog torn by SIGKILL; repairing"
+    # --repair reports the salvage it performed (exit 2); the re-check
+    # must then come back fully clean.
+    $SZC fsck --repair "$outdir/ops.log" || [ "$?" -eq 2 ]
+    $SZC fsck "$outdir/ops.log"
+    echo "oplog repaired to a clean container"
+    ;;
+  *)
+    echo "oplog unrecoverable after SIGKILL (fsck exit $code)"
+    exit 1
+    ;;
+esac
 
 echo "== restarting szcd on the crashed spool; clients retry and re-attach"
 start_daemon
@@ -123,5 +187,10 @@ if [ "$code" -ne 0 ]; then
   echo "szcd drain exited $code (wanted 0)"
   exit 1
 fi
+
+echo "== after the drain: oplog fscks clean, final export parses"
+$SZC fsck "$outdir/ops.log"
+grep -q '"ev":"daemon.drained"' "$outdir/ops.log"
+check_prometheus "$outdir/ops.prom"
 
 echo "daemon chaos gauntlet: OK"

@@ -39,7 +39,7 @@ let deadline_in s = Unix.gettimeofday () +. s
 
 type daemon = { pid : int; socket : string; spool : string; root : string }
 
-let start_daemon ?(extra = []) name =
+let start_daemon ?(extra = []) ?(slots = 4) name =
   (* Relative paths keep the socket well under sun_path's 108 bytes. *)
   let root = Printf.sprintf "szcd-test-%s-%d" name (Unix.getpid ()) in
   rm_rf root;
@@ -49,8 +49,8 @@ let start_daemon ?(extra = []) name =
   let argv =
     Array.of_list
       ([
-         szcd_exe; "--socket"; socket; "--spool"; spool; "--slots"; "4";
-         "--quantum"; "2";
+         szcd_exe; "--socket"; socket; "--spool"; spool; "--slots";
+         string_of_int slots; "--quantum"; "2";
        ]
       @ extra)
   in
@@ -97,8 +97,8 @@ let check_clean_drain stop =
   | Unix.WSIGNALED n -> Alcotest.failf "daemon killed by signal %d" n
   | Unix.WSTOPPED n -> Alcotest.failf "daemon stopped by signal %d" n
 
-let with_daemon ?extra name f =
-  let d = start_daemon ?extra name in
+let with_daemon ?extra ?slots name f =
+  let d = start_daemon ?extra ?slots name in
   let stopped = ref false in
   let stop () =
     let st = stop_daemon d in
@@ -507,6 +507,247 @@ let detach_then_reattach () =
         seen;
       check_clean_drain stop)
 
+(* ------------------------------------------------------------------ *)
+(* Ops plane: stats/watch verbs, status info, strict plane separation  *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let counter_at_least stats key n =
+  match List.assoc_opt key stats.Protocol.s_counters with
+  | Some v when v >= n -> ()
+  | Some v -> Alcotest.failf "counter %s = %d, wanted >= %d" key v n
+  | None -> Alcotest.failf "counter %s missing from stats" key
+
+let stats_watch_and_status_info () =
+  let oplog_rel root = Filename.concat root "ops.log" in
+  let export_rel root = Filename.concat root "ops.prom" in
+  (* start_daemon builds root from the test name; mirror it so the
+     --oplog/--ops-export paths land inside the daemon's own root. *)
+  let root = Printf.sprintf "szcd-test-ops-%d" (Unix.getpid ()) in
+  with_daemon
+    ~extra:[ "--oplog"; oplog_rel root; "--ops-export"; export_rel root ]
+    "ops"
+    (fun d stop ->
+      let deadline = deadline_in 120.0 in
+      let runs = 8 in
+      let tenants = [ ("t1", 201); ("t2", 202); ("t3", 203) ] in
+      List.iter
+        (fun (tenant, seed) ->
+          let t = connect_ok d ~deadline ~seed:(Int64.of_int seed) in
+          Fun.protect
+            ~finally:(fun () -> Client.close t)
+            (fun () ->
+              match
+                Client.rpc t ~deadline
+                  (Protocol.Submit
+                     { tenant; id = "c"; spec = spec_for ~seed ~runs })
+              with
+              | Ok (Protocol.Accepted _) -> ()
+              | Ok _ -> Alcotest.failf "%s submit not accepted" tenant
+              | Error e -> Alcotest.failf "%s submit: %s" tenant e))
+        tenants;
+      (* One-shot snapshot while all three are in flight. *)
+      let t = connect_ok d ~deadline ~seed:42L in
+      let stats =
+        Fun.protect
+          ~finally:(fun () -> Client.close t)
+          (fun () ->
+            match Client.rpc t ~deadline Protocol.Stats with
+            | Ok (Protocol.Stats_is s) -> s
+            | Ok _ -> Alcotest.fail "expected stats-is"
+            | Error e -> Alcotest.failf "stats rpc: %s" e)
+      in
+      check_string "stats reports the daemon version" D.Daemon.version
+        stats.Protocol.s_version;
+      check_bool "uptime is positive" true (stats.Protocol.s_uptime_ms >= 0);
+      check_int "slots total" 4 stats.Protocol.s_slots_total;
+      let row_tenants =
+        List.map (fun r -> r.Protocol.tr_tenant) stats.Protocol.s_tenants
+      in
+      List.iter
+        (fun (tenant, _) ->
+          check_bool
+            (Printf.sprintf "tenant %s has a stats row" tenant)
+            true
+            (List.mem tenant row_tenants))
+        tenants;
+      List.iter
+        (fun r ->
+          check_bool
+            (Printf.sprintf "%s: completed <= runs" r.Protocol.tr_tenant)
+            true
+            (r.Protocol.tr_completed <= r.Protocol.tr_runs))
+        stats.Protocol.s_tenants;
+      counter_at_least stats "admit.ok" 3;
+      counter_at_least stats "wire.rx.submit" 3;
+      counter_at_least stats "runner.spawn" 1;
+      (match List.assoc_opt "loop.tick_us" stats.Protocol.s_hists with
+      | Some h ->
+          check_bool "tick histogram has samples" true
+            (h.Stz_telemetry.Ops.h_count > 0);
+          check_bool "tick p50 <= p99" true
+            (h.Stz_telemetry.Ops.h_p50 <= h.Stz_telemetry.Ops.h_p99)
+      | None -> Alcotest.fail "loop.tick_us histogram missing");
+      (* Periodic subscription: two frames at 100 ms apart, and each
+         carries a fresh uptime. *)
+      let w = connect_ok d ~deadline ~seed:43L in
+      Fun.protect
+        ~finally:(fun () -> Client.close w)
+        (fun () ->
+          (match Client.send w (Protocol.Watch { interval_ms = 100 }) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "watch: %s" e);
+          let rec frames n last_uptime =
+            if n < 2 then
+              match Client.read_response w ~deadline with
+              | Ok (Protocol.Stats_is s) ->
+                  check_bool "watch uptime monotone" true
+                    (s.Protocol.s_uptime_ms >= last_uptime);
+                  frames (n + 1) s.Protocol.s_uptime_ms
+              | Ok _ -> frames n last_uptime
+              | Error e -> Alcotest.failf "watch read: %s" e
+          in
+          frames 0 0);
+      (* status-is carries the info extras. *)
+      let t2 = connect_ok d ~deadline ~seed:44L in
+      Fun.protect
+        ~finally:(fun () -> Client.close t2)
+        (fun () ->
+          match
+            Client.rpc t2 ~deadline (Protocol.Status { tenant = "t1"; id = "c" })
+          with
+          | Ok (Protocol.Status_is { info; _ }) ->
+              check_bool "info has version" true
+                (List.assoc_opt "version" info = Some D.Daemon.version);
+              check_bool "info has uptime_ms" true
+                (List.mem_assoc "uptime_ms" info)
+          | Ok _ -> Alcotest.fail "expected status-is"
+          | Error e -> Alcotest.failf "status rpc: %s" e);
+      (* Let the campaigns finish so the drain is clean. *)
+      List.iter
+        (fun (tenant, seed) ->
+          match
+            Client.submit_and_wait ~socket:d.socket ~deadline
+              ~seed:(Int64.of_int seed) ~tenant ~id:"c"
+              ~spec:(spec_for ~seed ~runs)
+              ~progress:(fun _ _ -> ())
+          with
+          | Ok (0, _) -> ()
+          | Ok (code, line) ->
+              Alcotest.failf "%s: exit %d (%s)" tenant code line
+          | Error e -> Alcotest.failf "%s: %s" tenant e)
+        tenants;
+      check_clean_drain stop;
+      (* After the drain: the oplog strict-loads and tells the story,
+         the exporter file is fresh valid Prometheus text. *)
+      (match Stz_telemetry.Oplog.load (oplog_rel d.root) with
+      | Ok records ->
+          check_bool "oplog has records" true (records <> []);
+          let raw = read_file (oplog_rel d.root) in
+          List.iter
+            (fun ev ->
+              check_bool
+                (Printf.sprintf "oplog records %s" ev)
+                true
+                (contains raw (Printf.sprintf "\"ev\":\"%s\"" ev)))
+            [ "daemon.start"; "admit.ok"; "runner.spawn"; "daemon.drained" ]
+      | Error e -> Alcotest.failf "oplog does not strict-load: %s" e);
+      let prom = read_file (export_rel d.root) in
+      List.iter
+        (fun needle ->
+          check_bool
+            (Printf.sprintf "exporter has %S" needle)
+            true (contains prom needle))
+        [
+          "# TYPE szcd_wire_rx_submit counter";
+          "# TYPE szcd_sched_slots_busy gauge";
+          "szcd_loop_tick_us{quantile=\"0.5\"}";
+          "szcd_loop_tick_us_count";
+        ])
+
+(* The headline invariant: the ops plane is write-only. A campaign set
+   run with every ops feature enabled — oplog, exporter, a live watch
+   subscriber — produces byte-for-byte the artifacts of an ops-dark
+   daemon, under both serial and concurrent scheduling. *)
+let ops_plane_changes_no_artifact_byte () =
+  let runs = 6 in
+  let tenants = [ ("t1", 301); ("t2", 302); ("t3", 303) ] in
+  let run_set ~name ~slots ~ops =
+    let extra =
+      if not ops then []
+      else
+        let root = Printf.sprintf "szcd-test-%s-%d" name (Unix.getpid ()) in
+        [
+          "--oplog"; Filename.concat root "ops.log";
+          "--ops-export"; Filename.concat root "ops.prom";
+        ]
+    in
+    with_daemon ~extra ~slots name (fun d stop ->
+        let deadline = deadline_in 120.0 in
+        (* A live subscriber makes the daemon exercise the whole stats
+           path (snapshot building, frame encoding, outbuf) while the
+           campaigns run. *)
+        let watcher =
+          if not ops then None
+          else begin
+            let w = connect_ok d ~deadline ~seed:99L in
+            (match Client.send w (Protocol.Watch { interval_ms = 100 }) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "watch: %s" e);
+            Some w
+          end
+        in
+        List.iter
+          (fun (tenant, seed) ->
+            match
+              Client.submit_and_wait ~socket:d.socket ~deadline
+                ~seed:(Int64.of_int seed) ~tenant ~id:"c"
+                ~spec:(spec_for ~seed ~runs)
+                ~progress:(fun _ _ -> ())
+            with
+            | Ok (0, _) -> ()
+            | Ok (code, line) ->
+                Alcotest.failf "%s: exit %d (%s)" tenant code line
+            | Error e -> Alcotest.failf "%s: %s" tenant e)
+          tenants;
+        Option.iter Client.close watcher;
+        let artifacts =
+          List.map
+            (fun (tenant, _) ->
+              let dir = Spool.dir ~spool:d.spool ~tenant ~id:"c" in
+              ( tenant,
+                read_file (Filename.concat dir "out.csv"),
+                read_file (Filename.concat dir "checkpoint.ck"),
+                read_file (Filename.concat dir "ledger") ))
+            tenants
+        in
+        check_clean_drain stop;
+        artifacts)
+  in
+  List.iter
+    (fun slots ->
+      let tag = Printf.sprintf "slots%d" slots in
+      let dark = run_set ~name:("dark-" ^ tag) ~slots ~ops:false in
+      let lit = run_set ~name:("lit-" ^ tag) ~slots ~ops:true in
+      List.iter2
+        (fun (t1, csv1, ck1, lg1) (t2, csv2, ck2, lg2) ->
+          check_string "same tenant" t1 t2;
+          check_string
+            (Printf.sprintf "%s %s: csv identical with ops on" tag t1)
+            csv1 csv2;
+          check_string
+            (Printf.sprintf "%s %s: checkpoint identical with ops on" tag t1)
+            ck1 ck2;
+          check_string
+            (Printf.sprintf "%s %s: ledger identical with ops on" tag t1)
+            lg1 lg2)
+        dark lit)
+    [ 1; 4 ]
+
 let () =
   Alcotest.run "daemon"
     [
@@ -534,5 +775,12 @@ let () =
             three_tenants_match_solo;
           Alcotest.test_case "detach then reattach, no gaps" `Quick
             detach_then_reattach;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "stats, watch and status info" `Quick
+            stats_watch_and_status_info;
+          Alcotest.test_case "ops plane changes no artifact byte" `Quick
+            ops_plane_changes_no_artifact_byte;
         ] );
     ]

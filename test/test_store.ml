@@ -510,6 +510,109 @@ let ledger_bit_flip_fuzz () =
         | Error _ -> ()
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Daemon oplog on the artifact layer                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Oplog = Stz_telemetry.Oplog
+module Json = Stz_telemetry.Json
+
+let write_oplog path n =
+  match Oplog.create ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+      for i = 0 to n - 1 do
+        Oplog.event l ~ts_ms:(1_700_000_000_000 + i) ~ev:"fuzz.event"
+          [ ("i", Json.Int i); ("payload", Json.String (String.make 20 'x')) ]
+      done;
+      Oplog.close l
+
+let oplog_raw_records path =
+  match A.read_records path with
+  | Ok (_, records) -> records
+  | Error e -> Alcotest.failf "intact oplog unreadable: %s" e
+
+let oplog_truncation_fuzz () =
+  (* Cut the oplog at EVERY byte offset — the SIGKILL-mid-write
+     spectrum. [recover] must never raise and must salvage only record
+     prefixes, exactly like checkpoints and ledgers. *)
+  with_temp (fun path ->
+      write_oplog path 5;
+      let records = oplog_raw_records path in
+      let full = read_file path in
+      for len = 0 to String.length full do
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 len);
+        close_out oc;
+        match Oplog.recover path with
+        | exception e ->
+            Alcotest.failf "truncate@%d raised %s" len (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, note) ->
+            check_bool (Printf.sprintf "truncate@%d: prefix" len) true
+              (is_prefix got records);
+            if len < String.length full && note = None then
+              check_string
+                (Printf.sprintf "truncate@%d: clean salvage is a boundary" len)
+                (String.sub full 0 len)
+                (A.container ~kind:Oplog.kind got)
+      done)
+
+let oplog_bit_flip_fuzz () =
+  (* Flip one bit at EVERY byte offset: [recover] never raises and
+     salvages only prefixes; strict [load] never accepts a changed
+     parse. *)
+  with_temp (fun path ->
+      write_oplog path 4;
+      let records = oplog_raw_records path in
+      let full = read_file path in
+      let intact =
+        match Oplog.load path with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "intact load: %s" e
+      in
+      for i = 0 to String.length full - 1 do
+        let b = Bytes.of_string full in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+        let oc = open_out_bin path in
+        output_string oc (Bytes.to_string b);
+        close_out oc;
+        (match Oplog.recover path with
+        | exception e ->
+            Alcotest.failf "flip@%d raised %s" i (Printexc.to_string e)
+        | Error _ -> ()
+        | Ok (got, _) ->
+            check_bool (Printf.sprintf "flip@%d: prefix" i) true
+              (is_prefix got records));
+        match Oplog.load path with
+        | exception e ->
+            Alcotest.failf "strict flip@%d raised %s" i (Printexc.to_string e)
+        | Ok got ->
+            check_bool (Printf.sprintf "strict flip@%d equals original" i) true
+              (got = intact)
+        | Error _ -> ()
+      done)
+
+let oplog_self_heal_appends_after_torn_tail () =
+  (* The daemon's reopen path: truncate mid-record, reopen, append —
+     the result must be a fully valid container again. *)
+  with_temp (fun path ->
+      write_oplog path 5;
+      let full = read_file path in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full - 11));
+      close_out oc;
+      (match Oplog.create ~path () with
+      | Error e -> Alcotest.failf "self-heal open: %s" e
+      | Ok l ->
+          Oplog.event l ~ts_ms:1_700_000_000_999 ~ev:"fuzz.after"
+            [ ("ok", Json.Bool true) ];
+          Oplog.close l);
+      match Oplog.load path with
+      | Error e -> Alcotest.failf "healed file not strictly valid: %s" e
+      | Ok records ->
+          check_int "4 salvaged + 1 appended" 5 (List.length records))
+
 let () =
   Alcotest.run "store"
     [
@@ -558,5 +661,14 @@ let () =
             ledger_truncation_fuzz;
           Alcotest.test_case "bit-flip fuzz (every offset)" `Quick
             ledger_bit_flip_fuzz;
+        ] );
+      ( "oplog",
+        [
+          Alcotest.test_case "truncation fuzz (every offset)" `Quick
+            oplog_truncation_fuzz;
+          Alcotest.test_case "bit-flip fuzz (every offset)" `Quick
+            oplog_bit_flip_fuzz;
+          Alcotest.test_case "self-heal then append" `Quick
+            oplog_self_heal_appends_after_torn_tail;
         ] );
     ]

@@ -183,6 +183,209 @@ let jsonl_export () =
     lines
 
 (* ------------------------------------------------------------------ *)
+(* Ops: log-linear histograms with golden values                       *)
+(* ------------------------------------------------------------------ *)
+
+module Ops = T.Ops
+module Oplog = T.Oplog
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let hist_layout_golden () =
+  (* Unit buckets below 16. *)
+  for v = 0 to 15 do
+    check_int (Printf.sprintf "bucket_of %d" v) v (Ops.Hist.bucket_of v)
+  done;
+  (* Values up to 31 still resolve exactly (16 sub-buckets of width 1). *)
+  check_int "bucket_of 31" 31 (Ops.Hist.bucket_of 31);
+  (* From 32 the sub-bucket width is 2: 32 and 33 share a bucket. *)
+  check_int "32 and 33 share" (Ops.Hist.bucket_of 32) (Ops.Hist.bucket_of 33);
+  check_bool "33 and 34 differ" true
+    (Ops.Hist.bucket_of 33 <> Ops.Hist.bucket_of 34);
+  check_int "negatives clamp to 0" 0 (Ops.Hist.bucket_of (-7));
+  (* Round-trip invariants: the bucket lower bound is at most the value
+     and within 6.25% of it. *)
+  List.iter
+    (fun v ->
+      let lo = Ops.Hist.bucket_lower (Ops.Hist.bucket_of v) in
+      check_bool (Printf.sprintf "lower(%d) <= v" v) true (lo <= v);
+      check_bool
+        (Printf.sprintf "relative error at %d" v)
+        true
+        (float_of_int (v - lo) <= 0.0625 *. float_of_int v))
+    [ 1; 16; 17; 100; 1000; 4097; 65535; 1_000_000; max_int / 2 ]
+
+let hist_percentiles_golden () =
+  let h = Ops.Hist.create () in
+  for v = 1 to 1000 do
+    Ops.Hist.observe h v
+  done;
+  check_int "count" 1000 (Ops.Hist.count h);
+  check_int "sum" 500_500 (Ops.Hist.sum h);
+  check_int "min exact" 1 (Ops.Hist.min_value h);
+  check_int "max exact" 1000 (Ops.Hist.max_value h);
+  (* Golden percentiles for the uniform 1..1000 distribution under the
+     fixed bucket layout: rank 500 → value 500 → octave [256,512),
+     sub-bucket width 16, lower bound 496; rank 900 → 900 → [512,1024),
+     width 32, lower 896; rank 990 → 990 → lower 960. *)
+  check_int "p50" 496 (Ops.Hist.percentile h 50.);
+  check_int "p90" 896 (Ops.Hist.percentile h 90.);
+  check_int "p99" 960 (Ops.Hist.percentile h 99.);
+  (* Small exact case: all values below 16 are exact. *)
+  let s = Ops.Hist.create () in
+  List.iter (Ops.Hist.observe s) [ 5; 7; 9 ];
+  check_int "small p50 exact" 7 (Ops.Hist.percentile s 50.);
+  check_int "empty percentile" 0 (Ops.Hist.percentile (Ops.Hist.create ()) 99.)
+
+let hist_merge_matches_single () =
+  let a = Ops.Hist.create () and b = Ops.Hist.create () in
+  let whole = Ops.Hist.create () in
+  for v = 1 to 500 do
+    Ops.Hist.observe a v;
+    Ops.Hist.observe whole v
+  done;
+  for v = 501 to 1000 do
+    Ops.Hist.observe b v;
+    Ops.Hist.observe whole v
+  done;
+  Ops.Hist.merge_into ~dst:a b;
+  check_int "merged count" (Ops.Hist.count whole) (Ops.Hist.count a);
+  check_int "merged sum" (Ops.Hist.sum whole) (Ops.Hist.sum a);
+  check_int "merged min" (Ops.Hist.min_value whole) (Ops.Hist.min_value a);
+  check_int "merged max" (Ops.Hist.max_value whole) (Ops.Hist.max_value a);
+  check_bool "merged buckets element-wise equal" true
+    (Ops.Hist.nonzero_buckets whole = Ops.Hist.nonzero_buckets a);
+  List.iter
+    (fun p ->
+      check_int
+        (Printf.sprintf "merged p%.0f" p)
+        (Ops.Hist.percentile whole p) (Ops.Hist.percentile a p))
+    [ 50.; 90.; 99. ]
+
+let ops_registry_snapshot () =
+  let build () =
+    let o = Ops.create () in
+    Ops.incr o "wire.rx.submit";
+    Ops.incr o ~by:4 "wire.rx.submit";
+    Ops.incr o "admit.ok";
+    Ops.set_gauge o "sched.slots.busy" 3;
+    List.iter (Ops.observe o "loop.tick_us") [ 10; 20; 30 ];
+    o
+  in
+  let o = build () in
+  check_int "counter accumulates" 5 (Ops.counter o "wire.rx.submit");
+  check_int "missing counter is 0" 0 (Ops.counter o "nope");
+  check_int "gauge" 3 (Ops.gauge o "sched.slots.busy");
+  check_string "snapshots of identical registries are byte-identical"
+    (Ops.snapshot (build ())) (Ops.snapshot o);
+  check_bool "snapshot lists the histogram" true
+    (contains (Ops.snapshot o) "hist loop.tick_us ");
+  check_bool "malformed key rejected" true
+    (raises_invalid (fun () -> Ops.incr o "no spaces"));
+  let prom = Ops.to_prometheus o in
+  List.iter
+    (fun needle ->
+      check_bool ("prometheus has " ^ needle) true (contains prom needle))
+    [
+      "# TYPE szcd_wire_rx_submit counter";
+      "szcd_wire_rx_submit 5";
+      "# TYPE szcd_sched_slots_busy gauge";
+      "szcd_loop_tick_us{quantile=\"0.5\"}";
+      "szcd_loop_tick_us_count 3";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Oplog: container discipline, self-healing reopen, rotation          *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stz-oplog-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let oplog_event l i =
+  Oplog.event l ~ts_ms:(1000 + i) ~ev:"test.event" [ ("i", T.Json.Int i) ]
+
+let oplog_roundtrip_and_self_heal () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "ops.log" in
+      (match Oplog.create ~path () with
+      | Error e -> Alcotest.fail e
+      | Ok l ->
+          for i = 0 to 9 do
+            oplog_event l i
+          done;
+          Oplog.close l);
+      (match Oplog.load path with
+      | Error e -> Alcotest.failf "fresh oplog unreadable: %s" e
+      | Ok records -> check_int "10 records" 10 (List.length records));
+      (* Reopen appends — records accumulate across generations of the
+         daemon. *)
+      (match Oplog.create ~path () with
+      | Error e -> Alcotest.fail e
+      | Ok l ->
+          oplog_event l 10;
+          Oplog.close l);
+      (match Oplog.load path with
+      | Error e -> Alcotest.failf "reopened oplog unreadable: %s" e
+      | Ok records -> check_int "11 records" 11 (List.length records));
+      (* Tear the tail (simulate SIGKILL mid-write): reopening self-heals
+         to the longest valid prefix and appends cleanly after it. *)
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.ftruncate fd (size - 7));
+      Unix.close fd;
+      check_bool "torn file no longer loads strictly" true
+        (Result.is_error (Oplog.load path));
+      (match Oplog.create ~path () with
+      | Error e -> Alcotest.failf "self-heal failed: %s" e
+      | Ok l ->
+          oplog_event l 11;
+          Oplog.close l);
+      match Oplog.load path with
+      | Error e -> Alcotest.failf "healed oplog unreadable: %s" e
+      | Ok records ->
+          check_int "torn record dropped, append went through" 11
+            (List.length records))
+
+let oplog_rotation () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "ops.log" in
+      match Oplog.create ~path ~max_bytes:512 ~keep:2 () with
+      | Error e -> Alcotest.fail e
+      | Ok l ->
+          for i = 0 to 99 do
+            oplog_event l i
+          done;
+          Oplog.close l;
+          check_bool "rotated generation exists" true
+            (Sys.file_exists (path ^ ".1"));
+          check_bool "keep bound respected" false
+            (Sys.file_exists (path ^ ".3"));
+          (* Every surviving generation is a valid container. *)
+          List.iter
+            (fun p ->
+              if Sys.file_exists p then
+                match Oplog.load p with
+                | Ok records ->
+                    check_bool (p ^ " non-empty") true (records <> [])
+                | Error e -> Alcotest.failf "%s unreadable: %s" p e)
+            [ path; path ^ ".1"; path ^ ".2" ])
+
+(* ------------------------------------------------------------------ *)
 (* Campaign-level byte identity                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -361,6 +564,21 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "round-trip" `Quick metrics_roundtrip ] );
+      ( "ops",
+        [
+          Alcotest.test_case "histogram bucket layout" `Quick hist_layout_golden;
+          Alcotest.test_case "histogram percentiles golden" `Quick
+            hist_percentiles_golden;
+          Alcotest.test_case "histogram merge" `Quick hist_merge_matches_single;
+          Alcotest.test_case "registry snapshot + prometheus" `Quick
+            ops_registry_snapshot;
+        ] );
+      ( "oplog",
+        [
+          Alcotest.test_case "round-trip + self-heal" `Quick
+            oplog_roundtrip_and_self_heal;
+          Alcotest.test_case "rotation" `Quick oplog_rotation;
+        ] );
       ( "trace",
         [ Alcotest.test_case "lane assignment" `Quick trace_lane_assignment ] );
       ( "export",
