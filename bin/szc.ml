@@ -825,6 +825,33 @@ let fsck_cmd =
                     Sys.rename path aside;
                     Printf.printf "%s: moved aside to %s\n" path aside);
                   3))
+        else if container_kind = Some Stz_store.Fuzzlog.kind then (
+          match Stz_store.Fuzzlog.load path with
+          | Ok (_, cases) ->
+              Printf.printf "%s: ok (fuzz ledger, %d case%s)\n" path
+                (List.length cases)
+                (if List.length cases = 1 then "" else "s");
+              0
+          | Error _ -> (
+              match Stz_store.Fuzzlog.recover path with
+              | Ok (meta, cases, note) ->
+                  Printf.printf "%s: salvageable — %s\n" path
+                    (Option.value note ~default:"prefix intact");
+                  if repair then (
+                    Stz_store.Fuzzlog.rewrite path meta cases;
+                    Printf.printf
+                      "%s: repaired (rewritten from the salvaged prefix, %d \
+                       case%s)\n"
+                      path (List.length cases)
+                      (if List.length cases = 1 then "" else "s"));
+                  2
+              | Error e ->
+                  Printf.printf "%s: unrecoverable — %s\n" path e;
+                  if repair then (
+                    let aside = path ^ ".corrupt" in
+                    Sys.rename path aside;
+                    Printf.printf "%s: moved aside to %s\n" path aside);
+                  3))
         else
         match Stabilizer.Supervisor.load path with
         | Ok _ ->
@@ -1891,6 +1918,122 @@ let remote_top_cmd =
           tenant first).")
     term
 
+(* ------------------------------------------------------------------ *)
+(* szc fuzz                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed count jobs out resume rand_runs shrink_budget plant watchdog
+      quiet =
+    let* plant =
+      match plant with
+      | None -> Ok None
+      | Some "shift-clamp" -> Ok (Some Stz_vm.Opt.Shift_clamp)
+      | Some other ->
+          Error (`Msg (Printf.sprintf "unknown planted bug %S" other))
+    in
+    let cfg =
+      {
+        Stabilizer.Fuzzer.fuzz_seed = Int64.of_int seed;
+        count;
+        jobs;
+        out_dir = out;
+        resume;
+        rand_runs;
+        shrink_budget;
+        plant;
+        watchdog = (if watchdog <= 0.0 then None else Some watchdog);
+        log =
+          (if quiet then ignore
+           else fun line -> Printf.printf "%s\n%!" line);
+      }
+    in
+    match Stabilizer.Fuzzer.run_campaign cfg with
+    | Error e ->
+        Printf.eprintf "szc: fuzz aborted: %s\n" e;
+        Ok 3
+    | Ok s ->
+        Printf.printf
+          "fuzz: %d case%s — %d clean, %d trapped, %d failed, %d crashed, %d \
+           hung\n"
+          s.Stabilizer.Fuzzer.total
+          (if s.Stabilizer.Fuzzer.total = 1 then "" else "s")
+          s.Stabilizer.Fuzzer.clean s.Stabilizer.Fuzzer.trapped
+          s.Stabilizer.Fuzzer.failed s.Stabilizer.Fuzzer.crashed
+          s.Stabilizer.Fuzzer.hung;
+        List.iter
+          (fun r -> Printf.printf "reproducer: %s\n" (Filename.concat out r))
+          s.Stabilizer.Fuzzer.reproducers;
+        Ok (if s.Stabilizer.Fuzzer.failed > 0 then 2 else 0)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            value & opt int 1
+            & info [ "seed" ] ~docv:"SEED"
+                ~doc:
+                  "Fuzz seed. Every case is a pure function of (seed, \
+                   index): the same seed and count always produce a \
+                   byte-identical ledger and reproducer set.")
+        $ Arg.(
+            value & opt int 200
+            & info [ "count"; "n" ] ~docv:"N"
+                ~doc:"Number of generated programs to fuzz.")
+        $ jobs_term
+        $ Arg.(
+            value & opt string "fuzz-out"
+            & info [ "out" ] ~docv:"DIR"
+                ~doc:
+                  "Output directory for the fuzz ledger (fuzz.log) and \
+                   shrunk reproducers (repro-*.szt, runnable with `szc \
+                   exec').")
+        $ flag [ "resume" ]
+            "Continue an interrupted campaign from its ledger (self-heals \
+             a torn tail first) instead of starting over. The finished \
+             ledger is byte-identical to an uninterrupted run's."
+        $ Arg.(
+            value & opt int 2
+            & info [ "rand-runs" ] ~docv:"N"
+                ~doc:
+                  "Randomization seeds per case for the layout-invariance \
+                   oracle.")
+        $ Arg.(
+            value & opt int 2000
+            & info [ "shrink-budget" ] ~docv:"N"
+                ~doc:
+                  "Maximum predicate evaluations while minimizing a failing \
+                   program.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "plant" ] ~docv:"BUG"
+                ~doc:
+                  "Arm a known optimizer bug (test hook; currently \
+                   $(b,shift-clamp)) to prove the oracles catch it.")
+        $ Arg.(
+            value & opt float 30.0
+            & info [ "watchdog" ] ~docv:"SECONDS"
+                ~doc:
+                  "Hang grace per case; a silent worker is SIGKILLed and \
+                   the case censored. Forces fork isolation even at --jobs \
+                   1; 0 disables (cases then run in-process at --jobs 1).")
+        $ flag [ "quiet" ] "Suppress per-case progress output."))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing of the VM/optimizer stack: sample whole \
+          generator configurations from a seed-deterministic meta-space, \
+          then require (a) O0/O1/O2/O3 result equality with validated \
+          pipeline outputs, (b) result invariance across layout/heap \
+          randomization seeds, and (c) hardware-counter sanity. Failing \
+          cases are shrunk to minimal reproducers; worker crashes and \
+          hangs are censored, never fatal. Exit 0 clean, 2 when \
+          reproducers were found, 3 when the harness aborted.")
+    term
+
 let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
@@ -1921,7 +2064,7 @@ let () =
          [
            list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
            disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; fsck_cmd;
-           exec_cmd; power_cmd; history_cmd; regress_cmd; remote_cmd;
+           exec_cmd; power_cmd; history_cmd; regress_cmd; fuzz_cmd; remote_cmd;
          ])
   with
   | Ok (`Ok code) -> exit code

@@ -1,0 +1,98 @@
+(** Differential fuzzing of the VM/optimizer stack (ROADMAP item 3,
+    after "Testing the Unknown"): every case is a program sampled by
+    {!Stz_workloads.Fuzz} from [(fuzz_seed, index)] and pushed through
+    three oracles —
+
+    {ul
+    {- {b (a) pipeline equivalence}: O1/O2/O3 must compile without
+       raising, every pipeline output must pass
+       {!Stz_vm.Validate.check_program}, and every level must compute
+       the same return value as O0;}
+    {- {b (b) layout invariance}: under the full STABILIZER
+       configuration the return value must not depend on the
+       randomization seed — layout moves bytes, never results;}
+    {- {b (c) counter sanity}: every completed run's hardware counters
+       must satisfy the machine model's own invariants (all finite and
+       non-negative, [cycles >= instructions],
+       [mispredictions <= branches], [l3 <= l2 <= l1i + l1d]), and an
+       O0 re-run must reproduce counters bit-identically.}}
+
+    A failing case is auto-shrunk by a greedy delta-debugging minimizer
+    (function removal, whole-function truncation, instruction ddmin)
+    against a predicate that re-checks only the oracle that fired, and
+    emitted as a parseable {!Stz_vm.Text} reproducer.
+
+    The campaign driver runs cases crash-isolated through the
+    {!Parallel} fork pool with watchdog hang-kill; worker death and
+    hangs are censored into the ledger ({!Stz_store.Fuzzlog}), never
+    fatal. The ledger and reproducer files are a pure function of
+    [(fuzz_seed, count, rand_runs, plant)] — independent of [--jobs],
+    and byte-identical across SIGKILL + [--resume]. *)
+
+(** Verdict of one fuzzed case. *)
+type outcome =
+  | Clean of { result : int; cycles : int }
+  | Trapped of { what : string }
+      (** the (usually trap-seeded) classification run trapped; the
+          case is censored and the oracles are skipped *)
+  | Failed of {
+      oracle : string;
+      detail : string;
+      result : int;  (** O0 return value, 0 if O0 itself was the failure *)
+      repro_text : string;  (** shrunk reproducer, [Text] format *)
+      repro_instrs : int;
+      shrink_steps : int;
+    }
+
+(** Evaluate one case end to end (oracles + shrinking). Deterministic;
+    honours {!Stz_vm.Opt.planted_bug}. [rand_runs] (default 2) is the
+    number of randomization seeds for oracle (b); [shrink_budget]
+    (default 2000) caps predicate evaluations during minimization. *)
+val evaluate :
+  ?rand_runs:int ->
+  ?shrink_budget:int ->
+  fuzz_seed:int64 ->
+  index:int ->
+  unit ->
+  outcome
+
+(** Campaign configuration for {!run_campaign}. *)
+type config = {
+  fuzz_seed : int64;
+  count : int;
+  jobs : int;
+  out_dir : string;  (** created if missing *)
+  resume : bool;  (** continue an interrupted ledger instead of truncating *)
+  rand_runs : int;
+  shrink_budget : int;
+  plant : Stz_vm.Opt.planted option;  (** armed in workers via fork inheritance *)
+  watchdog : float option;
+      (** hang grace in seconds; [Some _] forces fork isolation even at
+          [jobs = 1] (the default driver passes 30s) *)
+  log : string -> unit;  (** progress lines; [ignore] for quiet *)
+}
+
+type summary = {
+  total : int;
+  clean : int;
+  trapped : int;
+  failed : int;
+  crashed : int;
+  hung : int;
+  reproducers : string list;  (** file names relative to [out_dir] *)
+}
+
+(** Ledger file name inside [out_dir] (["fuzz.log"]). *)
+val ledger_name : string
+
+(** Reproducer file name for a failing index (["repro-%06d.szt"]). *)
+val repro_name : int -> string
+
+(** Run (or resume) a campaign. [Error] only for harness-level aborts:
+    unusable output directory, ledger kind/meta mismatch. Case
+    failures, worker crashes and hangs are data, not errors. *)
+val run_campaign : config -> (summary, string) result
+
+(** Fold a ledger's cases into a summary (used by [szc fuzz] for the
+    exit code and by tests). *)
+val summarize : Stz_store.Fuzzlog.case list -> summary

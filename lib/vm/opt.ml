@@ -96,8 +96,20 @@ let const_fold p =
 (* Algebraic simplification                                            *)
 (* ------------------------------------------------------------------ *)
 
+type planted = Shift_clamp
+
+let planted_bug : planted option ref = ref None
+
 let simplify_instr instr =
   match instr with
+  (* Test hook for the fuzzer's acceptance gauntlet: with Shift_clamp
+     planted, shift-by-1 is "simplified" to a move — the observable
+     symptom of the pre-PR-7 [land 62] clamp, now expressed as a
+     miscompile the differential oracles must catch. Listed before the
+     legitimate identities so it wins the match when armed. *)
+  | Ir.Bin ((Ir.Shl | Ir.Shr), d, x, Ir.Imm 1) when !planted_bug = Some Shift_clamp
+    ->
+      Ir.Mov (d, x)
   | Ir.Bin (op, d, a, b) -> (
       match (op, a, b) with
       | Ir.Add, x, Ir.Imm 0 | Ir.Add, Ir.Imm 0, x -> Ir.Mov (d, x)

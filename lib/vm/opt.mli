@@ -33,6 +33,16 @@ val const_fold : Ir.program -> Ir.program
 (** Algebraic identities: x+0, x*1, x*0, x|0, x^0, shifts by 0, x/1. *)
 val simplify : Ir.program -> Ir.program
 
+(** Plantable optimizer bugs, used by [szc fuzz --plant] and the fuzzer
+    acceptance tests to prove the differential oracles catch a real
+    historical failure class. [Shift_clamp] re-introduces the pre-PR-7
+    shift-clamp symptom inside {!simplify}: shift-by-1 collapses to a
+    move ([land 62] dropped the low bit of the amount). Off ([None]) in
+    every normal build; forked fuzz workers inherit the setting. *)
+type planted = Shift_clamp
+
+val planted_bug : planted option ref
+
 (** Remove pure instructions whose destination is never read
     (function-level fixpoint). *)
 val dce : Ir.program -> Ir.program

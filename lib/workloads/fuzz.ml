@@ -1,0 +1,196 @@
+(* The fuzzer's meta-sampler: draw a whole Profile.t (plus adversarial
+   wrapper material) from (fuzz_seed, index). Kept O(1) per case —
+   resume at index 100000 must not replay 99999 PRNG streams — by
+   mixing the index into the SplitMix seed instead of advancing one
+   shared stream. *)
+
+module Ir = Stz_vm.Ir
+module B = Stz_vm.Builder
+module X = Stz_prng.Xorshift
+
+type trap_mode = No_trap | Tight_fuel of int | Tight_depth of int
+
+type t = {
+  index : int;
+  case_seed : int64;
+  profile : Profile.t;
+  recursion_depth : int;
+  mixer : (Ir.binop * int option) list;
+  arg : int;
+  trap_mode : trap_mode;
+}
+
+(* Golden-ratio odd constant (SplitMix64's own increment): distinct
+   indices land in well-separated SplitMix streams. *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let ri rng lo hi = if hi <= lo then lo else lo + X.next_int rng (hi - lo + 1)
+let rf rng lo hi = lo +. (X.next_float rng *. (hi -. lo))
+let chance rng p = X.next_float rng < p
+let pick rng l = List.nth l (X.next_int rng (List.length l))
+
+(* Shift amounts biased toward clamp edges: 1 appears twice because the
+   historical [land 62] bug was exactly "shift by 1 becomes shift by
+   0"; 63 exercises the 62 cap, -1 the land-63 wrap. *)
+let shift_amounts = [ 0; 1; 1; 2; 3; 5; 7; 15; 31; 62; 63; -1 ]
+let div_amounts = [ 0; 1; 2; 3; 7; 10 ]
+
+let all_binops =
+  [ Ir.Add; Ir.Sub; Ir.Mul; Ir.Div; Ir.And; Ir.Or; Ir.Xor; Ir.Shl; Ir.Shr ]
+
+let sample_profile rng ~name ~gen_seed =
+  let functions = ri rng 1 6 in
+  let blo = ri rng 1 3 in
+  let ilo = ri rng 2 6 in
+  let flo = 16 * ri rng 0 4 in
+  let alo = 8 * ri rng 1 4 in
+  {
+    Profile.name;
+    functions;
+    hot_functions = ri rng 1 functions;
+    blocks_per_function = (blo, blo + ri rng 0 5);
+    instrs_per_block = (ilo, ilo + ri rng 2 12);
+    frame_size_range = (flo, flo + (16 * ri rng 0 4));
+    heap_churn = rf rng 0.0 0.5;
+    alloc_size_range = (alo, alo + (8 * ri rng 0 16));
+    large_arrays = ri rng 0 2;
+    heap_data_bias = rf rng 0.0 1.0;
+    large_array_size = 64 * ri rng 2 32;
+    globals = ri rng 1 4;
+    global_size = 64 * ri rng 1 8;
+    data_stride = 8 * ri rng 1 8;
+    branchiness = rf rng 0.0 0.8;
+    leaf_helpers = ri rng 0 3;
+    leaf_call_rate = rf rng 0.0 0.6;
+    fold_material = ri rng 0 3;
+    cse_material = ri rng 0 3;
+    dead_functions = ri rng 0 2;
+    phases = ri rng 1 3;
+    iterations = ri rng 1 4;
+    inner_trips = ri rng 1 8;
+    seed = gen_seed;
+  }
+
+let sample_mixer rng =
+  let n = ri rng 4 12 in
+  List.init n (fun _ ->
+      let op = pick rng all_binops in
+      if chance rng 0.30 then (op, None)
+      else
+        let imm =
+          match op with
+          | Ir.Shl | Ir.Shr -> pick rng shift_amounts
+          | Ir.Div -> pick rng div_amounts
+          | _ -> ri rng (-100) 100
+        in
+        (op, Some imm))
+
+let plan ~fuzz_seed ~index =
+  let sm =
+    Stz_prng.Splitmix.create
+      (Int64.logxor fuzz_seed (Int64.mul (Int64.of_int (index + 1)) gamma))
+  in
+  let case_seed = Stz_prng.Splitmix.split sm in
+  let gen_seed = Stz_prng.Splitmix.split sm in
+  let rng = X.create ~seed:(Stz_prng.Splitmix.split sm) in
+  let profile =
+    sample_profile rng ~name:(Printf.sprintf "fuzz-%d" index) ~gen_seed
+  in
+  let recursion_depth = if chance rng 0.4 then ri rng 1 40 else 0 in
+  let mixer = sample_mixer rng in
+  let arg = pick rng [ 0; 1; 2; 7; 42; 255; ri rng 1 100_000 ] in
+  let trap_mode =
+    if not (chance rng 0.10) then No_trap
+    else if chance rng 0.5 then Tight_fuel (ri rng 200 5_000)
+    else Tight_depth (ri rng 2 8)
+  in
+  { index; case_seed; profile; recursion_depth; mixer; arg; trap_mode }
+
+(* rec_f(n) = if n <= 0 then 1 else rec_f(n-1) + 3. Multi-block with a
+   (self-)callee, so no inliner ever touches it; its depth is the
+   plan's call-depth pressure. *)
+let build_rec_func ~fid =
+  let b = B.func ~fid ~name:"fuzz_rec" ~n_args:1 ~frame_size:16 () in
+  let c = B.fresh_reg b in
+  let b_base = B.new_block b in
+  let b_rec = B.new_block b in
+  B.emit b (Ir.Cmp (Ir.Le, c, Ir.Reg 0, Ir.Imm 0));
+  B.emit b (Ir.Brc (Ir.Reg c, b_base, b_rec));
+  B.set_block b b_base;
+  B.emit b (Ir.Ret (Ir.Imm 1));
+  B.set_block b b_rec;
+  let t = B.fresh_reg b in
+  let r = B.fresh_reg b in
+  let s = B.fresh_reg b in
+  B.emit b (Ir.Bin (Ir.Sub, t, Ir.Reg 0, Ir.Imm 1));
+  B.emit b (Ir.Call { fn = fid; args = [ Ir.Reg t ]; dst = r });
+  B.emit b (Ir.Bin (Ir.Add, s, Ir.Reg r, Ir.Imm 3));
+  B.emit b (Ir.Ret (Ir.Reg s));
+  B.finish b
+
+(* fuzz_entry(arg): acc = old_entry(arg); optionally fold in rec_f;
+   then the mixer tail. The accumulator starts as a call result, which
+   the constant folder never tracks — so mixer shifts/divides keep a
+   genuinely unknown operand all the way through every pipeline. *)
+let build_entry plan ~fid ~old_entry ~rec_fid =
+  let b = B.func ~fid ~name:"fuzz_entry" ~n_args:1 ~frame_size:16 () in
+  let acc = ref (B.fresh_reg b) in
+  B.emit b (Ir.Call { fn = old_entry; args = [ Ir.Reg 0 ]; dst = !acc });
+  (match rec_fid with
+  | None -> ()
+  | Some rf ->
+      let rv = B.fresh_reg b in
+      let mixed = B.fresh_reg b in
+      B.emit b
+        (Ir.Call { fn = rf; args = [ Ir.Imm plan.recursion_depth ]; dst = rv });
+      B.emit b (Ir.Bin (Ir.Xor, mixed, Ir.Reg !acc, Ir.Reg rv));
+      acc := mixed);
+  List.iter
+    (fun (op, operand) ->
+      let d = B.fresh_reg b in
+      let src = match operand with None -> Ir.Reg 0 | Some k -> Ir.Imm k in
+      B.emit b (Ir.Bin (op, d, Ir.Reg !acc, src));
+      acc := d)
+    plan.mixer;
+  B.emit b (Ir.Ret (Ir.Reg !acc));
+  B.finish b
+
+let build plan =
+  let base = Generate.program plan.profile in
+  let n = Array.length base.Ir.funcs in
+  let rec_fid = if plan.recursion_depth > 0 then Some n else None in
+  let entry_fid = match rec_fid with Some _ -> n + 1 | None -> n in
+  let extra =
+    (match rec_fid with Some fid -> [ build_rec_func ~fid ] | None -> [])
+    @ [ build_entry plan ~fid:entry_fid ~old_entry:base.Ir.entry ~rec_fid ]
+  in
+  let p =
+    {
+      Ir.funcs = Array.append base.Ir.funcs (Array.of_list extra);
+      globals = base.Ir.globals;
+      entry = entry_fid;
+    }
+  in
+  Stz_vm.Validate.check_exn p;
+  p
+
+let args plan = [ plan.arg ]
+
+let limits plan =
+  match plan.trap_mode with
+  | No_trap -> Stz_vm.Interp.default_limits
+  | Tight_fuel n -> Stz_vm.Interp.limits ~max_instructions:n ()
+  | Tight_depth d -> Stz_vm.Interp.limits ~max_call_depth:d ()
+
+let describe plan =
+  let trap =
+    match plan.trap_mode with
+    | No_trap -> "none"
+    | Tight_fuel n -> Printf.sprintf "fuel:%d" n
+    | Tight_depth d -> Printf.sprintf "depth:%d" d
+  in
+  Printf.sprintf
+    "funcs=%d phases=%d iters=%d rec=%d mixer=%d arg=%d trap=%s"
+    plan.profile.Profile.functions plan.profile.Profile.phases
+    plan.profile.Profile.iterations plan.recursion_depth
+    (List.length plan.mixer) plan.arg trap

@@ -1,0 +1,56 @@
+(** Seed-deterministic sampling of whole generator configurations: the
+    meta-space above {!Generate}. Where a {!Profile.t} fixes one point
+    in program space, [Fuzz.plan] draws the profile itself — function
+    count, loop/phase nesting, branchiness, heap behaviour, code-size
+    distribution — from a PRNG keyed by [(fuzz_seed, index)], then
+    wraps the generated program with adversarial material the curated
+    SPEC clones never produce: a self-recursive function (call-depth
+    pressure, never inlinable) and a "mixer" tail of arithmetic whose
+    operands are biased toward optimizer edge cases (shift amounts 0,
+    1, 63, negative; division by zero) applied to a call result the
+    constant folder cannot see through.
+
+    Everything is a pure function of [(fuzz_seed, index)]: the same
+    pair always yields the same plan, program, args and limits, on any
+    machine — which is what makes a fuzz campaign resumable and its
+    ledger byte-reproducible. *)
+
+(** Why a case deliberately runs under tightened interpreter limits:
+    trap-seeded cases exercise the censoring path (the fuzzer classifies
+    them and skips the oracles rather than raising). *)
+type trap_mode =
+  | No_trap
+  | Tight_fuel of int  (** [max_instructions] override *)
+  | Tight_depth of int  (** [max_call_depth] override *)
+
+(** One sampled case. [mixer] is the tail of binary operations folded
+    over the accumulator: [(op, None)] uses the program argument as the
+    second operand, [(op, Some k)] the immediate [k]. *)
+type t = {
+  index : int;
+  case_seed : int64;  (** derived seed: drives profile and wrapper *)
+  profile : Profile.t;
+  recursion_depth : int;  (** 0 = no recursive function appended *)
+  mixer : (Stz_vm.Ir.binop * int option) list;
+  arg : int;  (** the single program argument *)
+  trap_mode : trap_mode;
+}
+
+(** [plan ~fuzz_seed ~index] — O(1), total, deterministic. *)
+val plan : fuzz_seed:int64 -> index:int -> t
+
+(** Materialize the plan: [Generate.program] on the sampled profile,
+    plus the recursive function and the mixer entry wrapper. The result
+    is validated ({!Stz_vm.Validate.check_exn}) and its functions are
+    fid-sorted, so it round-trips through {!Stz_vm.Text}. *)
+val build : t -> Stz_vm.Ir.program
+
+(** Arguments for {!Stz_vm.Interp.run} / [Runtime.run]. *)
+val args : t -> int list
+
+(** Interpreter limits for the classification run: the defaults, or the
+    tightened budget of a trap-seeded plan. *)
+val limits : t -> Stz_vm.Interp.limits
+
+(** One-line human summary ("funcs=4 phases=2 rec=17 mixer=9 trap=fuel:1200"). *)
+val describe : t -> string

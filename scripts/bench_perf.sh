@@ -2,7 +2,7 @@
 # Self-timing perf harness driver, used by CI and runnable locally:
 #
 #   1. build and run bench/perf.exe over the workload matrix, emitting
-#      BENCH_8.json at the repo root and appending one history-ledger
+#      BENCH_9.json at the repo root and appending one history-ledger
 #      entry per workload (seconds per simulated run);
 #   2. dog-food gate: point `szc regress` — the same Cohen's-d
 #      confidence-interval machinery that judges simulated campaigns —
@@ -20,7 +20,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_8.json}
+OUT=${OUT:-BENCH_9.json}
 LEDGER=${LEDGER:-bench/perf.ledger}
 PERF_RUNS=${PERF_RUNS:-12}
 PERF_REPEATS=${PERF_REPEATS:-5}

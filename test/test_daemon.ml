@@ -39,9 +39,17 @@ let deadline_in s = Unix.gettimeofday () +. s
 
 type daemon = { pid : int; socket : string; spool : string; root : string }
 
+(* Scratch roots live under the system temp dir so an interrupted run
+   never litters the repo; fall back to a repo-relative path only when
+   TMPDIR is deep enough that the socket would overflow sun_path's 108
+   bytes. with_daemon removes the root on exit either way. *)
+let test_root name =
+  let base = Printf.sprintf "szcd-test-%s-%d" name (Unix.getpid ()) in
+  let tmp = Filename.concat (Filename.get_temp_dir_name ()) base in
+  if String.length tmp + String.length "/d.sock" <= 100 then tmp else base
+
 let start_daemon ?(extra = []) ?(slots = 4) name =
-  (* Relative paths keep the socket well under sun_path's 108 bytes. *)
-  let root = Printf.sprintf "szcd-test-%s-%d" name (Unix.getpid ()) in
+  let root = test_root name in
   rm_rf root;
   Unix.mkdir root 0o755;
   let socket = Filename.concat root "d.sock" in
@@ -55,7 +63,10 @@ let start_daemon ?(extra = []) ?(slots = 4) name =
       @ extra)
   in
   let pid =
-    Unix.create_process szcd_exe argv Unix.stdin Unix.stdout Unix.stderr
+    try Unix.create_process szcd_exe argv Unix.stdin Unix.stdout Unix.stderr
+    with e ->
+      rm_rf root;
+      raise e
   in
   { pid; socket; spool; root }
 
@@ -109,8 +120,9 @@ let with_daemon ?extra ?slots name f =
     ~finally:(fun () ->
       if not !stopped then begin
         (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
-        try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ()
-      end)
+        (try ignore (Unix.waitpid [] d.pid) with Unix.Unix_error _ -> ())
+      end;
+      rm_rf d.root)
     (fun () ->
       wait_ready d;
       f d stop)
@@ -527,7 +539,7 @@ let stats_watch_and_status_info () =
   let export_rel root = Filename.concat root "ops.prom" in
   (* start_daemon builds root from the test name; mirror it so the
      --oplog/--ops-export paths land inside the daemon's own root. *)
-  let root = Printf.sprintf "szcd-test-ops-%d" (Unix.getpid ()) in
+  let root = test_root "ops" in
   with_daemon
     ~extra:[ "--oplog"; oplog_rel root; "--ops-export"; export_rel root ]
     "ops"
@@ -680,7 +692,7 @@ let ops_plane_changes_no_artifact_byte () =
     let extra =
       if not ops then []
       else
-        let root = Printf.sprintf "szcd-test-%s-%d" name (Unix.getpid ()) in
+        let root = test_root name in
         [
           "--oplog"; Filename.concat root "ops.log";
           "--ops-export"; Filename.concat root "ops.prom";
