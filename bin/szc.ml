@@ -852,6 +852,33 @@ let fsck_cmd =
                     Sys.rename path aside;
                     Printf.printf "%s: moved aside to %s\n" path aside);
                   3))
+        else if container_kind = Some Stz_store.Sweeplog.kind then (
+          match Stz_store.Sweeplog.load path with
+          | Ok (_, cases) ->
+              Printf.printf "%s: ok (sweep ledger, %d case%s)\n" path
+                (List.length cases)
+                (if List.length cases = 1 then "" else "s");
+              0
+          | Error _ -> (
+              match Stz_store.Sweeplog.recover path with
+              | Ok (meta, cases, note) ->
+                  Printf.printf "%s: salvageable — %s\n" path
+                    (Option.value note ~default:"prefix intact");
+                  if repair then (
+                    Stz_store.Sweeplog.rewrite path meta cases;
+                    Printf.printf
+                      "%s: repaired (rewritten from the salvaged prefix, %d \
+                       case%s)\n"
+                      path (List.length cases)
+                      (if List.length cases = 1 then "" else "s"));
+                  2
+              | Error e ->
+                  Printf.printf "%s: unrecoverable — %s\n" path e;
+                  if repair then (
+                    let aside = path ^ ".corrupt" in
+                    Sys.rename path aside;
+                    Printf.printf "%s: moved aside to %s\n" path aside);
+                  3))
         else
         match Stabilizer.Supervisor.load path with
         | Ok _ ->
@@ -2034,6 +2061,231 @@ let fuzz_cmd =
           reproducers were found, 3 when the harness aborted.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* szc explain / szc layout sweep                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The attribution workloads: any SPEC-like profile, plus the planted
+   layout-sensitivity programs that exercise the profiler itself. *)
+let lookup_explain_workload name scale =
+  match name with
+  | "pathological" ->
+      Ok
+        ( Stz_workloads.Pathological.program (),
+          Stz_workloads.Pathological.default_args )
+  | "conflict" ->
+      Ok (Stz_workloads.Conflict.program (), Stz_workloads.Conflict.default_args)
+  | "conflict-control" ->
+      Ok (Stz_workloads.Conflict.control (), Stz_workloads.Conflict.default_args)
+  | _ ->
+      let* prof = lookup_bench name scale in
+      Ok (Stz_workloads.Generate.program prof, Stz_workloads.Generate.default_args)
+
+(* Workload variants for the ANOVA's subject factor: ~5% argument steps
+   around the workload's default, wide enough to register as a workload
+   stratum yet narrow against any genuine layout swing. *)
+let explain_variants ~variants base_args =
+  List.init variants (fun v ->
+      List.map (fun a -> a + (v * Stdlib.max 1 (a / 20))) base_args)
+
+let explain_cmd =
+  let run bench seeds variants seed scale jobs baseline csv trace =
+    let* p, base_args = lookup_explain_workload bench scale in
+    let config =
+      if baseline then Stabilizer.Config.baseline else Stabilizer.Config.one_time
+    in
+    match
+      Stz_attrib.Explain.run ~jobs ~config ~base_seed:(Int64.of_int seed)
+        ~seeds ~variants:(explain_variants ~variants base_args) p
+    with
+    | Error e ->
+        Printf.eprintf "szc: explain aborted: %s\n" e;
+        Ok 3
+    | Ok report ->
+        print_string (Stz_attrib.Explain.to_string report);
+        (match csv with
+        | Some path -> write_file path (Stz_attrib.Explain.csv report)
+        | None -> ());
+        (match trace with
+        | Some path -> write_file path (Stz_attrib.Explain.trace_string report)
+        | None -> ());
+        Ok (if report.Stz_attrib.Explain.decomposition = None then 2 else 0)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"WORKLOAD"
+                ~doc:
+                  "Workload to attribute: a benchmark name (see `szc \
+                   list'), or one of the planted programs $(b,pathological), \
+                   $(b,conflict), $(b,conflict-control).")
+        $ Arg.(
+            value & opt int 8
+            & info [ "seeds"; "k" ] ~docv:"K"
+                ~doc:
+                  "Layout seeds (the ANOVA's treatment factor), split \
+                   deterministically from $(b,--seed).")
+        $ Arg.(
+            value & opt int 4
+            & info [ "variants"; "w" ] ~docv:"W"
+                ~doc:
+                  "Workload argument variants (the ANOVA's subject \
+                   factor), ~5% steps around the workload's default \
+                   arguments.")
+        $ seed_term $ scale_term $ jobs_term
+        $ flag [ "baseline" ]
+            "Attribute the unrandomized layout instead of one-time \
+             randomized layouts (every seed then measures the same \
+             deterministic placement)."
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "csv" ] ~docv:"FILE"
+                ~doc:
+                  "Write the ranked conflict table as CSV (decomposition \
+                   in a `#' footer).")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "trace" ] ~docv:"FILE"
+                ~doc:
+                  "Write a Chrome trace_event JSON view of the K x W cycle \
+                   matrix: one group per variant, one lane per layout \
+                   seed.")))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute layout bias: run WORKLOAD under K one-time layout \
+          seeds x W argument variants on conflict-instrumented machines, \
+          decompose cycle variance (within-subjects ANOVA) into layout / \
+          workload / residual with eta-squared effect sizes, and rank \
+          which function pairs conflict in which hardware structure at \
+          what estimated cycle cost. Exit 0 with a decomposition, 2 when \
+          too many cells were censored to decompose, 3 on abort.")
+    term
+
+let layout_sweep_cmd =
+  let run seed count jobs out resume layout_seeds variants threshold
+      shrink_budget watchdog quiet =
+    let cfg =
+      {
+        Stz_attrib.Sweep.fuzz_seed = Int64.of_int seed;
+        count;
+        jobs;
+        out_dir = out;
+        resume;
+        layout_seeds;
+        variants;
+        threshold;
+        shrink_budget;
+        watchdog = (if watchdog <= 0.0 then None else Some watchdog);
+        log =
+          (if quiet then ignore else fun line -> Printf.printf "%s\n%!" line);
+      }
+    in
+    match Stz_attrib.Sweep.run_campaign cfg with
+    | Error e ->
+        Printf.eprintf "szc: layout sweep aborted: %s\n" e;
+        Ok 3
+    | Ok s ->
+        Printf.printf
+          "layout sweep: %d case%s — %d measured, %d trapped, %d crashed, %d \
+           hung; max layout eta2 %.3f, %d offender%s at threshold %.2f\n"
+          s.Stz_attrib.Sweep.total
+          (if s.Stz_attrib.Sweep.total = 1 then "" else "s")
+          s.Stz_attrib.Sweep.measured s.Stz_attrib.Sweep.trapped
+          s.Stz_attrib.Sweep.crashed s.Stz_attrib.Sweep.hung
+          s.Stz_attrib.Sweep.max_eta2
+          (List.length s.Stz_attrib.Sweep.offenders)
+          (if List.length s.Stz_attrib.Sweep.offenders = 1 then "" else "s")
+          threshold;
+        List.iter
+          (fun r -> Printf.printf "reproducer: %s\n" (Filename.concat out r))
+          s.Stz_attrib.Sweep.reproducers;
+        Ok 0
+  in
+  let term =
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            value & opt int 1
+            & info [ "seed" ] ~docv:"SEED"
+                ~doc:
+                  "Sweep seed keying the fuzz meta-space. Every case is a \
+                   pure function of (seed, index): the same seed and \
+                   count always produce a byte-identical ledger and \
+                   reproducer set.")
+        $ Arg.(
+            value & opt int 25
+            & info [ "count"; "n" ] ~docv:"N"
+                ~doc:"Number of generated programs to sweep.")
+        $ jobs_term
+        $ Arg.(
+            value & opt string "sweep-out"
+            & info [ "out" ] ~docv:"DIR"
+                ~doc:
+                  "Output directory for the sweep ledger (sweep.log) and \
+                   shrunk worst-offender reproducers (repro-*.szt, \
+                   runnable with `szc exec').")
+        $ flag [ "resume" ]
+            "Continue an interrupted sweep from its ledger (self-heals a \
+             torn tail first) instead of starting over. The finished \
+             ledger is byte-identical to an uninterrupted run's."
+        $ Arg.(
+            value & opt int 6
+            & info [ "layout-seeds"; "k" ] ~docv:"K"
+                ~doc:"Layout seeds per case (ANOVA treatments).")
+        $ Arg.(
+            value & opt int 4
+            & info [ "variants"; "w" ] ~docv:"W"
+                ~doc:"Workload argument variants per case (ANOVA subjects).")
+        $ Arg.(
+            value & opt float 0.5
+            & info [ "threshold" ] ~docv:"ETA2"
+                ~doc:
+                  "Layout eta-squared at or above which a case counts as \
+                   an offender and is shrunk to a reproducer.")
+        $ Arg.(
+            value & opt int 200
+            & info [ "shrink-budget" ] ~docv:"N"
+                ~doc:
+                  "Maximum predicate evaluations while minimizing an \
+                   offender (each evaluation reruns the full K x W \
+                   matrix; keep small).")
+        $ Arg.(
+            value & opt float 60.0
+            & info [ "watchdog" ] ~docv:"SECONDS"
+                ~doc:
+                  "Hang grace per case; a silent worker is SIGKILLed and \
+                   the case censored. Forces fork isolation even at \
+                   --jobs 1; 0 disables.")
+        $ flag [ "quiet" ] "Suppress per-case progress output."))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Worst-case layout search: walk the fuzzer's seed-deterministic \
+          program meta-space, measure each program's layout eta-squared \
+          with the `szc explain' machinery (K one-time layout seeds x W \
+          argument variants), and shrink programs whose layout share of \
+          cycle variance meets the threshold into minimal reproducers. \
+          Crash-isolated, watchdogged, and resumable: the CRC-framed \
+          ledger self-heals a torn tail and a resumed sweep converges to \
+          a byte-identical ledger. Exit 0 on completion, 3 on abort.")
+    term
+
+let layout_cmd =
+  Cmd.group
+    (Cmd.info "layout"
+       ~doc:"Layout-bias tooling: worst-case layout sweeps (`szc layout sweep').")
+    [ layout_sweep_cmd ]
+
 let remote_cmd =
   Cmd.group
     (Cmd.info "remote"
@@ -2064,7 +2316,8 @@ let () =
          [
            list_cmd; run_cmd; compare_cmd; campaign_cmd; selftest_cmd; nist_cmd;
            disasm_cmd; profile_cmd; top_cmd; check_trace_cmd; fsck_cmd;
-           exec_cmd; power_cmd; history_cmd; regress_cmd; fuzz_cmd; remote_cmd;
+           exec_cmd; power_cmd; history_cmd; regress_cmd; fuzz_cmd;
+           explain_cmd; layout_cmd; remote_cmd;
          ])
   with
   | Ok (`Ok code) -> exit code

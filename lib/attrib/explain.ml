@@ -1,0 +1,245 @@
+module Hierarchy = Stz_machine.Hierarchy
+module Cost = Stz_machine.Cost
+module Anova = Stz_stats.Anova
+module Ir = Stz_vm.Ir
+module Splitmix = Stz_prng.Splitmix
+module Event = Stz_telemetry.Event
+module Json = Stz_telemetry.Json
+module Export = Stz_telemetry.Export
+module Runtime = Stabilizer.Runtime
+module Parallel = Stabilizer.Parallel
+module Config = Stabilizer.Config
+
+type decomposition = {
+  anova : Anova.result;
+  layout_eta2 : float;
+  partial_eta2 : float;
+  workload_share : float;
+  residual_share : float;
+}
+
+type report = {
+  func_names : string array;
+  seeds : int64 array;
+  variants : int list array;
+  cycles : int array array;
+  rows_used : int;
+  decomposition : decomposition option;
+  note : string;
+  merged : Hierarchy.attrib_snapshot option;
+  pairs : Conflict.pair list;
+}
+
+(* Same derivation shape as Sample.seeds: one generator split per
+   treatment, so seed k is stable under any K' >= k. *)
+let layout_seeds ~base_seed k =
+  let g = Splitmix.create base_seed in
+  Array.init k (fun _ -> Splitmix.split g)
+
+(* The ANOVA's ss fields are always finite; the ratios are guarded here
+   rather than trusting f/p (which go NaN on a constant matrix).
+
+   [layout_eta2] is the *classic* η² — SS_layout / SS_total — not the
+   partial variant: in a noiseless simulator the error stratum is pure
+   layout×workload interaction, which for near-multiplicative cycle
+   structure makes SS_t/(SS_t+SS_e) saturate near 1 whenever layout has
+   any effect at all, however tiny. The classic ratio keeps the
+   workload stratum in the denominator and so actually discriminates
+   layout-dominated programs from layout-indifferent ones. *)
+let decompose rows =
+  let r = Anova.within_subjects rows in
+  let ss_total = r.Anova.ss_treatment +. r.Anova.ss_subjects +. r.Anova.ss_error in
+  let share x = if ss_total <= 0. then 0. else x /. ss_total in
+  let partial_denom = r.Anova.ss_treatment +. r.Anova.ss_error in
+  {
+    anova = r;
+    layout_eta2 = share r.Anova.ss_treatment;
+    partial_eta2 =
+      (if partial_denom <= 0. then 0.
+       else r.Anova.ss_treatment /. partial_denom);
+    workload_share = share r.Anova.ss_subjects;
+    residual_share = share r.Anova.ss_error;
+  }
+
+let run ?(jobs = 1) ?limits ?(config = Config.one_time) ?(cost = Cost.default)
+    ~base_seed ~seeds:k ~variants (p : Ir.program) =
+  if k < 2 then Error "explain: need at least 2 layout seeds"
+  else
+    let variants = Array.of_list variants in
+    let w = Array.length variants in
+    if w < 2 then Error "explain: need at least 2 workload variants"
+    else begin
+      let funcs = Array.length p.Ir.funcs in
+      let seeds = layout_seeds ~base_seed k in
+      (* Worker body: one (variant, seed) cell on a fresh armed
+         machine; the factory capture gets the snapshot out without
+         widening Runtime.result. Traps censor the cell. *)
+      let eval i =
+        let vi = i / k and ki = i mod k in
+        let captured = ref None in
+        let machine_factory () =
+          let m = Hierarchy.create () in
+          Hierarchy.arm_attrib m ~funcs;
+          captured := Some m;
+          m
+        in
+        match
+          Runtime.run ?limits ~machine_factory ~config ~seed:seeds.(ki) p
+            ~args:variants.(vi)
+        with
+        | r ->
+            Some
+              ( r.Runtime.cycles,
+                Option.bind !captured Hierarchy.attrib_snapshot )
+        | exception Runtime.Trap _ -> None
+      in
+      let results = Parallel.map ~jobs ~f:eval (w * k) in
+      let cycles = Array.make_matrix w k (-1) in
+      let merged = ref None in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Parallel.Value (Some (c, snap)) ->
+              cycles.(i / k).(i mod k) <- c;
+              (match snap with
+              | Some s ->
+                  merged :=
+                    Some
+                      (match !merged with
+                      | None -> s
+                      | Some acc -> Conflict.merge acc s)
+              | None -> ())
+          | Parallel.Value None | Parallel.Lost | Parallel.Hung -> ())
+        results;
+      let complete_rows =
+        Array.to_list cycles
+        |> List.filter (fun row -> Array.for_all (fun c -> c >= 0) row)
+      in
+      let rows_used = List.length complete_rows in
+      let decomposition, note =
+        if rows_used < 2 then
+          ( None,
+            Printf.sprintf
+              "only %d of %d workload variants completed every layout seed"
+              rows_used w )
+        else
+          ( Some
+              (decompose
+                 (Array.of_list
+                    (List.map (Array.map float_of_int) complete_rows))),
+            "" )
+      in
+      Ok
+        {
+          func_names = Array.map (fun f -> f.Ir.fname) p.Ir.funcs;
+          seeds;
+          variants;
+          cycles;
+          rows_used;
+          decomposition;
+          note;
+          merged = !merged;
+          pairs =
+            (match !merged with
+            | None -> []
+            | Some s -> Conflict.pairs ~cost s);
+        }
+    end
+
+let fname report fid =
+  if fid >= 0 && fid < Array.length report.func_names then
+    report.func_names.(fid)
+  else Printf.sprintf "f%d" fid
+
+let decomposition_lines report =
+  match report.decomposition with
+  | None -> [ Printf.sprintf "no decomposition: %s" report.note ]
+  | Some d ->
+      [
+        Printf.sprintf
+          "layout_eta2 %.6f partial_eta2 %.6f workload_share %.6f \
+           residual_share %.6f"
+          d.layout_eta2 d.partial_eta2 d.workload_share d.residual_share;
+        Printf.sprintf "layout anova %s" (Anova.to_string d.anova);
+        Printf.sprintf "seeds %d variants %d rows_used %d"
+          (Array.length report.seeds)
+          (Array.length report.variants)
+          report.rows_used;
+      ]
+
+let csv report =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "rank,structure,f1,f1_name,f2,f2_name,events,est_cycles\n";
+  List.iteri
+    (fun i (p : Conflict.pair) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%s,%d,%s,%d,%s,%d,%d\n" (i + 1)
+           (Conflict.structure_name p.Conflict.structure)
+           p.Conflict.f1
+           (fname report p.Conflict.f1)
+           p.Conflict.f2
+           (fname report p.Conflict.f2)
+           p.Conflict.events p.Conflict.est_cycles))
+    report.pairs;
+  List.iter
+    (fun line -> Buffer.add_string b ("# " ^ line ^ "\n"))
+    (decomposition_lines report);
+  Buffer.contents b
+
+let trace_string report =
+  let groups =
+    Array.to_list
+      (Array.mapi
+         (fun vi row ->
+           let events = ref [] in
+           Array.iteri
+             (fun ki c ->
+               if c >= 0 then
+                 events :=
+                   Event.Span
+                     {
+                       name = Printf.sprintf "seed %Ld" report.seeds.(ki);
+                       cat = "explain";
+                       lane = ki;
+                       ts = 0;
+                       dur = c;
+                       args =
+                         [
+                           ("variant", Json.Int vi);
+                           ("cycles", Json.Int c);
+                           ( "seed",
+                             Json.String (Int64.to_string report.seeds.(ki)) );
+                         ];
+                     }
+                   :: !events)
+             row;
+           ( Printf.sprintf "variant %d [%s]" vi
+               (String.concat " "
+                  (List.map string_of_int report.variants.(vi))),
+             List.rev !events ))
+         report.cycles)
+  in
+  Export.chrome_groups_string groups
+
+let to_string report =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun line -> Buffer.add_string b (line ^ "\n"))
+    (decomposition_lines report);
+  if report.pairs = [] then
+    Buffer.add_string b "no cross-function conflicts recorded\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "%-4s %-9s %-24s %12s %12s\n" "#" "structure"
+         "conflicting pair" "events" "est_cycles");
+    List.iteri
+      (fun i (p : Conflict.pair) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-4d %-9s %-24s %12d %12d\n" (i + 1)
+             (Conflict.structure_name p.Conflict.structure)
+             (fname report p.Conflict.f1 ^ " <-> " ^ fname report p.Conflict.f2)
+             p.Conflict.events p.Conflict.est_cycles))
+      report.pairs
+  end;
+  Buffer.contents b

@@ -1,0 +1,75 @@
+(** The layout-bias attribution profiler behind [szc explain]: run one
+    program under K layout seeds × W workload variants through the
+    {!Stabilizer.Parallel} pool on attribution-armed machines, then
+
+    {ul
+    {- decompose cycle variance with
+       {!Stz_stats.Anova.within_subjects} — workload variants are the
+       subjects, layout seeds the treatments — into layout / workload /
+       residual components with η² effect sizes, and}
+    {- accumulate every run's conflict snapshot into one ranked
+       {!Conflict.pair} table.}}
+
+    The whole report is a pure function of [(program, base_seed,
+    seeds, variants, config)] — independent of [jobs] — so its CSV and
+    trace exports are byte-reproducible. *)
+
+(** The variance decomposition. [layout_eta2] is the {e classic} η² —
+    SS_layout / SS_total, the fraction of all cycle variance explained
+    by layout alone — because in a noiseless simulator the partial
+    variant saturates near 1 for any nonzero layout effect (the error
+    stratum is pure layout×workload interaction). [layout_eta2 +
+    workload_share + residual_share = 1] (all 0 when the matrix is
+    constant); [partial_eta2] is reported alongside for comparison with
+    the paper's convention. *)
+type decomposition = {
+  anova : Stz_stats.Anova.result;
+  layout_eta2 : float;  (** classic η²: SS_layout / SS_total *)
+  partial_eta2 : float;  (** SS_layout / (SS_layout + SS_error) *)
+  workload_share : float;  (** SS_subjects / SS_total *)
+  residual_share : float;  (** SS_error / SS_total *)
+}
+
+type report = {
+  func_names : string array;
+  seeds : int64 array;  (** the K layout seeds (treatments) *)
+  variants : int list array;  (** the W argument vectors (subjects) *)
+  cycles : int array array;  (** [variants x seeds]; -1 = cell failed *)
+  rows_used : int;  (** complete variant rows entering the ANOVA *)
+  decomposition : decomposition option;
+  note : string;  (** why [decomposition] is [None], or [""] *)
+  merged : Stz_machine.Hierarchy.attrib_snapshot option;
+      (** conflict map summed over every completed cell *)
+  pairs : Conflict.pair list;  (** ranked worst-first *)
+}
+
+(** Run the matrix. [seeds >= 2] and at least 2 [variants] are
+    required; layout seeds are split deterministically from
+    [base_seed]. Cells that trap are censored: their variant row is
+    excluded from the ANOVA (but surviving snapshots still feed the
+    conflict map). [config] defaults to {!Stabilizer.Config.one_time} —
+    each seed is one frozen random layout, the paper's layout-sampling
+    regime. *)
+val run :
+  ?jobs:int ->
+  ?limits:Stz_vm.Interp.limits ->
+  ?config:Stabilizer.Config.t ->
+  ?cost:Stz_machine.Cost.t ->
+  base_seed:int64 ->
+  seeds:int ->
+  variants:int list list ->
+  Stz_vm.Ir.program ->
+  (report, string) result
+
+(** Conflict table as CSV: one row per ranked pair, then a ['#']
+    comment footer with the decomposition (matching the campaign-CSV
+    footer convention). *)
+val csv : report -> string
+
+(** Chrome trace_event export: one process group per workload variant,
+    one lane per layout seed, each completed cell a complete span of
+    its cycle count — layout bias made visible as ragged span ends. *)
+val trace_string : report -> string
+
+(** Human-readable ranked table plus decomposition summary. *)
+val to_string : report -> string

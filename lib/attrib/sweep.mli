@@ -1,0 +1,68 @@
+(** [szc layout sweep] — ROADMAP item 3b's closer: walk the
+    {!Stz_workloads.Fuzz} meta-space searching generated-program space
+    for worst-case layout bias. Every index is measured with a small
+    {!Explain} matrix (K layout seeds × W argument variants); its
+    layout η² goes into a CRC-framed resumable ledger
+    ({!Stz_store.Sweeplog}), and offenders at or above the η² threshold
+    are shrunk with the fuzzer's delta-debugging minimizer — against an
+    η²-preserving predicate — into [Text] reproducers.
+
+    Same campaign discipline as [szc fuzz]: cases run crash-isolated
+    through the {!Stabilizer.Parallel} pool with watchdog hang-kill;
+    worker death and hangs are censored into the ledger, never fatal;
+    the ledger and reproducers are a pure function of the config knobs
+    — independent of [jobs], byte-identical across SIGKILL +
+    [--resume]. *)
+
+type config = {
+  fuzz_seed : int64;
+  count : int;
+  jobs : int;
+  out_dir : string;  (** created if missing *)
+  resume : bool;
+  layout_seeds : int;  (** K (ANOVA treatments), >= 2 *)
+  variants : int;  (** W (ANOVA subjects), >= 2 *)
+  threshold : float;  (** layout η² at or above which a case is shrunk *)
+  shrink_budget : int;  (** predicate evaluations per offender; 0 = off *)
+  watchdog : float option;
+  log : string -> unit;
+}
+
+type summary = {
+  total : int;
+  measured : int;
+  trapped : int;
+  crashed : int;
+  hung : int;
+  max_eta2 : float;  (** over measured cases; 0 when none *)
+  offenders : Stz_store.Sweeplog.case list;
+      (** measured cases with η² >= threshold, worst first *)
+  reproducers : string list;  (** file names relative to [out_dir] *)
+}
+
+(** Ledger file name inside [out_dir] (["sweep.log"]). *)
+val ledger_name : string
+
+(** Reproducer file name for an offending index (["repro-%06d.szt"]). *)
+val repro_name : int -> string
+
+(** Measure one case end to end (matrix + possible shrink).
+    Deterministic. Returns the ledger record plus the reproducer file
+    (name, bytes) when one was produced. *)
+val evaluate :
+  layout_seeds:int ->
+  variants:int ->
+  threshold:float ->
+  shrink_budget:int ->
+  fuzz_seed:int64 ->
+  index:int ->
+  unit ->
+  Stz_store.Sweeplog.case * (string * string) option
+
+(** Run (or resume) a sweep. [Error] only for harness-level aborts:
+    unusable output directory, ledger kind/meta mismatch, bad knobs. *)
+val run_campaign : config -> (summary, string) result
+
+(** Fold ledger cases into a summary (used by [szc layout sweep] for
+    reporting and by tests). *)
+val summarize : threshold:float -> Stz_store.Sweeplog.case list -> summary

@@ -1,5 +1,23 @@
 type kind = Bimodal | Gshare of int
 
+type attrib_view = {
+  funcs : int;
+  slot_accesses : int array;
+  aliases : int array;  (** funcs*funcs, [prev*funcs + curr] *)
+  alias_mispredictions : int array;
+}
+
+(* Off-by-default alias recorder; see cache.mli — same plane-separation
+   contract: never feeds back into predictions or counters. *)
+type attrib = {
+  a_funcs : int;
+  mutable owner : int;
+  slot_owner : int array;  (** last function to train each entry, -1 *)
+  a_slot_accesses : int array;
+  a_aliases : int array;
+  a_alias_mispredictions : int array;
+}
+
 type t = {
   counters : Bytes.t;  (** 2-bit saturating counters, one byte each *)
   mask : int;
@@ -7,6 +25,7 @@ type t = {
   mutable history : int;  (** global branch history (Gshare) *)
   mutable branches : int;
   mutable mispredictions : int;
+  mutable attrib : attrib option;
 }
 
 let create ?(entries = 4096) ?(kind = Bimodal) () =
@@ -24,7 +43,39 @@ let create ?(entries = 4096) ?(kind = Bimodal) () =
     history = 0;
     branches = 0;
     mispredictions = 0;
+    attrib = None;
   }
+
+let arm_attrib t ~funcs =
+  if funcs <= 0 then invalid_arg "Branch.arm_attrib: funcs must be positive";
+  let entries = t.mask + 1 in
+  t.attrib <-
+    Some
+      {
+        a_funcs = funcs;
+        owner = -1;
+        slot_owner = Array.make entries (-1);
+        a_slot_accesses = Array.make entries 0;
+        a_aliases = Array.make (funcs * funcs) 0;
+        a_alias_mispredictions = Array.make (funcs * funcs) 0;
+      }
+
+let attrib_armed t = t.attrib <> None
+
+let set_attrib_owner t fid =
+  match t.attrib with None -> () | Some a -> a.owner <- fid
+
+let attrib_view t =
+  match t.attrib with
+  | None -> None
+  | Some a ->
+      Some
+        {
+          funcs = a.a_funcs;
+          slot_accesses = Array.copy a.a_slot_accesses;
+          aliases = Array.copy a.a_aliases;
+          alias_mispredictions = Array.copy a.a_alias_mispredictions;
+        }
 
 (* Instructions are 4 bytes in the simulated ISA; drop the offset bits. *)
 let index_of t pc =
@@ -40,6 +91,18 @@ let predict_and_update t ~pc ~taken =
   let predicted_taken = counter >= 2 in
   let correct = predicted_taken = taken in
   if not correct then t.mispredictions <- t.mispredictions + 1;
+  (match t.attrib with
+  | None -> ()
+  | Some a ->
+      a.a_slot_accesses.(i) <- a.a_slot_accesses.(i) + 1;
+      let prev = a.slot_owner.(i) in
+      if prev >= 0 && a.owner >= 0 && prev <> a.owner then begin
+        let k = (prev * a.a_funcs) + a.owner in
+        a.a_aliases.(k) <- a.a_aliases.(k) + 1;
+        if not correct then
+          a.a_alias_mispredictions.(k) <- a.a_alias_mispredictions.(k) + 1
+      end;
+      if a.owner >= 0 then a.slot_owner.(i) <- a.owner);
   let counter' =
     if taken then Stdlib.min 3 (counter + 1) else Stdlib.max 0 (counter - 1)
   in
@@ -56,4 +119,14 @@ let reset t =
   Bytes.fill t.counters 0 (Bytes.length t.counters) '\002';
   t.history <- 0;
   t.branches <- 0;
-  t.mispredictions <- 0
+  t.mispredictions <- 0;
+  match t.attrib with
+  | None -> ()
+  | Some a ->
+      a.owner <- -1;
+      Array.fill a.slot_owner 0 (Array.length a.slot_owner) (-1);
+      Array.fill a.a_slot_accesses 0 (Array.length a.a_slot_accesses) 0;
+      Array.fill a.a_aliases 0 (Array.length a.a_aliases) 0;
+      Array.fill a.a_alias_mispredictions 0
+        (Array.length a.a_alias_mispredictions)
+        0

@@ -27,3 +27,31 @@ val reset : t -> unit
 (** Table index used for a pc (with the current history under Gshare) —
     exposed for aliasing diagnostics. *)
 val index_of : t -> int -> int
+
+(** {1 Conflict attribution}
+
+    Off-by-default alias recorder, same plane-separation contract as
+    {!Cache}: dark it costs one option check per branch; lit it never
+    feeds back into predictions, training, or counters. *)
+
+(** [aliases] is a [funcs*funcs] row-major matrix: entry
+    [prev*funcs + curr] counts branches from function [curr] that
+    landed on a table entry last trained by function [prev]
+    (cross-function only). [alias_mispredictions] is the subset of
+    those events that coincided with a misprediction — the
+    destructive-interference signal the paper's §5.2 credits for
+    code-randomization speedups. *)
+type attrib_view = {
+  funcs : int;
+  slot_accesses : int array;  (** per table entry *)
+  aliases : int array;
+  alias_mispredictions : int array;
+}
+
+val arm_attrib : t -> funcs:int -> unit
+val attrib_armed : t -> bool
+
+(** Function id charged for subsequent branches; [-1] never charged. *)
+val set_attrib_owner : t -> int -> unit
+
+val attrib_view : t -> attrib_view option

@@ -146,6 +146,61 @@ let retire t = t.instructions <- t.instructions + 1
 let cycles t = t.cycles
 let cost t = t.cost
 
+type attrib_snapshot = {
+  a_funcs : int;
+  a_l1i : Cache.attrib_view;
+  a_l1d : Cache.attrib_view;
+  a_l2 : Cache.attrib_view;
+  a_l3 : Cache.attrib_view;
+  a_itlb : Cache.attrib_view;
+  a_dtlb : Cache.attrib_view;
+  a_predictor : Branch.attrib_view;
+}
+
+let arm_attrib t ~funcs =
+  Cache.arm_attrib t.l1i ~funcs;
+  Cache.arm_attrib t.l1d ~funcs;
+  Cache.arm_attrib t.l2 ~funcs;
+  Cache.arm_attrib t.l3 ~funcs;
+  Tlb.arm_attrib t.itlb ~funcs;
+  Tlb.arm_attrib t.dtlb ~funcs;
+  Branch.arm_attrib t.predictor ~funcs
+
+let attrib_armed t = Cache.attrib_armed t.l1i
+
+let set_attrib_owner t fid =
+  Cache.set_attrib_owner t.l1i fid;
+  Cache.set_attrib_owner t.l1d fid;
+  Cache.set_attrib_owner t.l2 fid;
+  Cache.set_attrib_owner t.l3 fid;
+  Tlb.set_attrib_owner t.itlb fid;
+  Tlb.set_attrib_owner t.dtlb fid;
+  Branch.set_attrib_owner t.predictor fid
+
+let attrib_snapshot t =
+  match
+    ( Cache.attrib_view t.l1i,
+      Cache.attrib_view t.l1d,
+      Cache.attrib_view t.l2,
+      Cache.attrib_view t.l3,
+      Tlb.attrib_view t.itlb,
+      Tlb.attrib_view t.dtlb,
+      Branch.attrib_view t.predictor )
+  with
+  | Some l1i, Some l1d, Some l2, Some l3, Some itlb, Some dtlb, Some pred ->
+      Some
+        {
+          a_funcs = l1i.Cache.funcs;
+          a_l1i = l1i;
+          a_l1d = l1d;
+          a_l2 = l2;
+          a_l3 = l3;
+          a_itlb = itlb;
+          a_dtlb = dtlb;
+          a_predictor = pred;
+        }
+  | _ -> None
+
 let counters t =
   {
     cycles = t.cycles;

@@ -102,3 +102,36 @@ val flush : t -> unit
 
 (** Fresh machine state and counters. *)
 val reset : t -> unit
+
+(** {1 Conflict attribution}
+
+    Machine-wide arming of the per-structure recorders ({!Cache},
+    {!Tlb}, {!Branch}); dark by default and counter-identical when lit
+    — the observer never feeds back into the model. The runtime sets
+    the owning function id on call/return when (and only when) the
+    machine is armed, so campaigns on dark machines execute the exact
+    pre-attribution instruction path. *)
+
+(** One snapshot of every structure's recorder, taken together. *)
+type attrib_snapshot = {
+  a_funcs : int;
+  a_l1i : Cache.attrib_view;
+  a_l1d : Cache.attrib_view;
+  a_l2 : Cache.attrib_view;
+  a_l3 : Cache.attrib_view;
+  a_itlb : Cache.attrib_view;  (** translation sets, not cache sets *)
+  a_dtlb : Cache.attrib_view;
+  a_predictor : Branch.attrib_view;
+}
+
+(** Arm all seven structures for [funcs] functions. *)
+val arm_attrib : t -> funcs:int -> unit
+
+val attrib_armed : t -> bool
+
+(** Charge subsequent accesses in every structure to [fid] ([-1] =
+    outside any function, never charged). *)
+val set_attrib_owner : t -> int -> unit
+
+(** [None] when dark. *)
+val attrib_snapshot : t -> attrib_snapshot option

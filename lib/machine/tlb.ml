@@ -13,6 +13,10 @@ let create cfg =
   }
 
 let access t addr = Cache.access t.cache addr
+let arm_attrib t ~funcs = Cache.arm_attrib t.cache ~funcs
+let attrib_armed t = Cache.attrib_armed t.cache
+let set_attrib_owner t fid = Cache.set_attrib_owner t.cache fid
+let attrib_view t = Cache.attrib_view t.cache
 let accesses t = Cache.accesses t.cache
 let misses t = Cache.misses t.cache
 let flush t = Cache.flush t.cache

@@ -24,3 +24,15 @@ val misses : t -> int
 val flush : t -> unit
 
 val reset : t -> unit
+
+(** {1 Conflict attribution}
+
+    Delegated to the underlying set-associative translation cache; for
+    a TLB the "sets" of the {!Cache.attrib_view} are translation sets
+    and evictions are page-translation conflicts. Same plane-separation
+    contract as {!Cache}. *)
+
+val arm_attrib : t -> funcs:int -> unit
+val attrib_armed : t -> bool
+val set_attrib_owner : t -> int -> unit
+val attrib_view : t -> Cache.attrib_view option

@@ -10,6 +10,8 @@ type comparison = {
   p_value : float;
   significant : bool;
   alpha : float;
+  equal_variance : bool;
+  variance_p : float;
 }
 
 let compare_samples ?(alpha = 0.05) a b =
@@ -26,6 +28,11 @@ let compare_samples ?(alpha = 0.05) a b =
   in
   let mean_a = Stats.Desc.mean a in
   let mean_b = Stats.Desc.mean b in
+  (* Brown-Forsythe guards the verdict's fine print: Welch's correction
+     tolerates unequal variances, but when the spreads differ the
+     "speedup" is a shift in distributions, not a clean mean shift —
+     the paper's Table 1 variance comparisons live on this test. *)
+  let variance_p = (Stats.Levene.brown_forsythe [ a; b ]).Stats.Levene.p_value in
   {
     mean_a;
     mean_b;
@@ -36,6 +43,8 @@ let compare_samples ?(alpha = 0.05) a b =
     p_value;
     significant = p_value < alpha;
     alpha;
+    equal_variance = not (variance_p < alpha);
+    variance_p;
   }
 
 type gated =
@@ -70,10 +79,19 @@ let suite_anova samples =
   Stats.Anova.within_subjects data
 
 let describe c =
-  Printf.sprintf "speedup %.3f, %s p=%.4f (%s)" c.speedup
+  Printf.sprintf "speedup %.3f, %s p=%.4f (%s)%s" c.speedup
     (if c.used_ttest then "t-test" else "Wilcoxon")
     c.p_value
     (if c.significant then "significant" else "not significant")
+    (if c.equal_variance then ""
+     else
+       Printf.sprintf
+         "; warning: unequal variances (Brown-Forsythe p=%.4f)%s"
+         c.variance_p
+         (if c.used_ttest then
+            " — Welch-corrected, but the mean comparison summarizes \
+             distributions with different spreads"
+          else ""))
 
 let describe_gated = function
   | Verdict c -> describe c

@@ -15,6 +15,11 @@ type comparison = {
   p_value : float;
   significant : bool;  (** p < alpha *)
   alpha : float;
+  equal_variance : bool;
+      (** Brown-Forsythe at alpha across the two samples; [false] means
+          the spreads differ, so a mean-shift verdict (especially a
+          t-test one) deserves the warning {!describe} attaches *)
+  variance_p : float;  (** the Brown-Forsythe p-value *)
 }
 
 (** [compare_samples ?alpha a b]; requires >= 3 samples each. When the

@@ -56,6 +56,24 @@ val evaluate :
   unit ->
   outcome
 
+(** Total static instructions of a program — the size metric the
+    shrinker minimizes. *)
+val program_instrs : Stz_vm.Ir.program -> int
+
+(** [shrink ~budget ~pred p0]: the greedy delta-debugging minimizer
+    (function removal, whole-function truncation, call constantization,
+    control-flow collapse, chunked instruction ddmin), exposed so other
+    searchers — the layout sweep shrinks worst-offender programs
+    against an η²-preserving predicate — reuse it. [budget] caps
+    predicate evaluations; candidates are validated before [pred] ever
+    runs them. Returns the smallest program still satisfying [pred]
+    plus the number of accepted transformations. *)
+val shrink :
+  budget:int ->
+  pred:(Stz_vm.Ir.program -> bool) ->
+  Stz_vm.Ir.program ->
+  Stz_vm.Ir.program * int
+
 (** Campaign configuration for {!run_campaign}. *)
 type config = {
   fuzz_seed : int64;

@@ -188,11 +188,20 @@ let run ?limits ?(profile = false) ?(events = false) ?machine_factory
       end
     end
   in
+  (* Attribution owner tracking: only when the factory handed us an
+     armed machine (szc explain / layout sweep); campaigns on dark
+     machines skip both branches entirely. *)
+  let attrib_on = Hierarchy.attrib_armed machine in
+  let owner_stack = ref [] in
   let enter_function ~fid =
     maybe_rerandomize ();
     (match profiler with
     | Some pr -> Profiler.on_enter pr ~fid ~at:(Hierarchy.counters machine)
     | None -> ());
+    if attrib_on then begin
+      owner_stack := fid :: !owner_stack;
+      Hierarchy.set_attrib_owner machine fid
+    end;
     match code_rand with
     | Some cr -> Code_rand.enter cr ~fid
     | None -> views.(fid)
@@ -202,6 +211,11 @@ let run ?limits ?(profile = false) ?(events = false) ?machine_factory
     (match profiler with
     | Some pr -> Profiler.on_leave pr ~fid ~at:(Hierarchy.counters machine)
     | None -> ());
+    if attrib_on then begin
+      (match !owner_stack with [] -> () | _ :: rest -> owner_stack := rest);
+      Hierarchy.set_attrib_owner machine
+        (match !owner_stack with [] -> -1 | caller :: _ -> caller)
+    end;
     match code_rand with Some cr -> Code_rand.leave cr ~fid | None -> ()
   in
   let global_addr ~caller ~gid =

@@ -1,0 +1,85 @@
+(** The layout-sweep ledger: the durable record of a [szc layout sweep]
+    campaign, a [%szc-artifact] container of kind ["szc-sweep"].
+
+    Same discipline as {!Fuzzlog}: the container header, one [meta]
+    record pinning the sweep's identity, then one [case] record per
+    swept index appended strictly in index order with one unbuffered
+    [write(2)] each — a SIGKILL at any instant leaves a valid prefix
+    that {!resume} self-heals byte-identically. [szc fsck] verifies and
+    repairs it like any other container. *)
+
+(** Sweep identity. {!resume} refuses a file whose meta differs. *)
+type meta = {
+  version : int;
+  fuzz_seed : int64;  (** keys the {!Stz_workloads.Fuzz} meta-space *)
+  count : int;
+  layout_seeds : int;  (** K layout seeds per case (ANOVA treatments) *)
+  variants : int;  (** W workload variants per case (ANOVA subjects) *)
+  threshold : float;  (** layout η² at or above which a case is shrunk *)
+  shrink_budget : int;
+}
+
+type verdict =
+  | Measured  (** full matrix completed; η² decomposition recorded *)
+  | Trapped  (** some cell trapped; case censored, no decomposition *)
+  | Crashed  (** worker died mid-case (censored) *)
+  | Hung  (** watchdog killed the worker (censored) *)
+
+(** One swept program. Effect-size floats are stored as hex float
+    literals, so records round-trip bit-exactly. [structure .. conflict_cycles]
+    describe the case's #1 conflict pair (empty/zero when none). *)
+type case = {
+  index : int;
+  case_seed : int64;
+  verdict : verdict;
+  eta2 : float;  (** classic layout η²: SS_layout / SS_total *)
+  partial_eta2 : float;  (** SS_layout / (SS_layout + SS_error) *)
+  workload_share : float;  (** SS_subjects / SS_total *)
+  residual_share : float;  (** SS_error / SS_total *)
+  mean_cycles : int;
+  instrs : int;  (** static instruction count of the case program *)
+  structure : string;  (** structure of the top conflict pair, or "" *)
+  victim : int;  (** fid whose lines/slots were evicted, or -1 *)
+  evictor : int;  (** fid doing the evicting, or -1 *)
+  conflict_events : int;
+  conflict_cycles : int;  (** estimated cycles charged to the top pair *)
+  repro : string;  (** reproducer file name, "" unless shrunk *)
+  repro_instrs : int;
+  shrink_steps : int;
+  detail : string;  (** one-line diagnosis (newlines sanitized) *)
+}
+
+(** The container kind, ["szc-sweep"]. *)
+val kind : string
+
+val verdict_to_string : verdict -> string
+val verdict_of_string : string -> verdict option
+
+(** An open ledger, positioned for appending. *)
+type t
+
+(** Start a fresh ledger (truncating any existing file). *)
+val create : path:string -> meta -> (t, string) result
+
+(** Reopen an existing ledger: salvage to the longest valid prefix,
+    truncate any torn tail, check the stored meta, and return the
+    surviving cases (a contiguous index prefix). A missing or empty
+    file degrades to {!create}. *)
+val resume : path:string -> meta -> (t * case list, string) result
+
+(** Append one case — one [write(2)], crash-atomic at record
+    granularity. Raises [Unix.Unix_error] on real IO failure. *)
+val append : t -> case -> unit
+
+val close : t -> unit
+
+(** Strict read: the whole file must parse and checksum. *)
+val load : string -> (meta * case list, string) result
+
+(** Lenient read: longest valid prefix plus a salvage note ([None] when
+    the file was intact). *)
+val recover : string -> (meta * case list * string option, string) result
+
+(** Rewrite as a clean container (atomic + durable) — [szc fsck
+    --repair]. *)
+val rewrite : string -> meta -> case list -> unit

@@ -1,0 +1,119 @@
+module Ir = Stz_vm.Ir
+module B = Stz_vm.Builder
+
+let default_args = [ 50 ]
+let hot_pair = (1, 2)
+
+(* Sizes are chosen against the default L1I geometry (64 sets x 2 ways
+   x 64-byte lines; way span 4096 bytes) AND the code heap's segregated
+   size classes, which quantize a function's alignment residue:
+
+   - [wrapper]: 1536 instrs = 6144 bytes (class 8192). It spans the way
+     span 1.5 times, so 32 consecutive sets hold two of its lines.
+   - [rider]: 240 instrs = 960 bytes (class 1024). Blocks of its class
+     are 1024 bytes apart, so each layout seed parks it on one of four
+     residues modulo the way span — sometimes inside [wrapper]'s
+     double-mapped window (3 lines > 2 ways: every round-robin pass
+     thrashes), sometimes clear of it. *)
+let wrapper_pairs = 767 (* 1 + 2*767 + 1 = 1536 instrs *)
+let rider_pairs = 119 (* 1 + 2*119 + 1 = 240 instrs *)
+
+(* Straight-line integer chain: data-dependent on the argument, so no
+   optimization level can fold or dedup it and shrink the footprint. *)
+let emit_chain b ~acc ~pairs =
+  for k = 1 to pairs do
+    let r = B.fresh_reg b in
+    B.emit b (Ir.Bin (Ir.Add, r, Ir.Reg acc, Ir.Imm k));
+    B.emit b (Ir.Bin (Ir.Xor, acc, Ir.Reg acc, Ir.Reg r))
+  done
+
+let gen_straight ~fid ~name ~pairs =
+  let b = B.func ~fid ~name ~n_args:1 ~frame_size:32 () in
+  let acc = B.fresh_reg b in
+  B.emit b (Ir.Mov (acc, Ir.Reg 0));
+  emit_chain b ~acc ~pairs;
+  B.emit b (Ir.Ret (Ir.Reg acc));
+  B.finish b
+
+(* The conflict driver loops in main, alternating wrapper and rider
+   every iteration so an overlapping layout reloads the contended sets
+   each pass. *)
+let program () =
+  let wrapper = gen_straight ~fid:1 ~name:"wrapper" ~pairs:wrapper_pairs in
+  let rider = gen_straight ~fid:2 ~name:"rider" ~pairs:rider_pairs in
+  let main =
+    let b = B.func ~fid:0 ~name:"main" ~n_args:1 ~frame_size:32 () in
+    let total = B.fresh_reg b in
+    let i = B.fresh_reg b in
+    B.emit b (Ir.Mov (total, Ir.Imm 0));
+    B.emit b (Ir.Mov (i, Ir.Imm 0));
+    let head = B.new_block b in
+    let body = B.new_block b in
+    let exit = B.new_block b in
+    B.emit b (Ir.Br head);
+    B.set_block b head;
+    let c = B.fresh_reg b in
+    B.emit b (Ir.Cmp (Ir.Lt, c, Ir.Reg i, Ir.Reg 0));
+    B.emit b (Ir.Brc (Ir.Reg c, body, exit));
+    B.set_block b body;
+    List.iter
+      (fun fid ->
+        let r = B.fresh_reg b in
+        B.emit b (Ir.Call { fn = fid; args = [ Ir.Reg i ]; dst = r });
+        B.emit b (Ir.Bin (Ir.Add, total, Ir.Reg total, Ir.Reg r)))
+      [ fst hot_pair; snd hot_pair ];
+    B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+    B.emit b (Ir.Br head);
+    B.set_block b exit;
+    B.emit b (Ir.Ret (Ir.Reg total));
+    B.finish b
+  in
+  let p = B.program ~funcs:[ main; wrapper; rider ] ~globals:[] ~entry:0 in
+  Stz_vm.Validate.check_exn p;
+  p
+
+(* Control twin: each hot function fits well inside one way and runs
+   its iteration loop internally, so main's lines stay cold and no set
+   ever sees more than two hot lines — there is no third line to evict,
+   whatever the layout. *)
+let gen_looped ~fid ~name ~pairs =
+  let b = B.func ~fid ~name ~n_args:1 ~frame_size:32 () in
+  let acc = B.fresh_reg b in
+  let i = B.fresh_reg b in
+  B.emit b (Ir.Mov (acc, Ir.Reg 0));
+  B.emit b (Ir.Mov (i, Ir.Imm 0));
+  let head = B.new_block b in
+  let body = B.new_block b in
+  let exit = B.new_block b in
+  B.emit b (Ir.Br head);
+  B.set_block b head;
+  let c = B.fresh_reg b in
+  B.emit b (Ir.Cmp (Ir.Lt, c, Ir.Reg i, Ir.Reg 0));
+  B.emit b (Ir.Brc (Ir.Reg c, body, exit));
+  B.set_block b body;
+  emit_chain b ~acc ~pairs;
+  B.emit b (Ir.Bin (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+  B.emit b (Ir.Br head);
+  B.set_block b exit;
+  B.emit b (Ir.Ret (Ir.Reg acc));
+  B.finish b
+
+let control () =
+  let a = gen_looped ~fid:1 ~name:"steady_a" ~pairs:rider_pairs in
+  let b_fn = gen_looped ~fid:2 ~name:"steady_b" ~pairs:rider_pairs in
+  let main =
+    let b = B.func ~fid:0 ~name:"main" ~n_args:1 ~frame_size:32 () in
+    let total = B.fresh_reg b in
+    B.emit b (Ir.Mov (total, Ir.Imm 0));
+    List.iter
+      (fun fid ->
+        let r = B.fresh_reg b in
+        B.emit b (Ir.Call { fn = fid; args = [ Ir.Reg 0 ]; dst = r });
+        B.emit b (Ir.Bin (Ir.Add, total, Ir.Reg total, Ir.Reg r)))
+      [ 1; 2 ];
+    B.emit b (Ir.Ret (Ir.Reg total));
+    B.finish b
+  in
+  let p = B.program ~funcs:[ main; a; b_fn ] ~globals:[] ~entry:0 in
+  Stz_vm.Validate.check_exn p;
+  p

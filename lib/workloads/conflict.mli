@@ -1,0 +1,33 @@
+(** Planted conflict workloads for the layout-bias attribution profiler
+    ([szc explain]) and its tests.
+
+    {!program} plants a two-function instruction-cache conflict whose
+    cost is decided purely by layout. Function [wrapper] is bigger than
+    one L1I way (6144 bytes against the default 64-set x 2-way x 64-byte
+    geometry), so it wraps the 4 KiB way span and double-maps 32 sets
+    all by itself. Function [rider] (960 bytes) sits in a smaller
+    allocator size class, so each layout seed drops it on one of four
+    1 KiB-spaced alignment residues: in overlapping layouts its lines
+    land in [wrapper]'s double-mapped window — three lines contending
+    for two ways, thrashing on every iteration of the caller's
+    [wrapper]/[rider] round-robin — while in disjoint layouts the run is
+    conflict-free. Cycle variance across layout seeds is therefore
+    dominated by the layout factor, and the ([wrapper], [rider]) pair
+    tops the L1I conflict table.
+
+    {!control} is the conflict-free twin: the same round-robin work,
+    but both hot functions fit well inside one way and run their loops
+    internally, so no cache set ever holds more than two hot lines in
+    any layout — cycle variance across layout seeds is negligible. *)
+
+(** The planted-conflict program. *)
+val program : unit -> Stz_vm.Ir.program
+
+(** The conflict-free control twin. *)
+val control : unit -> Stz_vm.Ir.program
+
+(** Fids of the planted pair in {!program}: [(wrapper, rider)]. *)
+val hot_pair : int * int
+
+(** Arguments for {!Stz_vm.Interp.run}: the iteration count. *)
+val default_args : int list

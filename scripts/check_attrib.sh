@@ -1,0 +1,129 @@
+#!/bin/sh
+# Layout-attribution acceptance gauntlet, used by CI and runnable
+# locally:
+#
+#   1. planted conflict: `szc explain conflict` must attribute the
+#      cycle variance to layout (eta2 >= 0.5) and rank the planted
+#      wrapper <-> rider pair #1 in the L1i cache, while the
+#      conflict-free control stays layout-indifferent (eta2 < 0.1) —
+#      the profiler finds what was planted and nothing else;
+#   2. determinism: the same explain invocation under --jobs 1 and
+#      --jobs 4 must write byte-identical CSV and trace reports;
+#   3. SIGKILL + --resume: a layout sweep killed mid-campaign and
+#      resumed must finish with a ledger (and reproducer set)
+#      byte-identical to an uninterrupted run's;
+#   4. fsck: a bit-flipped sweep ledger is detected as salvageable and
+#      `--repair` leaves a valid ledger.
+#
+# Usage: scripts/check_attrib.sh [OUTDIR]   (default: ./attrib-artifacts)
+# Knobs: SWEEP_COUNT (default 150), SWEEP_SEED (default 5),
+#        JOBS (default 4).
+# Exits nonzero on any divergence.
+set -eu
+
+outdir=${1:-attrib-artifacts}
+SWEEP_COUNT=${SWEEP_COUNT:-150}
+SWEEP_SEED=${SWEEP_SEED:-5}
+JOBS=${JOBS:-4}
+mkdir -p "$outdir"
+
+dune build bin/szc.exe
+SZC=_build/default/bin/szc.exe
+
+# First stdout line of `szc explain` is the decomposition:
+#   layout_eta2 X partial_eta2 X workload_share X residual_share X
+eta2_of() {
+  awk 'NR == 1 { print $2 }' "$1"
+}
+
+echo "== planted conflict is attributed; control is layout-indifferent"
+$SZC explain conflict --seeds 8 --variants 4 --jobs "$JOBS" \
+  >"$outdir/conflict.txt"
+eta2=$(eta2_of "$outdir/conflict.txt")
+if ! awk "BEGIN { exit !($eta2 >= 0.5) }"; then
+  echo "explain conflict: layout_eta2 $eta2 (want >= 0.5)"
+  cat "$outdir/conflict.txt"
+  exit 1
+fi
+top=$(awk '$1 == "1" { print $2, $3, $4, $5 }' "$outdir/conflict.txt")
+if [ "$top" != "l1i wrapper <-> rider" ]; then
+  echo "explain conflict: top-ranked pair is '$top' (want the planted" \
+    "'l1i wrapper <-> rider')"
+  cat "$outdir/conflict.txt"
+  exit 1
+fi
+$SZC explain conflict-control --seeds 8 --variants 4 --jobs "$JOBS" \
+  >"$outdir/control.txt"
+ceta2=$(eta2_of "$outdir/control.txt")
+if ! awk "BEGIN { exit !($ceta2 < 0.1) }"; then
+  echo "explain conflict-control: layout_eta2 $ceta2 (want < 0.1)"
+  cat "$outdir/control.txt"
+  exit 1
+fi
+echo "explain: conflict eta2=$eta2 ranks the planted pair #1," \
+  "control eta2=$ceta2"
+
+echo "== determinism: explain --jobs 1 vs --jobs $JOBS byte-identical"
+$SZC explain conflict --seeds 6 --variants 3 --jobs 1 \
+  --csv "$outdir/det1.csv" --trace "$outdir/det1.json" >/dev/null
+$SZC explain conflict --seeds 6 --variants 3 --jobs "$JOBS" \
+  --csv "$outdir/detN.csv" --trace "$outdir/detN.json" >/dev/null
+cmp "$outdir/det1.csv" "$outdir/detN.csv"
+cmp "$outdir/det1.json" "$outdir/detN.json"
+echo "explain reports: byte-identical across worker counts"
+
+echo "== SIGKILL + --resume converges to the identical sweep ledger"
+rm -rf "$outdir/kill"
+$SZC layout sweep --seed "$SWEEP_SEED" --count "$SWEEP_COUNT" --jobs 2 \
+  --threshold 0.02 --shrink-budget 30 --out "$outdir/kill" --quiet \
+  >/dev/null &
+pid=$!
+# Let a prefix land, then kill mid-campaign. If the campaign wins the
+# race and finishes, --resume over a complete ledger must still be a
+# byte-preserving no-op, so the cmp below stays meaningful.
+i=0
+while [ ! -s "$outdir/kill/sweep.log" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+sleep 0.3
+if kill -9 "$pid" 2>/dev/null; then
+  echo "SIGKILLed pid $pid mid-sweep"
+else
+  echo "WARNING: sweep finished before the kill landed (still checking resume)"
+fi
+wait "$pid" 2>/dev/null || true
+$SZC layout sweep --seed "$SWEEP_SEED" --count "$SWEEP_COUNT" --jobs 2 \
+  --threshold 0.02 --shrink-budget 30 --out "$outdir/kill" --resume --quiet \
+  >/dev/null
+rm -rf "$outdir/full"
+$SZC layout sweep --seed "$SWEEP_SEED" --count "$SWEEP_COUNT" --jobs 2 \
+  --threshold 0.02 --shrink-budget 30 --out "$outdir/full" --quiet >/dev/null
+cmp "$outdir/kill/sweep.log" "$outdir/full/sweep.log"
+(cd "$outdir/kill" && ls repro-*.szt 2>/dev/null || true) >"$outdir/kill.repros"
+(cd "$outdir/full" && ls repro-*.szt 2>/dev/null || true) >"$outdir/full.repros"
+cmp "$outdir/kill.repros" "$outdir/full.repros"
+while IFS= read -r f; do
+  cmp "$outdir/kill/$f" "$outdir/full/$f"
+  $SZC exec "$outdir/full/$f" >/dev/null
+done <"$outdir/full.repros"
+echo "sweep ledger + reproducers: byte-identical after SIGKILL + --resume"
+
+echo "== fsck detects sweep-ledger corruption and --repair salvages"
+cp "$outdir/full/sweep.log" "$outdir/flipped.log"
+size=$(wc -c <"$outdir/flipped.log")
+# Flip one byte two-thirds of the way in (inside a case record).
+off=$((size * 2 / 3))
+printf '\377' | dd of="$outdir/flipped.log" bs=1 seek="$off" conv=notrunc \
+  2>/dev/null
+code=0
+$SZC fsck "$outdir/flipped.log" >/dev/null || code=$?
+if [ "$code" -ne 2 ]; then
+  echo "fsck: corrupt sweep ledger not flagged salvageable (exit $code, want 2)"
+  exit 1
+fi
+$SZC fsck --repair "$outdir/flipped.log" >/dev/null || true
+$SZC fsck "$outdir/flipped.log" >/dev/null
+echo "fsck: bit-flip detected, --repair leaves a valid ledger"
+
+echo "attrib gauntlet: OK"

@@ -190,6 +190,49 @@ let gshare_history_moves_index () =
   let i1 = M.Branch.index_of b 0x80 in
   check_bool "history changes the slot" true (i0 <> i1)
 
+(* The slot-introspection surface the attribution plane keys on: the
+   documented index functions, exactly. *)
+let bimodal_index_formula () =
+  let b = M.Branch.create ~entries:16 () in
+  List.iter
+    (fun pc -> check_int "(pc lsr 2) land mask" ((pc lsr 2) land 15) (M.Branch.index_of b pc))
+    [ 0x0; 0x40; 0x44; 0x7c; 0x1004; 0xdeadbeef ];
+  (* Instruction words 4 bytes apart get distinct slots until the table
+     wraps: entries * 4 bytes of code per alias-free window. *)
+  check_int "wraps at entries*4" (M.Branch.index_of b 0x40)
+    (M.Branch.index_of b (0x40 + (16 * 4)));
+  check_bool "adjacent words distinct" true
+    (M.Branch.index_of b 0x40 <> M.Branch.index_of b 0x44)
+
+let gshare_index_formula () =
+  let bits = 4 in
+  let b = M.Branch.create ~entries:16 ~kind:(M.Branch.Gshare bits) () in
+  (* Fresh predictor: history = 0, so gshare degenerates to bimodal. *)
+  check_int "zero history = bimodal" ((0x7c lsr 2) land 15)
+    (M.Branch.index_of b 0x7c);
+  (* Train a known history and check the XOR fold directly. *)
+  List.iter
+    (fun taken -> ignore (M.Branch.predict_and_update b ~pc:0x40 ~taken))
+    [ true; false; true; true ];
+  (* Outcomes shift into the history LSB: T,F,T,T -> 0b1011. *)
+  let h = 0b1011 in
+  let expect pc = ((pc lsr 2) lxor (h land ((1 lsl bits) - 1))) land 15 in
+  List.iter
+    (fun pc ->
+      check_int (Printf.sprintf "xor fold at %x" pc) (expect pc)
+        (M.Branch.index_of b pc))
+    [ 0x0; 0x40; 0x44; 0x1004 ]
+
+let index_of_respects_mask () =
+  List.iter
+    (fun entries ->
+      let b = M.Branch.create ~entries () in
+      for pc = 0 to 1024 do
+        let i = M.Branch.index_of b pc in
+        check_bool "in range" true (i >= 0 && i < entries)
+      done)
+    [ 1; 2; 16; 256 ]
+
 let branch_counts () =
   let b = M.Branch.create ~entries:16 () in
   for _ = 1 to 10 do
@@ -367,6 +410,9 @@ let () =
           Alcotest.test_case "counts" `Quick branch_counts;
           Alcotest.test_case "gshare alternation" `Quick gshare_learns_alternating;
           Alcotest.test_case "gshare history index" `Quick gshare_history_moves_index;
+          Alcotest.test_case "bimodal index formula" `Quick bimodal_index_formula;
+          Alcotest.test_case "gshare index formula" `Quick gshare_index_formula;
+          Alcotest.test_case "index respects mask" `Quick index_of_respects_mask;
         ] );
       ( "hierarchy",
         [

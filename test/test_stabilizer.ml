@@ -202,6 +202,29 @@ let experiment_falls_back_to_wilcoxon () =
     (c.S.Experiment.normal_a && c.S.Experiment.normal_b);
   check_bool "wilcoxon used" false c.S.Experiment.used_ttest
 
+let experiment_flags_unequal_variance () =
+  let a = normal_samples ~seed:21L ~mu:10.0 30 in
+  let wide =
+    Array.map
+      (fun x -> 10.0 +. (8.0 *. (x -. 10.0)))
+      (normal_samples ~seed:22L ~mu:10.0 30)
+  in
+  let c = S.Experiment.compare_samples a wide in
+  check_bool "unequal variances detected" false c.S.Experiment.equal_variance;
+  check_bool "variance p small" true (c.S.Experiment.variance_p < 0.05);
+  let described = S.Experiment.describe c in
+  let has sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "describe warns" true (has "unequal variances" described);
+  (* Matched spreads stay quiet. *)
+  let b = normal_samples ~seed:23L ~mu:10.0 30 in
+  let c' = S.Experiment.compare_samples a b in
+  check_bool "equal variances pass" true c'.S.Experiment.equal_variance;
+  check_bool "no warning" false (has "unequal variances" (S.Experiment.describe c'))
+
 let experiment_requires_samples () =
   Alcotest.check_raises "too few"
     (Invalid_argument "Experiment.compare_samples: needs >= 3 samples each")
@@ -481,6 +504,8 @@ let () =
           Alcotest.test_case "detects effect" `Quick experiment_detects_effect;
           Alcotest.test_case "wilcoxon fallback" `Quick experiment_falls_back_to_wilcoxon;
           Alcotest.test_case "requires samples" `Quick experiment_requires_samples;
+          Alcotest.test_case "unequal variance warning" `Quick
+            experiment_flags_unequal_variance;
           Alcotest.test_case "suite anova effect" `Quick experiment_suite_anova;
           Alcotest.test_case "suite anova null" `Quick experiment_suite_anova_null;
           Alcotest.test_case "describe" `Quick experiment_describe;
